@@ -1,0 +1,301 @@
+// Package repro's root benchmarks regenerate every figure of the paper's
+// evaluation (Figures 5-14) plus the in-text measurements and the ablation
+// studies DESIGN.md calls out. Run them with
+//
+//	go test -bench=. -benchmem
+//
+// Throughput figures report interactions/minute as the custom metric
+// "ipm" (per configuration sub-benchmark); CPU figures report the
+// bottleneck tier's utilization as "cpu%". Shapes, not absolute numbers,
+// are the reproduction target — see EXPERIMENTS.md.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/httpd/httpclient"
+	"repro/internal/perfsim"
+	"repro/internal/workload"
+
+	"repro/internal/core"
+)
+
+// benchOpt keeps bench runs tractable; cmd/repro uses the full windows.
+func benchOpt() perfsim.Options {
+	return perfsim.Options{Seed: 1, RampUp: 80, Measure: 120}
+}
+
+// benchFigureThroughput runs one throughput figure: each configuration is a
+// sub-benchmark reporting its peak ipm over a short client sweep.
+func benchFigureThroughput(b *testing.B, bench perfsim.Benchmark, mix perfsim.Mix, sweep []int) {
+	for _, a := range perfsim.Archs() {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			var peak float64
+			for i := 0; i < b.N; i++ {
+				best := 0.0
+				for _, n := range sweep {
+					r := perfsim.Run(bench, mix, a, n, benchOpt())
+					if r.ThroughputIPM > best {
+						best = r.ThroughputIPM
+					}
+				}
+				peak = best
+			}
+			b.ReportMetric(peak, "ipm")
+		})
+	}
+}
+
+// benchFigureCPU runs one CPU-bars figure: per configuration, utilization
+// of each tier at a near-peak load.
+func benchFigureCPU(b *testing.B, bench perfsim.Benchmark, mix perfsim.Mix, clients int) {
+	for _, a := range perfsim.Archs() {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			var r perfsim.Result
+			for i := 0; i < b.N; i++ {
+				r = perfsim.Run(bench, mix, a, clients, benchOpt())
+			}
+			b.ReportMetric(r.CPU[perfsim.TierWeb], "web_cpu%")
+			b.ReportMetric(r.CPU[perfsim.TierDB], "db_cpu%")
+			if v, ok := r.CPU[perfsim.TierServlet]; ok {
+				b.ReportMetric(v, "servlet_cpu%")
+			}
+			if v, ok := r.CPU[perfsim.TierEJB]; ok {
+				b.ReportMetric(v, "ejb_cpu%")
+			}
+			b.ReportMetric(r.ThroughputIPM, "ipm")
+		})
+	}
+}
+
+var (
+	bookSweep   = []int{100, 200, 450}
+	bidSweep    = []int{700, 1100, 1600}
+	browseSweep = []int{1100, 1800, 2500}
+)
+
+// BenchmarkFig05BookstoreShoppingThroughput — Figure 5.
+func BenchmarkFig05BookstoreShoppingThroughput(b *testing.B) {
+	benchFigureThroughput(b, perfsim.Bookstore, perfsim.ShoppingMix, bookSweep)
+}
+
+// BenchmarkFig06BookstoreShoppingCPU — Figure 6.
+func BenchmarkFig06BookstoreShoppingCPU(b *testing.B) {
+	benchFigureCPU(b, perfsim.Bookstore, perfsim.ShoppingMix, 200)
+}
+
+// BenchmarkFig07BookstoreBrowsingThroughput — Figure 7.
+func BenchmarkFig07BookstoreBrowsingThroughput(b *testing.B) {
+	benchFigureThroughput(b, perfsim.Bookstore, perfsim.BrowsingMix, bookSweep)
+}
+
+// BenchmarkFig08BookstoreBrowsingCPU — Figure 8.
+func BenchmarkFig08BookstoreBrowsingCPU(b *testing.B) {
+	benchFigureCPU(b, perfsim.Bookstore, perfsim.BrowsingMix, 150)
+}
+
+// BenchmarkFig09BookstoreOrderingThroughput — Figure 9.
+func BenchmarkFig09BookstoreOrderingThroughput(b *testing.B) {
+	benchFigureThroughput(b, perfsim.Bookstore, perfsim.OrderingMix, bookSweep)
+}
+
+// BenchmarkFig10BookstoreOrderingCPU — Figure 10.
+func BenchmarkFig10BookstoreOrderingCPU(b *testing.B) {
+	benchFigureCPU(b, perfsim.Bookstore, perfsim.OrderingMix, 200)
+}
+
+// BenchmarkFig11AuctionBiddingThroughput — Figure 11.
+func BenchmarkFig11AuctionBiddingThroughput(b *testing.B) {
+	benchFigureThroughput(b, perfsim.Auction, perfsim.BiddingMix, bidSweep)
+}
+
+// BenchmarkFig12AuctionBiddingCPU — Figure 12.
+func BenchmarkFig12AuctionBiddingCPU(b *testing.B) {
+	benchFigureCPU(b, perfsim.Auction, perfsim.BiddingMix, 1100)
+}
+
+// BenchmarkFig13AuctionBrowsingThroughput — Figure 13.
+func BenchmarkFig13AuctionBrowsingThroughput(b *testing.B) {
+	benchFigureThroughput(b, perfsim.Auction, perfsim.BrowsingMix, browseSweep)
+}
+
+// BenchmarkFig14AuctionBrowsingCPU — Figure 14.
+func BenchmarkFig14AuctionBrowsingCPU(b *testing.B) {
+	benchFigureCPU(b, perfsim.Auction, perfsim.BrowsingMix, 1800)
+}
+
+// BenchmarkIPCPerCharCost measures §6.1's in-text number: the cost of
+// moving dynamic content between the servlet engine and the web server,
+// per byte, on the real AJP implementation.
+func BenchmarkIPCPerCharCost(b *testing.B) {
+	lab, err := core.Start(core.Config{Arch: perfsim.ArchServlet, Benchmark: perfsim.Auction})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lab.Close()
+	c := httpclient.New(lab.WebAddr(), 10*time.Second)
+	defer c.Close()
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Get("/rubis/viewitem?item=1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes += int64(len(resp.Body))
+	}
+	b.StopTimer()
+	if bytes > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(bytes)/1000, "µs/char")
+	}
+}
+
+// BenchmarkEJBQueryTraffic measures §6.1's other in-text number: the small
+// statements per interaction the EJB container sends to the database.
+func BenchmarkEJBQueryTraffic(b *testing.B) {
+	lab, err := core.Start(core.Config{Arch: perfsim.ArchEJB, Benchmark: perfsim.Auction})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lab.Close()
+	c := httpclient.New(lab.WebAddr(), 10*time.Second)
+	defer c.Close()
+	before := lab.EJBQueryCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get(fmt.Sprintf("/rubis/viewitem?item=%d", 1+i%20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lab.EJBQueryCount()-before)/float64(b.N), "stmts/interaction")
+}
+
+// BenchmarkRealStackFrontEndCost compares the per-interaction front-end
+// cost of the three dispatch paths (in-process module vs AJP servlet vs
+// AJP+RMI EJB) on the real stack — the paper's §6 ordering PHP < servlet <
+// EJB in cost.
+func BenchmarkRealStackFrontEndCost(b *testing.B) {
+	for _, a := range []perfsim.Arch{perfsim.ArchPHP, perfsim.ArchServlet, perfsim.ArchEJB} {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			lab, err := core.Start(core.Config{Arch: a, Benchmark: perfsim.Auction})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lab.Close()
+			c := httpclient.New(lab.WebAddr(), 10*time.Second)
+			defer c.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Get("/rubis/viewitem?item=2"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRealStackWorkload drives the full emulator against the real
+// stack briefly per architecture, reporting achieved ipm.
+func BenchmarkRealStackWorkload(b *testing.B) {
+	for _, a := range []perfsim.Arch{perfsim.ArchPHP, perfsim.ArchServletSync, perfsim.ArchEJB} {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			lab, err := core.Start(core.Config{Arch: a, Benchmark: perfsim.Auction})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lab.Close()
+			var rep *workload.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = lab.Run(workload.Config{
+					Clients: 8, Mix: "bidding",
+					ThinkMean: time.Millisecond, SessionMean: time.Second,
+					RampUp: 50 * time.Millisecond, Measure: 400 * time.Millisecond,
+					Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.ThroughputIPM, "ipm")
+		})
+	}
+}
+
+// --- ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationSyncLocking isolates the paper's sync delta on the
+// write-heavy mix.
+func BenchmarkAblationSyncLocking(b *testing.B) {
+	for _, a := range []perfsim.Arch{perfsim.ArchServlet, perfsim.ArchServletSync} {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			var r perfsim.Result
+			for i := 0; i < b.N; i++ {
+				r = perfsim.Run(perfsim.Bookstore, perfsim.OrderingMix, a, 300, benchOpt())
+			}
+			b.ReportMetric(r.ThroughputIPM, "ipm")
+			b.ReportMetric(r.CPU[perfsim.TierDB], "db_cpu%")
+		})
+	}
+}
+
+// BenchmarkAblationCMPGranularity compares per-field CMP stores against
+// write-behind batching (ejb.Config.WriteBehind) in the simulation's terms:
+// the CMP fanout knob.
+func BenchmarkAblationCMPGranularity(b *testing.B) {
+	for _, fanout := range []int{1, 4, 7, 12} {
+		fanout := fanout
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			costs := perfsim.DefaultCosts()
+			costs.CMPFanout = fanout
+			opt := benchOpt()
+			opt.Costs = &costs
+			var r perfsim.Result
+			for i := 0; i < b.N; i++ {
+				r = perfsim.Run(perfsim.Auction, perfsim.BiddingMix, perfsim.ArchEJB, 900, opt)
+			}
+			b.ReportMetric(r.ThroughputIPM, "ipm")
+		})
+	}
+}
+
+// BenchmarkAblationDedicatedTier isolates the extra-machine delta on the
+// front-end-bound benchmark.
+func BenchmarkAblationDedicatedTier(b *testing.B) {
+	for _, a := range []perfsim.Arch{perfsim.ArchServlet, perfsim.ArchServletDedicated} {
+		a := a
+		b.Run(a.String(), func(b *testing.B) {
+			var r perfsim.Result
+			for i := 0; i < b.N; i++ {
+				r = perfsim.Run(perfsim.Auction, perfsim.BiddingMix, a, 1300, benchOpt())
+			}
+			b.ReportMetric(r.ThroughputIPM, "ipm")
+		})
+	}
+}
+
+// BenchmarkAblationPoolSize sweeps the engine-side connection pool, the
+// parameter that bounds database concurrency (beyond-paper extension).
+func BenchmarkAblationPoolSize(b *testing.B) {
+	for _, size := range []int{4, 12, 32, 96} {
+		size := size
+		b.Run(fmt.Sprintf("pool=%d", size), func(b *testing.B) {
+			costs := perfsim.DefaultCosts()
+			costs.DBPoolSize = size
+			opt := benchOpt()
+			opt.Costs = &costs
+			var r perfsim.Result
+			for i := 0; i < b.N; i++ {
+				r = perfsim.Run(perfsim.Bookstore, perfsim.ShoppingMix, perfsim.ArchServletSync, 300, opt)
+			}
+			b.ReportMetric(r.ThroughputIPM, "ipm")
+		})
+	}
+}

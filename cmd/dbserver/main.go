@@ -1,0 +1,86 @@
+// Command dbserver runs the SQL database tier standalone: it creates and
+// populates a benchmark schema and serves the wire protocol, the role MySQL
+// plays on the paper's database machine.
+//
+// Usage:
+//
+//	dbserver -addr :7306 -benchmark bookstore|auction [-scale tiny|default|paper] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/auction"
+	"repro/internal/bookstore"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+type sessExecer struct{ s *sqldb.Session }
+
+func (e sessExecer) Exec(q string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return e.s.Exec(q, args...)
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7306", "listen address")
+		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
+		scale     = flag.String("scale", "default", "tiny, default or paper")
+		seed      = flag.Int64("seed", 1, "population seed")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	db := sqldb.New()
+	sess := db.NewSession()
+	switch *benchmark {
+	case "bookstore":
+		sc := bookstore.DefaultScale()
+		switch *scale {
+		case "tiny":
+			sc = bookstore.TinyScale()
+		case "paper":
+			sc = bookstore.PaperScale()
+		}
+		if err := bookstore.CreateSchema(sessExecer{sess}); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("populating bookstore at %s scale (%d items, %d customers)...",
+			*scale, sc.Items, sc.Customers)
+		if err := bookstore.Populate(sessExecer{sess}, sc, *seed); err != nil {
+			logger.Fatal(err)
+		}
+	case "auction":
+		sc := auction.DefaultScale()
+		switch *scale {
+		case "tiny":
+			sc = auction.TinyScale()
+		case "paper":
+			sc = auction.PaperScale()
+		}
+		if err := auction.CreateSchema(sessExecer{sess}); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("populating auction at %s scale (%d items, %d users)...",
+			*scale, sc.Items, sc.Users)
+		if err := auction.Populate(sessExecer{sess}, sc, *seed); err != nil {
+			logger.Fatal(err)
+		}
+	default:
+		logger.Fatalf("unknown benchmark %q", *benchmark)
+	}
+	sess.Close()
+
+	srv := wire.NewServer(db, logger)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("dbserver: %s database ready on %s (tables: %v)\n",
+		*benchmark, bound, db.TableNames())
+	select {} // serve forever
+}

@@ -1,0 +1,85 @@
+// Command ejbd runs the EJB application-server tier standalone: entity
+// beans and the benchmark's session façade served over RMI — the role JOnAS
+// plays on the paper's EJB machine. Pair it with a presentation-tier
+// servletd... in this stack the presentation servlets live in-process with
+// cmd/webserver's connector, so a typical wiring is:
+//
+//	dbserver -> ejbd -> (presentation container inside this process) -> webserver
+//
+// Usage:
+//
+//	ejbd -addr :7099 -db 127.0.0.1:7306 -benchmark auction [-ajp :7009]
+//
+// When -ajp is given, ejbd also hosts the presentation servlets and serves
+// them over AJP so a webserver can connect directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/auction"
+	"repro/internal/bookstore"
+	"repro/internal/ejb"
+	"repro/internal/rmi"
+	"repro/internal/servlet"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7099", "RMI listen address")
+		ajpAddr   = flag.String("ajp", "", "also serve presentation servlets on this AJP address")
+		dbAddr    = flag.String("db", "127.0.0.1:7306", "database wire address")
+		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
+		pool      = flag.Int("pool", 12, "database connection pool size")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	ec, err := ejb.NewContainer(ejb.Config{DBAddr: *dbAddr, DBPoolSize: *pool})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	switch *benchmark {
+	case "bookstore":
+		if err := bookstore.RegisterEntities(ec); err != nil {
+			logger.Fatal(err)
+		}
+		if err := ec.RegisterFacade(bookstore.FacadeName, &bookstore.Facade{C: ec}); err != nil {
+			logger.Fatal(err)
+		}
+	case "auction":
+		if err := auction.RegisterEntities(ec); err != nil {
+			logger.Fatal(err)
+		}
+		if err := ec.RegisterFacade(auction.FacadeName, &auction.Facade{C: ec}); err != nil {
+			logger.Fatal(err)
+		}
+	default:
+		logger.Fatalf("unknown benchmark %q", *benchmark)
+	}
+	bound, err := ec.Serve(*addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("ejbd: %s façade on RMI %s (db %s)\n", *benchmark, bound, *dbAddr)
+
+	if *ajpAddr != "" {
+		client := rmi.NewClient(bound.String(), *pool)
+		pc := servlet.NewContainer(servlet.Config{})
+		switch *benchmark {
+		case "bookstore":
+			bookstore.NewPresentationApp(client, bookstore.DefaultScale()).Register(pc)
+		case "auction":
+			auction.NewPresentationApp(client, auction.DefaultScale()).Register(pc)
+		}
+		pbound, err := pc.Start(*ajpAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		fmt.Printf("ejbd: presentation servlets on AJP %s\n", pbound)
+	}
+	select {}
+}

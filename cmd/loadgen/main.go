@@ -1,0 +1,67 @@
+// Command loadgen runs the client-browser emulator against a web server
+// hosting one of the benchmarks — the role of the paper's client emulation
+// machines (§4.1).
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 -benchmark bookstore -mix shopping \
+//	        -clients 50 -think 100ms -ramp 2s -measure 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/bookstore"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "web server address")
+		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
+		mix       = flag.String("mix", "shopping", "workload mix name")
+		clients   = flag.Int("clients", 10, "emulated clients")
+		think     = flag.Duration("think", 100*time.Millisecond, "mean think time")
+		session   = flag.Duration("session", 30*time.Second, "mean session length")
+		ramp      = flag.Duration("ramp", 2*time.Second, "ramp-up")
+		measure   = flag.Duration("measure", 10*time.Second, "measurement window")
+		rampdown  = flag.Duration("rampdown", time.Second, "ramp-down")
+		images    = flag.Bool("images", true, "fetch embedded images")
+		seed      = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	var profile *workload.Profile
+	switch *benchmark {
+	case "bookstore":
+		profile = bookstore.Profile(bookstore.DefaultScale())
+	case "auction":
+		profile = auction.Profile(auction.DefaultScale())
+	default:
+		log.Fatalf("unknown benchmark %q", *benchmark)
+	}
+	rep, err := workload.Run(*addr, profile, workload.Config{
+		Clients: *clients, Mix: *mix,
+		ThinkMean: *think, SessionMean: *session,
+		RampUp: *ramp, Measure: *measure, RampDown: *rampdown,
+		FetchImages: *images, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mix=%s clients=%d window=%s\n", rep.Mix, rep.Clients, rep.MeasureDuration)
+	fmt.Printf("throughput   %8.0f interactions/min (%d completed, %d errors)\n",
+		rep.ThroughputIPM, rep.Interactions, rep.Errors)
+	fmt.Printf("latency      mean %.1fms  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+		rep.Latency.Mean()*1000, rep.Latency.Percentile(50)*1000,
+		rep.Latency.Percentile(95)*1000, rep.Latency.Percentile(99)*1000)
+	fmt.Printf("images       %d fetched\n", rep.ImageFetches)
+	fmt.Println("per-interaction completions:")
+	for name, n := range rep.ByInteraction {
+		fmt.Printf("  %-26s %d\n", name, n)
+	}
+}

@@ -1,0 +1,77 @@
+// Command repro regenerates every evaluation figure of the paper as data
+// series, using the calibrated simulator in internal/perfsim.
+//
+// Usage:
+//
+//	repro [-figure N] [-seed S] [-ramp SEC] [-measure SEC] [-quick]
+//
+// Without -figure it regenerates Figures 5-14. Output is aligned text: one
+// block per figure, one line per sweep point (throughput figures) or per
+// configuration (CPU figures).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perfsim"
+)
+
+func main() {
+	var (
+		figure  = flag.Int("figure", 0, "regenerate only this figure number (5-14)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		ramp    = flag.Float64("ramp", 0, "ramp-up seconds (0 = default)")
+		measure = flag.Float64("measure", 0, "measurement seconds (0 = default)")
+		quick   = flag.Bool("quick", false, "short windows for a fast smoke run")
+	)
+	flag.Parse()
+
+	opt := perfsim.Options{Seed: *seed, RampUp: *ramp, Measure: *measure}
+	if *quick {
+		opt.RampUp, opt.Measure = 80, 120
+	}
+
+	figs := perfsim.AllFigures()
+	if *figure != 0 {
+		figs = []perfsim.FigureID{perfsim.FigureID(*figure)}
+	}
+	for _, id := range figs {
+		fd := perfsim.Figure(id, opt)
+		printFigure(os.Stdout, fd)
+	}
+}
+
+func printFigure(w *os.File, fd perfsim.FigureData) {
+	fmt.Fprintf(w, "\n=== Figure %d: %s ===\n", fd.ID, fd.Title)
+	if fd.CPU {
+		fmt.Fprintf(w, "%-22s %8s %10s %8s %8s %8s %8s %9s\n",
+			"configuration", "clients", "peak ipm", "Web%", "Servlet%", "EJB%", "DB%", "NIC Mb/s")
+		for _, c := range fd.Curves {
+			p := c.Peak()
+			fmt.Fprintf(w, "%-22s %8d %10.0f %8.1f %8.1f %8.1f %8.1f %9.1f\n",
+				c.Arch, p.Clients, p.ThroughputIPM,
+				p.CPU[perfsim.TierWeb], p.CPU[perfsim.TierServlet],
+				p.CPU[perfsim.TierEJB], p.CPU[perfsim.TierDB], p.WebNICMbps)
+		}
+		return
+	}
+	fmt.Fprintf(w, "%-8s", "clients")
+	for _, c := range fd.Curves {
+		fmt.Fprintf(w, " %20s", c.Arch)
+	}
+	fmt.Fprintln(w)
+	for i := range fd.Curves[0].Results {
+		fmt.Fprintf(w, "%-8d", fd.Curves[0].Results[i].Clients)
+		for _, c := range fd.Curves {
+			fmt.Fprintf(w, " %20.0f", c.Results[i].ThroughputIPM)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, c := range fd.Curves {
+		p := c.Peak()
+		fmt.Fprintf(w, "# peak %-22s %6.0f ipm at %d clients (mean resp %.2fs, lockwait %.3f)\n",
+			c.Arch, p.ThroughputIPM, p.Clients, p.MeanResponse, p.DBLockWaitFrac)
+	}
+}

@@ -1,0 +1,48 @@
+// Command servletd runs the application-container tier standalone: the
+// benchmark's servlets served over AJP, the role Tomcat plays in the
+// paper's Ws-Servlet-DB configurations.
+//
+// Usage:
+//
+//	servletd -addr :7009 -db 127.0.0.1:7306 -benchmark bookstore [-sync] [-pool 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/auction"
+	"repro/internal/bookstore"
+	"repro/internal/servlet"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7009", "AJP listen address")
+		dbAddr    = flag.String("db", "127.0.0.1:7306", "database wire address")
+		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
+		sync      = flag.Bool("sync", false, "engine-side locking (the paper's sync variants)")
+		pool      = flag.Int("pool", 12, "database connection pool size")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	c := servlet.NewContainer(servlet.Config{DBAddr: *dbAddr, DBPoolSize: *pool})
+	switch *benchmark {
+	case "bookstore":
+		bookstore.New(bookstore.DefaultScale(), bookstore.Config{Sync: *sync}).Register(c)
+	case "auction":
+		auction.New(auction.DefaultScale(), auction.Config{Sync: *sync}).Register(c)
+	default:
+		logger.Fatalf("unknown benchmark %q", *benchmark)
+	}
+	bound, err := c.Start(*addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("servletd: %s container on AJP %s (db %s, sync=%v)\n",
+		*benchmark, bound, *dbAddr, *sync)
+	select {}
+}

@@ -1,0 +1,63 @@
+// Command sqlsh is an interactive SQL shell against a dbserver instance —
+// handy for poking at the benchmark databases.
+//
+// Usage:
+//
+//	sqlsh -addr 127.0.0.1:7306
+//	> SELECT id, title FROM items LIMIT 5;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/sqldb/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7306", "database wire address")
+	flag.Parse()
+
+	conn, err := wire.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Printf("connected to %s; terminate statements with ; (Ctrl-D quits)\n", *addr)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	fmt.Print("> ")
+	for sc.Scan() {
+		pending.WriteString(sc.Text())
+		pending.WriteByte('\n')
+		text := strings.TrimSpace(pending.String())
+		if !strings.HasSuffix(text, ";") {
+			fmt.Print("... ")
+			continue
+		}
+		pending.Reset()
+		res, err := conn.Exec(strings.TrimSuffix(text, ";"))
+		if err != nil {
+			fmt.Println("error:", err)
+		} else if len(res.Columns) > 0 {
+			fmt.Println(strings.Join(res.Columns, "\t"))
+			for _, row := range res.Rows {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = v.AsString()
+				}
+				fmt.Println(strings.Join(parts, "\t"))
+			}
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		} else {
+			fmt.Printf("ok (%d rows affected, last id %d)\n", res.RowsAffected, res.LastInsertID)
+		}
+		fmt.Print("> ")
+	}
+}

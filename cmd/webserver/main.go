@@ -1,0 +1,50 @@
+// Command webserver runs the web tier standalone: static images plus a
+// dynamic-content connector to a servletd instance over AJP — the role
+// Apache plays in the paper's testbed.
+//
+// Usage:
+//
+//	webserver -addr :8080 -ajp 127.0.0.1:7009 -base /tpcw/ [-imagebytes 2048]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/ajp"
+	"repro/internal/datagen"
+	"repro/internal/httpd"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		ajpAddr    = flag.String("ajp", "127.0.0.1:7009", "servlet container AJP address")
+		base       = flag.String("base", "/tpcw/", "dynamic content URL prefix")
+		imageBytes = flag.Int("imagebytes", 2048, "size of each synthetic image")
+		conns      = flag.Int("conns", 16, "AJP connector pool size")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	static := httpd.NewStaticSet()
+	for i := 0; i < 64; i++ {
+		static.Add(fmt.Sprintf("/img/item_%d.gif", i), datagen.Image(i, *imageBytes), "image/gif")
+	}
+	static.Add("/img/logo.gif", datagen.Image(1000, *imageBytes/2), "image/gif")
+	static.Add("/img/banner.gif", datagen.Image(1001, *imageBytes), "image/gif")
+
+	mux := httpd.NewMux()
+	mux.Handle("/img/", static)
+	mux.Handle(*base, ajp.NewConnector(*ajpAddr, *conns))
+
+	srv := httpd.NewServer(mux, logger)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("webserver: http://%s%s -> AJP %s\n", bound, *base, *ajpAddr)
+	select {}
+}

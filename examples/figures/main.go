@@ -1,0 +1,49 @@
+// Figures example: regenerate one figure of the paper with the calibrated
+// cluster simulation and print its series — the minimal version of
+// cmd/repro for a single figure.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/perfsim"
+)
+
+func main() {
+	id := perfsim.Fig11 // auction bidding throughput by default
+	if len(os.Args) > 1 {
+		n, err := strconv.Atoi(os.Args[1])
+		if err != nil || n < 5 || n > 14 {
+			fmt.Fprintln(os.Stderr, "usage: figures [5-14]")
+			os.Exit(2)
+		}
+		id = perfsim.FigureID(n)
+	}
+	opt := perfsim.Options{Seed: 1, RampUp: 120, Measure: 180}
+	fd := perfsim.Figure(id, opt)
+	fmt.Printf("Figure %d: %s\n\n", fd.ID, fd.Title)
+	if fd.CPU {
+		fmt.Printf("%-22s %8s %8s %8s %8s %8s\n", "configuration", "ipm", "Web%", "Servlet%", "EJB%", "DB%")
+		for _, c := range fd.Curves {
+			p := c.Peak()
+			fmt.Printf("%-22s %8.0f %8.1f %8.1f %8.1f %8.1f\n", c.Arch, p.ThroughputIPM,
+				p.CPU[perfsim.TierWeb], p.CPU[perfsim.TierServlet],
+				p.CPU[perfsim.TierEJB], p.CPU[perfsim.TierDB])
+		}
+		return
+	}
+	fmt.Printf("%-8s", "clients")
+	for _, c := range fd.Curves {
+		fmt.Printf(" %20s", c.Arch)
+	}
+	fmt.Println()
+	for i := range fd.Curves[0].Results {
+		fmt.Printf("%-8d", fd.Curves[0].Results[i].Clients)
+		for _, c := range fd.Curves {
+			fmt.Printf(" %20.0f", c.Results[i].ThroughputIPM)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,455 @@
+// Package ajp implements a binary web-server-to-application-container
+// protocol in the spirit of AJP12, the connector the paper's testbed uses
+// between Apache and Tomcat. The web server (internal/httpd) forwards
+// dynamic requests through a Connector; the container (internal/servlet)
+// answers through a Listener. Connections are persistent and pooled, as
+// mod_jk configures.
+package ajp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/url"
+	"sync"
+
+	"repro/internal/httpd"
+)
+
+const (
+	frameRequest  = 0x02
+	frameResponse = 0x03
+	maxFrameLen   = 8 << 20
+)
+
+// writeFrame / readFrame use the same 4-byte length + 1-byte type shape as
+// the database wire protocol.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrameLen {
+		return fmt.Errorf("ajp: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrameLen {
+		return 0, nil, fmt.Errorf("ajp: oversized frame (%d bytes)", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], p, nil
+}
+
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ajp: %s at offset %d", msg, d.off)
+	}
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail("truncated u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) rawBytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail("truncated bytes")
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, d.b[d.off:d.off+n])
+	d.off += n
+	return p
+}
+
+// encodeRequest flattens an httpd.Request.
+func encodeRequest(req *httpd.Request) []byte {
+	var e enc
+	e.str(req.Method)
+	e.str(req.Path)
+	e.str(req.Query.Encode())
+	e.u32(uint32(len(req.Header)))
+	for _, k := range headerKeys(req.Header) {
+		e.str(k)
+		e.str(req.Header[k])
+	}
+	e.bytes(req.Body)
+	return e.b
+}
+
+func headerKeys(h httpd.Header) []string {
+	ks := make([]string, 0, len(h))
+	for k := range h {
+		ks = append(ks, k)
+	}
+	// insertion-order independence: sort
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	return ks
+}
+
+func decodeRequest(p []byte) (*httpd.Request, error) {
+	d := &dec{b: p}
+	req := &httpd.Request{Header: httpd.Header{}}
+	req.Method = d.str()
+	req.Path = d.str()
+	rawQ := d.str()
+	n := int(d.u32())
+	if n > 1000 {
+		return nil, errors.New("ajp: absurd header count")
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.str()
+		v := d.str()
+		req.Header.Set(k, v)
+	}
+	req.Body = d.rawBytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	q, err := url.ParseQuery(rawQ)
+	if err != nil {
+		return nil, fmt.Errorf("ajp: bad query: %w", err)
+	}
+	req.Query = q
+	return req, nil
+}
+
+func encodeResponse(resp *httpd.Response) []byte {
+	var e enc
+	e.u32(uint32(resp.Status))
+	e.u32(uint32(len(resp.Header)))
+	for _, k := range headerKeys(resp.Header) {
+		e.str(k)
+		e.str(resp.Header[k])
+	}
+	e.bytes(resp.Body)
+	return e.b
+}
+
+func decodeResponse(p []byte) (*httpd.Response, error) {
+	d := &dec{b: p}
+	resp := &httpd.Response{Status: int(d.u32()), Header: httpd.Header{}}
+	n := int(d.u32())
+	if n > 1000 {
+		return nil, errors.New("ajp: absurd header count")
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		k := d.str()
+		v := d.str()
+		resp.Header.Set(k, v)
+	}
+	resp.Body = d.rawBytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return resp, nil
+}
+
+// Listener serves container-side AJP: each accepted connection carries a
+// sequence of request/response frames handled by h.
+type Listener struct {
+	h httpd.Handler
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewListener wraps a handler.
+func NewListener(h httpd.Handler) *Listener {
+	if h == nil {
+		panic("ajp: nil handler")
+	}
+	return &Listener{h: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr and serves in the background, returning the bound addr.
+func (l *Listener) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ajp: listen %s: %w", addr, err)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("ajp: listener closed")
+	}
+	l.ln = ln
+	l.mu.Unlock()
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				conn.Close()
+				return
+			}
+			l.conns[conn] = struct{}{}
+			l.mu.Unlock()
+			l.wg.Add(1)
+			go l.serve(conn)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+func (l *Listener) serve(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if typ != frameRequest {
+			return
+		}
+		req, err := decodeRequest(payload)
+		var resp *httpd.Response
+		if err != nil {
+			resp = httpd.Error(400, err.Error())
+		} else {
+			resp, err = l.h.ServeHTTP(req)
+			if err != nil {
+				resp = httpd.Error(500, "container error")
+			} else if resp == nil {
+				resp = httpd.Error(404, "")
+			}
+		}
+		if err := writeFrame(bw, frameResponse, encodeResponse(resp)); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and drops connections.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	ln := l.ln
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	l.wg.Wait()
+	return nil
+}
+
+// Connector is the web-server side: an httpd.Handler that forwards requests
+// to a container over pooled persistent connections.
+type Connector struct {
+	addr string
+	pool chan *connectorConn
+
+	mu     sync.Mutex
+	opened int
+	limit  int
+	closed bool
+}
+
+type connectorConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewConnector creates a connector to a container at addr with up to size
+// pooled connections.
+func NewConnector(addr string, size int) *Connector {
+	if size <= 0 {
+		size = 8
+	}
+	return &Connector{addr: addr, pool: make(chan *connectorConn, size), limit: size}
+}
+
+// ServeHTTP forwards the request and returns the container's response.
+func (c *Connector) ServeHTTP(req *httpd.Request) (*httpd.Response, error) {
+	cc, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(cc, req)
+	if err != nil {
+		// One retry on a fresh connection, in case the pooled one is stale.
+		cc.nc.Close()
+		c.drop()
+		cc, err2 := c.get()
+		if err2 != nil {
+			return nil, fmt.Errorf("ajp: %v (after %w)", err2, err)
+		}
+		resp, err = c.roundTrip(cc, req)
+		if err != nil {
+			cc.nc.Close()
+			c.drop()
+			return nil, err
+		}
+	}
+	c.put(cc)
+	return resp, nil
+}
+
+func (c *Connector) roundTrip(cc *connectorConn, req *httpd.Request) (*httpd.Response, error) {
+	if err := writeFrame(cc.bw, frameRequest, encodeRequest(req)); err != nil {
+		return nil, err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := readFrame(cc.br)
+	if err != nil {
+		return nil, err
+	}
+	if typ != frameResponse {
+		return nil, fmt.Errorf("ajp: unexpected frame type 0x%x", typ)
+	}
+	return decodeResponse(payload)
+}
+
+func (c *Connector) get() (*connectorConn, error) {
+	select {
+	case cc := <-c.pool:
+		return cc, nil
+	default:
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("ajp: connector closed")
+	}
+	if c.opened < c.limit {
+		c.opened++
+		c.mu.Unlock()
+		nc, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			c.drop()
+			return nil, fmt.Errorf("ajp: dial %s: %w", c.addr, err)
+		}
+		return &connectorConn{
+			nc: nc,
+			br: bufio.NewReaderSize(nc, 32<<10),
+			bw: bufio.NewWriterSize(nc, 32<<10),
+		}, nil
+	}
+	c.mu.Unlock()
+	cc, ok := <-c.pool
+	if !ok {
+		return nil, errors.New("ajp: connector closed")
+	}
+	return cc, nil
+}
+
+func (c *Connector) put(cc *connectorConn) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		cc.nc.Close()
+		return
+	}
+	select {
+	case c.pool <- cc:
+	default:
+		cc.nc.Close()
+		c.drop()
+	}
+}
+
+func (c *Connector) drop() {
+	c.mu.Lock()
+	c.opened--
+	c.mu.Unlock()
+}
+
+// Close closes idle pooled connections.
+func (c *Connector) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.pool)
+	for cc := range c.pool {
+		cc.nc.Close()
+	}
+}

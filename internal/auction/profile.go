@@ -1,0 +1,94 @@
+package auction
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/workload"
+)
+
+// Mix names accepted by Profile.
+const (
+	BrowsingMix = "browsing"
+	BiddingMix  = "bidding"
+)
+
+// Profile builds the emulator description: 26 interactions and the two
+// mixes of §3.2 (browsing read-only; bidding with 15% read-write).
+func Profile(sc Scale) *workload.Profile {
+	item := func(g *datagen.Gen) int { return 1 + g.Intn(sc.Items) }
+	user := func(g *datagen.Gen) int { return 1 + g.Intn(sc.Users) }
+	get := func(format string, args ...any) workload.Request {
+		return workload.Request{Method: "GET", Path: fmt.Sprintf(format, args...)}
+	}
+	b := func(name, format string, params func(g *datagen.Gen) []any) workload.Interaction {
+		return workload.Interaction{Name: name, Build: func(g *datagen.Gen) workload.Request {
+			return get(format, params(g)...)
+		}}
+	}
+	none := func(*datagen.Gen) []any { return nil }
+	inters := []workload.Interaction{
+		b("home", BasePath+"home", none),
+		b("browsecategories", BasePath+"browsecategories", none),
+		b("browseregions", BasePath+"browseregions", none),
+		b("searchitemsincategory", BasePath+"searchitemsincategory?category=%d",
+			func(g *datagen.Gen) []any { return []any{1 + g.Intn(sc.Categories)} }),
+		b("searchitemsinregion", BasePath+"searchitemsinregion?region=%d&category=%d",
+			func(g *datagen.Gen) []any { return []any{1 + g.Intn(sc.Regions), 1 + g.Intn(sc.Categories)} }),
+		b("browsecategoriesinregion", BasePath+"browsecategoriesinregion?region=%d",
+			func(g *datagen.Gen) []any { return []any{1 + g.Intn(sc.Regions)} }),
+		b("viewitem", BasePath+"viewitem?item=%d",
+			func(g *datagen.Gen) []any { return []any{item(g)} }),
+		b("viewbidhistory", BasePath+"viewbidhistory?item=%d",
+			func(g *datagen.Gen) []any { return []any{item(g)} }),
+		b("viewuserinfo", BasePath+"viewuserinfo?user=%d",
+			func(g *datagen.Gen) []any { return []any{user(g)} }),
+		b("sellitemform", BasePath+"sellitemform", none),
+		b("registeritem", BasePath+"registeritem?seller=%d&category=%d&region=%d&price=%d",
+			func(g *datagen.Gen) []any {
+				return []any{user(g), 1 + g.Intn(sc.Categories), 1 + g.Intn(sc.Regions), 5 + g.Intn(200)}
+			}),
+		b("registeruserform", BasePath+"registeruserform", none),
+		b("registeruser", BasePath+"registeruser?nickname=n%d&region=%d",
+			func(g *datagen.Gen) []any { return []any{g.Intn(1 << 30), 1 + g.Intn(sc.Regions)} }),
+		b("buynowauth", BasePath+"buynowauth?item=%d",
+			func(g *datagen.Gen) []any { return []any{item(g)} }),
+		b("buynow", BasePath+"buynow?item=%d",
+			func(g *datagen.Gen) []any { return []any{item(g)} }),
+		b("storebuynow", BasePath+"storebuynow?item=%d&user=%d",
+			func(g *datagen.Gen) []any { return []any{item(g), user(g)} }),
+		b("putbidauth", BasePath+"putbidauth?item=%d",
+			func(g *datagen.Gen) []any { return []any{item(g)} }),
+		b("putbid", BasePath+"putbid?item=%d",
+			func(g *datagen.Gen) []any { return []any{item(g)} }),
+		b("storebid", BasePath+"storebid?item=%d&user=%d&bid=%d",
+			func(g *datagen.Gen) []any { return []any{item(g), user(g), 1 + g.Intn(500)} }),
+		b("putcommentauth", BasePath+"putcommentauth?to=%d",
+			func(g *datagen.Gen) []any { return []any{user(g)} }),
+		b("putcomment", BasePath+"putcomment?user=%d",
+			func(g *datagen.Gen) []any { return []any{user(g)} }),
+		b("storecomment", BasePath+"storecomment?user=%d&to=%d&rating=%d",
+			func(g *datagen.Gen) []any { return []any{user(g), user(g), g.Intn(6)} }),
+		b("aboutmeauth", BasePath+"aboutmeauth", none),
+		b("aboutme", BasePath+"aboutme?user=%d",
+			func(g *datagen.Gen) []any { return []any{user(g)} }),
+		b("login", BasePath+"login?nickname=bidder%d&password=pwbidder%d",
+			func(g *datagen.Gen) []any { u := user(g); return []any{u, u} }),
+		b("logout", BasePath+"logout", none),
+	}
+	// Order matches Interactions(). Writes: registeritem, registeruser,
+	// storebuynow, storebid, storecomment.
+	mixes := map[string][]float64{
+		BrowsingMix: {
+			0.06, 0.09, 0.06, 0.15, 0.08, 0.05, 0.22, 0.06, 0.06, 0.01,
+			0, 0.01, 0, 0.01, 0.02, 0, 0.02, 0.03, 0, 0.01,
+			0.01, 0, 0.01, 0.03, 0.01, 0,
+		},
+		BiddingMix: {
+			0.04, 0.06, 0.04, 0.10, 0.06, 0.03, 0.14, 0.05, 0.05, 0.01,
+			0.018, 0.01, 0.012, 0.015, 0.02, 0.018, 0.03, 0.05, 0.088, 0.015,
+			0.02, 0.022, 0.015, 0.035, 0.04, 0.012,
+		},
+	}
+	return &workload.Profile{Name: "auction", Interactions: inters, Mixes: mixes}
+}

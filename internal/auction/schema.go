@@ -1,0 +1,235 @@
+// Package auction implements the paper's auction site benchmark (§3.2), a
+// RUBiS-style application modeled on eBay: nine tables, twenty-six
+// interactions, and two mixes (read-only browsing; bidding with 15%
+// read-write). As with the bookstore, the hand-written SQL layer serves
+// both the in-process (PHP-analog) and servlet deployments, and ejb.go
+// provides the session-façade/entity-bean variant.
+package auction
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// Scale sizes the population. The paper runs 33,000 live items, 500,000
+// old items, 1,000,000 users, ~330,000 bids and ~500,000 comments (1.4 GB).
+type Scale struct {
+	Items      int // live auctions
+	OldItems   int
+	Users      int
+	BidsPer    int // average bids per item
+	Comments   int
+	Categories int
+	Regions    int
+}
+
+// DefaultScale is roughly 1/100 of the paper's population.
+func DefaultScale() Scale {
+	return Scale{Items: 330, OldItems: 5000, Users: 10000, BidsPer: 10,
+		Comments: 5000, Categories: 40, Regions: 62}
+}
+
+// PaperScale matches §3.2's sizing observations from eBay.
+func PaperScale() Scale {
+	return Scale{Items: 33000, OldItems: 500000, Users: 1000000, BidsPer: 10,
+		Comments: 500000, Categories: 40, Regions: 62}
+}
+
+// TinyScale keeps unit tests fast.
+func TinyScale() Scale {
+	return Scale{Items: 40, OldItems: 60, Users: 120, BidsPer: 3,
+		Comments: 50, Categories: 8, Regions: 6}
+}
+
+// SchemaSQL returns the DDL for the nine tables (§3.2) plus indexes. The
+// items table carries the denormalized bid count and current maximum bid
+// the paper calls out as a necessary optimization.
+func SchemaSQL() []string {
+	return []string{
+		`CREATE TABLE categories (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			name VARCHAR(50) NOT NULL)`,
+		`CREATE TABLE regions (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			name VARCHAR(50) NOT NULL)`,
+		`CREATE TABLE users (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			fname VARCHAR(20),
+			lname VARCHAR(20),
+			nickname VARCHAR(24) NOT NULL,
+			password VARCHAR(20),
+			region_id INT,
+			rating INT,
+			balance FLOAT,
+			creation INT)`,
+		`CREATE UNIQUE INDEX idx_user_nick ON users (nickname)`,
+		`CREATE INDEX idx_user_region ON users (region_id)`,
+		`CREATE TABLE items (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			name VARCHAR(60) NOT NULL,
+			description TEXT,
+			seller_id INT NOT NULL,
+			category_id INT,
+			region_id INT,
+			init_price FLOAT,
+			reserve FLOAT,
+			buy_now FLOAT,
+			nb_bids INT,
+			max_bid FLOAT,
+			start_date INT,
+			end_date INT)`,
+		`CREATE INDEX idx_item_cat ON items (category_id)`,
+		`CREATE INDEX idx_item_region ON items (region_id)`,
+		`CREATE INDEX idx_item_seller ON items (seller_id)`,
+		`CREATE TABLE old_items (
+			id INT PRIMARY KEY,
+			name VARCHAR(60),
+			seller_id INT,
+			category_id INT,
+			region_id INT,
+			max_bid FLOAT,
+			end_date INT)`,
+		`CREATE INDEX idx_old_cat ON old_items (category_id)`,
+		`CREATE TABLE bids (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			item_id INT NOT NULL,
+			user_id INT NOT NULL,
+			bid FLOAT,
+			max_bid FLOAT,
+			qty INT,
+			bid_date INT)`,
+		`CREATE INDEX idx_bid_item ON bids (item_id)`,
+		`CREATE INDEX idx_bid_user ON bids (user_id)`,
+		`CREATE TABLE buy_now (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			item_id INT NOT NULL,
+			buyer_id INT NOT NULL,
+			qty INT,
+			bn_date INT)`,
+		`CREATE INDEX idx_bn_buyer ON buy_now (buyer_id)`,
+		`CREATE TABLE comments (
+			id INT PRIMARY KEY AUTO_INCREMENT,
+			from_user INT NOT NULL,
+			to_user INT NOT NULL,
+			item_id INT,
+			rating INT,
+			comment TEXT)`,
+		`CREATE INDEX idx_comment_to ON comments (to_user)`,
+		`CREATE TABLE ids (
+			name VARCHAR(20),
+			value INT)`,
+	}
+}
+
+// Execer abstracts pooled and in-process statement execution.
+type Execer interface {
+	Exec(query string, args ...sqldb.Value) (*sqldb.Result, error)
+}
+
+var _ Execer = (*wire.Pool)(nil)
+
+// CreateSchema applies the DDL.
+func CreateSchema(db Execer) error {
+	for _, q := range SchemaSQL() {
+		if _, err := db.Exec(q); err != nil {
+			return fmt.Errorf("auction: schema: %w", err)
+		}
+	}
+	return nil
+}
+
+// Populate fills the database deterministically at the given scale.
+func Populate(db Execer, sc Scale, seed int64) error {
+	g := datagen.New(seed)
+	for i := 0; i < sc.Categories; i++ {
+		if _, err := db.Exec("INSERT INTO categories (name) VALUES (?)",
+			sqldb.String(g.Name())); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sc.Regions; i++ {
+		if _, err := db.Exec("INSERT INTO regions (name) VALUES (?)",
+			sqldb.String(g.Name())); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sc.Users; i++ {
+		nick := fmt.Sprintf("bidder%d", i+1)
+		if _, err := db.Exec(
+			`INSERT INTO users (fname, lname, nickname, password, region_id, rating, balance, creation)
+			 VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
+			sqldb.String(g.Name()), sqldb.String(g.Name()), sqldb.String(nick),
+			sqldb.String("pw"+nick), sqldb.Int(int64(1+g.Intn(sc.Regions))),
+			sqldb.Int(int64(g.Intn(10))), sqldb.Float(g.Price(0, 500)),
+			sqldb.Int(g.Date(12000, 900))); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sc.Items; i++ {
+		price := g.Price(1, 200)
+		if _, err := db.Exec(
+			`INSERT INTO items (name, description, seller_id, category_id, region_id,
+				init_price, reserve, buy_now, nb_bids, max_bid, start_date, end_date)
+			 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			sqldb.String(g.Sentence(3)), sqldb.String(g.Sentence(20)),
+			sqldb.Int(int64(1+g.Intn(sc.Users))), sqldb.Int(int64(1+g.Intn(sc.Categories))),
+			sqldb.Int(int64(1+g.Intn(sc.Regions))),
+			sqldb.Float(price), sqldb.Float(price*1.2), sqldb.Float(price*2),
+			sqldb.Int(0), sqldb.Float(price), sqldb.Int(12000), sqldb.Int(12007)); err != nil {
+			return err
+		}
+	}
+	// Bids over the live items, maintaining the denormalized counters.
+	totalBids := sc.Items * sc.BidsPer
+	for i := 0; i < totalBids; i++ {
+		item := int64(1 + g.Intn(sc.Items))
+		bid := g.Price(1, 400)
+		if _, err := db.Exec(
+			`INSERT INTO bids (item_id, user_id, bid, max_bid, qty, bid_date)
+			 VALUES (?, ?, ?, ?, ?, ?)`,
+			sqldb.Int(item), sqldb.Int(int64(1+g.Intn(sc.Users))),
+			sqldb.Float(bid), sqldb.Float(bid*1.1), sqldb.Int(1),
+			sqldb.Int(g.Date(12006, 6))); err != nil {
+			return err
+		}
+		if _, err := db.Exec(
+			"UPDATE items SET nb_bids = nb_bids + 1 WHERE id = ?",
+			sqldb.Int(item)); err != nil {
+			return err
+		}
+		if _, err := db.Exec(
+			"UPDATE items SET max_bid = ? WHERE id = ? AND max_bid < ?",
+			sqldb.Float(bid), sqldb.Int(item), sqldb.Float(bid)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sc.OldItems; i++ {
+		if _, err := db.Exec(
+			`INSERT INTO old_items (id, name, seller_id, category_id, region_id, max_bid, end_date)
+			 VALUES (?, ?, ?, ?, ?, ?, ?)`,
+			sqldb.Int(int64(1000000+i)), sqldb.String(g.Sentence(3)),
+			sqldb.Int(int64(1+g.Intn(sc.Users))), sqldb.Int(int64(1+g.Intn(sc.Categories))),
+			sqldb.Int(int64(1+g.Intn(sc.Regions))), sqldb.Float(g.Price(1, 400)),
+			sqldb.Int(g.Date(11999, 900))); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < sc.Comments; i++ {
+		if _, err := db.Exec(
+			`INSERT INTO comments (from_user, to_user, item_id, rating, comment)
+			 VALUES (?, ?, ?, ?, ?)`,
+			sqldb.Int(int64(1+g.Intn(sc.Users))), sqldb.Int(int64(1+g.Intn(sc.Users))),
+			sqldb.Int(int64(1+g.Intn(sc.Items))), sqldb.Int(int64(g.Intn(6))),
+			sqldb.String(g.Sentence(8))); err != nil {
+			return err
+		}
+	}
+	if _, err := db.Exec("INSERT INTO ids (name, value) VALUES ('item', ?)",
+		sqldb.Int(int64(sc.Items+1))); err != nil {
+		return err
+	}
+	return nil
+}

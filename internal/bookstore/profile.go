@@ -1,0 +1,95 @@
+package bookstore
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/workload"
+)
+
+// Mix names accepted by Profile.
+const (
+	BrowsingMix = "browsing"
+	ShoppingMix = "shopping"
+	OrderingMix = "ordering"
+)
+
+// Profile builds the client-emulator description of the bookstore: the 14
+// interactions with parameter generators sized to the population, and the
+// three TPC-W mixes (95% / 80% / 50% read-only). Each transition-matrix row
+// equals the mix distribution, which preserves the mix ratios exactly (see
+// DESIGN.md for the simplification note).
+func Profile(sc Scale) *workload.Profile {
+	item := func(g *datagen.Gen) int { return 1 + g.Intn(sc.Items) }
+	cust := func(g *datagen.Gen) int { return 1 + g.Intn(sc.Customers) }
+	subject := func(g *datagen.Gen) string { return datagen.Pick(g, Subjects) }
+	get := func(format string, args ...any) workload.Request {
+		return workload.Request{Method: "GET", Path: fmt.Sprintf(format, args...)}
+	}
+	inters := []workload.Interaction{
+		{Name: "home", Build: func(g *datagen.Gen) workload.Request {
+			return get("%shome?c_id=%d", BasePath, cust(g))
+		}},
+		{Name: "newproducts", Build: func(g *datagen.Gen) workload.Request {
+			return get("%snewproducts?subject=%s", BasePath, subject(g))
+		}},
+		{Name: "bestsellers", Build: func(g *datagen.Gen) workload.Request {
+			return get("%sbestsellers?subject=%s", BasePath, subject(g))
+		}},
+		{Name: "productdetail", Build: func(g *datagen.Gen) workload.Request {
+			return get("%sproductdetail?i_id=%d", BasePath, item(g))
+		}},
+		{Name: "searchrequest", Build: func(g *datagen.Gen) workload.Request {
+			return get("%ssearchrequest", BasePath)
+		}},
+		{Name: "searchresults", Build: func(g *datagen.Gen) workload.Request {
+			types := []string{"author", "title", "subject"}
+			typ := datagen.Pick(g, types)
+			term := subject(g)
+			if typ != "subject" {
+				term = g.Word()[:2]
+			}
+			return get("%ssearchresults?type=%s&term=%s", BasePath, typ, term)
+		}},
+		{Name: "shoppingcart", Build: func(g *datagen.Gen) workload.Request {
+			return get("%sshoppingcart?i_id=%d&qty=%d", BasePath, item(g), 1+g.Intn(3))
+		}},
+		{Name: "customerregistration", Build: func(g *datagen.Gen) workload.Request {
+			return workload.Request{Method: "POST", Path: BasePath + "customerregistration",
+				ContentType: "application/x-www-form-urlencoded",
+				Body: fmt.Sprintf("uname=u%s%d&passwd=pw&fname=%s&lname=%s&street=x&city=y",
+					g.Word(), g.Intn(1<<30), g.Name(), g.Name())}
+		}},
+		{Name: "buyrequest", Build: func(g *datagen.Gen) workload.Request {
+			return get("%sbuyrequest?c_id=%d", BasePath, cust(g))
+		}},
+		{Name: "buyconfirm", Build: func(g *datagen.Gen) workload.Request {
+			return get("%sbuyconfirm?c_id=%d", BasePath, cust(g))
+		}},
+		{Name: "orderinquiry", Build: func(g *datagen.Gen) workload.Request {
+			return get("%sorderinquiry?c_id=%d", BasePath, cust(g))
+		}},
+		{Name: "orderdisplay", Build: func(g *datagen.Gen) workload.Request {
+			return get("%sorderdisplay?c_id=%d", BasePath, cust(g))
+		}},
+		{Name: "adminrequest", Build: func(g *datagen.Gen) workload.Request {
+			return get("%sadminrequest?i_id=%d", BasePath, item(g))
+		}},
+		{Name: "adminconfirm", Build: func(g *datagen.Gen) workload.Request {
+			return get("%sadminconfirm?i_id=%d&cost=%d", BasePath, item(g), 5+g.Intn(95))
+		}},
+	}
+	// Interaction order: home, new, best, detail, searchreq, searchres,
+	// cart, register, buyreq, buyconfirm, orderinq, orderdisp, adminreq,
+	// adminconf. Read-write interactions: cart, register, buyconfirm,
+	// adminconfirm (buyrequest and the forms are reads).
+	mixes := map[string][]float64{
+		// 95% read-only (TPC-W browsing mix).
+		BrowsingMix: {0.24, 0.09, 0.11, 0.19, 0.08, 0.18, 0.03, 0.008, 0.006, 0.006, 0.03, 0.02, 0.005, 0.005},
+		// 80% read-only (shopping, the representative mix).
+		ShoppingMix: {0.15, 0.07, 0.05, 0.18, 0.06, 0.14, 0.12, 0.04, 0.04, 0.026, 0.06, 0.05, 0.007, 0.007},
+		// 50% read-only (ordering).
+		OrderingMix: {0.07, 0.03, 0.02, 0.12, 0.04, 0.08, 0.25, 0.09, 0.08, 0.10, 0.04, 0.04, 0.005, 0.035},
+	}
+	return &workload.Profile{Name: "bookstore", Interactions: inters, Mixes: mixes}
+}

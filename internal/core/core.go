@@ -1,0 +1,314 @@
+// Package core is the experiment laboratory: it assembles any of the
+// paper's six middleware configurations as a real multi-tier system over
+// loopback TCP — web server (internal/httpd), dynamic-content generator
+// (in-process module, servlet container over AJP, or servlet+EJB over
+// AJP+RMI), and the SQL database (internal/sqldb over its wire protocol) —
+// populates a benchmark database, and drives it with the client emulator.
+//
+// This is the functional half of the reproduction: it demonstrates that
+// every architecture serves both benchmarks correctly and exposes their
+// structural differences (dispatch path, query counts, locking discipline).
+// The performance half — regenerating the paper's figures, which requires
+// the four-machine cluster — lives in internal/perfsim; see DESIGN.md.
+package core
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ajp"
+	"repro/internal/auction"
+	"repro/internal/bookstore"
+	"repro/internal/datagen"
+	"repro/internal/ejb"
+	"repro/internal/httpd"
+	"repro/internal/perfsim"
+	"repro/internal/rmi"
+	"repro/internal/scriptmod"
+	"repro/internal/servlet"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+	"repro/internal/workload"
+)
+
+// Config selects what to assemble.
+type Config struct {
+	// Arch is one of the six configurations (perfsim.Arch names them).
+	Arch perfsim.Arch
+	// Benchmark selects the application.
+	Benchmark perfsim.Benchmark
+	// BookScale / AuctionScale size the population; zero values use the
+	// packages' TinyScale, keeping Start fast.
+	BookScale    bookstore.Scale
+	AuctionScale auction.Scale
+	// DBPoolSize bounds engine->database connections (default 12).
+	DBPoolSize int
+	// ImageBytes sizes each of the 64 synthetic item images (default 2048).
+	ImageBytes int
+	// Seed drives data generation.
+	Seed int64
+	// Logger receives tier logs; nil discards them.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.BookScale == (bookstore.Scale{}) {
+		c.BookScale = bookstore.TinyScale()
+	}
+	if c.AuctionScale == (auction.Scale{}) {
+		c.AuctionScale = auction.TinyScale()
+	}
+	if c.DBPoolSize <= 0 {
+		c.DBPoolSize = 12
+	}
+	if c.ImageBytes <= 0 {
+		c.ImageBytes = 2048
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Lab is a running configuration.
+type Lab struct {
+	cfg     Config
+	db      *sqldb.DB
+	dbSrv   *wire.Server
+	web     *httpd.Server
+	webAddr string
+
+	module    *scriptmod.Module
+	container *servlet.Container
+	connector *ajp.Connector
+	ejbC      *ejb.Container
+	rmiClient *rmi.Client
+
+	profile *workload.Profile
+}
+
+// Start assembles and boots the configuration.
+func Start(cfg Config) (lab *Lab, err error) {
+	cfg = cfg.withDefaults()
+	l := &Lab{cfg: cfg}
+	defer func() {
+		if err != nil {
+			l.Close()
+		}
+	}()
+
+	// --- database tier ---
+	l.db = sqldb.New()
+	sess := l.db.NewSession()
+	switch cfg.Benchmark {
+	case perfsim.Bookstore:
+		if err := bookstore.CreateSchema(sessExecer{sess}); err != nil {
+			return nil, err
+		}
+		if err := bookstore.Populate(sessExecer{sess}, cfg.BookScale, cfg.Seed); err != nil {
+			return nil, err
+		}
+		l.profile = bookstore.Profile(cfg.BookScale)
+	case perfsim.Auction:
+		if err := auction.CreateSchema(sessExecer{sess}); err != nil {
+			return nil, err
+		}
+		if err := auction.Populate(sessExecer{sess}, cfg.AuctionScale, cfg.Seed); err != nil {
+			return nil, err
+		}
+		l.profile = auction.Profile(cfg.AuctionScale)
+	default:
+		return nil, fmt.Errorf("core: unknown benchmark %v", cfg.Benchmark)
+	}
+	sess.Close()
+	l.dbSrv = wire.NewServer(l.db, cfg.Logger)
+	dbAddr, err := l.dbSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	// --- application tier ---
+	appHandler, err := l.startAppTier(dbAddr.String())
+	if err != nil {
+		return nil, err
+	}
+
+	// --- web tier ---
+	mux := httpd.NewMux()
+	mux.Handle(l.basePath(), appHandler)
+	mux.Handle("/img/", staticImages(cfg.ImageBytes))
+	l.web = httpd.NewServer(mux, cfg.Logger)
+	webAddr, err := l.web.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	l.webAddr = webAddr.String()
+	return l, nil
+}
+
+// sessExecer adapts an in-process session for the apps' population helpers.
+type sessExecer struct{ s *sqldb.Session }
+
+func (e sessExecer) Exec(q string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return e.s.Exec(q, args...)
+}
+
+func (l *Lab) basePath() string {
+	if l.cfg.Benchmark == perfsim.Bookstore {
+		return bookstore.BasePath
+	}
+	return auction.BasePath
+}
+
+// startAppTier builds the dynamic-content generator for the configured
+// architecture and returns the handler the web server dispatches to.
+func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
+	cfg := l.cfg
+	sync := cfg.Arch.EngineSync()
+	newAppContainer := func() *servlet.Container {
+		c := servlet.NewContainer(servlet.Config{DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize})
+		switch cfg.Benchmark {
+		case perfsim.Bookstore:
+			bookstore.New(cfg.BookScale, bookstore.Config{Sync: sync}).Register(c)
+		default:
+			auction.New(cfg.AuctionScale, auction.Config{Sync: sync}).Register(c)
+		}
+		return c
+	}
+
+	switch cfg.Arch {
+	case perfsim.ArchPHP:
+		// In-process script module: generator in the web server's address
+		// space, no IPC (§2.1).
+		m, err := scriptmod.Mount(newAppContainer())
+		if err != nil {
+			return nil, err
+		}
+		l.module = m
+		return m, nil
+
+	case perfsim.ArchServlet, perfsim.ArchServletSync,
+		perfsim.ArchServletDedicated, perfsim.ArchServletDedicatedSync:
+		// Servlet container in its own process boundary, reached over AJP.
+		// Co-located and dedicated differ only in machine placement, which
+		// a single host cannot express; both run the identical software
+		// path here (the placement effect is perfsim's domain).
+		c := newAppContainer()
+		addr, err := c.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		l.container = c
+		l.connector = ajp.NewConnector(addr.String(), cfg.DBPoolSize)
+		return l.connector, nil
+
+	case perfsim.ArchEJB:
+		// Four tiers: web -> (AJP) presentation servlets -> (RMI) session
+		// façade + entity beans -> database.
+		ec, err := ejb.NewContainer(ejb.Config{DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize})
+		if err != nil {
+			return nil, err
+		}
+		l.ejbC = ec
+		var pres interface{ Register(*servlet.Container) }
+		switch cfg.Benchmark {
+		case perfsim.Bookstore:
+			if err := bookstore.RegisterEntities(ec); err != nil {
+				return nil, err
+			}
+			if err := ec.RegisterFacade(bookstore.FacadeName, &bookstore.Facade{C: ec}); err != nil {
+				return nil, err
+			}
+		default:
+			if err := auction.RegisterEntities(ec); err != nil {
+				return nil, err
+			}
+			if err := ec.RegisterFacade(auction.FacadeName, &auction.Facade{C: ec}); err != nil {
+				return nil, err
+			}
+		}
+		rmiAddr, err := ec.Serve("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		l.rmiClient = rmi.NewClient(rmiAddr.String(), cfg.DBPoolSize)
+		switch cfg.Benchmark {
+		case perfsim.Bookstore:
+			pres = bookstore.NewPresentationApp(l.rmiClient, cfg.BookScale)
+		default:
+			pres = auction.NewPresentationApp(l.rmiClient, cfg.AuctionScale)
+		}
+		pc := servlet.NewContainer(servlet.Config{})
+		pres.Register(pc)
+		addr, err := pc.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		l.container = pc
+		l.connector = ajp.NewConnector(addr.String(), cfg.DBPoolSize)
+		return l.connector, nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown architecture %v", cfg.Arch)
+	}
+}
+
+// staticImages builds the synthetic image set: 64 shared item images plus
+// the site chrome.
+func staticImages(size int) *httpd.StaticSet {
+	set := httpd.NewStaticSet()
+	for i := 0; i < 64; i++ {
+		set.Add(fmt.Sprintf("/img/item_%d.gif", i), datagen.Image(i, size), "image/gif")
+	}
+	set.Add("/img/logo.gif", datagen.Image(1000, size/2), "image/gif")
+	set.Add("/img/banner.gif", datagen.Image(1001, size), "image/gif")
+	return set
+}
+
+// WebAddr returns the web server's host:port.
+func (l *Lab) WebAddr() string { return l.webAddr }
+
+// Profile returns the benchmark's workload profile.
+func (l *Lab) Profile() *workload.Profile { return l.profile }
+
+// DB exposes the database for assertions.
+func (l *Lab) DB() *sqldb.DB { return l.db }
+
+// EJBQueryCount returns the EJB container's statement count (0 for non-EJB
+// configurations) — the observable behind §6.1's packet analysis.
+func (l *Lab) EJBQueryCount() int64 {
+	if l.ejbC == nil {
+		return 0
+	}
+	return l.ejbC.QueryCount()
+}
+
+// Run drives the lab with the client emulator.
+func (l *Lab) Run(wcfg workload.Config) (*workload.Report, error) {
+	return workload.Run(l.webAddr, l.profile, wcfg)
+}
+
+// Close tears the tiers down in dependency order.
+func (l *Lab) Close() {
+	if l.web != nil {
+		l.web.Close()
+	}
+	if l.connector != nil {
+		l.connector.Close()
+	}
+	if l.module != nil {
+		l.module.Close()
+	}
+	if l.container != nil {
+		l.container.Close()
+	}
+	if l.rmiClient != nil {
+		l.rmiClient.Close()
+	}
+	if l.ejbC != nil {
+		l.ejbC.Close()
+	}
+	if l.dbSrv != nil {
+		l.dbSrv.Close()
+	}
+}

@@ -1,0 +1,103 @@
+// Package datagen provides deterministic synthetic data for the benchmark
+// databases: names, words, emails, dates and digit strings. The paper's
+// populations (TPC-W's 288,000 customers, the auction site's 1,000,000
+// users) are generated, not shipped, so reproducibility only needs a seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Gen is a deterministic generator stream.
+type Gen struct {
+	r *rand.Rand
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *Gen { return &Gen{r: rand.New(rand.NewSource(seed))} }
+
+// syllables compose pronounceable names and words.
+var syllables = []string{
+	"ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+	"ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+	"ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+	"ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+	"ta", "te", "ti", "to", "tu", "va", "ve", "vi", "vo", "vu",
+}
+
+// Intn returns a uniform int in [0,n).
+func (g *Gen) Intn(n int) int { return g.r.Intn(n) }
+
+// Float64 returns a uniform float in [0,1).
+func (g *Gen) Float64() float64 { return g.r.Float64() }
+
+// Word returns a pronounceable lowercase word of 2-4 syllables.
+func (g *Gen) Word() string {
+	n := 2 + g.r.Intn(3)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(syllables[g.r.Intn(len(syllables))])
+	}
+	return b.String()
+}
+
+// Name returns a capitalized name.
+func (g *Gen) Name() string {
+	w := g.Word()
+	return strings.ToUpper(w[:1]) + w[1:]
+}
+
+// Sentence returns n space-separated words.
+func (g *Gen) Sentence(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.Word()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Email builds a plausible address from a nickname.
+func (g *Gen) Email(nick string) string {
+	return fmt.Sprintf("%s@%s.example.com", nick, g.Word())
+}
+
+// Digits returns an n-digit string (card numbers, phone numbers).
+func (g *Gen) Digits(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('0' + g.r.Intn(10))
+	}
+	return string(b)
+}
+
+// Date returns a synthetic date as days since epoch within [base-spread,
+// base]. Benchmarks store dates as integers.
+func (g *Gen) Date(base, spread int) int64 {
+	return int64(base - g.r.Intn(spread+1))
+}
+
+// Price returns a price in [lo,hi) rounded to cents.
+func (g *Gen) Price(lo, hi float64) float64 {
+	v := lo + g.r.Float64()*(hi-lo)
+	return float64(int(v*100)) / 100
+}
+
+// Pick returns a random element of the non-empty slice.
+func Pick[T any](g *Gen, xs []T) T { return xs[g.r.Intn(len(xs))] }
+
+// Image returns a deterministic pseudo-image blob of the given size; idx
+// selects one of the shared blobs so large item populations don't need
+// per-item image storage.
+func Image(idx, size int) []byte {
+	b := make([]byte, size)
+	state := uint32(2654435761 * uint32(idx+1))
+	for i := range b {
+		state = state*1664525 + 1013904223
+		b[i] = byte(state >> 24)
+	}
+	// GIF header so content-type sniffing looks sane.
+	copy(b, "GIF89a")
+	return b
+}

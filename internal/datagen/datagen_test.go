@@ -1,0 +1,117 @@
+package datagen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(5), New(5)
+	for i := 0; i < 50; i++ {
+		if a.Word() != b.Word() || a.Intn(100) != b.Intn(100) || a.Digits(8) != b.Digits(8) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(6)
+	same := 0
+	a2 := New(5)
+	for i := 0; i < 20; i++ {
+		if a2.Word() == c.Word() {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestNameCapitalized(t *testing.T) {
+	g := New(1)
+	for i := 0; i < 20; i++ {
+		n := g.Name()
+		if n == "" || n[0] < 'A' || n[0] > 'Z' {
+			t.Fatalf("name %q not capitalized", n)
+		}
+	}
+}
+
+func TestSentenceWordCount(t *testing.T) {
+	g := New(2)
+	s := g.Sentence(7)
+	if got := len(strings.Fields(s)); got != 7 {
+		t.Fatalf("sentence has %d words: %q", got, s)
+	}
+}
+
+func TestDigits(t *testing.T) {
+	g := New(3)
+	d := g.Digits(16)
+	if len(d) != 16 {
+		t.Fatalf("digits length %d", len(d))
+	}
+	for _, c := range d {
+		if c < '0' || c > '9' {
+			t.Fatalf("non-digit in %q", d)
+		}
+	}
+}
+
+func TestPriceRange(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 1000; i++ {
+		p := g.Price(5, 100)
+		if p < 5 || p >= 100 {
+			t.Fatalf("price %g out of range", p)
+		}
+		cents := p * 100
+		if math.Abs(cents-math.Round(cents)) > 1e-6 {
+			t.Fatalf("price %g not cent-rounded", p)
+		}
+	}
+}
+
+func TestDateRange(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 100; i++ {
+		d := g.Date(12000, 30)
+		if d < 11970 || d > 12000 {
+			t.Fatalf("date %d out of range", d)
+		}
+	}
+}
+
+func TestEmailShape(t *testing.T) {
+	g := New(6)
+	e := g.Email("nick")
+	if !strings.HasPrefix(e, "nick@") || !strings.HasSuffix(e, ".example.com") {
+		t.Fatalf("email %q", e)
+	}
+}
+
+func TestPick(t *testing.T) {
+	g := New(7)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(g, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick never chose some elements: %v", seen)
+	}
+}
+
+func TestImageDeterministicAndSized(t *testing.T) {
+	a := Image(3, 2048)
+	b := Image(3, 2048)
+	c := Image(4, 2048)
+	if len(a) != 2048 || string(a) != string(b) {
+		t.Fatal("image not deterministic")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different indexes produced identical images")
+	}
+	if !strings.HasPrefix(string(a), "GIF89a") {
+		t.Fatal("missing GIF header")
+	}
+}

@@ -1,0 +1,350 @@
+// Package ejb is an Enterprise-JavaBeans-style container in the mold of
+// JOnAS 2.5, the EJB server of the paper's testbed: entity beans with
+// container-managed persistence (CMP) whose SQL is generated automatically,
+// stateless session beans exposed over RMI (the session façade pattern of
+// §4.2), and a per-entity bean cache.
+//
+// The defining performance property the paper measures — "a very large
+// number of small packets ... accesses to fields in the beans that require
+// a single value to be read or updated in the database" (§6.1) — falls out
+// of the CMP design: finders return primary keys, each entity activation is
+// a single-row SELECT, and every field store is a single-column UPDATE.
+package ejb
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rmi"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// EntityDef declares one entity bean: a table, its primary key and the
+// managed fields.
+type EntityDef struct {
+	Name   string
+	Table  string
+	Key    string
+	Fields []string
+}
+
+// entityMeta holds the container-generated SQL for one entity.
+type entityMeta struct {
+	def        EntityDef
+	loadSQL    string            // SELECT key, fields WHERE key = ?
+	insertSQL  string            // INSERT (fields...)
+	deleteSQL  string            // DELETE WHERE key = ?
+	updateSQL  map[string]string // per-field single-column UPDATE
+	fieldIndex map[string]int    // field -> position in loadSQL results
+}
+
+// Config configures a container.
+type Config struct {
+	// DBAddr is the database wire address (required).
+	DBAddr string
+	// DBPoolSize bounds concurrent database connections (default 12).
+	DBPoolSize int
+	// WriteBehind batches field stores until Tx.Commit instead of issuing
+	// one UPDATE per Set — the ablation knob for the CMP-granularity
+	// experiment. The paper's measured system behaves like false.
+	WriteBehind bool
+}
+
+// Container manages entity beans and hosts session beans over RMI.
+type Container struct {
+	pool        *wire.Pool
+	writeBehind bool
+
+	mu       sync.RWMutex
+	entities map[string]*entityMeta
+
+	rmiServer *rmi.Server
+
+	queries atomic.Int64 // statements issued, for the packet-count analysis
+	loads   atomic.Int64
+	stores  atomic.Int64
+}
+
+// NewContainer creates a container connected to the database.
+func NewContainer(cfg Config) (*Container, error) {
+	if cfg.DBAddr == "" {
+		return nil, fmt.Errorf("ejb: DBAddr required")
+	}
+	size := cfg.DBPoolSize
+	if size <= 0 {
+		size = 12
+	}
+	return &Container{
+		pool:        wire.NewPool(cfg.DBAddr, size),
+		writeBehind: cfg.WriteBehind,
+		entities:    make(map[string]*entityMeta),
+		rmiServer:   rmi.NewServer(),
+	}, nil
+}
+
+// DefineEntity registers an entity bean and generates its CMP SQL.
+func (c *Container) DefineEntity(def EntityDef) error {
+	if def.Name == "" || def.Table == "" || def.Key == "" {
+		return fmt.Errorf("ejb: entity definition needs name, table and key")
+	}
+	m := &entityMeta{
+		def:        def,
+		updateSQL:  make(map[string]string, len(def.Fields)),
+		fieldIndex: make(map[string]int, len(def.Fields)),
+	}
+	cols := append([]string{def.Key}, def.Fields...)
+	m.loadSQL = fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?",
+		strings.Join(cols, ", "), def.Table, def.Key)
+	ph := strings.TrimSuffix(strings.Repeat("?, ", len(def.Fields)), ", ")
+	m.insertSQL = fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+		def.Table, strings.Join(def.Fields, ", "), ph)
+	m.deleteSQL = fmt.Sprintf("DELETE FROM %s WHERE %s = ?", def.Table, def.Key)
+	for i, f := range def.Fields {
+		m.updateSQL[f] = fmt.Sprintf("UPDATE %s SET %s = ? WHERE %s = ?",
+			def.Table, f, def.Key)
+		m.fieldIndex[f] = i + 1 // position 0 is the key
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entities[def.Name]; dup {
+		return fmt.Errorf("ejb: duplicate entity %q", def.Name)
+	}
+	c.entities[def.Name] = m
+	return nil
+}
+
+func (c *Container) meta(name string) (*entityMeta, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.entities[name]
+	if !ok {
+		return nil, fmt.Errorf("ejb: unknown entity %q", name)
+	}
+	return m, nil
+}
+
+// exec funnels every container-generated statement, counting it.
+func (c *Container) exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	c.queries.Add(1)
+	return c.pool.Exec(query, args...)
+}
+
+// QueryCount returns the number of statements the container has issued —
+// the observable behind the paper's ~2,000 packets/s measurement.
+func (c *Container) QueryCount() int64 { return c.queries.Load() }
+
+// LoadCount returns entity activations (single-row SELECTs).
+func (c *Container) LoadCount() int64 { return c.loads.Load() }
+
+// StoreCount returns field stores (single-column UPDATEs).
+func (c *Container) StoreCount() int64 { return c.stores.Load() }
+
+// Entity is an activated entity bean instance: a local copy of one row.
+type Entity struct {
+	meta   *entityMeta
+	c      *Container
+	tx     *Tx
+	pk     sqldb.Value
+	fields []sqldb.Value
+}
+
+// PK returns the primary key value.
+func (e *Entity) PK() sqldb.Value { return e.pk }
+
+// Get returns a managed field's value from the activated state.
+func (e *Entity) Get(field string) (sqldb.Value, error) {
+	i, ok := e.meta.fieldIndex[field]
+	if !ok {
+		return sqldb.Null(), fmt.Errorf("ejb: entity %q has no field %q", e.meta.def.Name, field)
+	}
+	return e.fields[i], nil
+}
+
+// Set stores a managed field. With container-managed persistence each store
+// is one single-column UPDATE (unless the transaction batches writes).
+func (e *Entity) Set(field string, v sqldb.Value) error {
+	i, ok := e.meta.fieldIndex[field]
+	if !ok {
+		return fmt.Errorf("ejb: entity %q has no field %q", e.meta.def.Name, field)
+	}
+	e.fields[i] = v
+	e.c.stores.Add(1)
+	if e.tx != nil && e.c.writeBehind {
+		e.tx.addDirty(e, field, v)
+		return nil
+	}
+	_, err := e.c.exec(e.meta.updateSQL[field], v, e.pk)
+	return err
+}
+
+// Tx is a container-managed transaction. MyISAM offers no transactional
+// isolation, so Tx provides the unit-of-work API (and the write-behind
+// batching ablation) rather than rollback.
+type Tx struct {
+	c     *Container
+	dirty []dirtyField
+	done  bool
+}
+
+type dirtyField struct {
+	e     *Entity
+	field string
+	v     sqldb.Value
+}
+
+// Begin opens a container-managed transaction.
+func (c *Container) Begin() *Tx { return &Tx{c: c} }
+
+func (t *Tx) addDirty(e *Entity, field string, v sqldb.Value) {
+	t.dirty = append(t.dirty, dirtyField{e, field, v})
+}
+
+// Commit flushes deferred field stores (one UPDATE per dirty field, last
+// write wins per field).
+func (t *Tx) Commit() error {
+	if t.done {
+		return fmt.Errorf("ejb: transaction already completed")
+	}
+	t.done = true
+	type key struct {
+		e     *Entity
+		field string
+	}
+	last := make(map[key]sqldb.Value, len(t.dirty))
+	order := make([]key, 0, len(t.dirty))
+	for _, d := range t.dirty {
+		k := key{d.e, d.field}
+		if _, seen := last[k]; !seen {
+			order = append(order, k)
+		}
+		last[k] = d.v
+	}
+	for _, k := range order {
+		if _, err := t.c.exec(k.e.meta.updateSQL[k.field], last[k], k.e.pk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load activates an entity by primary key within the transaction.
+func (t *Tx) Load(entity string, pk sqldb.Value) (*Entity, error) {
+	m, err := t.c.meta(entity)
+	if err != nil {
+		return nil, err
+	}
+	t.c.loads.Add(1)
+	res, err := t.c.exec(m.loadSQL, pk)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("ejb: %s[%v] not found", entity, pk)
+	}
+	return &Entity{meta: m, c: t.c, tx: t, pk: res.Rows[0][0], fields: res.Rows[0]}, nil
+}
+
+// FindBy runs a CMP finder: SELECT key FROM table WHERE col = ? [LIMIT n],
+// returning primary keys only — materializing each result costs a Load.
+func (t *Tx) FindBy(entity, col string, v sqldb.Value, limit int) ([]sqldb.Value, error) {
+	m, err := t.c.meta(entity)
+	if err != nil {
+		return nil, err
+	}
+	q := fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?", m.def.Key, m.def.Table, col)
+	if limit > 0 {
+		q += fmt.Sprintf(" LIMIT %d", limit)
+	}
+	res, err := t.c.exec(q, v)
+	if err != nil {
+		return nil, err
+	}
+	return keysOf(res), nil
+}
+
+// FindWhere runs a finder with a caller-supplied condition (the EJB-QL
+// analog), still returning primary keys only.
+func (t *Tx) FindWhere(entity, whereSQL string, args []sqldb.Value, orderBy string, limit int) ([]sqldb.Value, error) {
+	m, err := t.c.meta(entity)
+	if err != nil {
+		return nil, err
+	}
+	q := fmt.Sprintf("SELECT %s FROM %s", m.def.Key, m.def.Table)
+	if whereSQL != "" {
+		q += " WHERE " + whereSQL
+	}
+	if orderBy != "" {
+		q += " ORDER BY " + orderBy
+	}
+	if limit > 0 {
+		q += fmt.Sprintf(" LIMIT %d", limit)
+	}
+	res, err := t.c.exec(q, args...)
+	if err != nil {
+		return nil, err
+	}
+	return keysOf(res), nil
+}
+
+func keysOf(res *sqldb.Result) []sqldb.Value {
+	keys := make([]sqldb.Value, len(res.Rows))
+	for i, r := range res.Rows {
+		keys[i] = r[0]
+	}
+	return keys
+}
+
+// Create inserts a new entity row; values follow the definition's field
+// order. It returns the new primary key (AUTO_INCREMENT when the schema
+// assigns it).
+func (t *Tx) Create(entity string, values []sqldb.Value) (sqldb.Value, error) {
+	m, err := t.c.meta(entity)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	if len(values) != len(m.def.Fields) {
+		return sqldb.Null(), fmt.Errorf("ejb: %s create needs %d values, got %d",
+			entity, len(m.def.Fields), len(values))
+	}
+	res, err := t.c.exec(m.insertSQL, values...)
+	if err != nil {
+		return sqldb.Null(), err
+	}
+	return sqldb.Int(res.LastInsertID), nil
+}
+
+// Remove deletes an entity row.
+func (t *Tx) Remove(entity string, pk sqldb.Value) error {
+	m, err := t.c.meta(entity)
+	if err != nil {
+		return err
+	}
+	_, err = t.c.exec(m.deleteSQL, pk)
+	return err
+}
+
+// RegisterFacade exposes a stateless session bean over RMI under name.
+func (c *Container) RegisterFacade(name string, facade any) error {
+	return c.rmiServer.Register(name, facade)
+}
+
+// Serve binds the RMI endpoint.
+func (c *Container) Serve(addr string) (net.Addr, error) {
+	return c.rmiServer.Listen(addr)
+}
+
+// Close stops the RMI server and the DB pool.
+func (c *Container) Close() error {
+	err := c.rmiServer.Close()
+	c.pool.Close()
+	return err
+}
+
+// DB exposes the pooled database connection for session beans that need
+// non-CMP access (the paper's façades occasionally run read-only finders
+// directly).
+func (c *Container) DB() *wire.Pool { return c.pool }

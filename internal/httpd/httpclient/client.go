@@ -1,0 +1,196 @@
+// Package httpclient is a persistent-connection HTTP/1.1 client for the
+// client-browser emulator: the paper's emulated browsers open one
+// keep-alive connection per session and issue every interaction (and its
+// embedded image fetches) over it.
+package httpclient
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Status int
+	Header map[string]string
+	Body   []byte
+}
+
+// Client is a single-connection HTTP client. Not safe for concurrent use;
+// each emulated browser session owns one, matching the paper's model.
+type Client struct {
+	addr    string
+	timeout time.Duration
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+}
+
+// New creates a client for addr ("host:port"). timeout bounds each request
+// round trip (zero: none).
+func New(addr string, timeout time.Duration) *Client {
+	return &Client{addr: addr, timeout: timeout}
+}
+
+// connect (re)establishes the persistent connection.
+func (c *Client) connect() error {
+	c.closeConn()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("httpclient: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 32<<10)
+	c.bw = bufio.NewWriterSize(conn, 16<<10)
+	return nil
+}
+
+func (c *Client) closeConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() { c.closeConn() }
+
+// Get issues a GET for path (which may include a query string).
+func (c *Client) Get(path string) (*Response, error) {
+	return c.Do("GET", path, "", nil)
+}
+
+// PostForm issues an application/x-www-form-urlencoded POST.
+func (c *Client) PostForm(path, form string) (*Response, error) {
+	return c.Do("POST", path, "application/x-www-form-urlencoded", []byte(form))
+}
+
+// Do issues one request, transparently reconnecting once if the persistent
+// connection went stale (server idle-closed it between interactions).
+func (c *Client) Do(method, path, contentType string, body []byte) (*Response, error) {
+	fresh := false
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return nil, err
+		}
+		fresh = true
+	}
+	resp, err := c.attempt(method, path, contentType, body)
+	if err != nil && !fresh && retriable(err) {
+		if err := c.connect(); err != nil {
+			return nil, err
+		}
+		resp, err = c.attempt(method, path, contentType, body)
+	}
+	if err != nil {
+		c.closeConn()
+		return nil, err
+	}
+	if strings.EqualFold(resp.Header["connection"], "close") {
+		c.closeConn()
+	}
+	return resp, nil
+}
+
+// retriable reports errors that indicate a stale keep-alive connection.
+func retriable(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || strings.Contains(err.Error(), "reset by peer") ||
+		strings.Contains(err.Error(), "broken pipe")
+}
+
+func (c *Client) attempt(method, path, contentType string, body []byte) (*Response, error) {
+	if c.timeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: %s\r\n", method, path, c.addr)
+	if len(body) > 0 {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
+		if contentType != "" {
+			fmt.Fprintf(&b, "Content-Type: %s\r\n", contentType)
+		}
+	}
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(c.bw, b.String()); err != nil {
+		return nil, err
+	}
+	if len(body) > 0 {
+		if _, err := c.bw.Write(body); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	return readResponse(c.br, method == "HEAD")
+}
+
+func readResponse(br *bufio.Reader, headOnly bool) (*Response, error) {
+	status, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(status, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, fmt.Errorf("httpclient: malformed status line %q", status)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("httpclient: bad status code in %q", status)
+	}
+	resp := &Response{Status: code, Header: make(map[string]string)}
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			break
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("httpclient: malformed header %q", line)
+		}
+		resp.Header[strings.ToLower(strings.TrimSpace(name))] = strings.TrimSpace(value)
+	}
+	if headOnly {
+		return resp, nil
+	}
+	cl := resp.Header["content-length"]
+	if cl == "" {
+		return resp, nil
+	}
+	n, err := strconv.Atoi(cl)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("httpclient: bad Content-Length %q", cl)
+	}
+	resp.Body = make([]byte, n)
+	if _, err := io.ReadFull(br, resp.Body); err != nil {
+		return nil, fmt.Errorf("httpclient: short body: %w", err)
+	}
+	return resp, nil
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		chunk, isPrefix, err := br.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		b.Write(chunk)
+		if b.Len() > 64<<10 {
+			return "", errors.New("httpclient: line too long")
+		}
+		if !isPrefix {
+			return b.String(), nil
+		}
+	}
+}

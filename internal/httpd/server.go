@@ -1,0 +1,304 @@
+package httpd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies, as Apache's LimitRequestBody does.
+const maxBodyBytes = 4 << 20
+
+// maxHeaderLines bounds header count against malicious requests.
+const maxHeaderLines = 100
+
+// Server accepts HTTP/1.x connections and dispatches requests to a Handler.
+type Server struct {
+	handler Handler
+	logger  *log.Logger
+
+	// IdleTimeout closes keep-alive connections idle beyond this duration
+	// (zero: no timeout).
+	IdleTimeout time.Duration
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	shutdown chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server dispatching to handler. logger may be nil.
+func NewServer(handler Handler, logger *log.Logger) *Server {
+	if handler == nil {
+		panic("httpd: nil handler")
+	}
+	return &Server{
+		handler:  handler,
+		logger:   logger,
+		conns:    make(map[net.Conn]struct{}),
+		shutdown: make(chan struct{}),
+	}
+}
+
+// Listen binds addr and serves in background goroutines, returning the
+// bound address (useful with port 0).
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("httpd: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+			default:
+				s.logf("accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 16<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	for {
+		if s.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
+		req, err := readRequest(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				var ne net.Error
+				if !(errors.As(err, &ne) && ne.Timeout()) {
+					s.logf("parse: %v", err)
+					resp := Error(400, err.Error())
+					_ = writeResponse(bw, resp, "HTTP/1.1", false, "close")
+					_ = bw.Flush()
+				}
+			}
+			return
+		}
+		req.RemoteAddr = conn.RemoteAddr().String()
+
+		resp, herr := s.handler.ServeHTTP(req)
+		if herr != nil {
+			s.logf("handler %s %s: %v", req.Method, req.Path, herr)
+			resp = Error(500, "internal server error")
+		} else if resp == nil {
+			resp = Error(404, "")
+		}
+
+		keepAlive := wantKeepAlive(req)
+		connHeader := "keep-alive"
+		if !keepAlive {
+			connHeader = "close"
+		}
+		headOnly := req.Method == "HEAD"
+		if err := writeResponse(bw, resp, "HTTP/1.1", headOnly, connHeader); err != nil {
+			s.logf("write: %v", err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if !keepAlive {
+			return
+		}
+	}
+}
+
+// wantKeepAlive implements the HTTP/1.0 and 1.1 persistence rules.
+func wantKeepAlive(req *Request) bool {
+	c := strings.ToLower(req.Header.Get("Connection"))
+	if req.Proto == "HTTP/1.0" {
+		return c == "keep-alive"
+	}
+	return c != "close"
+}
+
+// readRequest parses one request from br.
+func readRequest(br *bufio.Reader) (*Request, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("httpd: malformed request line %q", line)
+	}
+	method, rawPath, proto := parts[0], parts[1], parts[2]
+	switch method {
+	case "GET", "POST", "HEAD":
+	default:
+		return nil, fmt.Errorf("httpd: unsupported method %q", method)
+	}
+	if proto != "HTTP/1.1" && proto != "HTTP/1.0" {
+		return nil, fmt.Errorf("httpd: unsupported protocol %q", proto)
+	}
+	req := &Request{Method: method, RawPath: rawPath, Proto: proto, Header: Header{}}
+
+	// Split query, decode path.
+	pathPart, queryPart, _ := strings.Cut(rawPath, "?")
+	decoded, err := url.PathUnescape(pathPart)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: bad path %q: %w", pathPart, err)
+	}
+	req.Path = decoded
+	if queryPart != "" {
+		q, err := url.ParseQuery(queryPart)
+		if err != nil {
+			return nil, fmt.Errorf("httpd: bad query %q: %w", queryPart, err)
+		}
+		req.Query = q
+	} else {
+		req.Query = url.Values{}
+	}
+
+	for i := 0; ; i++ {
+		if i > maxHeaderLines {
+			return nil, errors.New("httpd: too many header lines")
+		}
+		h, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		if h == "" {
+			break
+		}
+		name, value, ok := strings.Cut(h, ":")
+		if !ok {
+			return nil, fmt.Errorf("httpd: malformed header %q", h)
+		}
+		req.Header.Set(strings.TrimSpace(name), strings.TrimSpace(value))
+	}
+
+	if cl := req.Header.Get("Content-Length"); cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("httpd: bad Content-Length %q", cl)
+		}
+		if n > maxBodyBytes {
+			return nil, fmt.Errorf("httpd: body of %d bytes exceeds limit", n)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, fmt.Errorf("httpd: short body: %w", err)
+		}
+		req.Body = body
+	}
+	return req, nil
+}
+
+// readLine reads a CRLF- (or LF-) terminated line without the terminator.
+func readLine(br *bufio.Reader) (string, error) {
+	var b strings.Builder
+	for {
+		chunk, isPrefix, err := br.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		b.Write(chunk)
+		if b.Len() > 16<<10 {
+			return "", errors.New("httpd: header line too long")
+		}
+		if !isPrefix {
+			return b.String(), nil
+		}
+	}
+}
+
+// writeResponse serializes resp.
+func writeResponse(w *bufio.Writer, resp *Response, proto string, headOnly bool, connHeader string) error {
+	if resp.Header == nil {
+		resp.Header = Header{}
+	}
+	fmt.Fprintf(w, "%s %d %s\r\n", proto, resp.Status, statusText(resp.Status))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	if resp.Header.Get("Content-Type") == "" {
+		resp.Header.Set("Content-Type", "text/html; charset=utf-8")
+	}
+	resp.Header.Set("Connection", connHeader)
+	resp.Header.Set("Server", "repro-httpd/1.0")
+	for _, k := range resp.Header.keys() {
+		fmt.Fprintf(w, "%s: %s\r\n", k, resp.Header[k])
+	}
+	if _, err := io.WriteString(w, "\r\n"); err != nil {
+		return err
+	}
+	if headOnly {
+		return nil
+	}
+	_, err := w.Write(resp.Body)
+	return err
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.shutdown)
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf("httpd: "+format, args...)
+	}
+}

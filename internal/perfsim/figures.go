@@ -1,0 +1,134 @@
+package perfsim
+
+import "fmt"
+
+// FigureID identifies one of the paper's evaluation figures.
+type FigureID int
+
+const (
+	// Fig05 — bookstore throughput vs clients, shopping mix.
+	Fig05 FigureID = 5
+	// Fig06 — bookstore CPU utilization at peak, shopping mix.
+	Fig06 FigureID = 6
+	// Fig07 — bookstore throughput vs clients, browsing mix.
+	Fig07 FigureID = 7
+	// Fig08 — bookstore CPU utilization at peak, browsing mix.
+	Fig08 FigureID = 8
+	// Fig09 — bookstore throughput vs clients, ordering mix.
+	Fig09 FigureID = 9
+	// Fig10 — bookstore CPU utilization at peak, ordering mix.
+	Fig10 FigureID = 10
+	// Fig11 — auction throughput vs clients, bidding mix.
+	Fig11 FigureID = 11
+	// Fig12 — auction CPU utilization at peak, bidding mix.
+	Fig12 FigureID = 12
+	// Fig13 — auction throughput vs clients, browsing mix.
+	Fig13 FigureID = 13
+	// Fig14 — auction CPU utilization at peak, browsing mix.
+	Fig14 FigureID = 14
+)
+
+// AllFigures lists the evaluation figures in paper order.
+func AllFigures() []FigureID {
+	return []FigureID{Fig05, Fig06, Fig07, Fig08, Fig09, Fig10, Fig11, Fig12, Fig13, Fig14}
+}
+
+// figureSpec ties a figure to its benchmark, mix and kind.
+type figureSpec struct {
+	bench   Benchmark
+	mix     Mix
+	cpuBars bool // false: throughput curve; true: CPU bars at peak
+	title   string
+}
+
+func specOfFigure(id FigureID) figureSpec {
+	switch id {
+	case Fig05:
+		return figureSpec{Bookstore, ShoppingMix, false, "Online bookstore throughput, shopping mix"}
+	case Fig06:
+		return figureSpec{Bookstore, ShoppingMix, true, "Online bookstore CPU utilization at peak, shopping mix"}
+	case Fig07:
+		return figureSpec{Bookstore, BrowsingMix, false, "Online bookstore throughput, browsing mix"}
+	case Fig08:
+		return figureSpec{Bookstore, BrowsingMix, true, "Online bookstore CPU utilization at peak, browsing mix"}
+	case Fig09:
+		return figureSpec{Bookstore, OrderingMix, false, "Online bookstore throughput, ordering mix"}
+	case Fig10:
+		return figureSpec{Bookstore, OrderingMix, true, "Online bookstore CPU utilization at peak, ordering mix"}
+	case Fig11:
+		return figureSpec{Auction, BiddingMix, false, "Auction site throughput, bidding mix"}
+	case Fig12:
+		return figureSpec{Auction, BiddingMix, true, "Auction site CPU utilization at peak, bidding mix"}
+	case Fig13:
+		return figureSpec{Auction, BrowsingMix, false, "Auction site throughput, browsing mix"}
+	case Fig14:
+		return figureSpec{Auction, BrowsingMix, true, "Auction site CPU utilization at peak, browsing mix"}
+	default:
+		panic(fmt.Sprintf("perfsim: unknown figure %d", id))
+	}
+}
+
+// ClientSweep returns the client counts simulated for a benchmark/mix curve.
+// The ranges bracket the paper's peaks (auction browsing extends to 14,000
+// clients; the paper pushes it to 12,000).
+func ClientSweep(b Benchmark, m Mix) []int {
+	switch {
+	case b == Bookstore:
+		return []int{10, 25, 50, 75, 100, 150, 200, 300, 450, 600, 800, 1100, 1600}
+	case b == Auction && m == BiddingMix:
+		return []int{100, 200, 350, 500, 700, 900, 1100, 1300, 1600, 2000}
+	default: // auction browsing
+		return []int{200, 500, 800, 1100, 1400, 1800, 2500, 4000, 7000, 10000, 14000}
+	}
+}
+
+// Curve is one configuration's series in a throughput figure.
+type Curve struct {
+	Arch    Arch
+	Results []Result
+}
+
+// Peak returns the sweep point with maximum throughput.
+func (c Curve) Peak() Result {
+	best := c.Results[0]
+	for _, r := range c.Results[1:] {
+		if r.ThroughputIPM > best.ThroughputIPM {
+			best = r
+		}
+	}
+	return best
+}
+
+// FigureData is a fully evaluated figure: for throughput figures, one curve
+// per configuration; for CPU figures, the per-tier utilization at each
+// configuration's peak.
+type FigureData struct {
+	ID     FigureID
+	Title  string
+	Bench  Benchmark
+	Mix    Mix
+	CPU    bool
+	Curves []Curve
+}
+
+// Sweep runs one configuration across a client sweep.
+func Sweep(b Benchmark, m Mix, a Arch, clients []int, opt Options) Curve {
+	c := Curve{Arch: a}
+	for _, n := range clients {
+		c.Results = append(c.Results, Run(b, m, a, n, opt))
+	}
+	return c
+}
+
+// Figure evaluates a figure for all six configurations. CPU figures reuse
+// the throughput sweep of the same benchmark/mix and report utilization at
+// each configuration's peak, exactly as the paper's bar charts do.
+func Figure(id FigureID, opt Options) FigureData {
+	fs := specOfFigure(id)
+	fd := FigureData{ID: id, Title: fs.title, Bench: fs.bench, Mix: fs.mix, CPU: fs.cpuBars}
+	sweep := ClientSweep(fs.bench, fs.mix)
+	for _, a := range Archs() {
+		fd.Curves = append(fd.Curves, Sweep(fs.bench, fs.mix, a, sweep, opt))
+	}
+	return fd
+}

@@ -1,0 +1,211 @@
+// Package perfsim reproduces the paper's evaluation figures with a
+// calibrated discrete-event simulation of the four-machine testbed.
+//
+// The paper (Cecchet et al., MIDDLEWARE 2003) measures six configurations of
+// a dynamic-content web site — PHP in the web server, servlets co-located or
+// on a dedicated machine (each with and without engine-side locking), and an
+// EJB server — under two benchmarks (a TPC-W bookstore and a RUBiS-style
+// auction site). The original results depend on which physical machine's CPU
+// saturates and on MySQL table-lock contention, neither of which can be
+// observed by running all tiers on a single host. perfsim therefore models
+// the cluster (internal/sim/cluster) and replays the benchmarks' interaction
+// classes through each architecture's tier graph, with per-tier service
+// demands calibrated from the paper's own measurements (see calibrate.go).
+//
+// Absolute interactions/minute are not the goal; the reproduced quantity is
+// the shape of every figure: which configuration wins, by what factor, where
+// the curves peak, and which machine saturates.
+package perfsim
+
+import "fmt"
+
+// Arch identifies one of the six hardware/software configurations of
+// Figure 4 in the paper.
+type Arch int
+
+const (
+	// ArchPHP is WsPhp-DB: the script module runs inside the web server
+	// process; the database is on a separate machine.
+	ArchPHP Arch = iota
+	// ArchServlet is WsServlet-DB: the servlet engine runs on the web
+	// server machine in a separate process (AJP IPC), DB separate.
+	ArchServlet
+	// ArchServletSync is WsServlet-DB(sync): as ArchServlet, but table
+	// locking is performed inside the servlet engine instead of with
+	// LOCK TABLES statements in the database.
+	ArchServletSync
+	// ArchServletDedicated is Ws-Servlet-DB: web server, servlet engine and
+	// database each on their own machine.
+	ArchServletDedicated
+	// ArchServletDedicatedSync is Ws-Servlet-DB(sync).
+	ArchServletDedicatedSync
+	// ArchEJB is Ws-Servlet-EJB-DB: four machines; servlets hold only
+	// presentation logic and call stateless session-façade beans over RMI;
+	// entity beans use container-managed persistence.
+	ArchEJB
+
+	numArchs = int(ArchEJB) + 1
+)
+
+// Archs lists all six configurations in the paper's presentation order.
+func Archs() []Arch {
+	return []Arch{ArchPHP, ArchServlet, ArchServletSync,
+		ArchServletDedicated, ArchServletDedicatedSync, ArchEJB}
+}
+
+// String returns the paper's name for the configuration.
+func (a Arch) String() string {
+	switch a {
+	case ArchPHP:
+		return "WsPhp-DB"
+	case ArchServlet:
+		return "WsServlet-DB"
+	case ArchServletSync:
+		return "WsServlet-DB(sync)"
+	case ArchServletDedicated:
+		return "Ws-Servlet-DB"
+	case ArchServletDedicatedSync:
+		return "Ws-Servlet-DB(sync)"
+	case ArchEJB:
+		return "Ws-Servlet-EJB-DB"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// EngineSync reports whether the configuration performs table locking in the
+// application engine (the paper's "(sync)" variants).
+func (a Arch) EngineSync() bool {
+	return a == ArchServletSync || a == ArchServletDedicatedSync
+}
+
+// DedicatedEngine reports whether the dynamic-content generator runs on its
+// own machine rather than on the web server.
+func (a Arch) DedicatedEngine() bool {
+	return a == ArchServletDedicated || a == ArchServletDedicatedSync || a == ArchEJB
+}
+
+// Benchmark selects one of the two applications.
+type Benchmark int
+
+const (
+	// Bookstore is the TPC-W online bookstore (stresses the database).
+	Bookstore Benchmark = iota
+	// Auction is the RUBiS-style auction site (stresses the front end).
+	Auction
+)
+
+func (b Benchmark) String() string {
+	switch b {
+	case Bookstore:
+		return "bookstore"
+	case Auction:
+		return "auction"
+	default:
+		return fmt.Sprintf("Benchmark(%d)", int(b))
+	}
+}
+
+// Mix selects a workload mix within a benchmark.
+type Mix int
+
+const (
+	// BrowsingMix: bookstore 95% read-only, auction 100% read-only.
+	BrowsingMix Mix = iota
+	// ShoppingMix: bookstore 80% read-only (TPC-W's representative mix).
+	ShoppingMix
+	// OrderingMix: bookstore 50% read-only.
+	OrderingMix
+	// BiddingMix: auction with 15% read-write (the representative mix).
+	BiddingMix
+)
+
+func (m Mix) String() string {
+	switch m {
+	case BrowsingMix:
+		return "browsing"
+	case ShoppingMix:
+		return "shopping"
+	case OrderingMix:
+		return "ordering"
+	case BiddingMix:
+		return "bidding"
+	default:
+		return fmt.Sprintf("Mix(%d)", int(m))
+	}
+}
+
+// Tier names the simulated machines; Result reports utilization per tier.
+type Tier string
+
+const (
+	TierWeb     Tier = "WebServer"
+	TierServlet Tier = "Servlet Container"
+	TierEJB     Tier = "EJB Server"
+	TierDB      Tier = "Database"
+)
+
+// Options controls a simulation run. The zero value is completed by
+// (*Options).withDefaults.
+type Options struct {
+	// Seed makes runs reproducible; runs with equal options are identical.
+	Seed int64
+	// RampUp is the virtual warm-up time in seconds before measurement.
+	RampUp float64
+	// Measure is the virtual measurement window in seconds.
+	Measure float64
+	// ThinkTime overrides the mean think time (default 7s per TPC-W
+	// clause 5.3.1.1).
+	ThinkTime float64
+	// Costs overrides the calibrated cost table; nil uses DefaultCosts.
+	Costs *Costs
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RampUp <= 0 {
+		o.RampUp = 240
+	}
+	if o.Measure <= 0 {
+		o.Measure = 360
+	}
+	if o.ThinkTime <= 0 {
+		o.ThinkTime = 7.0
+	}
+	if o.Costs == nil {
+		c := DefaultCosts()
+		o.Costs = &c
+	}
+	return o
+}
+
+// Result summarizes one simulated experiment (one configuration at one
+// client count).
+type Result struct {
+	Benchmark Benchmark
+	Mix       Mix
+	Arch      Arch
+	Clients   int
+
+	// ThroughputIPM is the measured throughput in interactions per minute,
+	// the unit of the paper's Figures 5, 7, 9, 11 and 13.
+	ThroughputIPM float64
+	// MeanResponse is the mean interaction response time in seconds.
+	MeanResponse float64
+	// CPU is per-tier CPU utilization in percent over the measurement
+	// window (the unit of Figures 6, 8, 10, 12 and 14). Only the tiers
+	// present in the configuration appear.
+	CPU map[Tier]float64
+	// WebNICMbps is the web server's client-facing transmit traffic in
+	// megabits per second (the paper reports 94 Mb/s at the auction
+	// browsing peak).
+	WebNICMbps float64
+	// DBLockWaitFrac is the fraction of total virtual time interactions
+	// spent waiting for database table locks, an observability aid for the
+	// lock-contention analysis in sections 5.1 and 5.3.
+	DBLockWaitFrac float64
+	// Completed is the raw number of interactions in the window.
+	Completed int64
+}

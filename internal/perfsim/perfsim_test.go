@@ -1,0 +1,394 @@
+package perfsim
+
+import (
+	"math"
+	"testing"
+)
+
+// fastOpt keeps unit-test runs short; shape assertions use generous margins
+// because short windows are noisier than the defaults used by cmd/repro.
+func fastOpt() Options {
+	return Options{Seed: 7, RampUp: 60, Measure: 120}
+}
+
+func TestArchString(t *testing.T) {
+	want := map[Arch]string{
+		ArchPHP:                  "WsPhp-DB",
+		ArchServlet:              "WsServlet-DB",
+		ArchServletSync:          "WsServlet-DB(sync)",
+		ArchServletDedicated:     "Ws-Servlet-DB",
+		ArchServletDedicatedSync: "Ws-Servlet-DB(sync)",
+		ArchEJB:                  "Ws-Servlet-EJB-DB",
+	}
+	for a, w := range want {
+		if a.String() != w {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), w)
+		}
+	}
+	if len(Archs()) != 6 {
+		t.Fatalf("Archs() = %d entries, want 6", len(Archs()))
+	}
+}
+
+func TestArchPredicates(t *testing.T) {
+	if !ArchServletSync.EngineSync() || !ArchServletDedicatedSync.EngineSync() {
+		t.Error("sync variants must report EngineSync")
+	}
+	if ArchPHP.EngineSync() || ArchEJB.EngineSync() {
+		t.Error("non-sync variants must not report EngineSync")
+	}
+	for _, a := range []Arch{ArchServletDedicated, ArchServletDedicatedSync, ArchEJB} {
+		if !a.DedicatedEngine() {
+			t.Errorf("%v must report DedicatedEngine", a)
+		}
+	}
+	if ArchPHP.DedicatedEngine() || ArchServlet.DedicatedEngine() {
+		t.Error("co-located variants must not report DedicatedEngine")
+	}
+}
+
+func TestMixWeightsSumToOne(t *testing.T) {
+	for _, b := range []Benchmark{Bookstore, Auction} {
+		spec := specFor(b)
+		for m, w := range spec.mixes {
+			if len(w) != len(spec.classes) {
+				t.Fatalf("%v/%v: %d weights for %d classes", b, m, len(w), len(spec.classes))
+			}
+			var sum float64
+			for _, v := range w {
+				if v < 0 {
+					t.Fatalf("%v/%v: negative weight", b, m)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%v/%v: weights sum to %g, want 1", b, m, sum)
+			}
+		}
+	}
+}
+
+func TestMixReadWriteFractions(t *testing.T) {
+	// Paper §3.1/§3.2: bookstore browsing 95% / shopping 80% / ordering 50%
+	// read-only; auction browsing 100% / bidding 85%.
+	cases := []struct {
+		b    Benchmark
+		m    Mix
+		want float64
+	}{
+		{Bookstore, BrowsingMix, 0.95},
+		{Bookstore, ShoppingMix, 0.80},
+		{Bookstore, OrderingMix, 0.50},
+		{Auction, BrowsingMix, 1.00},
+		{Auction, BiddingMix, 0.85},
+	}
+	for _, tc := range cases {
+		spec := specFor(tc.b)
+		var ro float64
+		for i, c := range spec.classes {
+			write := false
+			for _, st := range c.steps {
+				if st.write {
+					write = true
+				}
+			}
+			if !write {
+				ro += spec.mixes[tc.m][i]
+			}
+		}
+		if math.Abs(ro-tc.want) > 0.02 {
+			t.Errorf("%v/%v read-only fraction %.3f, want %.2f", tc.b, tc.m, ro, tc.want)
+		}
+	}
+}
+
+func TestLockIntents(t *testing.T) {
+	spec := bookstoreSpec()
+	intents := lockIntents(spec)
+	buy := intents["buyconfirm"]
+	if len(buy) != 4 {
+		t.Fatalf("buyconfirm locks %d tables, want 4", len(buy))
+	}
+	for i := 1; i < len(buy); i++ {
+		if buy[i-1].table >= buy[i].table {
+			t.Fatal("lock refs must be sorted by table")
+		}
+	}
+	wantWrite := map[int]bool{bkItems: true, bkOrders: true, bkCarts: false, bkCustomers: false}
+	for _, ref := range buy {
+		if wantWrite[ref.table] != ref.write {
+			t.Errorf("buyconfirm table %d write=%v, want %v", ref.table, ref.write, wantWrite[ref.table])
+		}
+	}
+	if _, ok := intents["home"]; ok {
+		t.Error("read-only class must not appear in lock intents")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	opt := fastOpt()
+	a := Run(Auction, BiddingMix, ArchPHP, 150, opt)
+	b := Run(Auction, BiddingMix, ArchPHP, 150, opt)
+	if a.ThroughputIPM != b.ThroughputIPM || a.Completed != b.Completed {
+		t.Fatalf("same seed produced different results: %v vs %v", a.ThroughputIPM, b.ThroughputIPM)
+	}
+	c := Run(Auction, BiddingMix, ArchPHP, 150, Options{Seed: 99, RampUp: 60, Measure: 120})
+	if c.Completed == a.Completed && c.MeanResponse == a.MeanResponse {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestLowLoadThroughputMatchesLittlesLaw(t *testing.T) {
+	// At 50 clients the auction site is far from saturation: X ≈ N/(Z+R)
+	// with R ≈ tens of milliseconds, so X ≈ 50/7 ≈ 7.1/s ≈ 428 ipm.
+	r := Run(Auction, BiddingMix, ArchPHP, 50, fastOpt())
+	if r.ThroughputIPM < 380 || r.ThroughputIPM > 470 {
+		t.Fatalf("low-load throughput %.0f ipm, want ~428", r.ThroughputIPM)
+	}
+	if r.MeanResponse > 0.5 {
+		t.Fatalf("low-load response %.3fs, want well under saturation", r.MeanResponse)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	r := Run(Bookstore, ShoppingMix, ArchEJB, 200, fastOpt())
+	for tier, u := range r.CPU {
+		if u < 0 || u > 100 {
+			t.Fatalf("%s utilization %.1f out of [0,100]", tier, u)
+		}
+	}
+	if _, ok := r.CPU[TierEJB]; !ok {
+		t.Fatal("EJB configuration must report EJB tier utilization")
+	}
+	if _, ok := Run(Bookstore, ShoppingMix, ArchPHP, 50, fastOpt()).CPU[TierEJB]; ok {
+		t.Fatal("PHP configuration must not report an EJB tier")
+	}
+}
+
+func TestThroughputConservation(t *testing.T) {
+	// Completions per client cannot exceed measure/think on average by much
+	// (each client must think between interactions).
+	opt := fastOpt()
+	n := 100
+	r := Run(Auction, BrowsingMix, ArchServletDedicated, n, opt)
+	maxPerClient := opt.Measure / opt.ThinkTimeOrDefault() * 1.6
+	if got := float64(r.Completed) / float64(n); got > maxPerClient {
+		t.Fatalf("%.2f completions/client exceeds think-time bound %.2f", got, maxPerClient)
+	}
+}
+
+// --- Figure-shape assertions (the paper's qualitative results) ---
+
+// TestFig11Shape asserts the auction bidding ordering: dedicated servlets >
+// PHP > co-located servlets > EJB, with sync == non-sync.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opt := fastOpt()
+	peak := func(a Arch) float64 {
+		best := 0.0
+		for _, n := range []int{700, 1100, 1500} {
+			if r := Run(Auction, BiddingMix, a, n, opt); r.ThroughputIPM > best {
+				best = r.ThroughputIPM
+			}
+		}
+		return best
+	}
+	php := peak(ArchPHP)
+	coloc := peak(ArchServlet)
+	ded := peak(ArchServletDedicated)
+	ejb := peak(ArchEJB)
+	if !(ded > php && php > coloc && coloc > ejb) {
+		t.Fatalf("bidding peaks: ded=%.0f php=%.0f coloc=%.0f ejb=%.0f; want ded>php>coloc>ejb",
+			ded, php, coloc, ejb)
+	}
+	// Paper: PHP ≈ 33% over co-located servlets; dedicated ≈ 7% over PHP.
+	if ratio := php / coloc; ratio < 1.15 || ratio > 1.55 {
+		t.Errorf("php/coloc ratio %.2f, want ~1.33", ratio)
+	}
+	if ratio := ejb / php; ratio > 0.60 {
+		t.Errorf("ejb/php ratio %.2f, want well below 0.6 (paper 0.42)", ratio)
+	}
+}
+
+// TestFig11SyncCoincides asserts §6.1: no DB lock contention on the auction,
+// so engine-side locking changes nothing.
+func TestFig11SyncCoincides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opt := fastOpt()
+	a := Run(Auction, BiddingMix, ArchServlet, 700, opt)
+	b := Run(Auction, BiddingMix, ArchServletSync, 700, opt)
+	diff := math.Abs(a.ThroughputIPM-b.ThroughputIPM) / a.ThroughputIPM
+	if diff > 0.08 {
+		t.Fatalf("sync and non-sync differ by %.1f%% on auction bidding, want ~0", diff*100)
+	}
+}
+
+// TestFig5Shape asserts the bookstore shopping mix: engine-side locking
+// beats database locking, PHP equals servlets (same queries), EJB is worst.
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opt := fastOpt()
+	at := func(a Arch, n int) float64 { return Run(Bookstore, ShoppingMix, a, n, opt).ThroughputIPM }
+	php := at(ArchPHP, 200)
+	servlet := at(ArchServlet, 200)
+	sync := at(ArchServletSync, 200)
+	ded := at(ArchServletDedicated, 200)
+	ejb := at(ArchEJB, 200)
+	if math.Abs(php-servlet)/php > 0.07 {
+		t.Errorf("PHP %.0f vs servlet %.0f: same DB interface must give same throughput", php, servlet)
+	}
+	if math.Abs(php-ded)/php > 0.07 {
+		t.Errorf("moving servlets to a dedicated machine must not help a DB-bound workload: %.0f vs %.0f", php, ded)
+	}
+	if sync < php*1.04 {
+		t.Errorf("sync %.0f must beat non-sync %.0f on the shopping mix", sync, php)
+	}
+	if ejb > php*0.85 {
+		t.Errorf("EJB %.0f must be clearly worst (php %.0f)", ejb, php)
+	}
+}
+
+// TestFig5DBUtilization asserts §5.1: without sync the DB CPU is capped by
+// lock contention; with sync it saturates.
+func TestFig5DBUtilization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opt := fastOpt()
+	ns := Run(Bookstore, ShoppingMix, ArchPHP, 300, opt)
+	sy := Run(Bookstore, ShoppingMix, ArchServletSync, 300, opt)
+	if ns.CPU[TierDB] > 93 {
+		t.Errorf("non-sync DB CPU %.0f%%, want capped below saturation by lock contention", ns.CPU[TierDB])
+	}
+	if sy.CPU[TierDB] < 90 {
+		t.Errorf("sync DB CPU %.0f%%, want ~100%%", sy.CPU[TierDB])
+	}
+	if ns.DBLockWaitFrac < sy.DBLockWaitFrac {
+		t.Errorf("non-sync lock wait %.3f must exceed sync %.3f", ns.DBLockWaitFrac, sy.DBLockWaitFrac)
+	}
+}
+
+// TestFig9Shape asserts the ordering mix: sync is much better than non-sync.
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opt := fastOpt()
+	ns := Run(Bookstore, OrderingMix, ArchPHP, 300, opt)
+	sy := Run(Bookstore, OrderingMix, ArchServletSync, 300, opt)
+	if sy.ThroughputIPM < ns.ThroughputIPM*1.4 {
+		t.Fatalf("ordering mix: sync %.0f vs non-sync %.0f, want much better (>1.4x)",
+			sy.ThroughputIPM, ns.ThroughputIPM)
+	}
+}
+
+// TestFig7AllEqual asserts the browsing mix: read-dominated, no contention,
+// every non-EJB configuration performs the same; EJB trails.
+func TestFig7AllEqual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opt := fastOpt()
+	var base float64
+	for _, a := range []Arch{ArchPHP, ArchServlet, ArchServletSync, ArchServletDedicated, ArchServletDedicatedSync} {
+		r := Run(Bookstore, BrowsingMix, a, 150, opt)
+		if base == 0 {
+			base = r.ThroughputIPM
+			continue
+		}
+		if math.Abs(r.ThroughputIPM-base)/base > 0.08 {
+			t.Errorf("%v: %.0f differs from %.0f by more than 8%%", a, r.ThroughputIPM, base)
+		}
+	}
+	ejb := Run(Bookstore, BrowsingMix, ArchEJB, 150, opt)
+	if ejb.ThroughputIPM > base*0.85 {
+		t.Errorf("EJB browsing %.0f must be clearly below %.0f", ejb.ThroughputIPM, base)
+	}
+}
+
+// TestFig13Shape asserts the auction browsing mix ordering.
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	opt := fastOpt()
+	php := Run(Auction, BrowsingMix, ArchPHP, 1800, opt).ThroughputIPM
+	coloc := Run(Auction, BrowsingMix, ArchServlet, 1800, opt).ThroughputIPM
+	ded := Run(Auction, BrowsingMix, ArchServletDedicated, 1800, opt).ThroughputIPM
+	ejb := Run(Auction, BrowsingMix, ArchEJB, 1800, opt).ThroughputIPM
+	if !(ded > php && php > coloc && coloc > ejb) {
+		t.Fatalf("browsing: ded=%.0f php=%.0f coloc=%.0f ejb=%.0f; want ded>php>coloc>ejb",
+			ded, php, coloc, ejb)
+	}
+	// Paper §6.2: PHP ≈ 25% over co-located servlets.
+	if ratio := php / coloc; ratio < 1.1 || ratio > 1.5 {
+		t.Errorf("php/coloc browsing ratio %.2f, want ~1.25", ratio)
+	}
+}
+
+// TestFig12EJBServerSaturates asserts §6.1: the EJB server CPU is the
+// bidding-mix bottleneck with modest utilization elsewhere.
+func TestFig12EJBServerSaturates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	r := Run(Auction, BiddingMix, ArchEJB, 900, fastOpt())
+	if r.CPU[TierEJB] < 92 {
+		t.Errorf("EJB server CPU %.0f%%, want ~99%%", r.CPU[TierEJB])
+	}
+	if r.CPU[TierDB] > 65 {
+		t.Errorf("DB CPU %.0f%%, paper reports 17%% (low)", r.CPU[TierDB])
+	}
+	if r.CPU[TierServlet] > 70 {
+		t.Errorf("servlet CPU %.0f%%, paper reports 32%% (modest)", r.CPU[TierServlet])
+	}
+}
+
+// TestWebNICTraffic asserts the browsing mix pushes substantial traffic
+// through the web NIC in the dedicated configuration (paper: 94 Mb/s).
+func TestWebNICTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	r := Run(Auction, BrowsingMix, ArchServletDedicated, 2500, fastOpt())
+	if r.WebNICMbps < 50 {
+		t.Errorf("web NIC %.0f Mb/s at browsing peak, want high (paper 94)", r.WebNICMbps)
+	}
+}
+
+func TestFigureMetadata(t *testing.T) {
+	if len(AllFigures()) != 10 {
+		t.Fatalf("AllFigures() = %d, want 10", len(AllFigures()))
+	}
+	for _, id := range AllFigures() {
+		fs := specOfFigure(id)
+		if fs.title == "" {
+			t.Errorf("figure %d has no title", id)
+		}
+		if len(ClientSweep(fs.bench, fs.mix)) < 5 {
+			t.Errorf("figure %d sweep too short", id)
+		}
+	}
+}
+
+func TestCurvePeak(t *testing.T) {
+	c := Curve{Arch: ArchPHP, Results: []Result{
+		{Clients: 10, ThroughputIPM: 100},
+		{Clients: 20, ThroughputIPM: 300},
+		{Clients: 30, ThroughputIPM: 200},
+	}}
+	if p := c.Peak(); p.Clients != 20 {
+		t.Fatalf("Peak at %d clients, want 20", p.Clients)
+	}
+}
+
+// ThinkTimeOrDefault exposes the defaulted think time for tests.
+func (o Options) ThinkTimeOrDefault() float64 {
+	return o.withDefaults().ThinkTime
+}

@@ -1,0 +1,402 @@
+// Package rmi is a remote method invocation layer in the spirit of Java
+// RMI, which the paper's servlets use to call session beans on the JOnAS
+// EJB server. Services are plain Go values whose exported methods have the
+// signature
+//
+//	func (s *Svc) Method(args *ArgsT, reply *ReplyT) error
+//
+// Arguments and replies travel gob-encoded over persistent pooled TCP
+// connections.
+package rmi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+)
+
+const (
+	frameCall  = 0x04
+	frameReply = 0x05
+	frameFault = 0x06
+	maxFrame   = 8 << 20
+)
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("rmi: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("rmi: oversized frame (%d bytes)", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], p, nil
+}
+
+// method is one dispatchable service method.
+type method struct {
+	fn    reflect.Value
+	args  reflect.Type // pointer elem type
+	reply reflect.Type // pointer elem type
+}
+
+var errType = reflect.TypeOf((*error)(nil)).Elem()
+
+// Server dispatches calls to registered services.
+type Server struct {
+	mu      sync.Mutex
+	methods map[string]*method
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{methods: make(map[string]*method), conns: make(map[net.Conn]struct{})}
+}
+
+// Register exposes every suitable exported method of svc under
+// "name.Method". It returns an error when svc has no usable methods.
+func (s *Server) Register(name string, svc any) error {
+	v := reflect.ValueOf(svc)
+	t := v.Type()
+	count := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < t.NumMethod(); i++ {
+		m := t.Method(i)
+		mt := m.Type
+		// func(receiver, *ArgsT, *ReplyT) error
+		if mt.NumIn() != 3 || mt.NumOut() != 1 || mt.Out(0) != errType {
+			continue
+		}
+		if mt.In(1).Kind() != reflect.Pointer || mt.In(2).Kind() != reflect.Pointer {
+			continue
+		}
+		key := name + "." + m.Name
+		if _, dup := s.methods[key]; dup {
+			return fmt.Errorf("rmi: duplicate method %s", key)
+		}
+		s.methods[key] = &method{
+			fn:    v.Method(i),
+			args:  mt.In(1).Elem(),
+			reply: mt.In(2).Elem(),
+		}
+		count++
+	}
+	if count == 0 {
+		return fmt.Errorf("rmi: %s has no methods of the form Method(*Args, *Reply) error", name)
+	}
+	return nil
+}
+
+// Listen binds addr and serves in the background.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("rmi: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.serve(conn)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil || typ != frameCall {
+			return
+		}
+		outTyp, out := s.dispatch(payload)
+		if err := writeFrame(bw, outTyp, out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes "method\0gob(args)" and invokes it.
+func (s *Server) dispatch(payload []byte) (byte, []byte) {
+	idx := bytes.IndexByte(payload, 0)
+	if idx < 0 {
+		return frameFault, []byte("rmi: malformed call frame")
+	}
+	name := string(payload[:idx])
+	s.mu.Lock()
+	m := s.methods[name]
+	s.mu.Unlock()
+	if m == nil {
+		return frameFault, []byte("rmi: no such method " + name)
+	}
+	args := reflect.New(m.args)
+	dec := gob.NewDecoder(bytes.NewReader(payload[idx+1:]))
+	if err := dec.Decode(args.Interface()); err != nil {
+		return frameFault, []byte("rmi: decode args: " + err.Error())
+	}
+	reply := reflect.New(m.reply)
+	out := m.fn.Call([]reflect.Value{args, reply})
+	if errv := out[0].Interface(); errv != nil {
+		return frameFault, []byte(errv.(error).Error())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(reply.Interface()); err != nil {
+		return frameFault, []byte("rmi: encode reply: " + err.Error())
+	}
+	return frameReply, buf.Bytes()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Fault is an application- or dispatch-level error from the remote side.
+type Fault struct{ Msg string }
+
+func (f *Fault) Error() string { return f.Msg }
+
+// IsFault reports whether err came from the remote method rather than the
+// transport.
+func IsFault(err error) bool {
+	var f *Fault
+	return errors.As(err, &f)
+}
+
+// Client calls a remote Server over a pool of persistent connections. It is
+// safe for concurrent use.
+type Client struct {
+	addr string
+	pool chan *clientConn
+
+	mu     sync.Mutex
+	opened int
+	limit  int
+	closed bool
+}
+
+type clientConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewClient creates a client with up to size pooled connections.
+func NewClient(addr string, size int) *Client {
+	if size <= 0 {
+		size = 8
+	}
+	return &Client{addr: addr, pool: make(chan *clientConn, size), limit: size}
+}
+
+// Call invokes "Svc.Method" with args, decoding the result into reply
+// (a pointer).
+func (c *Client) Call(methodName string, args, reply any) error {
+	cc, err := c.get()
+	if err != nil {
+		return err
+	}
+	err = c.roundTrip(cc, methodName, args, reply)
+	if err != nil && !IsFault(err) {
+		cc.nc.Close()
+		c.drop()
+		if cc, err2 := c.get(); err2 == nil {
+			if err = c.roundTrip(cc, methodName, args, reply); err == nil || IsFault(err) {
+				c.put(cc)
+				return err
+			}
+			cc.nc.Close()
+			c.drop()
+		}
+		return err
+	}
+	c.put(cc)
+	return err
+}
+
+func (c *Client) roundTrip(cc *clientConn, methodName string, args, reply any) error {
+	var buf bytes.Buffer
+	buf.WriteString(methodName)
+	buf.WriteByte(0)
+	if err := gob.NewEncoder(&buf).Encode(args); err != nil {
+		return fmt.Errorf("rmi: encode args: %w", err)
+	}
+	if err := writeFrame(cc.bw, frameCall, buf.Bytes()); err != nil {
+		return err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		return err
+	}
+	typ, payload, err := readFrame(cc.br)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case frameReply:
+		if reply == nil {
+			return nil
+		}
+		return gob.NewDecoder(bytes.NewReader(payload)).Decode(reply)
+	case frameFault:
+		return &Fault{Msg: string(payload)}
+	default:
+		return fmt.Errorf("rmi: unexpected frame type 0x%x", typ)
+	}
+}
+
+func (c *Client) get() (*clientConn, error) {
+	select {
+	case cc := <-c.pool:
+		return cc, nil
+	default:
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("rmi: client closed")
+	}
+	if c.opened < c.limit {
+		c.opened++
+		c.mu.Unlock()
+		nc, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			c.drop()
+			return nil, fmt.Errorf("rmi: dial %s: %w", c.addr, err)
+		}
+		return &clientConn{nc: nc,
+			br: bufio.NewReaderSize(nc, 32<<10),
+			bw: bufio.NewWriterSize(nc, 32<<10)}, nil
+	}
+	c.mu.Unlock()
+	cc, ok := <-c.pool
+	if !ok {
+		return nil, errors.New("rmi: client closed")
+	}
+	return cc, nil
+}
+
+func (c *Client) put(cc *clientConn) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		cc.nc.Close()
+		return
+	}
+	select {
+	case c.pool <- cc:
+	default:
+		cc.nc.Close()
+		c.drop()
+	}
+}
+
+func (c *Client) drop() {
+	c.mu.Lock()
+	c.opened--
+	c.mu.Unlock()
+}
+
+// Close closes pooled connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.pool)
+	for cc := range c.pool {
+		cc.nc.Close()
+	}
+}
+
+// MethodName builds "Svc.Method" with validation, for callers constructing
+// names dynamically.
+func MethodName(service, method string) (string, error) {
+	if service == "" || method == "" || strings.ContainsAny(service+method, ".\x00") {
+		return "", fmt.Errorf("rmi: invalid method name %q.%q", service, method)
+	}
+	return service + "." + method, nil
+}

@@ -1,0 +1,368 @@
+// Package servlet is an application container in the mold of the Tomcat
+// servlet engine the paper measures: servlets are registered under URL
+// patterns, initialized once with a shared context (database connection
+// pool, session manager, engine-side lock manager), and invoked for each
+// request arriving over the AJP listener — or directly in-process when the
+// container is co-located with the web server.
+//
+// The engine-side lock manager is the container's analog of the Java
+// synchronization the paper's "(sync)" configurations use to move table
+// locking out of the database (§2.2).
+package servlet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ajp"
+	"repro/internal/httpd"
+	"repro/internal/sqldb/wire"
+)
+
+// Context is the shared state handed to every servlet.
+type Context struct {
+	// DB is the pooled connection to the database tier (the JDBC
+	// DataSource analog).
+	DB *wire.Pool
+	// Locks is the engine-side lock manager for (sync) configurations.
+	Locks *LockManager
+	// Sessions tracks client sessions by cookie.
+	Sessions *SessionManager
+
+	mu    sync.RWMutex
+	attrs map[string]any
+}
+
+// SetAttr stores a container-scoped attribute (the ServletContext analog).
+func (c *Context) SetAttr(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.attrs == nil {
+		c.attrs = make(map[string]any)
+	}
+	c.attrs[key] = v
+}
+
+// Attr loads a container-scoped attribute.
+func (c *Context) Attr(key string) (any, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.attrs[key]
+	return v, ok
+}
+
+// Servlet is the unit of application logic.
+type Servlet interface {
+	// Init runs once before the first request.
+	Init(ctx *Context) error
+	// Service handles one request.
+	Service(ctx *Context, req *httpd.Request) (*httpd.Response, error)
+	// Destroy runs at container shutdown.
+	Destroy()
+}
+
+// Func adapts a function into a Servlet with no lifecycle.
+type Func func(ctx *Context, req *httpd.Request) (*httpd.Response, error)
+
+// Init implements Servlet.
+func (Func) Init(*Context) error { return nil }
+
+// Service implements Servlet.
+func (f Func) Service(ctx *Context, req *httpd.Request) (*httpd.Response, error) {
+	return f(ctx, req)
+}
+
+// Destroy implements Servlet.
+func (Func) Destroy() {}
+
+// Config configures a container.
+type Config struct {
+	// DBAddr is the database wire address. Empty means the container's
+	// servlets do not use a database (tests).
+	DBAddr string
+	// DBPoolSize bounds concurrent database connections (default 12, the
+	// value the perfsim calibration uses).
+	DBPoolSize int
+}
+
+// Container hosts servlets.
+type Container struct {
+	ctx      *Context
+	mux      *httpd.Mux
+	listener *ajp.Listener
+
+	mu       sync.Mutex
+	servlets []registered
+	started  bool
+	closed   bool
+}
+
+type registered struct {
+	pattern string
+	s       Servlet
+}
+
+// NewContainer creates a container. Call Register, then Start (AJP) and/or
+// mount it in-process via Handler().
+func NewContainer(cfg Config) *Container {
+	ctx := &Context{
+		Locks:    NewLockManager(),
+		Sessions: NewSessionManager(),
+	}
+	if cfg.DBAddr != "" {
+		size := cfg.DBPoolSize
+		if size <= 0 {
+			size = 12
+		}
+		ctx.DB = wire.NewPool(cfg.DBAddr, size)
+	}
+	return &Container{ctx: ctx, mux: httpd.NewMux()}
+}
+
+// Context returns the container's shared context.
+func (c *Container) Context() *Context { return c.ctx }
+
+// Register adds a servlet under a URL pattern (httpd.Mux semantics). It
+// must be called before Start.
+func (c *Container) Register(pattern string, s Servlet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		panic("servlet: Register after Start")
+	}
+	c.servlets = append(c.servlets, registered{pattern, s})
+	c.mux.Handle(pattern, httpd.HandlerFunc(func(req *httpd.Request) (*httpd.Response, error) {
+		return s.Service(c.ctx, req)
+	}))
+}
+
+// Init runs every servlet's Init. Start calls it; call it directly when
+// mounting the container in-process only.
+func (c *Container) Init() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return nil
+	}
+	for _, r := range c.servlets {
+		if err := r.s.Init(c.ctx); err != nil {
+			return fmt.Errorf("servlet: init %s: %w", r.pattern, err)
+		}
+	}
+	c.started = true
+	return nil
+}
+
+// Start initializes servlets and serves AJP on addr, returning the bound
+// address.
+func (c *Container) Start(addr string) (net.Addr, error) {
+	if err := c.Init(); err != nil {
+		return nil, err
+	}
+	l := ajp.NewListener(c.mux)
+	bound, err := l.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.listener = l
+	c.mu.Unlock()
+	return bound, nil
+}
+
+// Handler exposes the container as an httpd.Handler for in-process mounting
+// (the co-located configurations avoid real AJP sockets only in tests; the
+// benchmarks use AJP even co-located, as Apache+Tomcat do).
+func (c *Container) Handler() httpd.Handler { return c.mux }
+
+// Close stops the listener, destroys servlets and closes the DB pool.
+func (c *Container) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	l := c.listener
+	servlets := c.servlets
+	c.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	for _, r := range servlets {
+		r.s.Destroy()
+	}
+	if c.ctx.DB != nil {
+		c.ctx.DB.Close()
+	}
+	return nil
+}
+
+// LockManager provides named engine-side locks. The (sync) configurations
+// acquire the same logical tables here instead of issuing LOCK TABLES,
+// relieving the database of lock contention (§2.2, §5.1). Multi-table sets
+// are acquired in sorted order to avoid deadlock, mirroring MySQL.
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[string]*sync.RWMutex
+}
+
+// NewLockManager returns an empty manager.
+func NewLockManager() *LockManager {
+	return &LockManager{locks: make(map[string]*sync.RWMutex)}
+}
+
+func (lm *LockManager) lock(name string) *sync.RWMutex {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	l, ok := lm.locks[name]
+	if !ok {
+		l = &sync.RWMutex{}
+		lm.locks[name] = l
+	}
+	return l
+}
+
+// TableLock names one table and the intent in an Acquire set.
+type TableLock struct {
+	Table string
+	Write bool
+}
+
+// Acquire locks the set and returns a release function. Duplicate tables
+// merge to the strongest intent.
+func (lm *LockManager) Acquire(set []TableLock) (release func()) {
+	merged := make(map[string]bool, len(set))
+	for _, tl := range set {
+		merged[tl.Table] = merged[tl.Table] || tl.Write
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type held struct {
+		l     *sync.RWMutex
+		write bool
+	}
+	hs := make([]held, 0, len(names))
+	for _, n := range names {
+		l := lm.lock(n)
+		if merged[n] {
+			l.Lock()
+		} else {
+			l.RLock()
+		}
+		hs = append(hs, held{l, merged[n]})
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for i := len(hs) - 1; i >= 0; i-- {
+				if hs[i].write {
+					hs[i].l.Unlock()
+				} else {
+					hs[i].l.RUnlock()
+				}
+			}
+		})
+	}
+}
+
+// SessionManager tracks client sessions via the JSESSIONID cookie.
+type SessionManager struct {
+	mu   sync.Mutex
+	next int64
+	byID map[string]*Session
+}
+
+// Session is per-client state.
+type Session struct {
+	ID string
+
+	mu    sync.Mutex
+	attrs map[string]any
+}
+
+// Set stores a session attribute.
+func (s *Session) Set(key string, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = v
+}
+
+// Get loads a session attribute.
+func (s *Session) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.attrs[key]
+	return v, ok
+}
+
+// NewSessionManager returns an empty manager.
+func NewSessionManager() *SessionManager {
+	return &SessionManager{byID: make(map[string]*Session)}
+}
+
+// Len returns the number of live sessions.
+func (m *SessionManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byID)
+}
+
+// Lookup finds the request's session via its cookie, or nil.
+func (m *SessionManager) Lookup(req *httpd.Request) *Session {
+	id := cookieValue(req.Header.Get("Cookie"), "JSESSIONID")
+	if id == "" {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byID[id]
+}
+
+// Ensure returns the request's session, creating one and setting the
+// response cookie if needed.
+func (m *SessionManager) Ensure(req *httpd.Request, resp *httpd.Response) *Session {
+	if s := m.Lookup(req); s != nil {
+		return s
+	}
+	m.mu.Lock()
+	m.next++
+	id := fmt.Sprintf("s%08x", m.next)
+	s := &Session{ID: id}
+	m.byID[id] = s
+	m.mu.Unlock()
+	resp.Header.Set("Set-Cookie", "JSESSIONID="+id+"; Path=/")
+	return s
+}
+
+// Expire drops a session.
+func (m *SessionManager) Expire(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.byID, id)
+}
+
+// cookieValue extracts one cookie from a Cookie header.
+func cookieValue(header, name string) string {
+	for _, part := range strings.Split(header, ";") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if ok && k == name {
+			return v
+		}
+	}
+	return ""
+}
+
+// ErrNoDatabase is returned by servlets that need a database when the
+// container was configured without one.
+var ErrNoDatabase = errors.New("servlet: container has no database pool")

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the distributions the benchmarks need. Every
+// simulation entity that draws random numbers owns its own RNG stream so
+// that runs are reproducible regardless of event interleaving.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic stream seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform sample in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Exp returns a negative-exponential sample with the given mean. TPC-W
+// clause 5.3.1.1 specifies this distribution for client think times.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// TruncExp returns an exponential sample with the given mean truncated to at
+// most cap (TPC-W truncates think times at ten times the mean).
+func (g *RNG) TruncExp(mean, cap float64) float64 {
+	v := g.Exp(mean)
+	if cap > 0 && v > cap {
+		return cap
+	}
+	return v
+}
+
+// Pick returns an index in [0,len(weights)) with probability proportional to
+// the weights, which must be non-negative and not all zero.
+func (g *RNG) Pick(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 {
+		panic("sim: Pick with non-positive weight sum")
+	}
+	x := g.r.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Seed derives a child seed for entity i, letting callers fan one master
+// seed out into independent streams.
+func Seed(master int64, i int) int64 {
+	// SplitMix64-style mixing keeps child streams decorrelated.
+	z := uint64(master) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(2, func() { got = append(got, 2) })
+	s.Schedule(1, func() { got = append(got, 1) })
+	s.Schedule(3, func() { got = append(got, 3) })
+	s.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %g, want 3", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events out of order: %v", got)
+		}
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.Schedule(1, func() { fired = true })
+	tm.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	tm.Cancel() // double-cancel is a no-op
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, d := range []float64{1, 2, 5} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2 only", fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock = %g, want 3", s.Now())
+	}
+	s.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want all three after Run", fired)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			s.Schedule(0.5, rec)
+		}
+	}
+	s.Schedule(0, rec)
+	s.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if math.Abs(s.Now()-49.5) > 1e-9 {
+		t.Fatalf("clock = %g, want 49.5", s.Now())
+	}
+}
+
+func TestPSResourceSingleJob(t *testing.T) {
+	s := New()
+	r := NewPSResource(s, "cpu", 1.0)
+	var doneAt float64
+	r.Use(2.5, func() { doneAt = s.Now() })
+	s.Run()
+	if math.Abs(doneAt-2.5) > 1e-9 {
+		t.Fatalf("single job finished at %g, want 2.5", doneAt)
+	}
+	if got := r.BusyTime(); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("busy time %g, want 2.5", got)
+	}
+}
+
+func TestPSResourceFairSharing(t *testing.T) {
+	// Two equal jobs sharing a unit-speed CPU both finish at 2*demand.
+	s := New()
+	r := NewPSResource(s, "cpu", 1.0)
+	var ends []float64
+	for i := 0; i < 2; i++ {
+		r.Use(1.0, func() { ends = append(ends, s.Now()) })
+	}
+	s.Run()
+	if len(ends) != 2 {
+		t.Fatalf("want 2 completions, got %d", len(ends))
+	}
+	for _, e := range ends {
+		if math.Abs(e-2.0) > 1e-9 {
+			t.Fatalf("completion at %g, want 2.0", e)
+		}
+	}
+}
+
+func TestPSResourceStaggeredJobs(t *testing.T) {
+	// Job A (demand 1) alone for 0.5s, then B (demand 0.25) arrives.
+	// A: 0.5 work left at t=0.5, then rate 1/2. B finishes at t=1.0
+	// (0.25 work at rate 1/2). A then runs alone: 0.25 left, done t=1.25.
+	s := New()
+	r := NewPSResource(s, "cpu", 1.0)
+	var aEnd, bEnd float64
+	r.Use(1.0, func() { aEnd = s.Now() })
+	s.Schedule(0.5, func() {
+		r.Use(0.25, func() { bEnd = s.Now() })
+	})
+	s.Run()
+	if math.Abs(bEnd-1.0) > 1e-9 {
+		t.Fatalf("B finished at %g, want 1.0", bEnd)
+	}
+	if math.Abs(aEnd-1.25) > 1e-9 {
+		t.Fatalf("A finished at %g, want 1.25", aEnd)
+	}
+}
+
+func TestPSResourceSpeed(t *testing.T) {
+	s := New()
+	r := NewPSResource(s, "fast", 4.0)
+	var end float64
+	r.Use(2.0, func() { end = s.Now() })
+	s.Run()
+	if math.Abs(end-0.5) > 1e-9 {
+		t.Fatalf("finished at %g, want 0.5", end)
+	}
+}
+
+func TestPSResourceZeroDemand(t *testing.T) {
+	s := New()
+	r := NewPSResource(s, "cpu", 1.0)
+	fired := false
+	r.Use(0, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("zero-demand job never completed")
+	}
+}
+
+func TestPSResourceUtilization(t *testing.T) {
+	s := New()
+	r := NewPSResource(s, "cpu", 1.0)
+	r.Use(1.0, func() {})
+	s.Schedule(4, func() {}) // extend the horizon to 4s
+	s.Run()
+	u := r.UtilizationSince(0, 0)
+	if math.Abs(u-0.25) > 1e-9 {
+		t.Fatalf("utilization %g, want 0.25", u)
+	}
+}
+
+// TestPSResourceConservation: with many random jobs, total work served must
+// equal total demand, and completions must respect demand ordering given
+// simultaneous arrival.
+func TestPSResourceConservation(t *testing.T) {
+	s := New()
+	r := NewPSResource(s, "cpu", 1.0)
+	g := NewRNG(42)
+	var total float64
+	n := 200
+	completed := 0
+	for i := 0; i < n; i++ {
+		d := 0.01 + g.Float64()
+		total += d
+		r.Use(d, func() { completed++ })
+	}
+	s.Run()
+	if completed != n {
+		t.Fatalf("completed %d, want %d", completed, n)
+	}
+	// All jobs start together, so makespan equals total work at unit speed.
+	if math.Abs(s.Now()-total) > 1e-6*total {
+		t.Fatalf("makespan %g, want %g", s.Now(), total)
+	}
+	if math.Abs(r.BusyTime()-total) > 1e-6*total {
+		t.Fatalf("busy %g, want %g", r.BusyTime(), total)
+	}
+}
+
+// Property: for simultaneously arriving jobs on a PS resource, completion
+// order matches demand order.
+func TestPSResourceCompletionOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		s := New()
+		r := NewPSResource(s, "cpu", 1.0)
+		n := 3 + g.Intn(20)
+		demands := make([]float64, n)
+		type comp struct {
+			idx int
+			at  float64
+		}
+		var comps []comp
+		for i := 0; i < n; i++ {
+			demands[i] = 0.01 + g.Float64()
+			i := i
+			r.Use(demands[i], func() { comps = append(comps, comp{i, s.Now()}) })
+		}
+		s.Run()
+		if len(comps) != n {
+			return false
+		}
+		// Completion times must be non-decreasing in demand.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return demands[idx[a]] < demands[idx[b]] })
+		at := make(map[int]float64, n)
+		for _, c := range comps {
+			at[c.idx] = c.at
+		}
+		prev := -1.0
+		for _, i := range idx {
+			if at[i] < prev-1e-9 {
+				return false
+			}
+			prev = at[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRWLockSharedReaders(t *testing.T) {
+	s := New()
+	l := NewRWLock(s, "t")
+	held := 0
+	for i := 0; i < 3; i++ {
+		l.Acquire(false, func() { held++ })
+	}
+	if held != 3 {
+		t.Fatalf("readers held = %d, want 3", held)
+	}
+	if l.Holders() != 3 {
+		t.Fatalf("Holders = %d, want 3", l.Holders())
+	}
+}
+
+func TestRWLockWriterExcludes(t *testing.T) {
+	s := New()
+	l := NewRWLock(s, "t")
+	var order []string
+	l.Acquire(true, func() { order = append(order, "w1") })
+	l.Acquire(false, func() { order = append(order, "r1") })
+	l.Acquire(true, func() { order = append(order, "w2") })
+	if len(order) != 1 || order[0] != "w1" {
+		t.Fatalf("order = %v, want [w1]", order)
+	}
+	l.Release(true)
+	if len(order) != 2 || order[1] != "r1" {
+		t.Fatalf("order = %v, want [w1 r1]", order)
+	}
+	l.Release(false)
+	if len(order) != 3 || order[2] != "w2" {
+		t.Fatalf("order = %v, want [w1 r1 w2]", order)
+	}
+	l.Release(true)
+}
+
+func TestRWLockFCFSBlocksReaderBehindWriter(t *testing.T) {
+	s := New()
+	l := NewRWLock(s, "t")
+	var got []string
+	l.Acquire(false, func() { got = append(got, "r1") }) // held
+	l.Acquire(true, func() { got = append(got, "w") })   // queued
+	l.Acquire(false, func() { got = append(got, "r2") }) // must queue behind w
+	if len(got) != 1 {
+		t.Fatalf("got %v, want only r1 granted", got)
+	}
+	l.Release(false)
+	if len(got) != 2 || got[1] != "w" {
+		t.Fatalf("got %v, want writer next", got)
+	}
+	l.Release(true)
+	if len(got) != 3 || got[2] != "r2" {
+		t.Fatalf("got %v, want r2 last", got)
+	}
+}
+
+// Property: RWLock never grants a writer concurrently with anyone else.
+func TestRWLockSafetyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		s := New()
+		l := NewRWLock(s, "t")
+		readers, writers := 0, 0
+		ok := true
+		n := 5 + g.Intn(40)
+		for i := 0; i < n; i++ {
+			write := g.Float64() < 0.3
+			hold := 0.001 + g.Float64()*0.01
+			delay := g.Float64() * 0.02
+			s.Schedule(delay, func() {
+				l.Acquire(write, func() {
+					if write {
+						writers++
+						if writers > 1 || readers > 0 {
+							ok = false
+						}
+					} else {
+						readers++
+						if writers > 0 {
+							ok = false
+						}
+					}
+					s.Schedule(hold, func() {
+						if write {
+							writers--
+						} else {
+							readers--
+						}
+						l.Release(write)
+					})
+				})
+			})
+		}
+		s.Run()
+		return ok && l.Holders() == 0 && l.QueueLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(7)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(7.0)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-7.0) > 0.1 {
+		t.Fatalf("sample mean %g, want ~7.0", mean)
+	}
+}
+
+func TestRNGPickDistribution(t *testing.T) {
+	g := NewRNG(11)
+	w := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[g.Pick(w)]++
+	}
+	for i, want := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Pick[%d] freq %g, want ~%g", i, got, want)
+		}
+	}
+}
+
+func TestRNGTruncExp(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		if v := g.TruncExp(7, 70); v > 70 {
+			t.Fatalf("TruncExp produced %g > cap", v)
+		}
+	}
+}
+
+func TestSeedDistinct(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		s := Seed(12345, i)
+		if seen[s] {
+			t.Fatalf("duplicate child seed at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, int64) {
+		s := New()
+		r := NewPSResource(s, "cpu", 1.0)
+		g := NewRNG(99)
+		done := 0
+		for i := 0; i < 100; i++ {
+			s.Schedule(g.Float64()*10, func() {
+				r.Use(0.01+g.Float64()*0.1, func() { done++ })
+			})
+		}
+		s.Run()
+		return s.Now(), s.Steps()
+	}
+	t1, n1 := run()
+	t2, n2 := run()
+	if t1 != t2 || n1 != n2 {
+		t.Fatalf("non-deterministic: (%g,%d) vs (%g,%d)", t1, n1, t2, n2)
+	}
+}

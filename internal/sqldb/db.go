@@ -1,0 +1,285 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/sqldb/sqlparse"
+)
+
+// DB is an in-memory database instance. It is safe for concurrent use by
+// multiple sessions; statement isolation follows MyISAM semantics (table
+// locks, no multi-statement transactions).
+type DB struct {
+	mu     sync.RWMutex // guards the catalog (tables map), not table data
+	tables map[string]*Table
+	locks  *lockManager
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*Table), locks: newLockManager()}
+}
+
+// ErrNoTable is wrapped by errors returned for statements that reference an
+// unknown table.
+var ErrNoTable = errors.New("no such table")
+
+// table resolves a table name.
+func (db *DB) table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: %w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Table exposes a table for inspection (tests, data generators).
+func (db *DB) Table(name string) (*Table, error) { return db.table(name) }
+
+// TableNames returns the catalog in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Session is one client's connection state: the set of tables held via
+// LOCK TABLES. Sessions are not goroutine-safe; each connection owns one.
+type Session struct {
+	db   *DB
+	held []heldLock // non-nil while a LOCK TABLES set is active
+}
+
+// NewSession creates a session on db.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// Close releases any locks still held (a disconnecting client implicitly
+// runs UNLOCK TABLES).
+func (s *Session) Close() {
+	if s.held != nil {
+		s.db.locks.releaseSet(s.held)
+		s.held = nil
+	}
+}
+
+// HoldsLocks reports whether a LOCK TABLES set is active.
+func (s *Session) HoldsLocks() bool { return s.held != nil }
+
+// Result is the outcome of a statement: rows for SELECT, counters otherwise.
+type Result struct {
+	Columns      []string
+	Rows         []Row
+	RowsAffected int64
+	LastInsertID int64
+}
+
+// Exec parses and executes one statement with '?' placeholders bound to
+// args, honoring the session's LOCK TABLES state.
+func (s *Session) Exec(query string, args ...Value) (*Result, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt, args...)
+}
+
+// ExecStmt executes an already-parsed statement. Callers that issue the same
+// query repeatedly (the application tiers) parse once and reuse the AST, as
+// a prepared statement would.
+func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparse.CreateTable:
+		return s.db.execCreateTable(st)
+	case *sqlparse.CreateIndex:
+		return s.db.execCreateIndex(st)
+	case *sqlparse.DropTable:
+		return s.db.execDropTable(st)
+	case *sqlparse.LockTables:
+		return s.execLockTables(st)
+	case *sqlparse.UnlockTables:
+		return s.execUnlockTables()
+	case *sqlparse.Insert:
+		return s.withLock(st.Table, true, func(t *Table) (*Result, error) {
+			return execInsert(t, st, args)
+		})
+	case *sqlparse.Update:
+		return s.withLock(st.Table, true, func(t *Table) (*Result, error) {
+			return execUpdate(t, st, args)
+		})
+	case *sqlparse.Delete:
+		return s.withLock(st.Table, true, func(t *Table) (*Result, error) {
+			return execDelete(t, st, args)
+		})
+	case *sqlparse.Select:
+		return s.execSelect(st, args)
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// withLock brackets a single-table statement with its implicit MyISAM table
+// lock, unless the session already holds the table via LOCK TABLES.
+func (s *Session) withLock(table string, write bool, fn func(*Table) (*Result, error)) (*Result, error) {
+	t, err := s.db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	if held, strong := s.holds(t.name); held {
+		if write && !strong {
+			return nil, fmt.Errorf("sqldb: table %q locked READ, write denied", table)
+		}
+		return fn(t)
+	}
+	if s.held != nil {
+		// MyISAM: with LOCK TABLES active, only locked tables may be used.
+		return nil, fmt.Errorf("sqldb: table %q was not locked with LOCK TABLES", table)
+	}
+	tl := s.db.locks.lockFor(t.name)
+	tl.lock(write)
+	defer tl.unlock(write)
+	return fn(t)
+}
+
+// holds reports whether the session's LOCK TABLES set covers table, and
+// whether the hold is a write lock.
+func (s *Session) holds(table string) (held, write bool) {
+	for _, h := range s.held {
+		if h.table == table {
+			return true, h.write
+		}
+	}
+	return false, false
+}
+
+func (s *Session) execLockTables(st *sqlparse.LockTables) (*Result, error) {
+	if s.held != nil {
+		// MySQL implicitly releases the previous set.
+		s.db.locks.releaseSet(s.held)
+		s.held = nil
+	}
+	want := make([]heldLock, 0, len(st.Items))
+	for _, it := range st.Items {
+		t, err := s.db.table(it.Table)
+		if err != nil {
+			return nil, err
+		}
+		want = append(want, heldLock{table: t.name, write: it.Write})
+	}
+	s.held = s.db.locks.acquireSet(want)
+	return &Result{}, nil
+}
+
+func (s *Session) execUnlockTables() (*Result, error) {
+	if s.held != nil {
+		s.db.locks.releaseSet(s.held)
+		s.held = nil
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execCreateTable(st *sqlparse.CreateTable) (*Result, error) {
+	cols := make([]Column, 0, len(st.Columns))
+	for _, c := range st.Columns {
+		cols = append(cols, Column{
+			Name:          c.Name,
+			Type:          c.Type,
+			PrimaryKey:    c.PrimaryKey,
+			AutoIncrement: c.AutoIncrement,
+			NotNull:       c.NotNull || c.PrimaryKey,
+		})
+	}
+	t, err := newTable(strings.ToLower(st.Name), cols)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[t.name]; dup {
+		if st.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sqldb: table %q already exists", st.Name)
+	}
+	db.tables[t.name] = t
+	return &Result{}, nil
+}
+
+func (db *DB) execCreateIndex(st *sqlparse.CreateIndex) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	col, err := t.colOf(st.Column)
+	if err != nil {
+		return nil, err
+	}
+	tl := db.locks.lockFor(t.name)
+	tl.lock(true)
+	defer tl.unlock(true)
+	if err := t.addIndex(st.Name, col, st.Unique); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execDropTable(st *sqlparse.DropTable) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := strings.ToLower(st.Name)
+	if _, ok := db.tables[name]; !ok {
+		if st.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sqldb: %w: %q", ErrNoTable, st.Name)
+	}
+	delete(db.tables, name)
+	return &Result{}, nil
+}
+
+// execSelect locks every referenced table for read (unless held) and runs
+// the query.
+func (s *Session) execSelect(st *sqlparse.Select, args []Value) (*Result, error) {
+	names := []string{st.From.Table}
+	for _, j := range st.Joins {
+		names = append(names, j.Table.Table)
+	}
+	tabs := make([]*Table, len(names))
+	var toLock []heldLock
+	for i, n := range names {
+		t, err := s.db.table(n)
+		if err != nil {
+			return nil, err
+		}
+		tabs[i] = t
+		held, _ := s.holds(t.name)
+		if !held {
+			if s.held != nil {
+				return nil, fmt.Errorf("sqldb: table %q was not locked with LOCK TABLES", n)
+			}
+			toLock = append(toLock, heldLock{table: t.name})
+		}
+	}
+	if len(toLock) > 0 {
+		acquired := s.db.locks.acquireSet(toLock)
+		defer s.db.locks.releaseSet(acquired)
+	}
+	return execSelect(tabs, st, args)
+}

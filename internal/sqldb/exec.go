@@ -1,0 +1,1064 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqldb/sqlparse"
+)
+
+// env is the evaluation context for expressions: the tables bound by the
+// current FROM/JOIN row combination plus statement parameters.
+type env struct {
+	aliases []string // lower-cased alias (or table name) per bound table
+	tabs    []*Table
+	rows    []Row
+	args    []Value
+}
+
+// resolve finds (table position, column position) for a possibly qualified
+// column reference.
+func (e *env) resolve(table, column string) (int, int, error) {
+	if table != "" {
+		lt := strings.ToLower(table)
+		for ti, a := range e.aliases {
+			if a == lt {
+				ci, err := e.tabs[ti].colOf(column)
+				if err != nil {
+					return 0, 0, err
+				}
+				return ti, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("sqldb: unknown table alias %q", table)
+	}
+	found := -1
+	var fc int
+	for ti, t := range e.tabs {
+		if ci, err := t.colOf(column); err == nil {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("sqldb: ambiguous column %q", column)
+			}
+			found, fc = ti, ci
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("sqldb: unknown column %q", column)
+	}
+	return found, fc, nil
+}
+
+// eval evaluates a non-aggregate expression.
+func (e *env) eval(x sqlparse.Expr) (Value, error) {
+	switch ex := x.(type) {
+	case *sqlparse.IntLit:
+		return Int(ex.V), nil
+	case *sqlparse.FloatLit:
+		return Float(ex.V), nil
+	case *sqlparse.StringLit:
+		return String(ex.V), nil
+	case *sqlparse.NullLit:
+		return Null(), nil
+	case *sqlparse.ParamExpr:
+		if ex.Index >= len(e.args) {
+			return Null(), fmt.Errorf("sqldb: missing argument for placeholder %d", ex.Index+1)
+		}
+		return e.args[ex.Index], nil
+	case *sqlparse.ColRefExpr:
+		ti, ci, err := e.resolve(ex.Table, ex.Column)
+		if err != nil {
+			return Null(), err
+		}
+		return e.rows[ti][ci], nil
+	case *sqlparse.NegExpr:
+		v, err := e.eval(ex.E)
+		if err != nil {
+			return Null(), err
+		}
+		if v.Kind() == KindInt {
+			return Int(-v.AsInt()), nil
+		}
+		return Float(-v.AsFloat()), nil
+	case *sqlparse.NotExpr:
+		v, err := e.eval(ex.E)
+		if err != nil {
+			return Null(), err
+		}
+		return boolVal(!v.Truthy()), nil
+	case *sqlparse.IsNullExpr:
+		v, err := e.eval(ex.E)
+		if err != nil {
+			return Null(), err
+		}
+		return boolVal(v.IsNull() != ex.Not), nil
+	case *sqlparse.BetweenExpr:
+		v, err := e.eval(ex.E)
+		if err != nil {
+			return Null(), err
+		}
+		lo, err := e.eval(ex.Lo)
+		if err != nil {
+			return Null(), err
+		}
+		hi, err := e.eval(ex.Hi)
+		if err != nil {
+			return Null(), err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return boolVal(false), nil
+		}
+		return boolVal(Compare(v, lo) >= 0 && Compare(v, hi) <= 0), nil
+	case *sqlparse.InExpr:
+		v, err := e.eval(ex.E)
+		if err != nil {
+			return Null(), err
+		}
+		match := false
+		for _, item := range ex.List {
+			iv, err := e.eval(item)
+			if err != nil {
+				return Null(), err
+			}
+			if Equal(v, iv) {
+				match = true
+				break
+			}
+		}
+		return boolVal(match != ex.Not), nil
+	case *sqlparse.BinaryExpr:
+		return e.evalBinary(ex)
+	case *sqlparse.AggExpr:
+		return Null(), fmt.Errorf("sqldb: aggregate %v outside SELECT list", ex.Func)
+	default:
+		return Null(), fmt.Errorf("sqldb: cannot evaluate %T", x)
+	}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+func (e *env) evalBinary(ex *sqlparse.BinaryExpr) (Value, error) {
+	// Short-circuit logic operators.
+	switch ex.Op {
+	case sqlparse.OpAnd:
+		l, err := e.eval(ex.L)
+		if err != nil {
+			return Null(), err
+		}
+		if !l.Truthy() {
+			return boolVal(false), nil
+		}
+		r, err := e.eval(ex.R)
+		if err != nil {
+			return Null(), err
+		}
+		return boolVal(r.Truthy()), nil
+	case sqlparse.OpOr:
+		l, err := e.eval(ex.L)
+		if err != nil {
+			return Null(), err
+		}
+		if l.Truthy() {
+			return boolVal(true), nil
+		}
+		r, err := e.eval(ex.R)
+		if err != nil {
+			return Null(), err
+		}
+		return boolVal(r.Truthy()), nil
+	}
+	l, err := e.eval(ex.L)
+	if err != nil {
+		return Null(), err
+	}
+	r, err := e.eval(ex.R)
+	if err != nil {
+		return Null(), err
+	}
+	switch ex.Op {
+	case sqlparse.OpEq:
+		return boolVal(Equal(l, r)), nil
+	case sqlparse.OpNe:
+		return boolVal(!l.IsNull() && !r.IsNull() && Compare(l, r) != 0), nil
+	case sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe:
+		if l.IsNull() || r.IsNull() {
+			return boolVal(false), nil
+		}
+		c := Compare(l, r)
+		switch ex.Op {
+		case sqlparse.OpLt:
+			return boolVal(c < 0), nil
+		case sqlparse.OpLe:
+			return boolVal(c <= 0), nil
+		case sqlparse.OpGt:
+			return boolVal(c > 0), nil
+		default:
+			return boolVal(c >= 0), nil
+		}
+	case sqlparse.OpLike:
+		if l.IsNull() || r.IsNull() {
+			return boolVal(false), nil
+		}
+		return boolVal(likeMatch(l.AsString(), r.AsString())), nil
+	case sqlparse.OpAdd, sqlparse.OpSub, sqlparse.OpMul, sqlparse.OpDiv:
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		if l.Kind() == KindInt && r.Kind() == KindInt && ex.Op != sqlparse.OpDiv {
+			a, b := l.AsInt(), r.AsInt()
+			switch ex.Op {
+			case sqlparse.OpAdd:
+				return Int(a + b), nil
+			case sqlparse.OpSub:
+				return Int(a - b), nil
+			default:
+				return Int(a * b), nil
+			}
+		}
+		a, b := l.AsFloat(), r.AsFloat()
+		switch ex.Op {
+		case sqlparse.OpAdd:
+			return Float(a + b), nil
+		case sqlparse.OpSub:
+			return Float(a - b), nil
+		case sqlparse.OpMul:
+			return Float(a * b), nil
+		default:
+			if b == 0 {
+				return Null(), nil // MySQL: division by zero yields NULL
+			}
+			return Float(a / b), nil
+		}
+	default:
+		return Null(), fmt.Errorf("sqldb: unsupported operator %v", ex.Op)
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single byte).
+func likeMatch(s, pattern string) bool {
+	// Dynamic-programming match over bytes.
+	n, m := len(s), len(pattern)
+	prev := make([]bool, n+1)
+	cur := make([]bool, n+1)
+	prev[0] = true
+	for j := 1; j <= m; j++ {
+		pc := pattern[j-1]
+		cur[0] = prev[0] && pc == '%'
+		for i := 1; i <= n; i++ {
+			switch pc {
+			case '%':
+				cur[i] = cur[i-1] || prev[i]
+			case '_':
+				cur[i] = prev[i-1]
+			default:
+				cur[i] = prev[i-1] && s[i-1] == pc
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// ---- INSERT / UPDATE / DELETE ----
+
+func execInsert(t *Table, st *sqlparse.Insert, args []Value) (*Result, error) {
+	cols := st.Columns
+	if len(cols) == 0 {
+		cols = make([]string, len(t.columns))
+		for i, c := range t.columns {
+			cols[i] = c.Name
+		}
+	}
+	colPos := make([]int, len(cols))
+	for i, c := range cols {
+		p, err := t.colOf(c)
+		if err != nil {
+			return nil, err
+		}
+		colPos[i] = p
+	}
+	ev := &env{args: args}
+	res := &Result{}
+	for _, exprRow := range st.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, fmt.Errorf("sqldb: %d values for %d columns in INSERT into %q",
+				len(exprRow), len(cols), t.name)
+		}
+		row := make(Row, len(t.columns))
+		provided := make([]bool, len(t.columns))
+		for i, ex := range exprRow {
+			v, err := ev.eval(ex)
+			if err != nil {
+				return nil, err
+			}
+			row[colPos[i]] = coerce(v, t.columns[colPos[i]].Type)
+			provided[colPos[i]] = true
+		}
+		for i, c := range t.columns {
+			if c.AutoIncrement && (!provided[i] || row[i].IsNull()) {
+				row[i] = Int(t.nextAI)
+				t.nextAI++
+				res.LastInsertID = row[i].AsInt()
+			} else if c.AutoIncrement && provided[i] {
+				if v := row[i].AsInt(); v >= t.nextAI {
+					t.nextAI = v + 1
+				}
+				res.LastInsertID = row[i].AsInt()
+			}
+		}
+		if _, err := t.insert(row); err != nil {
+			return nil, err
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+// coerce converts a value to the column's declared type (MySQL-style weak
+// typing keeps the benchmarks' string/number mixing working).
+func coerce(v Value, t sqlparse.ColType) Value {
+	if v.IsNull() {
+		return v
+	}
+	switch t {
+	case sqlparse.TypeInt:
+		return Int(v.AsInt())
+	case sqlparse.TypeFloat:
+		return Float(v.AsFloat())
+	default:
+		return String(v.AsString())
+	}
+}
+
+func execUpdate(t *Table, st *sqlparse.Update, args []Value) (*Result, error) {
+	setPos := make([]int, len(st.Set))
+	for i, a := range st.Set {
+		p, err := t.colOf(a.Column)
+		if err != nil {
+			return nil, err
+		}
+		setPos[i] = p
+	}
+	ids, err := matchRows(t, st.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, id := range ids {
+		row := t.rows[id]
+		ev := &env{aliases: []string{t.name}, tabs: []*Table{t}, rows: []Row{row}, args: args}
+		set := make(map[int]Value, len(st.Set))
+		for i, a := range st.Set {
+			v, err := ev.eval(a.Value)
+			if err != nil {
+				return nil, err
+			}
+			set[setPos[i]] = coerce(v, t.columns[setPos[i]].Type)
+		}
+		if err := t.update(id, set); err != nil {
+			return nil, err
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func execDelete(t *Table, st *sqlparse.Delete, args []Value) (*Result, error) {
+	ids, err := matchRows(t, st.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		t.deleteRow(id)
+	}
+	return &Result{RowsAffected: int64(len(ids))}, nil
+}
+
+// matchRows returns the rowids satisfying where (all rows when where is
+// nil), using an index for top-level equality conjuncts when possible.
+func matchRows(t *Table, where sqlparse.Expr, args []Value) ([]int64, error) {
+	cands, indexed, err := candidateIDs(t, where, args)
+	if err != nil {
+		return nil, err
+	}
+	var ids []int64
+	check := func(id int64, r Row) error {
+		if where != nil {
+			ev := &env{aliases: []string{t.name}, tabs: []*Table{t}, rows: []Row{r}, args: args}
+			v, err := ev.eval(where)
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				return nil
+			}
+		}
+		ids = append(ids, id)
+		return nil
+	}
+	if indexed {
+		for _, id := range cands {
+			if r, ok := t.rows[id]; ok {
+				if err := check(id, r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return ids, nil
+	}
+	if err := t.scan(check); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// candidateIDs inspects the WHERE clause for an equality conjunct on an
+// indexed column of t and returns the posting list when one is found.
+func candidateIDs(t *Table, where sqlparse.Expr, args []Value) ([]int64, bool, error) {
+	var walk func(e sqlparse.Expr) ([]int64, bool, error)
+	walk = func(e sqlparse.Expr) ([]int64, bool, error) {
+		be, ok := e.(*sqlparse.BinaryExpr)
+		if !ok {
+			return nil, false, nil
+		}
+		switch be.Op {
+		case sqlparse.OpAnd:
+			if ids, found, err := walk(be.L); found || err != nil {
+				return ids, found, err
+			}
+			return walk(be.R)
+		case sqlparse.OpEq:
+			col, val := be.L, be.R
+			if _, isCol := col.(*sqlparse.ColRefExpr); !isCol {
+				col, val = val, col
+			}
+			cr, isCol := col.(*sqlparse.ColRefExpr)
+			if !isCol || !constExpr(val) {
+				return nil, false, nil
+			}
+			if cr.Table != "" && !strings.EqualFold(cr.Table, t.name) {
+				return nil, false, nil
+			}
+			ci, err := t.colOf(cr.Column)
+			if err != nil {
+				return nil, false, nil // not this table's column
+			}
+			ev := &env{args: args}
+			v, err := ev.eval(val)
+			if err != nil {
+				return nil, false, err
+			}
+			if ids, ok := t.lookup(ci, v); ok {
+				return ids, true, nil
+			}
+			return nil, false, nil
+		default:
+			return nil, false, nil
+		}
+	}
+	if where == nil {
+		return nil, false, nil
+	}
+	return walk(where)
+}
+
+// constExpr reports whether e evaluates without row context.
+func constExpr(e sqlparse.Expr) bool {
+	switch ex := e.(type) {
+	case *sqlparse.IntLit, *sqlparse.FloatLit, *sqlparse.StringLit,
+		*sqlparse.NullLit, *sqlparse.ParamExpr:
+		return true
+	case *sqlparse.NegExpr:
+		return constExpr(ex.E)
+	default:
+		return false
+	}
+}
+
+// ---- SELECT ----
+
+func execSelect(tabs []*Table, st *sqlparse.Select, args []Value) (*Result, error) {
+	aliases := []string{strings.ToLower(st.From.Name())}
+	for _, j := range st.Joins {
+		aliases = append(aliases, strings.ToLower(j.Table.Name()))
+	}
+	ev := &env{aliases: aliases, tabs: tabs, args: args,
+		rows: make([]Row, len(tabs))}
+
+	// Plan-time validation: every column reference must resolve even when
+	// no rows flow (real engines reject unknown columns regardless).
+	var exprs []sqlparse.Expr
+	for _, it := range st.Items {
+		exprs = append(exprs, it.Expr)
+	}
+	if st.Where != nil {
+		exprs = append(exprs, st.Where)
+	}
+	for i := range st.GroupBy {
+		exprs = append(exprs, &st.GroupBy[i])
+	}
+	for _, oi := range st.OrderBy {
+		// ORDER BY may name a select-list alias instead of a table column.
+		if cr, ok := oi.Expr.(*sqlparse.ColRefExpr); ok && cr.Table == "" {
+			if outputIndex(outputColumns(st, tabs), cr.Column) >= 0 {
+				continue
+			}
+		}
+		exprs = append(exprs, oi.Expr)
+	}
+	for _, j := range st.Joins {
+		exprs = append(exprs, j.On)
+	}
+	for _, x := range exprs {
+		if err := validateCols(x, ev); err != nil {
+			return nil, err
+		}
+	}
+
+	agg := len(st.GroupBy) > 0
+	for _, it := range st.Items {
+		if containsAgg(it.Expr) {
+			agg = true
+		}
+	}
+
+	res := &Result{Columns: outputColumns(st, tabs)}
+	var groups *groupSet
+	if agg {
+		groups = newGroupSet(st)
+	}
+	// For non-aggregate selects, ORDER BY keys are evaluated against the
+	// bound rows at emit time so they may name columns outside the select
+	// list (e.g. SELECT name FROM items ORDER BY price).
+	var sortKeys [][]Value
+
+	emit := func() error {
+		if agg {
+			return groups.add(ev)
+		}
+		out := make(Row, 0, len(res.Columns))
+		if st.Star {
+			for _, r := range ev.rows {
+				out = append(out, cloneRow(r)...)
+			}
+		} else {
+			for _, it := range st.Items {
+				v, err := ev.eval(it.Expr)
+				if err != nil {
+					return err
+				}
+				out = append(out, v)
+			}
+		}
+		if len(st.OrderBy) > 0 {
+			keys := make([]Value, len(st.OrderBy))
+			for i, oi := range st.OrderBy {
+				v, err := ev.eval(oi.Expr)
+				if err != nil {
+					// The key may be a select-list alias (SELECT price AS p
+					// ... ORDER BY p): fall back to the output value.
+					cr, ok := oi.Expr.(*sqlparse.ColRefExpr)
+					if !ok || cr.Table != "" {
+						return err
+					}
+					idx := outputIndex(res.Columns, cr.Column)
+					if idx < 0 || st.Star {
+						return err
+					}
+					v = out[idx]
+				}
+				keys[i] = v
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+		res.Rows = append(res.Rows, out)
+		return nil
+	}
+
+	// Nested-loop join over From and Joins, index-accelerated on the From
+	// table's WHERE equalities and each join's ON equality.
+	var joinLevel func(level int) error
+	joinLevel = func(level int) error {
+		if level == len(tabs) {
+			if st.Where != nil {
+				v, err := ev.eval(st.Where)
+				if err != nil {
+					return err
+				}
+				if !v.Truthy() {
+					return nil
+				}
+			}
+			return emit()
+		}
+		t := tabs[level]
+		if level == 0 {
+			cands, indexed, err := candidateIDs(t, st.Where, args)
+			if err != nil {
+				return err
+			}
+			if indexed {
+				for _, id := range cands {
+					if r, ok := t.rows[id]; ok {
+						ev.rows[0] = r
+						if err := joinLevel(1); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+			return t.scan(func(_ int64, r Row) error {
+				ev.rows[0] = r
+				return joinLevel(1)
+			})
+		}
+		// Join level: try to use the ON equality with an index.
+		on := st.Joins[level-1].On
+		if ids, ok, err := joinLookup(ev, t, level, on); err != nil {
+			return err
+		} else if ok {
+			for _, id := range ids {
+				if r, exists := t.rows[id]; exists {
+					ev.rows[level] = r
+					if err := joinLevel(level + 1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		return t.scan(func(_ int64, r Row) error {
+			ev.rows[level] = r
+			okv, err := (&env{aliases: ev.aliases[:level+1], tabs: ev.tabs[:level+1],
+				rows: ev.rows[:level+1], args: args}).eval(on)
+			if err != nil {
+				return err
+			}
+			if !okv.Truthy() {
+				return nil
+			}
+			return joinLevel(level + 1)
+		})
+	}
+	if err := joinLevel(0); err != nil {
+		return nil, err
+	}
+
+	if agg {
+		rows, err := groups.finish(ev)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = rows
+		if err := orderAggRows(res, st); err != nil {
+			return nil, err
+		}
+	} else if err := orderPlainRows(res, st, sortKeys); err != nil {
+		return nil, err
+	}
+	if st.Distinct {
+		res.Rows = distinctRows(res.Rows)
+	}
+	applyLimit(res, st)
+	return res, nil
+}
+
+// joinLookup resolves "a.x = b.y" where one side references the level's
+// table on an indexed column and the other references an already-bound
+// table; it returns the matching rowids.
+func joinLookup(ev *env, t *Table, level int, on sqlparse.Expr) ([]int64, bool, error) {
+	be, ok := on.(*sqlparse.BinaryExpr)
+	if !ok || be.Op != sqlparse.OpEq {
+		return nil, false, nil
+	}
+	lc, lok := be.L.(*sqlparse.ColRefExpr)
+	rc, rok := be.R.(*sqlparse.ColRefExpr)
+	if !lok || !rok {
+		return nil, false, nil
+	}
+	levelAlias := ev.aliases[level]
+	var newSide, boundSide *sqlparse.ColRefExpr
+	switch {
+	case strings.EqualFold(lc.Table, levelAlias):
+		newSide, boundSide = lc, rc
+	case strings.EqualFold(rc.Table, levelAlias):
+		newSide, boundSide = rc, lc
+	default:
+		return nil, false, nil
+	}
+	ci, err := t.colOf(newSide.Column)
+	if err != nil {
+		return nil, false, nil
+	}
+	bi, bc, err := (&env{aliases: ev.aliases[:level], tabs: ev.tabs[:level],
+		rows: ev.rows[:level], args: ev.args}).resolve(boundSide.Table, boundSide.Column)
+	if err != nil {
+		return nil, false, nil
+	}
+	v := ev.rows[bi][bc]
+	ids, ok := t.lookup(ci, v)
+	if !ok {
+		return nil, false, nil
+	}
+	return ids, true, nil
+}
+
+// validateCols resolves every column reference in e against the bound
+// tables, returning an error for unknown or ambiguous names. ORDER BY
+// references may also name select-list aliases, which resolve later, so
+// callers pass only structural expressions here; aliases are cheap to
+// accept by ignoring resolution failures for bare ORDER BY columns — the
+// executor reports them precisely when actually evaluated.
+func validateCols(e sqlparse.Expr, ev *env) error {
+	switch x := e.(type) {
+	case *sqlparse.ColRefExpr:
+		_, _, err := ev.resolve(x.Table, x.Column)
+		return err
+	case *sqlparse.BinaryExpr:
+		if err := validateCols(x.L, ev); err != nil {
+			return err
+		}
+		return validateCols(x.R, ev)
+	case *sqlparse.NotExpr:
+		return validateCols(x.E, ev)
+	case *sqlparse.NegExpr:
+		return validateCols(x.E, ev)
+	case *sqlparse.IsNullExpr:
+		return validateCols(x.E, ev)
+	case *sqlparse.BetweenExpr:
+		if err := validateCols(x.E, ev); err != nil {
+			return err
+		}
+		if err := validateCols(x.Lo, ev); err != nil {
+			return err
+		}
+		return validateCols(x.Hi, ev)
+	case *sqlparse.InExpr:
+		if err := validateCols(x.E, ev); err != nil {
+			return err
+		}
+		for _, item := range x.List {
+			if err := validateCols(item, ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *sqlparse.AggExpr:
+		if x.Arg != nil {
+			return validateCols(x.Arg, ev)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func containsAgg(e sqlparse.Expr) bool {
+	switch ex := e.(type) {
+	case *sqlparse.AggExpr:
+		return true
+	case *sqlparse.BinaryExpr:
+		return containsAgg(ex.L) || containsAgg(ex.R)
+	case *sqlparse.NegExpr:
+		return containsAgg(ex.E)
+	case *sqlparse.NotExpr:
+		return containsAgg(ex.E)
+	default:
+		return false
+	}
+}
+
+func outputColumns(st *sqlparse.Select, tabs []*Table) []string {
+	if st.Star {
+		var cols []string
+		for _, t := range tabs {
+			for _, c := range t.Columns() {
+				cols = append(cols, c.Name)
+			}
+		}
+		return cols
+	}
+	cols := make([]string, len(st.Items))
+	for i, it := range st.Items {
+		switch {
+		case it.Alias != "":
+			cols[i] = it.Alias
+		default:
+			if cr, ok := it.Expr.(*sqlparse.ColRefExpr); ok {
+				cols[i] = cr.Column
+			} else if ag, ok := it.Expr.(*sqlparse.AggExpr); ok {
+				cols[i] = strings.ToLower(ag.Func.String())
+			} else {
+				cols[i] = fmt.Sprintf("expr%d", i+1)
+			}
+		}
+	}
+	return cols
+}
+
+// ---- aggregation ----
+
+type groupState struct {
+	key    string
+	sample []Row // bound rows of the first member, for non-agg items
+	counts []int64
+	sums   []float64
+	mins   []Value
+	maxs   []Value
+	seen   []bool
+}
+
+type groupSet struct {
+	st     *sqlparse.Select
+	order  []string
+	groups map[string]*groupState
+	aggs   []*sqlparse.AggExpr // aggregates in select-list order (nil gaps)
+}
+
+func newGroupSet(st *sqlparse.Select) *groupSet {
+	gs := &groupSet{st: st, groups: make(map[string]*groupState)}
+	for _, it := range st.Items {
+		if ag, ok := it.Expr.(*sqlparse.AggExpr); ok {
+			gs.aggs = append(gs.aggs, ag)
+		} else {
+			gs.aggs = append(gs.aggs, nil)
+		}
+	}
+	return gs
+}
+
+func (gs *groupSet) add(ev *env) error {
+	var keyParts []string
+	for _, g := range gs.st.GroupBy {
+		g := g
+		v, err := ev.eval(&g)
+		if err != nil {
+			return err
+		}
+		keyParts = append(keyParts, v.String())
+	}
+	key := strings.Join(keyParts, "\x00")
+	g, ok := gs.groups[key]
+	if !ok {
+		g = &groupState{
+			key:    key,
+			counts: make([]int64, len(gs.aggs)),
+			sums:   make([]float64, len(gs.aggs)),
+			mins:   make([]Value, len(gs.aggs)),
+			maxs:   make([]Value, len(gs.aggs)),
+			seen:   make([]bool, len(gs.aggs)),
+		}
+		g.sample = make([]Row, len(ev.rows))
+		for i, r := range ev.rows {
+			g.sample[i] = cloneRow(r)
+		}
+		gs.groups[key] = g
+		gs.order = append(gs.order, key)
+	}
+	for i, ag := range gs.aggs {
+		if ag == nil {
+			continue
+		}
+		if ag.Star {
+			g.counts[i]++
+			continue
+		}
+		v, err := ev.eval(ag.Arg)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue
+		}
+		g.counts[i]++
+		g.sums[i] += v.AsFloat()
+		if !g.seen[i] || Compare(v, g.mins[i]) < 0 {
+			g.mins[i] = v
+		}
+		if !g.seen[i] || Compare(v, g.maxs[i]) > 0 {
+			g.maxs[i] = v
+		}
+		g.seen[i] = true
+	}
+	return nil
+}
+
+func (gs *groupSet) finish(ev *env) ([]Row, error) {
+	var out []Row
+	if len(gs.order) == 0 && len(gs.st.GroupBy) == 0 {
+		// Aggregate over an empty input still yields one row.
+		gs.groups[""] = &groupState{
+			counts: make([]int64, len(gs.aggs)),
+			sums:   make([]float64, len(gs.aggs)),
+			mins:   make([]Value, len(gs.aggs)),
+			maxs:   make([]Value, len(gs.aggs)),
+			seen:   make([]bool, len(gs.aggs)),
+			sample: make([]Row, len(ev.tabs)),
+		}
+		for i, t := range ev.tabs {
+			gs.groups[""].sample[i] = make(Row, len(t.columns))
+		}
+		gs.order = append(gs.order, "")
+	}
+	for _, key := range gs.order {
+		g := gs.groups[key]
+		genv := &env{aliases: ev.aliases, tabs: ev.tabs, rows: g.sample, args: ev.args}
+		row := make(Row, len(gs.st.Items))
+		for i, it := range gs.st.Items {
+			if ag := gs.aggs[i]; ag != nil {
+				row[i] = aggValue(ag, g, i)
+				continue
+			}
+			v, err := genv.eval(it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func aggValue(ag *sqlparse.AggExpr, g *groupState, i int) Value {
+	switch ag.Func {
+	case sqlparse.AggCount:
+		return Int(g.counts[i])
+	case sqlparse.AggSum:
+		if g.counts[i] == 0 {
+			return Null()
+		}
+		return Float(g.sums[i])
+	case sqlparse.AggAvg:
+		if g.counts[i] == 0 {
+			return Null()
+		}
+		return Float(g.sums[i] / float64(g.counts[i]))
+	case sqlparse.AggMin:
+		if !g.seen[i] {
+			return Null()
+		}
+		return g.mins[i]
+	case sqlparse.AggMax:
+		if !g.seen[i] {
+			return Null()
+		}
+		return g.maxs[i]
+	default:
+		return Null()
+	}
+}
+
+// ---- ordering, distinct, limit ----
+
+// orderPlainRows sorts a non-aggregate result by the keys captured at emit
+// time.
+func orderPlainRows(res *Result, st *sqlparse.Select, sortKeys [][]Value) error {
+	if len(st.OrderBy) == 0 {
+		return nil
+	}
+	idx := make([]int, len(res.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
+		for k, oi := range st.OrderBy {
+			c := Compare(ka[k], kb[k])
+			if c == 0 {
+				continue
+			}
+			if oi.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	rows := make([]Row, len(res.Rows))
+	for i, j := range idx {
+		rows[i] = res.Rows[j]
+	}
+	res.Rows = rows
+	return nil
+}
+
+// orderAggRows sorts an aggregate result; keys must name output columns
+// (alias or column name), the only case the benchmarks need after GROUP BY.
+func orderAggRows(res *Result, st *sqlparse.Select) error {
+	if len(st.OrderBy) == 0 {
+		return nil
+	}
+	cols := make([]int, len(st.OrderBy))
+	for i, oi := range st.OrderBy {
+		cr, ok := oi.Expr.(*sqlparse.ColRefExpr)
+		if !ok {
+			return fmt.Errorf("sqldb: ORDER BY after GROUP BY must name an output column")
+		}
+		idx := outputIndex(res.Columns, cr.Column)
+		if idx < 0 {
+			return fmt.Errorf("sqldb: ORDER BY key %q not in select list", cr.Column)
+		}
+		cols[i] = idx
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for k, ci := range cols {
+			c := Compare(res.Rows[a][ci], res.Rows[b][ci])
+			if c == 0 {
+				continue
+			}
+			if st.OrderBy[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+func outputIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+func distinctRows(rows []Row) []Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.String())
+			b.WriteByte('\x00')
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func applyLimit(res *Result, st *sqlparse.Select) {
+	if st.Offset > 0 {
+		if st.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[st.Offset:]
+		}
+	}
+	if st.Limit >= 0 && st.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:st.Limit]
+	}
+}

@@ -1,0 +1,105 @@
+package sqldb
+
+import (
+	"sort"
+	"sync"
+)
+
+// lockManager implements MyISAM-style table locking for real (goroutine)
+// concurrency: shared read locks, exclusive write locks, and writer
+// priority — a pending write lock blocks later read requests on the same
+// table. Explicit LOCK TABLES acquires a set atomically in sorted order
+// (MySQL's deadlock-avoidance discipline); implicit per-statement locks
+// bracket single statements.
+type lockManager struct {
+	mu     sync.Mutex
+	tables map[string]*tableLock
+}
+
+type tableLock struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	readers     int
+	writer      bool
+	wantWriters int // pending write requests, for writer priority
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{tables: make(map[string]*tableLock)}
+}
+
+func (lm *lockManager) lockFor(table string) *tableLock {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	tl, ok := lm.tables[table]
+	if !ok {
+		tl = &tableLock{}
+		tl.cond = sync.NewCond(&tl.mu)
+		lm.tables[table] = tl
+	}
+	return tl
+}
+
+func (tl *tableLock) lock(write bool) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if write {
+		tl.wantWriters++
+		for tl.writer || tl.readers > 0 {
+			tl.cond.Wait()
+		}
+		tl.wantWriters--
+		tl.writer = true
+		return
+	}
+	// Writer priority: readers yield to pending writers.
+	for tl.writer || tl.wantWriters > 0 {
+		tl.cond.Wait()
+	}
+	tl.readers++
+}
+
+func (tl *tableLock) unlock(write bool) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if write {
+		tl.writer = false
+	} else {
+		tl.readers--
+	}
+	tl.cond.Broadcast()
+}
+
+// heldLock records one lock held by a session.
+type heldLock struct {
+	table string
+	write bool
+}
+
+// acquireSet locks the given tables in sorted name order, upgrading
+// duplicates to the strongest requested mode.
+func (lm *lockManager) acquireSet(items []heldLock) []heldLock {
+	merged := make(map[string]bool, len(items))
+	for _, it := range items {
+		merged[it.table] = merged[it.table] || it.write
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	held := make([]heldLock, 0, len(names))
+	for _, n := range names {
+		lm.lockFor(n).lock(merged[n])
+		held = append(held, heldLock{table: n, write: merged[n]})
+	}
+	return held
+}
+
+// releaseSet unlocks a previously acquired set.
+func (lm *lockManager) releaseSet(held []heldLock) {
+	// Release in reverse acquisition order.
+	for i := len(held) - 1; i >= 0; i-- {
+		lm.lockFor(held[i].table).unlock(held[i].write)
+	}
+}

@@ -1,0 +1,302 @@
+package sqlparse
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColType is a column's declared type.
+type ColType int
+
+const (
+	TypeInt ColType = iota
+	TypeFloat
+	TypeString
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "VARCHAR"
+	default:
+		return "?"
+	}
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name          string
+	Type          ColType
+	PrimaryKey    bool
+	AutoIncrement bool
+	NotNull       bool
+}
+
+// CreateTable is CREATE TABLE name (cols...).
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (column).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO table [(cols)] VALUES (exprs), (exprs)...
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// Update is UPDATE table SET col=expr,... [WHERE expr].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// Assignment is one col=expr pair in UPDATE ... SET.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Delete is DELETE FROM table [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Select is a SELECT statement over one table plus inner joins.
+type Select struct {
+	Items    []SelectItem
+	Star     bool
+	From     TableRef
+	Joins    []Join
+	Where    Expr
+	GroupBy  []ColRefExpr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	Offset   int
+	Distinct bool
+}
+
+// SelectItem is one output expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the alias if present, otherwise the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Join is INNER JOIN table ON left = right (equijoins only, which is all the
+// benchmarks use).
+type Join struct {
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// LockTables is MyISAM's LOCK TABLES t1 READ, t2 WRITE, ...
+type LockTables struct {
+	Items []LockItem
+}
+
+// LockItem is one table in LOCK TABLES.
+type LockItem struct {
+	Table string
+	Write bool
+}
+
+// UnlockTables is UNLOCK TABLES.
+type UnlockTables struct{}
+
+func (*CreateTable) stmt()  {}
+func (*CreateIndex) stmt()  {}
+func (*DropTable) stmt()    {}
+func (*Insert) stmt()       {}
+func (*Update) stmt()       {}
+func (*Delete) stmt()       {}
+func (*Select) stmt()       {}
+func (*LockTables) stmt()   {}
+func (*UnlockTables) stmt() {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+const (
+	OpEq BinaryOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpLike
+)
+
+func (op BinaryOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpLike:
+		return "LIKE"
+	default:
+		return "?"
+	}
+}
+
+// BinaryExpr applies op to two operands.
+type BinaryExpr struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+// NotExpr is logical negation.
+type NotExpr struct{ E Expr }
+
+// NegExpr is arithmetic negation.
+type NegExpr struct{ E Expr }
+
+// ColRefExpr references a column, optionally qualified ("t.col").
+type ColRefExpr struct {
+	Table  string // empty when unqualified
+	Column string
+}
+
+// IntLit / FloatLit / StringLit / NullLit are literals.
+type IntLit struct{ V int64 }
+type FloatLit struct{ V float64 }
+type StringLit struct{ V string }
+type NullLit struct{}
+
+// ParamExpr is the i-th '?' placeholder (0-based).
+type ParamExpr struct{ Index int }
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return "?"
+	}
+}
+
+// AggExpr is an aggregate call; Star is COUNT(*).
+type AggExpr struct {
+	Func AggFunc
+	Arg  Expr
+	Star bool
+}
+
+// InExpr is "e IN (list...)" (value lists only).
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNullExpr is "e IS [NOT] NULL".
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+// BetweenExpr is "e BETWEEN lo AND hi".
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+}
+
+func (*BinaryExpr) expr()  {}
+func (*NotExpr) expr()     {}
+func (*NegExpr) expr()     {}
+func (*ColRefExpr) expr()  {}
+func (*IntLit) expr()      {}
+func (*FloatLit) expr()    {}
+func (*StringLit) expr()   {}
+func (*NullLit) expr()     {}
+func (*ParamExpr) expr()   {}
+func (*AggExpr) expr()     {}
+func (*InExpr) expr()      {}
+func (*IsNullExpr) expr()  {}
+func (*BetweenExpr) expr() {}

@@ -1,0 +1,260 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqldb/sqlparse"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name          string
+	Type          sqlparse.ColType
+	PrimaryKey    bool
+	AutoIncrement bool
+	NotNull       bool
+}
+
+// Table is heap storage plus indexes. Access must be serialized by the
+// database lock manager (MyISAM-style table locks); Table itself is not
+// goroutine-safe.
+type Table struct {
+	name    string
+	columns []Column
+	colIdx  map[string]int // lower-cased name -> position
+
+	rows    map[int64]Row // rowid -> row
+	nextID  int64         // next rowid
+	nextAI  int64         // next AUTO_INCREMENT value
+	pkCol   int           // -1 when no primary key
+	indexes map[string]*index
+
+	// rowOrder preserves insertion order for stable full scans.
+	rowOrder []int64
+}
+
+// index is a hash index over one column, with lazily maintained sorted keys
+// for range scans.
+type index struct {
+	name   string
+	col    int
+	unique bool
+	m      map[indexKey][]int64
+}
+
+func newTable(name string, cols []Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sqldb: table %q needs at least one column", name)
+	}
+	t := &Table{
+		name:    name,
+		columns: cols,
+		colIdx:  make(map[string]int, len(cols)),
+		rows:    make(map[int64]Row),
+		nextID:  1,
+		nextAI:  1,
+		pkCol:   -1,
+		indexes: make(map[string]*index),
+	}
+	for i, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[lc]; dup {
+			return nil, fmt.Errorf("sqldb: duplicate column %q in table %q", c.Name, name)
+		}
+		t.colIdx[lc] = i
+		if c.PrimaryKey {
+			if t.pkCol >= 0 {
+				return nil, fmt.Errorf("sqldb: multiple primary keys in table %q", name)
+			}
+			t.pkCol = i
+		}
+	}
+	if t.pkCol >= 0 {
+		t.indexes["primary"] = &index{name: "primary", col: t.pkCol, unique: true,
+			m: make(map[indexKey][]int64)}
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the schema in declaration order.
+func (t *Table) Columns() []Column { return t.columns }
+
+// RowCount returns the number of stored rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// colOf resolves a column name (case-insensitive).
+func (t *Table) colOf(name string) (int, error) {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("sqldb: unknown column %q in table %q", name, t.name)
+}
+
+// addIndex creates a secondary index over col and backfills it.
+func (t *Table) addIndex(name string, col int, unique bool) error {
+	key := strings.ToLower(name)
+	if _, dup := t.indexes[key]; dup {
+		return fmt.Errorf("sqldb: index %q already exists on %q", name, t.name)
+	}
+	ix := &index{name: name, col: col, unique: unique, m: make(map[indexKey][]int64)}
+	for id, r := range t.rows {
+		k := r[col].key()
+		if unique && len(ix.m[k]) > 0 {
+			return fmt.Errorf("sqldb: duplicate value %v building unique index %q", r[col], name)
+		}
+		ix.m[k] = append(ix.m[k], id)
+	}
+	t.indexes[key] = ix
+	return nil
+}
+
+// indexOn returns an index whose key column is col, preferring unique ones.
+func (t *Table) indexOn(col int) *index {
+	var found *index
+	for _, ix := range t.indexes {
+		if ix.col != col {
+			continue
+		}
+		if ix.unique {
+			return ix
+		}
+		found = ix
+	}
+	return found
+}
+
+// insert stores a row (already in schema order, AUTO_INCREMENT resolved) and
+// maintains indexes. It returns the rowid.
+func (t *Table) insert(r Row) (int64, error) {
+	if len(r) != len(t.columns) {
+		return 0, fmt.Errorf("sqldb: row width %d != %d columns in %q",
+			len(r), len(t.columns), t.name)
+	}
+	for i, c := range t.columns {
+		if c.NotNull && r[i].IsNull() {
+			return 0, fmt.Errorf("sqldb: NULL in NOT NULL column %q.%q", t.name, c.Name)
+		}
+	}
+	for _, ix := range t.indexes {
+		if ix.unique {
+			k := r[ix.col].key()
+			if len(ix.m[k]) > 0 {
+				return 0, fmt.Errorf("sqldb: duplicate key %v for unique index %q on %q",
+					r[ix.col], ix.name, t.name)
+			}
+		}
+	}
+	id := t.nextID
+	t.nextID++
+	t.rows[id] = r
+	t.rowOrder = append(t.rowOrder, id)
+	for _, ix := range t.indexes {
+		k := r[ix.col].key()
+		ix.m[k] = append(ix.m[k], id)
+	}
+	return id, nil
+}
+
+// update rewrites columns of the row at id, maintaining indexes.
+func (t *Table) update(id int64, set map[int]Value) error {
+	r, ok := t.rows[id]
+	if !ok {
+		return fmt.Errorf("sqldb: update of missing rowid %d in %q", id, t.name)
+	}
+	// Unique checks first so a violation leaves the row untouched.
+	for _, ix := range t.indexes {
+		nv, changed := set[ix.col]
+		if !changed || Equal(nv, r[ix.col]) {
+			continue
+		}
+		if ix.unique && len(ix.m[nv.key()]) > 0 {
+			return fmt.Errorf("sqldb: duplicate key %v for unique index %q on %q",
+				nv, ix.name, t.name)
+		}
+	}
+	for col, nv := range set {
+		if t.columns[col].NotNull && nv.IsNull() {
+			return fmt.Errorf("sqldb: NULL in NOT NULL column %q.%q",
+				t.name, t.columns[col].Name)
+		}
+		old := r[col]
+		for _, ix := range t.indexes {
+			if ix.col != col {
+				continue
+			}
+			ix.remove(old.key(), id)
+			ix.m[nv.key()] = append(ix.m[nv.key()], id)
+		}
+		r[col] = nv
+	}
+	return nil
+}
+
+// remove drops id from the posting list of key k.
+func (ix *index) remove(k indexKey, id int64) {
+	list := ix.m[k]
+	for i, v := range list {
+		if v == id {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(ix.m, k)
+	} else {
+		ix.m[k] = list
+	}
+}
+
+// deleteRow removes the row at id from storage and all indexes.
+func (t *Table) deleteRow(id int64) {
+	r, ok := t.rows[id]
+	if !ok {
+		return
+	}
+	for _, ix := range t.indexes {
+		ix.remove(r[ix.col].key(), id)
+	}
+	delete(t.rows, id)
+	// rowOrder is compacted lazily during scans.
+}
+
+// scan calls fn for each live row in insertion order. fn must not mutate the
+// table. Deleted ids encountered in rowOrder are compacted away.
+func (t *Table) scan(fn func(id int64, r Row) error) error {
+	live := t.rowOrder[:0]
+	var err error
+	for _, id := range t.rowOrder {
+		r, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		live = append(live, id)
+		if err == nil {
+			err = fn(id, r)
+		}
+	}
+	t.rowOrder = live
+	return err
+}
+
+// lookup returns the rowids matching value v on column col via an index, or
+// ok=false when no index covers the column.
+func (t *Table) lookup(col int, v Value) (ids []int64, ok bool) {
+	ix := t.indexOn(col)
+	if ix == nil {
+		return nil, false
+	}
+	list := ix.m[v.key()]
+	// Copy and sort for deterministic result order.
+	out := make([]int64, len(list))
+	copy(out, list)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/sqldb"
+)
+
+// Conn is one client connection. It is not safe for concurrent use; the
+// Pool hands each borrower exclusive access, like a JDBC connection.
+type Conn struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Conn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 32<<10),
+		w:  bufio.NewWriterSize(nc, 32<<10),
+	}, nil
+}
+
+// Exec sends one statement and waits for its result.
+func (c *Conn) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	if err := writeFrame(c.w, msgQuery, encodeQuery(query, args)); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, fmt.Errorf("wire: flush: %w", err)
+	}
+	typ, payload, err := readFrame(c.r)
+	if err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	switch typ {
+	case msgResult:
+		return decodeResult(payload)
+	case msgError:
+		return nil, &ServerError{Msg: string(payload)}
+	default:
+		return nil, fmt.Errorf("wire: unexpected frame type 0x%x", typ)
+	}
+}
+
+// Close closes the underlying connection (the server releases its locks).
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// ServerError is an error reported by the database server (as opposed to a
+// transport failure): the connection remains usable.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// IsServerError reports whether err is a database-side error.
+func IsServerError(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se)
+}
+
+// Pool is a fixed-size connection pool: the engine-side throttle whose size
+// the paper's application servers configure. Borrowers block FIFO-ish until
+// a connection frees (Go channel semantics).
+type Pool struct {
+	addr  string
+	conns chan *Conn
+
+	mu     sync.Mutex
+	opened int
+	limit  int
+	closed bool
+}
+
+// NewPool creates a pool of up to size connections to addr. Connections are
+// opened lazily.
+func NewPool(addr string, size int) *Pool {
+	if size <= 0 {
+		size = 1
+	}
+	return &Pool{addr: addr, conns: make(chan *Conn, size), limit: size}
+}
+
+// Get borrows a connection, dialing a new one if the pool has capacity.
+func (p *Pool) Get() (*Conn, error) {
+	select {
+	case c := <-p.conns:
+		return c, nil
+	default:
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("wire: pool closed")
+	}
+	if p.opened < p.limit {
+		p.opened++
+		p.mu.Unlock()
+		c, err := Dial(p.addr)
+		if err != nil {
+			p.mu.Lock()
+			p.opened--
+			p.mu.Unlock()
+			return nil, err
+		}
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, ok := <-p.conns
+	if !ok {
+		return nil, errors.New("wire: pool closed")
+	}
+	return c, nil
+}
+
+// Put returns a borrowed connection. Pass broken=true after a transport
+// error to discard it and free capacity for a fresh dial.
+func (p *Pool) Put(c *Conn, broken bool) {
+	if broken {
+		c.Close()
+		p.mu.Lock()
+		p.opened--
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		c.Close()
+		return
+	}
+	select {
+	case p.conns <- c:
+	default:
+		// Shouldn't happen (puts never exceed gets), but never block.
+		c.Close()
+		p.mu.Lock()
+		p.opened--
+		p.mu.Unlock()
+	}
+}
+
+// Exec borrows a connection, runs the statement, and returns it.
+func (p *Pool) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	c, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.Exec(query, args...)
+	p.Put(c, err != nil && !IsServerError(err))
+	return res, err
+}
+
+// Close closes idle connections and marks the pool closed. Borrowed
+// connections are closed as they are returned.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.conns)
+	for c := range p.conns {
+		c.Close()
+	}
+}

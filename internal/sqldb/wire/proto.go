@@ -1,0 +1,232 @@
+// Package wire exposes a sqldb.DB over TCP with a compact length-prefixed
+// binary protocol, standing in for the MySQL client protocol of the paper's
+// testbed. The Client plays the role of PHP's native driver and of the
+// MM-MySQL type-4 JDBC driver; Pool provides the engine-side connection
+// pooling that Tomcat and JOnAS configure in the original system.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/sqldb"
+)
+
+// Frame layout: 4-byte big-endian payload length, 1-byte type, payload.
+// Request payload: query string, arg count, args. Response payload: result
+// or error.
+const (
+	msgQuery    = 0x01
+	msgResult   = 0x81
+	msgError    = 0x82
+	maxFrameLen = 16 << 20
+)
+
+// value tags on the wire.
+const (
+	tagNull   = 0
+	tagInt    = 1
+	tagFloat  = 2
+	tagString = 3
+)
+
+// writeFrame emits one frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	if len(payload) > maxFrameLen {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrameLen {
+		return 0, nil, fmt.Errorf("wire: oversized frame (%d bytes)", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// enc is an append-style encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+
+func (e *enc) value(v sqldb.Value) {
+	switch v.Kind() {
+	case sqldb.KindNull:
+		e.b = append(e.b, tagNull)
+	case sqldb.KindInt:
+		e.b = append(e.b, tagInt)
+		e.u64(uint64(v.AsInt()))
+	case sqldb.KindFloat:
+		e.b = append(e.b, tagFloat)
+		e.u64(math.Float64bits(v.AsFloat()))
+	default:
+		e.b = append(e.b, tagString)
+		e.str(v.AsString())
+	}
+}
+
+// dec is a cursor-style decoder.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: %s at offset %d", msg, d.off)
+	}
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail("truncated u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail("truncated u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil || d.off+n > len(d.b) || n < 0 {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) value() sqldb.Value {
+	switch d.byte() {
+	case tagNull:
+		return sqldb.Null()
+	case tagInt:
+		return sqldb.Int(int64(d.u64()))
+	case tagFloat:
+		return sqldb.Float(math.Float64frombits(d.u64()))
+	case tagString:
+		return sqldb.String(d.str())
+	default:
+		d.fail("unknown value tag")
+		return sqldb.Null()
+	}
+}
+
+// encodeQuery builds a query request payload.
+func encodeQuery(query string, args []sqldb.Value) []byte {
+	var e enc
+	e.str(query)
+	e.u32(uint32(len(args)))
+	for _, a := range args {
+		e.value(a)
+	}
+	return e.b
+}
+
+// decodeQuery parses a query request payload.
+func decodeQuery(p []byte) (string, []sqldb.Value, error) {
+	d := &dec{b: p}
+	q := d.str()
+	n := int(d.u32())
+	if n > 1<<16 {
+		return "", nil, fmt.Errorf("wire: absurd arg count %d", n)
+	}
+	args := make([]sqldb.Value, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		args = append(args, d.value())
+	}
+	return q, args, d.err
+}
+
+// encodeResult builds a result payload.
+func encodeResult(r *sqldb.Result) []byte {
+	var e enc
+	e.u64(uint64(r.RowsAffected))
+	e.u64(uint64(r.LastInsertID))
+	e.u32(uint32(len(r.Columns)))
+	for _, c := range r.Columns {
+		e.str(c)
+	}
+	e.u32(uint32(len(r.Rows)))
+	for _, row := range r.Rows {
+		e.u32(uint32(len(row)))
+		for _, v := range row {
+			e.value(v)
+		}
+	}
+	return e.b
+}
+
+// decodeResult parses a result payload.
+func decodeResult(p []byte) (*sqldb.Result, error) {
+	d := &dec{b: p}
+	r := &sqldb.Result{
+		RowsAffected: int64(d.u64()),
+		LastInsertID: int64(d.u64()),
+	}
+	nc := int(d.u32())
+	if nc > 1<<16 {
+		return nil, fmt.Errorf("wire: absurd column count %d", nc)
+	}
+	for i := 0; i < nc && d.err == nil; i++ {
+		r.Columns = append(r.Columns, d.str())
+	}
+	nr := int(d.u32())
+	if nr > maxFrameLen {
+		return nil, fmt.Errorf("wire: absurd row count %d", nr)
+	}
+	for i := 0; i < nr && d.err == nil; i++ {
+		w := int(d.u32())
+		row := make(sqldb.Row, 0, w)
+		for j := 0; j < w && d.err == nil; j++ {
+			row = append(row, d.value())
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r, d.err
+}

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/sqldb"
+)
+
+// Server serves a sqldb.DB over TCP. Each connection gets its own session,
+// so LOCK TABLES state is per-connection, as in MySQL.
+type Server struct {
+	db     *sqldb.DB
+	logger *log.Logger
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	shutdown chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server for db. logger may be nil to discard logs.
+func NewServer(db *sqldb.DB, logger *log.Logger) *Server {
+	return &Server{
+		db:       db,
+		logger:   logger,
+		conns:    make(map[net.Conn]struct{}),
+		shutdown: make(chan struct{}),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
+// background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("wire: server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+				return
+			default:
+			}
+			s.logf("accept: %v", err)
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	sess := s.db.NewSession()
+	defer func() {
+		sess.Close()
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 32<<10)
+	w := bufio.NewWriterSize(conn, 32<<10)
+	for {
+		typ, payload, err := readFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("read: %v", err)
+			}
+			return
+		}
+		if typ != msgQuery {
+			s.logf("unexpected frame type 0x%x", typ)
+			return
+		}
+		query, args, err := decodeQuery(payload)
+		var out []byte
+		var outTyp byte
+		if err == nil {
+			var res *sqldb.Result
+			res, err = sess.Exec(query, args...)
+			if err == nil {
+				outTyp, out = msgResult, encodeResult(res)
+			}
+		}
+		if err != nil {
+			outTyp, out = msgError, []byte(err.Error())
+		}
+		if err := writeFrame(w, outTyp, out); err != nil {
+			s.logf("write: %v", err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			s.logf("flush: %v", err)
+			return
+		}
+	}
+}
+
+// Close stops accepting and closes every connection, releasing their locks.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.shutdown)
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logger != nil {
+		s.logger.Printf("wire: "+format, args...)
+	}
+}

@@ -1,0 +1,279 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqldb"
+)
+
+func startServer(t *testing.T) (*sqldb.DB, string) {
+	t.Helper()
+	db := sqldb.New()
+	s := db.NewSession()
+	defer s.Close()
+	for _, q := range []string{
+		"CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(50))",
+		"INSERT INTO kv VALUES (1, 'one'), (2, 'two')",
+	} {
+		if _, err := s.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(db, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return db, addr.String()
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello world")
+	if err := writeFrame(&buf, msgQuery, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&buf)
+	if err != nil || typ != msgQuery || string(got) != "hello world" {
+		t.Fatalf("roundtrip: %v %x %q", err, typ, got)
+	}
+}
+
+func TestQueryEncodingRoundtrip(t *testing.T) {
+	args := []sqldb.Value{sqldb.Int(-7), sqldb.Float(2.5), sqldb.String("x"), sqldb.Null()}
+	q, got, err := decodeQuery(encodeQuery("SELECT 1", args))
+	if err != nil || q != "SELECT 1" || len(got) != 4 {
+		t.Fatalf("roundtrip: %v %q %v", err, q, got)
+	}
+	if got[0].AsInt() != -7 || got[1].AsFloat() != 2.5 || got[2].AsString() != "x" || !got[3].IsNull() {
+		t.Fatalf("args: %v", got)
+	}
+}
+
+func TestResultEncodingRoundtrip(t *testing.T) {
+	in := &sqldb.Result{
+		Columns:      []string{"a", "b"},
+		Rows:         []sqldb.Row{{sqldb.Int(1), sqldb.String("x")}, {sqldb.Null(), sqldb.Float(3.25)}},
+		RowsAffected: 5,
+		LastInsertID: 42,
+	}
+	out, err := decodeResult(encodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RowsAffected != 5 || out.LastInsertID != 42 || len(out.Rows) != 2 {
+		t.Fatalf("out: %+v", out)
+	}
+	if !out.Rows[0][0].IsNull() && out.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("row: %+v", out.Rows[0])
+	}
+	if out.Rows[1][1].AsFloat() != 3.25 {
+		t.Fatalf("row: %+v", out.Rows[1])
+	}
+}
+
+// Property: result encoding roundtrips for arbitrary scalar tables.
+func TestResultRoundtripProperty(t *testing.T) {
+	f := func(ints []int64, strs []string) bool {
+		in := &sqldb.Result{Columns: []string{"i", "s"}}
+		n := len(ints)
+		if len(strs) < n {
+			n = len(strs)
+		}
+		for i := 0; i < n; i++ {
+			in.Rows = append(in.Rows, sqldb.Row{sqldb.Int(ints[i]), sqldb.String(strs[i])})
+		}
+		out, err := decodeResult(encodeResult(in))
+		if err != nil || len(out.Rows) != len(in.Rows) {
+			return false
+		}
+		for i := range in.Rows {
+			if out.Rows[i][0].AsInt() != in.Rows[i][0].AsInt() ||
+				out.Rows[i][1].AsString() != in.Rows[i][1].AsString() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := decodeResult([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated result must error")
+	}
+	if _, _, err := decodeQuery([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("garbage query must error")
+	}
+}
+
+func TestClientServerQuery(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Exec("SELECT v FROM kv WHERE k = ?", sqldb.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "two" {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+}
+
+func TestClientServerWrite(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Exec("INSERT INTO kv VALUES (3, 'three')")
+	if err != nil || res.RowsAffected != 1 {
+		t.Fatalf("insert: %v %+v", err, res)
+	}
+	res, err = c.Exec("UPDATE kv SET v = 'THREE' WHERE k = 3")
+	if err != nil || res.RowsAffected != 1 {
+		t.Fatalf("update: %v %+v", err, res)
+	}
+}
+
+func TestServerErrorKeepsConnection(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec("SELECT nope FROM kv")
+	if err == nil || !IsServerError(err) {
+		t.Fatalf("want server error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error should mention column: %v", err)
+	}
+	// Connection must still work.
+	if _, err := c.Exec("SELECT k FROM kv"); err != nil {
+		t.Fatalf("connection unusable after server error: %v", err)
+	}
+}
+
+func TestLockTablesPerConnection(t *testing.T) {
+	_, addr := startServer(t)
+	c1, _ := Dial(addr)
+	defer c1.Close()
+	c2, _ := Dial(addr)
+	defer c2.Close()
+	if _, err := c1.Exec("LOCK TABLES kv WRITE"); err != nil {
+		t.Fatal(err)
+	}
+	// c2's read must block until c1 unlocks; verify via goroutine ordering.
+	got := make(chan error, 1)
+	go func() {
+		_, err := c2.Exec("SELECT COUNT(*) FROM kv")
+		got <- err
+	}()
+	if _, err := c1.Exec("INSERT INTO kv VALUES (9, 'nine')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec("UNLOCK TABLES"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; err != nil {
+		t.Fatalf("blocked reader failed: %v", err)
+	}
+}
+
+func TestDisconnectReleasesLocks(t *testing.T) {
+	_, addr := startServer(t)
+	c1, _ := Dial(addr)
+	if _, err := c1.Exec("LOCK TABLES kv WRITE"); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close() // server must release the session's locks
+	c2, _ := Dial(addr)
+	defer c2.Close()
+	if _, err := c2.Exec("LOCK TABLES kv WRITE"); err != nil {
+		t.Fatalf("lock after disconnect: %v", err)
+	}
+	c2.Exec("UNLOCK TABLES")
+}
+
+func TestPoolConcurrentUse(t *testing.T) {
+	_, addr := startServer(t)
+	p := NewPool(addr, 4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Exec("INSERT INTO kv VALUES (?, ?)",
+				sqldb.Int(int64(100+i)), sqldb.String("v")); err != nil {
+				t.Errorf("pool exec: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	res, err := p.Exec("SELECT COUNT(*) FROM kv WHERE k >= 100")
+	if err != nil || res.Rows[0][0].AsInt() != 16 {
+		t.Fatalf("count: %v %+v", err, res)
+	}
+}
+
+func TestPoolBoundsConnections(t *testing.T) {
+	_, addr := startServer(t)
+	p := NewPool(addr, 2)
+	defer p.Close()
+	a, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	acquired := make(chan *Conn)
+	go func() {
+		c, err := p.Get() // must block until a Put
+		if err != nil {
+			t.Errorf("get: %v", err)
+		}
+		acquired <- c
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("third Get should have blocked on a size-2 pool")
+	default:
+	}
+	go func() { <-release; p.Put(a, false) }()
+	close(release)
+	c := <-acquired
+	p.Put(b, false)
+	p.Put(c, false)
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	db := sqldb.New()
+	srv := NewServer(db, nil)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
