@@ -224,6 +224,10 @@ func BenchmarkRealStackWorkload(b *testing.B) {
 				}
 			}
 			b.ReportMetric(rep.ThroughputIPM, "ipm")
+			if rep.Tiers != nil {
+				// The paper's headline observable: which tier saturated.
+				b.Logf("bottleneck=%s\n%s", rep.Bottleneck(), rep.FormatTiers())
+			}
 		})
 	}
 }

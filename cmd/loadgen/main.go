@@ -16,8 +16,26 @@ import (
 
 	"repro/internal/auction"
 	"repro/internal/bookstore"
+	"repro/internal/httpd/httpclient"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// fetchStatus polls the server's /status telemetry endpoint; nil when the
+// server does not expose it (e.g. a bare webserver without core assembly).
+func fetchStatus(addr string) *telemetry.Snapshot {
+	c := httpclient.New(addr, 5*time.Second)
+	defer c.Close()
+	resp, err := c.Get("/status")
+	if err != nil || resp.Status != 200 {
+		return nil
+	}
+	snap, err := telemetry.Parse(resp.Body)
+	if err != nil {
+		return nil
+	}
+	return snap
+}
 
 func main() {
 	var (
@@ -44,14 +62,24 @@ func main() {
 	default:
 		log.Fatalf("unknown benchmark %q", *benchmark)
 	}
+	// Snapshot /status at the measurement-window edges so the saturation
+	// section covers exactly the measured interval, like the throughput.
+	var before, after *telemetry.Snapshot
 	rep, err := workload.Run(*addr, profile, workload.Config{
 		Clients: *clients, Mix: *mix,
 		ThinkMean: *think, SessionMean: *session,
 		RampUp: *ramp, Measure: *measure, RampDown: *rampdown,
 		FetchImages: *images, Seed: *seed,
+		OnMeasureStart: func() { before = fetchStatus(*addr) },
+		OnMeasureEnd:   func() { after = fetchStatus(*addr) },
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Both edge snapshots must have succeeded; otherwise the delta would
+	// silently cover boot-to-end counters instead of the window.
+	if before != nil && after != nil {
+		rep.Tiers = after.Delta(before)
 	}
 	fmt.Printf("mix=%s clients=%d window=%s\n", rep.Mix, rep.Clients, rep.MeasureDuration)
 	fmt.Printf("throughput   %8.0f interactions/min (%d completed, %d errors)\n",
@@ -63,5 +91,9 @@ func main() {
 	fmt.Println("per-interaction completions:")
 	for name, n := range rep.ByInteraction {
 		fmt.Printf("  %-26s %d\n", name, n)
+	}
+	if rep.Tiers != nil {
+		fmt.Println("\nper-tier saturation (from /status):")
+		fmt.Print(rep.FormatTiers())
 	}
 }

@@ -44,4 +44,8 @@ func main() {
 		fmt.Printf("GET %-45s -> %d (%d bytes)\n", path, resp.Status, len(resp.Body))
 	}
 	fmt.Println("the second viewitem reflects the stored bid — state flows through all tiers")
+
+	// The same numbers are served as JSON at GET /status.
+	fmt.Println("\nper-tier telemetry:")
+	fmt.Print(lab.Telemetry().Format())
 }

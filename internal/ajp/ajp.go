@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/httpd"
+	"repro/internal/pool"
 )
 
 const (
@@ -315,15 +316,10 @@ func (l *Listener) Close() error {
 }
 
 // Connector is the web-server side: an httpd.Handler that forwards requests
-// to a container over pooled persistent connections.
+// to a container over pooled persistent connections (internal/pool, sized
+// as mod_jk's connection_pool_size).
 type Connector struct {
-	addr string
-	pool chan *connectorConn
-
-	mu     sync.Mutex
-	opened int
-	limit  int
-	closed bool
+	pool *pool.Pool[*connectorConn]
 }
 
 type connectorConn struct {
@@ -338,34 +334,45 @@ func NewConnector(addr string, size int) *Connector {
 	if size <= 0 {
 		size = 8
 	}
-	return &Connector{addr: addr, pool: make(chan *connectorConn, size), limit: size}
+	return &Connector{pool: pool.New(pool.Config[*connectorConn]{
+		Name: "ajp@" + addr,
+		Dial: func() (*connectorConn, error) {
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, fmt.Errorf("ajp: dial %s: %w", addr, err)
+			}
+			return &connectorConn{
+				nc: nc,
+				br: bufio.NewReaderSize(nc, 32<<10),
+				bw: bufio.NewWriterSize(nc, 32<<10),
+			}, nil
+		},
+		Destroy: func(cc *connectorConn) { cc.nc.Close() },
+		Size:    size,
+	})}
 }
 
-// ServeHTTP forwards the request and returns the container's response.
+// ServeHTTP forwards the request and returns the container's response. Any
+// round-trip error discards the connection; the first is retried once on a
+// fresh connection, in case the pooled one was stale.
 func (c *Connector) ServeHTTP(req *httpd.Request) (*httpd.Response, error) {
-	cc, err := c.get()
+	var resp *httpd.Response
+	err := c.pool.Do(true, nil, func(cc *connectorConn) error {
+		r, err := c.roundTrip(cc, req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(cc, req)
-	if err != nil {
-		// One retry on a fresh connection, in case the pooled one is stale.
-		cc.nc.Close()
-		c.drop()
-		cc, err2 := c.get()
-		if err2 != nil {
-			return nil, fmt.Errorf("ajp: %v (after %w)", err2, err)
-		}
-		resp, err = c.roundTrip(cc, req)
-		if err != nil {
-			cc.nc.Close()
-			c.drop()
-			return nil, err
-		}
-	}
-	c.put(cc)
 	return resp, nil
 }
+
+// Stats snapshots the connector pool's saturation counters.
+func (c *Connector) Stats() pool.Stats { return c.pool.Stats() }
 
 func (c *Connector) roundTrip(cc *connectorConn, req *httpd.Request) (*httpd.Response, error) {
 	if err := writeFrame(cc.bw, frameRequest, encodeRequest(req)); err != nil {
@@ -384,72 +391,5 @@ func (c *Connector) roundTrip(cc *connectorConn, req *httpd.Request) (*httpd.Res
 	return decodeResponse(payload)
 }
 
-func (c *Connector) get() (*connectorConn, error) {
-	select {
-	case cc := <-c.pool:
-		return cc, nil
-	default:
-	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errors.New("ajp: connector closed")
-	}
-	if c.opened < c.limit {
-		c.opened++
-		c.mu.Unlock()
-		nc, err := net.Dial("tcp", c.addr)
-		if err != nil {
-			c.drop()
-			return nil, fmt.Errorf("ajp: dial %s: %w", c.addr, err)
-		}
-		return &connectorConn{
-			nc: nc,
-			br: bufio.NewReaderSize(nc, 32<<10),
-			bw: bufio.NewWriterSize(nc, 32<<10),
-		}, nil
-	}
-	c.mu.Unlock()
-	cc, ok := <-c.pool
-	if !ok {
-		return nil, errors.New("ajp: connector closed")
-	}
-	return cc, nil
-}
-
-func (c *Connector) put(cc *connectorConn) {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
-		cc.nc.Close()
-		return
-	}
-	select {
-	case c.pool <- cc:
-	default:
-		cc.nc.Close()
-		c.drop()
-	}
-}
-
-func (c *Connector) drop() {
-	c.mu.Lock()
-	c.opened--
-	c.mu.Unlock()
-}
-
 // Close closes idle pooled connections.
-func (c *Connector) Close() {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return
-	}
-	c.closed = true
-	c.mu.Unlock()
-	close(c.pool)
-	for cc := range c.pool {
-		cc.nc.Close()
-	}
-}
+func (c *Connector) Close() { c.pool.Close() }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/servlet"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/wire"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -137,6 +138,12 @@ func Start(cfg Config) (lab *Lab, err error) {
 	mux := httpd.NewMux()
 	mux.Handle(l.basePath(), appHandler)
 	mux.Handle("/img/", staticImages(cfg.ImageBytes))
+	mux.HandleFunc("/status", func(*httpd.Request) (*httpd.Response, error) {
+		resp := httpd.NewResponse()
+		resp.Header.Set("Content-Type", "application/json")
+		resp.Body = l.Telemetry().JSON()
+		return resp, nil
+	})
 	l.web = httpd.NewServer(mux, cfg.Logger)
 	webAddr, err := l.web.Listen("127.0.0.1:0")
 	if err != nil {
@@ -283,9 +290,93 @@ func (l *Lab) EJBQueryCount() int64 {
 	return l.ejbC.QueryCount()
 }
 
-// Run drives the lab with the client emulator.
+// Telemetry snapshots every tier's request/query counters and transport
+// pool saturation — the observable behind the paper's which-tier-saturates
+// analysis. Counters accumulate from boot; diff two snapshots with
+// telemetry.Snapshot.Delta to window them.
+func (l *Lab) Telemetry() *telemetry.Snapshot {
+	s := &telemetry.Snapshot{
+		Arch:      l.cfg.Arch.String(),
+		Benchmark: l.cfg.Benchmark.String(),
+	}
+
+	// Web tier: requests served, plus the AJP connector pool to the
+	// engine below it (absent in-process).
+	web := telemetry.Tier{Name: "web"}
+	if l.web != nil {
+		web.Requests = l.web.RequestCount()
+		web.Bytes = l.web.ResponseBytes()
+	}
+	if l.connector != nil {
+		ps := l.connector.Stats()
+		web.Pool = &ps
+		web.Downstream = "servlet"
+	}
+	s.Tiers = append(s.Tiers, web)
+
+	// Engine tier: the servlet container (standalone, in-process module,
+	// or EJB presentation layer). Its pool is whatever it calls into —
+	// the database pool, or the RMI client pool in the EJB configuration.
+	container := l.container
+	if l.module != nil {
+		container = l.module.Container()
+	}
+	if container != nil {
+		cs := container.Stats()
+		t := telemetry.Tier{Name: "servlet", Requests: cs.Requests, Pool: cs.DB}
+		if t.Pool != nil {
+			t.Downstream = "db"
+		}
+		if l.rmiClient != nil {
+			ps := l.rmiClient.Stats()
+			t.Pool = &ps
+			t.Downstream = "ejb"
+		}
+		s.Tiers = append(s.Tiers, t)
+	}
+
+	if l.ejbC != nil {
+		es := l.ejbC.Stats()
+		db := es.DB
+		s.Tiers = append(s.Tiers, telemetry.Tier{
+			Name: "ejb", Queries: es.Queries,
+			Loads: es.Loads, Stores: es.Stores, Pool: &db,
+			Downstream: "db",
+		})
+	}
+
+	if l.dbSrv != nil {
+		s.Tiers = append(s.Tiers, telemetry.Tier{Name: "db", Queries: l.dbSrv.QueryCount()})
+	}
+	return s
+}
+
+// Run drives the lab with the client emulator and attaches the per-tier
+// saturation delta over the measurement window (ramp phases excluded,
+// matching the report's other figures) to the report.
 func (l *Lab) Run(wcfg workload.Config) (*workload.Report, error) {
-	return workload.Run(l.webAddr, l.profile, wcfg)
+	var before, after *telemetry.Snapshot
+	prevStart, prevEnd := wcfg.OnMeasureStart, wcfg.OnMeasureEnd
+	wcfg.OnMeasureStart = func() {
+		before = l.Telemetry()
+		if prevStart != nil {
+			prevStart()
+		}
+	}
+	wcfg.OnMeasureEnd = func() {
+		after = l.Telemetry()
+		if prevEnd != nil {
+			prevEnd()
+		}
+	}
+	rep, err := workload.Run(l.webAddr, l.profile, wcfg)
+	if err != nil {
+		return rep, err
+	}
+	if before != nil && after != nil {
+		rep.Tiers = after.Delta(before)
+	}
+	return rep, nil
 }
 
 // Close tears the tiers down in dependency order.

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/httpd/httpclient"
+	"repro/internal/perfsim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func shortRun(t *testing.T, lab *Lab) *workload.Report {
+	t.Helper()
+	rep, err := lab.Run(workload.Config{
+		Clients: 4, Mix: "bidding",
+		ThinkMean: 2 * time.Millisecond, SessionMean: 500 * time.Millisecond,
+		RampUp: 50 * time.Millisecond, Measure: 400 * time.Millisecond,
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestStatusEndpointReportsSaturation is the acceptance check for the
+// cross-tier telemetry: after a workload run, GET /status must return
+// non-zero per-tier pool and request metrics for every architecture.
+func TestStatusEndpointReportsSaturation(t *testing.T) {
+	for _, a := range []perfsim.Arch{perfsim.ArchPHP, perfsim.ArchServletSync, perfsim.ArchEJB} {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			t.Parallel()
+			lab := startLab(t, a, perfsim.Auction)
+			shortRun(t, lab)
+
+			c := httpclient.New(lab.WebAddr(), 10*time.Second)
+			defer c.Close()
+			resp, err := c.Get("/status")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Status != 200 {
+				t.Fatalf("GET /status -> %d: %s", resp.Status, resp.Body)
+			}
+			snap, err := telemetry.Parse(resp.Body)
+			if err != nil {
+				t.Fatalf("parse /status: %v\n%s", err, resp.Body)
+			}
+			if snap.Arch != a.String() {
+				t.Fatalf("arch = %q, want %q", snap.Arch, a.String())
+			}
+
+			web := snap.Tier("web")
+			if web == nil || web.Requests == 0 {
+				t.Fatalf("web tier missing or idle: %+v", snap)
+			}
+			sv := snap.Tier("servlet")
+			if sv == nil || sv.Requests == 0 {
+				t.Fatalf("servlet tier missing or idle: %+v", snap)
+			}
+			db := snap.Tier("db")
+			if db == nil || db.Queries == 0 {
+				t.Fatalf("db tier missing or idle: %+v", snap)
+			}
+			if a != perfsim.ArchPHP {
+				if web.Pool == nil || web.Pool.Gets == 0 || web.Pool.Dials == 0 {
+					t.Fatalf("AJP connector pool idle: %+v", web.Pool)
+				}
+			}
+			if sv.Pool == nil || sv.Pool.Gets == 0 {
+				t.Fatalf("servlet downstream pool idle: %+v", sv.Pool)
+			}
+			if a == perfsim.ArchEJB {
+				ejb := snap.Tier("ejb")
+				if ejb == nil || ejb.Queries == 0 || ejb.Pool.Gets == 0 {
+					t.Fatalf("ejb tier missing or idle: %+v", ejb)
+				}
+			}
+		})
+	}
+}
+
+// TestRunAttachesTierDelta checks that Lab.Run windows the telemetry: the
+// report carries per-tier counters for the run and names a bottleneck.
+func TestRunAttachesTierDelta(t *testing.T) {
+	lab := startLab(t, perfsim.ArchServletSync, perfsim.Auction)
+	rep := shortRun(t, lab)
+	if rep.Tiers == nil {
+		t.Fatal("report has no tier telemetry")
+	}
+	web := rep.Tiers.Tier("web")
+	if web == nil || web.Requests == 0 {
+		t.Fatalf("windowed web tier: %+v", web)
+	}
+	db := rep.Tiers.Tier("db")
+	if db == nil || db.Queries == 0 {
+		t.Fatalf("windowed db tier: %+v", db)
+	}
+	if rep.Bottleneck() == "" {
+		t.Fatal("no bottleneck named")
+	}
+	if rep.FormatTiers() == "" {
+		t.Fatal("empty tier report")
+	}
+
+	// A second run's window must not double-count the first run's work:
+	// the delta should be in the same order of magnitude as its own run,
+	// not cumulative. Loose sanity bound: second window's web requests
+	// are fewer than the lab's cumulative total.
+	rep2 := shortRun(t, lab)
+	total := lab.Telemetry().Tier("web").Requests
+	if w2 := rep2.Tiers.Tier("web").Requests; w2 <= 0 || w2 >= total {
+		t.Fatalf("window not differenced: run2=%d cumulative=%d", w2, total)
+	}
+}

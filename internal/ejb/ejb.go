@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/pool"
 	"repro/internal/rmi"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/wire"
@@ -142,6 +143,25 @@ func (c *Container) LoadCount() int64 { return c.loads.Load() }
 
 // StoreCount returns field stores (single-column UPDATEs).
 func (c *Container) StoreCount() int64 { return c.stores.Load() }
+
+// Stats describes the container's load for the cross-tier telemetry: the
+// CMP statement counters and the database pool's saturation counters.
+type Stats struct {
+	Queries int64      `json:"queries"`
+	Loads   int64      `json:"loads"`
+	Stores  int64      `json:"stores"`
+	DB      pool.Stats `json:"db"`
+}
+
+// Stats snapshots the container.
+func (c *Container) Stats() Stats {
+	return Stats{
+		Queries: c.queries.Load(),
+		Loads:   c.loads.Load(),
+		Stores:  c.stores.Load(),
+		DB:      c.pool.Stats(),
+	}
+}
 
 // Entity is an activated entity bean instance: a local copy of one row.
 type Entity struct {

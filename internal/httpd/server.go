@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,7 +36,17 @@ type Server struct {
 	closed   bool
 	shutdown chan struct{}
 	wg       sync.WaitGroup
+
+	requests  atomic.Int64
+	respBytes atomic.Int64
 }
+
+// RequestCount returns the number of requests dispatched to the handler —
+// the web tier's work counter in the cross-tier telemetry.
+func (s *Server) RequestCount() int64 { return s.requests.Load() }
+
+// ResponseBytes returns the cumulative response body bytes written.
+func (s *Server) ResponseBytes() int64 { return s.respBytes.Load() }
 
 // NewServer creates a server dispatching to handler. logger may be nil.
 func NewServer(handler Handler, logger *log.Logger) *Server {
@@ -124,6 +135,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		req.RemoteAddr = conn.RemoteAddr().String()
 
+		s.requests.Add(1)
 		resp, herr := s.handler.ServeHTTP(req)
 		if herr != nil {
 			s.logf("handler %s %s: %v", req.Method, req.Path, herr)
@@ -144,6 +156,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		if err := bw.Flush(); err != nil {
 			return
+		}
+		if !headOnly {
+			s.respBytes.Add(int64(len(resp.Body)))
 		}
 		if !keepAlive {
 			return

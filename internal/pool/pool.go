@@ -1,0 +1,295 @@
+// Package pool is the shared transport-connection pool under the stack's
+// three clients — the database wire client (internal/sqldb/wire), the AJP
+// web-to-servlet connector (internal/ajp) and the RMI client
+// (internal/rmi). The paper's analysis hinges on identifying which tier
+// saturates under each middleware configuration, so unlike the three
+// channel pools it replaces, this one is instrumented: every pool counts
+// dials, borrows, waits, cumulative wait time and discards, and samples
+// borrow latency into a stats.Reservoir, so the tiers above can report
+// where requests spend their time queueing.
+//
+// Semantics: connections are dialed lazily up to a fixed capacity;
+// borrowers queue FIFO when the pool is exhausted; a connection returned
+// as broken is destroyed and its capacity reclaimed immediately (a queued
+// borrower dials a replacement rather than waiting for a healthy return);
+// Close is safe against concurrent Get/Put — the pre-refactor wire.Pool
+// could panic on send-to-closed-channel when Put raced Close.
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ErrClosed is returned by Get after Close.
+var ErrClosed = errors.New("pool: closed")
+
+// Config configures a Pool.
+type Config[T any] struct {
+	// Name labels the pool in Stats (e.g. "servlet->db").
+	Name string
+	// Dial opens one connection. It is called lazily, only when a borrower
+	// finds no idle connection and capacity remains.
+	Dial func() (T, error)
+	// Destroy releases one connection (e.g. closes its socket). nil is a
+	// no-op, for pooled values that need no cleanup.
+	Destroy func(T)
+	// Size caps concurrently open connections (default 1).
+	Size int
+}
+
+// Pool is a fixed-capacity lazy connection pool, safe for concurrent use.
+//
+// Capacity is a token semaphore: a borrower first acquires a permit (the
+// blocking point when the pool is saturated), then takes an idle
+// connection or dials a fresh one. Because a broken Put returns the
+// permit after destroying the connection, discards can never strand a
+// queued borrower — it wakes and dials a replacement.
+type Pool[T any] struct {
+	name    string
+	dial    func() (T, error)
+	destroy func(T)
+	limit   int
+
+	permits chan struct{} // capacity tokens; blocked receivers queue FIFO
+	done    chan struct{} // closed by Close to release waiters
+
+	mu     sync.Mutex
+	idle   []T // FIFO: borrow from the front, return to the back
+	opened int
+	closed bool
+
+	dials     atomic.Int64
+	gets      atomic.Int64
+	waits     atomic.Int64
+	waitNanos atomic.Int64
+	discards  atomic.Int64
+	retries   atomic.Int64
+	borrow    *stats.Reservoir // borrow latency, seconds
+}
+
+// New creates a pool.
+func New[T any](cfg Config[T]) *Pool[T] {
+	if cfg.Dial == nil {
+		panic("pool: nil Dial")
+	}
+	size := cfg.Size
+	if size <= 0 {
+		size = 1
+	}
+	p := &Pool[T]{
+		name:    cfg.Name,
+		dial:    cfg.Dial,
+		destroy: cfg.Destroy,
+		limit:   size,
+		permits: make(chan struct{}, size),
+		done:    make(chan struct{}),
+		borrow:  stats.NewReservoir(1024, 1),
+	}
+	for i := 0; i < size; i++ {
+		p.permits <- struct{}{}
+	}
+	return p
+}
+
+// Get borrows a connection, dialing one if none is idle and capacity
+// remains. It blocks while the pool is exhausted and fails with ErrClosed
+// once the pool closes.
+func (p *Pool[T]) Get() (T, error) {
+	var zero T
+	p.gets.Add(1)
+	start := time.Now()
+	select {
+	case <-p.permits:
+	default:
+		p.waits.Add(1)
+		select {
+		case <-p.permits:
+			p.waitNanos.Add(time.Since(start).Nanoseconds())
+		case <-p.done:
+			return zero, ErrClosed
+		}
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.releasePermit()
+		return zero, ErrClosed
+	}
+	if len(p.idle) > 0 {
+		v := p.idle[0]
+		p.idle = p.idle[1:]
+		p.mu.Unlock()
+		p.borrow.Add(time.Since(start).Seconds())
+		return v, nil
+	}
+	p.opened++
+	p.mu.Unlock()
+	p.dials.Add(1)
+	v, err := p.dial()
+	if err != nil {
+		p.mu.Lock()
+		p.opened--
+		p.mu.Unlock()
+		p.releasePermit()
+		return zero, err
+	}
+	p.borrow.Add(time.Since(start).Seconds())
+	return v, nil
+}
+
+// Put returns a borrowed connection. Pass broken=true after a transport
+// error: the connection is destroyed and its capacity reclaimed, so a
+// queued borrower dials a fresh one.
+func (p *Pool[T]) Put(v T, broken bool) {
+	p.mu.Lock()
+	if broken || p.closed {
+		p.opened--
+		p.mu.Unlock()
+		if broken {
+			p.discards.Add(1)
+		}
+		p.doDestroy(v)
+	} else {
+		p.idle = append(p.idle, v)
+		p.mu.Unlock()
+	}
+	p.releasePermit()
+}
+
+// releasePermit returns one capacity token. The send never blocks:
+// permits released never exceed permits acquired.
+func (p *Pool[T]) releasePermit() {
+	select {
+	case p.permits <- struct{}{}:
+	default:
+	}
+}
+
+func (p *Pool[T]) doDestroy(v T) {
+	if p.destroy != nil {
+		p.destroy(v)
+	}
+}
+
+// Do borrows a connection, runs fn on it, and returns it — discarded when
+// fn's error is transport-level per isBroken (nil means every error is).
+// With retry true, one transport failure is retried on a fresh
+// connection, absorbing a stale pooled connection (the peer may have
+// dropped it while idle).
+func (p *Pool[T]) Do(retry bool, isBroken func(error) bool, fn func(T) error) error {
+	v, err := p.Get()
+	if err != nil {
+		return err
+	}
+	err = fn(v)
+	if err == nil || (isBroken != nil && !isBroken(err)) {
+		p.Put(v, false)
+		return err
+	}
+	p.Put(v, true)
+	if !retry {
+		return err
+	}
+	p.retries.Add(1)
+	v, err2 := p.Get()
+	if err2 != nil {
+		return errors.Join(err2, err)
+	}
+	err2 = fn(v)
+	p.Put(v, err2 != nil && (isBroken == nil || isBroken(err2)))
+	return err2
+}
+
+// Close destroys idle connections and marks the pool closed: blocked
+// borrowers fail with ErrClosed, and borrowed connections are destroyed
+// as they are returned. Safe to call concurrently with Get/Put and more
+// than once.
+func (p *Pool[T]) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.opened -= len(idle)
+	p.mu.Unlock()
+	close(p.done)
+	for _, v := range idle {
+		p.doDestroy(v)
+	}
+}
+
+// Stats is a point-in-time snapshot of a pool's gauges and counters.
+// Counter fields are cumulative; Sub turns two snapshots into a window.
+type Stats struct {
+	Name     string `json:"name,omitempty"`
+	Capacity int    `json:"capacity"`
+	// InUse / Idle are gauges at snapshot time.
+	InUse int `json:"in_use"`
+	Idle  int `json:"idle"`
+	// Dials counts connections opened; Gets counts borrows; Waits counts
+	// borrows that blocked on an exhausted pool; WaitNanos is the
+	// cumulative time those borrowers spent blocked — the saturation
+	// signal; Discards counts broken connections destroyed; Retries
+	// counts stale-connection retries.
+	Dials     int64 `json:"dials"`
+	Gets      int64 `json:"gets"`
+	Waits     int64 `json:"waits"`
+	WaitNanos int64 `json:"wait_nanos"`
+	Discards  int64 `json:"discards"`
+	Retries   int64 `json:"retries"`
+	// Borrow latency from the reservoir, milliseconds.
+	BorrowMeanMillis float64 `json:"borrow_mean_ms"`
+	BorrowP95Millis  float64 `json:"borrow_p95_ms"`
+	BorrowMaxMillis  float64 `json:"borrow_max_ms"`
+}
+
+// Stats snapshots the pool.
+func (p *Pool[T]) Stats() Stats {
+	p.mu.Lock()
+	idle, opened := len(p.idle), p.opened
+	p.mu.Unlock()
+	return Stats{
+		Name:             p.name,
+		Capacity:         p.limit,
+		InUse:            opened - idle,
+		Idle:             idle,
+		Dials:            p.dials.Load(),
+		Gets:             p.gets.Load(),
+		Waits:            p.waits.Load(),
+		WaitNanos:        p.waitNanos.Load(),
+		Discards:         p.discards.Load(),
+		Retries:          p.retries.Load(),
+		BorrowMeanMillis: p.borrow.Mean() * 1000,
+		BorrowP95Millis:  p.borrow.Percentile(95) * 1000,
+		BorrowMaxMillis:  p.borrow.Max() * 1000,
+	}
+}
+
+// Utilization returns InUse/Capacity in [0,1].
+func (s Stats) Utilization() float64 {
+	if s.Capacity == 0 {
+		return 0
+	}
+	return float64(s.InUse) / float64(s.Capacity)
+}
+
+// Sub returns the counter deltas s−prev, keeping s's gauges and latency
+// figures (which are cumulative-sample estimates, not differentiable).
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.Dials -= prev.Dials
+	d.Gets -= prev.Gets
+	d.Waits -= prev.Waits
+	d.WaitNanos -= prev.WaitNanos
+	d.Discards -= prev.Discards
+	d.Retries -= prev.Retries
+	return d
+}

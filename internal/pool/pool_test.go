@@ -1,0 +1,351 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeConn stands in for a transport connection.
+type fakeConn struct {
+	id     int
+	closed atomic.Bool
+}
+
+// harness builds a pool of fakeConns, tracking dials and destroys.
+type harness struct {
+	dials    atomic.Int64
+	destroys atomic.Int64
+	dialErr  atomic.Bool
+}
+
+func (h *harness) pool(size int) *Pool[*fakeConn] {
+	return New(Config[*fakeConn]{
+		Name: "test",
+		Dial: func() (*fakeConn, error) {
+			if h.dialErr.Load() {
+				return nil, errors.New("dial refused")
+			}
+			return &fakeConn{id: int(h.dials.Add(1))}, nil
+		},
+		Destroy: func(c *fakeConn) {
+			c.closed.Store(true)
+			h.destroys.Add(1)
+		},
+		Size: size,
+	})
+}
+
+func TestGetPutReuses(t *testing.T) {
+	h := &harness{}
+	p := h.pool(4)
+	defer p.Close()
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c, false)
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Fatalf("expected pooled conn back, got %v", c2)
+	}
+	p.Put(c2, false)
+	if n := h.dials.Load(); n != 1 {
+		t.Fatalf("dials = %d, want 1", n)
+	}
+	s := p.Stats()
+	if s.Gets != 2 || s.Dials != 1 || s.Idle != 1 || s.InUse != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFIFOBorrowOrder(t *testing.T) {
+	h := &harness{}
+	p := h.pool(3)
+	defer p.Close()
+	a, _ := p.Get()
+	b, _ := p.Get()
+	c, _ := p.Get()
+	p.Put(a, false)
+	p.Put(b, false)
+	p.Put(c, false)
+	for _, want := range []*fakeConn{a, b, c} {
+		got, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("borrow order: got conn %d, want %d", got.id, want.id)
+		}
+	}
+}
+
+func TestExhaustionBlocksAndUnblocks(t *testing.T) {
+	h := &harness{}
+	p := h.pool(2)
+	defer p.Close()
+	a, _ := p.Get()
+	b, _ := p.Get()
+
+	acquired := make(chan *fakeConn)
+	go func() {
+		c, err := p.Get() // must block until a Put
+		if err != nil {
+			t.Errorf("blocked get: %v", err)
+		}
+		acquired <- c
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("third Get should have blocked on a size-2 pool")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Put(a, false)
+	select {
+	case c := <-acquired:
+		if c != a {
+			t.Fatalf("unblocked with conn %d, want returned conn %d", c.id, a.id)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get did not unblock after Put")
+	}
+	p.Put(b, false)
+	s := p.Stats()
+	if s.Waits != 1 || s.WaitNanos <= 0 {
+		t.Fatalf("stats should record the blocked borrow: %+v", s)
+	}
+}
+
+// TestBrokenDiscardReclaimsCapacity also covers the starvation case the
+// pre-refactor pools had: a borrower queued on an exhausted pool must wake
+// when a broken return reclaims capacity, and dial a replacement.
+func TestBrokenDiscardReclaimsCapacity(t *testing.T) {
+	h := &harness{}
+	p := h.pool(1)
+	defer p.Close()
+	a, _ := p.Get()
+
+	acquired := make(chan *fakeConn)
+	go func() {
+		c, err := p.Get()
+		if err != nil {
+			t.Errorf("blocked get: %v", err)
+		}
+		acquired <- c
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Put(a, true) // broken: destroyed, capacity reclaimed
+	select {
+	case c := <-acquired:
+		if c == a {
+			t.Fatal("borrower got the discarded conn back")
+		}
+		if !a.closed.Load() {
+			t.Fatal("broken conn was not destroyed")
+		}
+		p.Put(c, false)
+	case <-time.After(time.Second):
+		t.Fatal("discard did not unblock the queued borrower")
+	}
+	s := p.Stats()
+	if s.Discards != 1 || s.Dials != 2 {
+		t.Fatalf("stats = %+v, want 1 discard and 2 dials", s)
+	}
+}
+
+func TestDialErrorFreesCapacity(t *testing.T) {
+	h := &harness{}
+	p := h.pool(1)
+	defer p.Close()
+	h.dialErr.Store(true)
+	if _, err := p.Get(); err == nil {
+		t.Fatal("expected dial error")
+	}
+	h.dialErr.Store(false)
+	done := make(chan error, 1)
+	go func() {
+		c, err := p.Get()
+		if err == nil {
+			p.Put(c, false)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("get after failed dial: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("failed dial leaked its capacity permit")
+	}
+}
+
+func TestCloseWhileBorrowed(t *testing.T) {
+	h := &harness{}
+	p := h.pool(2)
+	a, _ := p.Get()
+	b, _ := p.Get()
+	p.Put(b, false) // idle at close time
+	p.Close()
+	if !b.closed.Load() {
+		t.Fatal("idle conn not destroyed at Close")
+	}
+	if a.closed.Load() {
+		t.Fatal("borrowed conn destroyed while still out")
+	}
+	p.Put(a, false)
+	if !a.closed.Load() {
+		t.Fatal("conn returned after Close not destroyed")
+	}
+	if _, err := p.Get(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+	if n := h.destroys.Load(); n != 2 {
+		t.Fatalf("destroys = %d, want 2", n)
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	h := &harness{}
+	p := h.pool(1)
+	c, _ := p.Get()
+	errc := make(chan error)
+	go func() {
+		_, err := p.Get()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	p.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("waiter got %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not release the blocked borrower")
+	}
+	p.Put(c, false)
+}
+
+// TestClosePutRace is the regression test for the pre-refactor wire.Pool
+// bug: Put's channel send could race Close's close(chan) and panic. Run
+// with -race.
+func TestClosePutRace(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		h := &harness{}
+		p := h.pool(4)
+		var conns []*fakeConn
+		for j := 0; j < 4; j++ {
+			c, err := p.Get()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns = append(conns, c)
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(conns) + 1)
+		for _, c := range conns {
+			c := c
+			go func() {
+				defer wg.Done()
+				p.Put(c, false)
+			}()
+		}
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+		wg.Wait()
+		// Every conn must end destroyed: either drained by Close or
+		// destroyed by a post-close Put.
+		for _, c := range conns {
+			if !c.closed.Load() {
+				t.Fatalf("iteration %d: conn %d leaked", i, c.id)
+			}
+		}
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	h := &harness{}
+	p := h.pool(8)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var ops atomic.Int64
+	for g := 0; g < 32; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, err := p.Get()
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				ops.Add(1)
+				p.Put(c, (g+i)%17 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if ops.Load() != 32*50 {
+		t.Fatalf("ops = %d", ops.Load())
+	}
+	s := p.Stats()
+	if s.Gets != 32*50 {
+		t.Fatalf("gets = %d, want %d", s.Gets, 32*50)
+	}
+	if s.InUse != 0 {
+		t.Fatalf("in_use = %d after all puts", s.InUse)
+	}
+	if s.Dials-s.Discards != int64(s.Idle) {
+		t.Fatalf("conn accounting: dials=%d discards=%d idle=%d", s.Dials, s.Discards, s.Idle)
+	}
+}
+
+func TestDoRetriesOnceOnBrokenConn(t *testing.T) {
+	h := &harness{}
+	p := h.pool(2)
+	defer p.Close()
+	attempts := 0
+	err := p.Do(true, nil, func(c *fakeConn) error {
+		attempts++
+		if attempts == 1 {
+			return errors.New("stale conn")
+		}
+		return nil
+	})
+	if err != nil || attempts != 2 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+	s := p.Stats()
+	if s.Retries != 1 || s.Discards != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDoKeepsConnOnApplicationError(t *testing.T) {
+	h := &harness{}
+	p := h.pool(2)
+	defer p.Close()
+	appErr := errors.New("application error")
+	attempts := 0
+	err := p.Do(true, func(err error) bool { return !errors.Is(err, appErr) },
+		func(c *fakeConn) error {
+			attempts++
+			return appErr
+		})
+	if !errors.Is(err, appErr) || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d, want application error without retry", err, attempts)
+	}
+	s := p.Stats()
+	if s.Discards != 0 || s.Idle != 1 {
+		t.Fatalf("application error should keep the conn pooled: %+v", s)
+	}
+}

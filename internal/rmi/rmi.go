@@ -21,6 +21,8 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+
+	"repro/internal/pool"
 )
 
 const (
@@ -243,16 +245,10 @@ func IsFault(err error) bool {
 	return errors.As(err, &f)
 }
 
-// Client calls a remote Server over a pool of persistent connections. It is
-// safe for concurrent use.
+// Client calls a remote Server over a pool of persistent connections
+// (internal/pool). It is safe for concurrent use.
 type Client struct {
-	addr string
-	pool chan *clientConn
-
-	mu     sync.Mutex
-	opened int
-	limit  int
-	closed bool
+	pool *pool.Pool[*clientConn]
 }
 
 type clientConn struct {
@@ -266,33 +262,34 @@ func NewClient(addr string, size int) *Client {
 	if size <= 0 {
 		size = 8
 	}
-	return &Client{addr: addr, pool: make(chan *clientConn, size), limit: size}
+	return &Client{pool: pool.New(pool.Config[*clientConn]{
+		Name: "rmi@" + addr,
+		Dial: func() (*clientConn, error) {
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, fmt.Errorf("rmi: dial %s: %w", addr, err)
+			}
+			return &clientConn{nc: nc,
+				br: bufio.NewReaderSize(nc, 32<<10),
+				bw: bufio.NewWriterSize(nc, 32<<10)}, nil
+		},
+		Destroy: func(cc *clientConn) { cc.nc.Close() },
+		Size:    size,
+	})}
 }
 
 // Call invokes "Svc.Method" with args, decoding the result into reply
-// (a pointer).
+// (a pointer). A remote Fault keeps the connection pooled; a transport
+// error discards it and retries once on a fresh connection.
 func (c *Client) Call(methodName string, args, reply any) error {
-	cc, err := c.get()
-	if err != nil {
-		return err
-	}
-	err = c.roundTrip(cc, methodName, args, reply)
-	if err != nil && !IsFault(err) {
-		cc.nc.Close()
-		c.drop()
-		if cc, err2 := c.get(); err2 == nil {
-			if err = c.roundTrip(cc, methodName, args, reply); err == nil || IsFault(err) {
-				c.put(cc)
-				return err
-			}
-			cc.nc.Close()
-			c.drop()
-		}
-		return err
-	}
-	c.put(cc)
-	return err
+	return c.pool.Do(true, func(err error) bool { return !IsFault(err) },
+		func(cc *clientConn) error {
+			return c.roundTrip(cc, methodName, args, reply)
+		})
 }
+
+// Stats snapshots the client pool's saturation counters.
+func (c *Client) Stats() pool.Stats { return c.pool.Stats() }
 
 func (c *Client) roundTrip(cc *clientConn, methodName string, args, reply any) error {
 	var buf bytes.Buffer
@@ -324,73 +321,8 @@ func (c *Client) roundTrip(cc *clientConn, methodName string, args, reply any) e
 	}
 }
 
-func (c *Client) get() (*clientConn, error) {
-	select {
-	case cc := <-c.pool:
-		return cc, nil
-	default:
-	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errors.New("rmi: client closed")
-	}
-	if c.opened < c.limit {
-		c.opened++
-		c.mu.Unlock()
-		nc, err := net.Dial("tcp", c.addr)
-		if err != nil {
-			c.drop()
-			return nil, fmt.Errorf("rmi: dial %s: %w", c.addr, err)
-		}
-		return &clientConn{nc: nc,
-			br: bufio.NewReaderSize(nc, 32<<10),
-			bw: bufio.NewWriterSize(nc, 32<<10)}, nil
-	}
-	c.mu.Unlock()
-	cc, ok := <-c.pool
-	if !ok {
-		return nil, errors.New("rmi: client closed")
-	}
-	return cc, nil
-}
-
-func (c *Client) put(cc *clientConn) {
-	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
-		cc.nc.Close()
-		return
-	}
-	select {
-	case c.pool <- cc:
-	default:
-		cc.nc.Close()
-		c.drop()
-	}
-}
-
-func (c *Client) drop() {
-	c.mu.Lock()
-	c.opened--
-	c.mu.Unlock()
-}
-
 // Close closes pooled connections.
-func (c *Client) Close() {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return
-	}
-	c.closed = true
-	c.mu.Unlock()
-	close(c.pool)
-	for cc := range c.pool {
-		cc.nc.Close()
-	}
-}
+func (c *Client) Close() { c.pool.Close() }
 
 // MethodName builds "Svc.Method" with validation, for callers constructing
 // names dynamically.

@@ -31,5 +31,8 @@ func (m *Module) ServeHTTP(req *httpd.Request) (*httpd.Response, error) {
 	return m.container.Handler().ServeHTTP(req)
 }
 
+// Container exposes the mounted container (telemetry reads its stats).
+func (m *Module) Container() *servlet.Container { return m.container }
+
 // Close shuts the container down.
 func (m *Module) Close() error { return m.container.Close() }

@@ -17,9 +17,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ajp"
 	"repro/internal/httpd"
+	"repro/internal/pool"
 	"repro/internal/sqldb/wire"
 )
 
@@ -99,6 +101,26 @@ type Container struct {
 	servlets []registered
 	started  bool
 	closed   bool
+
+	requests atomic.Int64
+}
+
+// Stats describes the container's load for the cross-tier telemetry:
+// requests dispatched to servlets, and the database pool's saturation
+// counters (nil when the container has no database).
+type Stats struct {
+	Requests int64       `json:"requests"`
+	DB       *pool.Stats `json:"db,omitempty"`
+}
+
+// Stats snapshots the container.
+func (c *Container) Stats() Stats {
+	s := Stats{Requests: c.requests.Load()}
+	if c.ctx.DB != nil {
+		ps := c.ctx.DB.Stats()
+		s.DB = &ps
+	}
+	return s
 }
 
 type registered struct {
@@ -136,6 +158,7 @@ func (c *Container) Register(pattern string, s Servlet) {
 	}
 	c.servlets = append(c.servlets, registered{pattern, s})
 	c.mux.Handle(pattern, httpd.HandlerFunc(func(req *httpd.Request) (*httpd.Response, error) {
+		c.requests.Add(1)
 		return s.Service(c.ctx, req)
 	}))
 }

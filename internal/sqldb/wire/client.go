@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sync"
 
+	"repro/internal/pool"
 	"repro/internal/sqldb"
 )
 
@@ -69,110 +69,54 @@ func IsServerError(err error) bool {
 }
 
 // Pool is a fixed-size connection pool: the engine-side throttle whose size
-// the paper's application servers configure. Borrowers block FIFO-ish until
-// a connection frees (Go channel semantics).
+// the paper's application servers configure. Borrowers block FIFO until a
+// connection frees. It is a typed wrapper over the shared instrumented
+// pool subsystem (internal/pool).
 type Pool struct {
-	addr  string
-	conns chan *Conn
-
-	mu     sync.Mutex
-	opened int
-	limit  int
-	closed bool
+	p *pool.Pool[*Conn]
 }
 
 // NewPool creates a pool of up to size connections to addr. Connections are
 // opened lazily.
 func NewPool(addr string, size int) *Pool {
-	if size <= 0 {
-		size = 1
-	}
-	return &Pool{addr: addr, conns: make(chan *Conn, size), limit: size}
+	return &Pool{p: pool.New(pool.Config[*Conn]{
+		Name:    "db@" + addr,
+		Dial:    func() (*Conn, error) { return Dial(addr) },
+		Destroy: func(c *Conn) { c.Close() },
+		Size:    size,
+	})}
 }
 
 // Get borrows a connection, dialing a new one if the pool has capacity.
 func (p *Pool) Get() (*Conn, error) {
-	select {
-	case c := <-p.conns:
-		return c, nil
-	default:
-	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	c, err := p.p.Get()
+	if errors.Is(err, pool.ErrClosed) {
 		return nil, errors.New("wire: pool closed")
 	}
-	if p.opened < p.limit {
-		p.opened++
-		p.mu.Unlock()
-		c, err := Dial(p.addr)
-		if err != nil {
-			p.mu.Lock()
-			p.opened--
-			p.mu.Unlock()
-			return nil, err
-		}
-		return c, nil
-	}
-	p.mu.Unlock()
-	c, ok := <-p.conns
-	if !ok {
-		return nil, errors.New("wire: pool closed")
-	}
-	return c, nil
+	return c, err
 }
 
 // Put returns a borrowed connection. Pass broken=true after a transport
 // error to discard it and free capacity for a fresh dial.
-func (p *Pool) Put(c *Conn, broken bool) {
-	if broken {
-		c.Close()
-		p.mu.Lock()
-		p.opened--
-		p.mu.Unlock()
-		return
-	}
-	p.mu.Lock()
-	closed := p.closed
-	p.mu.Unlock()
-	if closed {
-		c.Close()
-		return
-	}
-	select {
-	case p.conns <- c:
-	default:
-		// Shouldn't happen (puts never exceed gets), but never block.
-		c.Close()
-		p.mu.Lock()
-		p.opened--
-		p.mu.Unlock()
-	}
-}
+func (p *Pool) Put(c *Conn, broken bool) { p.p.Put(c, broken) }
 
-// Exec borrows a connection, runs the statement, and returns it.
+// Exec borrows a connection, runs the statement, and returns it. A
+// server-side error (IsServerError) keeps the connection; a transport
+// error discards it.
 func (p *Pool) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
-	c, err := p.Get()
-	if err != nil {
-		return nil, err
-	}
-	res, err := c.Exec(query, args...)
-	p.Put(c, err != nil && !IsServerError(err))
+	var res *sqldb.Result
+	err := p.p.Do(false, func(err error) bool { return !IsServerError(err) },
+		func(c *Conn) error {
+			var err error
+			res, err = c.Exec(query, args...)
+			return err
+		})
 	return res, err
 }
 
+// Stats snapshots the pool's saturation counters.
+func (p *Pool) Stats() pool.Stats { return p.p.Stats() }
+
 // Close closes idle connections and marks the pool closed. Borrowed
 // connections are closed as they are returned.
-func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return
-	}
-	p.closed = true
-	p.mu.Unlock()
-	close(p.conns)
-	for c := range p.conns {
-		c.Close()
-	}
-}
+func (p *Pool) Close() { p.p.Close() }

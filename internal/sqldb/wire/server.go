@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sqldb"
 )
@@ -24,7 +25,13 @@ type Server struct {
 	closed   bool
 	shutdown chan struct{}
 	wg       sync.WaitGroup
+
+	queries atomic.Int64
 }
+
+// QueryCount returns the number of statements served — the database
+// tier's work counter in the cross-tier telemetry.
+func (s *Server) QueryCount() int64 { return s.queries.Load() }
 
 // NewServer creates a server for db. logger may be nil to discard logs.
 func NewServer(db *sqldb.DB, logger *log.Logger) *Server {
@@ -110,6 +117,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		var out []byte
 		var outTyp byte
 		if err == nil {
+			s.queries.Add(1)
 			var res *sqldb.Result
 			res, err = sess.Exec(query, args...)
 			if err == nil {

@@ -1,0 +1,178 @@
+// Package telemetry defines the cross-tier saturation snapshot the stack
+// reports: each tier contributes its request/query counters and the
+// pool.Stats of its downstream transport pool, and the snapshot names the
+// bottleneck tier — the paper's headline observable (which tier saturates
+// under each middleware configuration, §5–§6).
+//
+// The package is a leaf so every layer can speak the same type:
+// core.Lab builds snapshots and serves them as JSON on /status,
+// workload.Report embeds a windowed delta, and cmd/loadgen decodes the
+// JSON from a remote server.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/pool"
+)
+
+// Tier is one tier's counters. The Pool is the tier's client-side pool to
+// the tier below it, so its wait time measures downstream saturation as
+// seen from this tier (e.g. the servlet tier's pool is its database
+// connection pool).
+type Tier struct {
+	Name     string `json:"name"`
+	Requests int64  `json:"requests,omitempty"`
+	Queries  int64  `json:"queries,omitempty"`
+	Loads    int64  `json:"loads,omitempty"`
+	Stores   int64  `json:"stores,omitempty"`
+	// Bytes is the tier's outbound payload volume (the web tier reports
+	// response-body bytes — the NIC-bandwidth observable of the paper's
+	// CPU figures).
+	Bytes int64       `json:"bytes,omitempty"`
+	Pool  *pool.Stats `json:"pool,omitempty"`
+	// Downstream names the tier Pool dials into. Pool wait time is
+	// evidence that *that* tier's connections are all busy, so
+	// Bottleneck charges the wait there, not to the pool's holder.
+	Downstream string `json:"downstream,omitempty"`
+}
+
+// Snapshot is the whole stack at one moment (or, after Delta, over one
+// measurement window).
+type Snapshot struct {
+	Arch      string `json:"arch,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	Tiers     []Tier `json:"tiers"`
+}
+
+// Tier returns the named tier, or nil.
+func (s *Snapshot) Tier(name string) *Tier {
+	for i := range s.Tiers {
+		if s.Tiers[i].Name == name {
+			return &s.Tiers[i]
+		}
+	}
+	return nil
+}
+
+// Delta returns the per-tier counter differences s−prev (for counters
+// accumulated since boot), keeping s's gauges. Tiers missing from prev
+// pass through unchanged.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	out := &Snapshot{Arch: s.Arch, Benchmark: s.Benchmark}
+	for _, t := range s.Tiers {
+		if prev != nil {
+			if pt := prev.Tier(t.Name); pt != nil {
+				t.Requests -= pt.Requests
+				t.Queries -= pt.Queries
+				t.Loads -= pt.Loads
+				t.Stores -= pt.Stores
+				t.Bytes -= pt.Bytes
+				if t.Pool != nil && pt.Pool != nil {
+					d := t.Pool.Sub(*pt.Pool)
+					t.Pool = &d
+				}
+			}
+		}
+		out.Tiers = append(out.Tiers, t)
+	}
+	return out
+}
+
+// Bottleneck names the most saturated tier: first by the cumulative time
+// borrowers spent blocked waiting for a connection *into* it (a pool's
+// wait time is charged to its Downstream tier — all of that tier's
+// connections being busy is what made borrowers queue), then by the
+// utilization of pools dialing into it, then by its own work count
+// (requests+queries) as the proxy when nothing ever queued.
+func (s *Snapshot) Bottleneck() string {
+	if len(s.Tiers) == 0 {
+		return ""
+	}
+	scores := make(map[string]*[3]float64, len(s.Tiers))
+	for _, t := range s.Tiers {
+		scores[t.Name] = &[3]float64{2: float64(t.Requests + t.Queries)}
+	}
+	for _, t := range s.Tiers {
+		if t.Pool == nil {
+			continue
+		}
+		target := t.Downstream
+		if _, ok := scores[target]; !ok {
+			target = t.Name // unnamed or unknown downstream: charge the holder
+		}
+		sc := scores[target]
+		sc[0] += float64(t.Pool.WaitNanos)
+		if u := t.Pool.Utilization(); u > sc[1] {
+			sc[1] = u
+		}
+	}
+	best, bestScore := s.Tiers[0].Name, *scores[s.Tiers[0].Name]
+	for _, t := range s.Tiers[1:] {
+		if sc := *scores[t.Name]; scoreLess(bestScore, sc) {
+			best, bestScore = t.Name, sc
+		}
+	}
+	return best
+}
+
+func scoreLess(a, b [3]float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// JSON marshals the snapshot (the /status payload).
+func (s *Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Snapshot contains only plain data; marshal cannot fail.
+		panic("telemetry: marshal: " + err.Error())
+	}
+	return b
+}
+
+// Parse decodes a /status payload.
+func Parse(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("telemetry: parse: %w", err)
+	}
+	return &s, nil
+}
+
+// Format renders the per-tier saturation table for reports, one line per
+// tier, marking the bottleneck.
+func (s *Snapshot) Format() string {
+	var b strings.Builder
+	bottleneck := s.Bottleneck()
+	fmt.Fprintf(&b, "%-10s %9s %9s %8s %12s %8s %10s %9s\n",
+		"tier", "requests", "queries", "MB out", "pool", "waits", "waittime", "borrow p95")
+	for _, t := range s.Tiers {
+		mark := " "
+		if t.Name == bottleneck {
+			mark = "*"
+		}
+		mb := "-"
+		if t.Bytes > 0 {
+			mb = fmt.Sprintf("%.1f", float64(t.Bytes)/(1<<20))
+		}
+		poolCol, waits, waitTime, p95 := "-", "-", "-", "-"
+		if t.Pool != nil {
+			poolCol = fmt.Sprintf("%d/%d busy", t.Pool.InUse, t.Pool.Capacity)
+			waits = fmt.Sprintf("%d", t.Pool.Waits)
+			waitTime = time.Duration(t.Pool.WaitNanos).Round(time.Microsecond).String()
+			p95 = fmt.Sprintf("%.2fms", t.Pool.BorrowP95Millis)
+		}
+		fmt.Fprintf(&b, "%s%-9s %9d %9d %8s %12s %8s %10s %9s\n",
+			mark, t.Name, t.Requests, t.Queries, mb, poolCol, waits, waitTime, p95)
+	}
+	fmt.Fprintf(&b, "bottleneck: %s\n", bottleneck)
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+func snap() *Snapshot {
+	return &Snapshot{
+		Arch: "WsApSr-DB", Benchmark: "bookstore",
+		Tiers: []Tier{
+			{Name: "web", Requests: 100, Downstream: "servlet",
+				Pool: &pool.Stats{Name: "ajp", Capacity: 8, Gets: 40}},
+			{Name: "servlet", Requests: 40, Downstream: "db",
+				Pool: &pool.Stats{Name: "db", Capacity: 8, Gets: 90, Waits: 12, WaitNanos: 5e6}},
+			{Name: "db", Queries: 90},
+		},
+	}
+}
+
+func TestDeltaSubtractsCounters(t *testing.T) {
+	before := snap()
+	after := snap()
+	after.Tiers[0].Requests = 250
+	after.Tiers[2].Queries = 300
+	after.Tiers[1].Pool.WaitNanos = 9e6
+
+	d := after.Delta(before)
+	if got := d.Tier("web").Requests; got != 150 {
+		t.Fatalf("web delta = %d, want 150", got)
+	}
+	if got := d.Tier("db").Queries; got != 210 {
+		t.Fatalf("db delta = %d, want 210", got)
+	}
+	if got := d.Tier("servlet").Pool.WaitNanos; got != 4e6 {
+		t.Fatalf("pool wait delta = %d, want 4e6", got)
+	}
+	// Original snapshots are untouched.
+	if after.Tier("web").Requests != 250 || before.Tier("web").Requests != 100 {
+		t.Fatal("Delta mutated its inputs")
+	}
+}
+
+func TestBottleneckChargesWaitDownstream(t *testing.T) {
+	s := snap()
+	// The servlet tier's db-client pool recorded wait time: the database
+	// is what saturated, not the servlet holding the pool.
+	if got := s.Bottleneck(); got != "db" {
+		t.Fatalf("bottleneck = %q, want db (servlet's db pool queued)", got)
+	}
+	// Waits on the web tier's AJP pool instead indict the servlet tier.
+	s.Tiers[1].Pool.WaitNanos = 0
+	s.Tiers[0].Pool.WaitNanos = 3e6
+	if got := s.Bottleneck(); got != "servlet" {
+		t.Fatalf("bottleneck = %q, want servlet (web's AJP pool queued)", got)
+	}
+	// With no pool ever waiting anywhere, fall back to work volume.
+	s.Tiers[0].Pool.WaitNanos = 0
+	if got := s.Bottleneck(); got != "web" {
+		t.Fatalf("bottleneck = %q, want web (most requests)", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := snap()
+	back, err := Parse(s.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Arch != s.Arch || len(back.Tiers) != 3 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if back.Tier("servlet").Pool.WaitNanos != 5e6 {
+		t.Fatalf("pool stats lost: %+v", back.Tier("servlet").Pool)
+	}
+}
+
+func TestFormatMarksBottleneck(t *testing.T) {
+	out := snap().Format()
+	if !strings.Contains(out, "bottleneck: db") {
+		t.Fatalf("missing bottleneck line:\n%s", out)
+	}
+	if !strings.Contains(out, "*db") {
+		t.Fatalf("bottleneck tier not marked:\n%s", out)
+	}
+}

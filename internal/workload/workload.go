@@ -18,6 +18,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/httpd/httpclient"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Request is one interaction's HTTP request.
@@ -59,6 +60,11 @@ type Config struct {
 	FetchImages bool
 	// Timeout bounds one HTTP round trip.
 	Timeout time.Duration
+	// OnMeasureStart / OnMeasureEnd run as the measurement window opens
+	// and closes — core.Lab.Run uses them to snapshot server telemetry
+	// over exactly the measured interval, excluding ramp phases.
+	OnMeasureStart func()
+	OnMeasureEnd   func()
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +100,28 @@ type Report struct {
 	Latency         *stats.Reservoir
 	ByInteraction   map[string]int64
 	MeasureDuration time.Duration
+	// Tiers is the server stack's per-tier saturation over the run —
+	// which tier bottlenecked, the paper's headline observable. It is
+	// filled by callers with server-side access (core.Lab.Run) or from a
+	// /status fetch (cmd/loadgen); nil when unavailable.
+	Tiers *telemetry.Snapshot
+}
+
+// Bottleneck names the saturated tier, or "" when no telemetry attached.
+func (r *Report) Bottleneck() string {
+	if r.Tiers == nil {
+		return ""
+	}
+	return r.Tiers.Bottleneck()
+}
+
+// FormatTiers renders the per-tier saturation section, or "" when no
+// telemetry attached.
+func (r *Report) FormatTiers() string {
+	if r.Tiers == nil {
+		return ""
+	}
+	return r.Tiers.Format()
 }
 
 // Run drives the profile against the web server at addr ("host:port").
@@ -134,11 +162,17 @@ func Run(addr string, p *Profile, cfg Config) (*Report, error) {
 	}
 
 	sleepInterruptible(cfg.RampUp, stop)
+	if cfg.OnMeasureStart != nil {
+		cfg.OnMeasureStart()
+	}
 	inWindow.Store(true)
 	start := time.Now()
 	sleepInterruptible(cfg.Measure, stop)
 	inWindow.Store(false)
 	measured := time.Since(start)
+	if cfg.OnMeasureEnd != nil {
+		cfg.OnMeasureEnd()
+	}
 	sleepInterruptible(cfg.RampDown, stop)
 	close(stop)
 	wg.Wait()
