@@ -1,0 +1,32 @@
+# Paper-reproduction build targets. `make bench-json` records the perf
+# trajectory: it runs the paper-figure and wire-protocol benchmarks and
+# writes BENCH_<n>.json (see cmd/benchjson).
+
+GO ?= go
+
+.PHONY: build test race vet bench bench-json bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark run (paper figures + ablations), human-readable.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Machine-readable snapshot of the headline benchmarks -> BENCH_<n>.json.
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+# One-iteration smoke run: fails fast when a protocol change breaks a
+# benchmark, without measuring anything (CI runs this).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

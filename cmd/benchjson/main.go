@@ -1,0 +1,185 @@
+// Command benchjson runs the repository's benchmarks and records the
+// results as machine-readable JSON, so the performance trajectory across
+// PRs is preserved next to the code. Each invocation writes BENCH_<n>.json
+// (n = one past the highest existing file) with ns/op and every custom
+// metric (ipm, stmts/interaction, µs/char, ...) per benchmark.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                 # paper-figure + protocol benches
+//	go run ./cmd/benchjson -bench 'Fig0[56]' -benchtime 2s
+//	go run ./cmd/benchjson -out BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench covers the in-text figure benchmarks plus the wire
+// protocol's prepared-vs-text microbenchmarks — the hot-path numbers the
+// perf PRs track.
+const defaultBench = "BenchmarkIPCPerCharCost|BenchmarkEJBQueryTraffic|" +
+	"BenchmarkRealStackWorkload|BenchmarkExecText|BenchmarkExecPrepared|" +
+	"BenchmarkPoolExecPrepared"
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<n>.json document.
+type File struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Packages  []string `json:"packages"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", defaultBench, "go test -bench regex")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime")
+		out       = flag.String("out", "", "output path (default: next BENCH_<n>.json)")
+		count     = flag.Int("count", 1, "go test -count")
+	)
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{".", "./internal/sqldb/wire"}
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("benchjson: go %s: %v", strings.Join(args, " "), err)
+	}
+	results := parse(raw)
+	if len(results) == 0 {
+		log.Fatalf("benchjson: no benchmark lines in output:\n%s", raw)
+	}
+
+	path := *out
+	if path == "" {
+		path = nextPath()
+	}
+	doc := File{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Bench:     *bench,
+		BenchTime: *benchtime,
+		Packages:  pkgs,
+		Results:   results,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(results))
+	for _, r := range results {
+		fmt.Printf("  %-55s %12.0f ns/op", r.Name, r.NsPerOp)
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %g %s", r.Metrics[k], k)
+		}
+		fmt.Println()
+	}
+}
+
+// parse extracts benchmark result lines from go test output.
+func parse(raw []byte) []Result {
+	var out []Result
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: trimProcSuffix(f[0]), Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			unit := f[i+1]
+			if unit == "ns/op" {
+				r.NsPerOp = v
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// trimProcSuffix drops the -8 GOMAXPROCS suffix so names are stable across
+// machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextPath returns BENCH_<n>.json for the smallest unused n.
+func nextPath() string {
+	entries, _ := os.ReadDir(".")
+	next := 0
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return fmt.Sprintf("BENCH_%d.json", next)
+}

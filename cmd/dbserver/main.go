@@ -19,12 +19,6 @@ import (
 	"repro/internal/sqldb/wire"
 )
 
-type sessExecer struct{ s *sqldb.Session }
-
-func (e sessExecer) Exec(q string, args ...sqldb.Value) (*sqldb.Result, error) {
-	return e.s.Exec(q, args...)
-}
-
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7306", "listen address")
@@ -46,12 +40,12 @@ func main() {
 		case "paper":
 			sc = bookstore.PaperScale()
 		}
-		if err := bookstore.CreateSchema(sessExecer{sess}); err != nil {
+		if err := bookstore.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
 			logger.Fatal(err)
 		}
 		logger.Printf("populating bookstore at %s scale (%d items, %d customers)...",
 			*scale, sc.Items, sc.Customers)
-		if err := bookstore.Populate(sessExecer{sess}, sc, *seed); err != nil {
+		if err := bookstore.Populate(sqldb.SessionExecer{S: sess}, sc, *seed); err != nil {
 			logger.Fatal(err)
 		}
 	case "auction":
@@ -62,12 +56,12 @@ func main() {
 		case "paper":
 			sc = auction.PaperScale()
 		}
-		if err := auction.CreateSchema(sessExecer{sess}); err != nil {
+		if err := auction.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
 			logger.Fatal(err)
 		}
 		logger.Printf("populating auction at %s scale (%d items, %d users)...",
 			*scale, sc.Items, sc.Users)
-		if err := auction.Populate(sessExecer{sess}, sc, *seed); err != nil {
+		if err := auction.Populate(sqldb.SessionExecer{S: sess}, sc, *seed); err != nil {
 			logger.Fatal(err)
 		}
 	default:

@@ -12,20 +12,14 @@ import (
 	"repro/internal/sqldb/wire"
 )
 
-type sessExecer struct{ s *sqldb.Session }
-
-func (e sessExecer) Exec(q string, args ...sqldb.Value) (*sqldb.Result, error) {
-	return e.s.Exec(q, args...)
-}
-
 func startDB(t testing.TB) string {
 	t.Helper()
 	db := sqldb.New()
 	sess := db.NewSession()
-	if err := CreateSchema(sessExecer{sess}); err != nil {
+	if err := CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
 		t.Fatal(err)
 	}
-	if err := Populate(sessExecer{sess}, TinyScale(), 42); err != nil {
+	if err := Populate(sqldb.SessionExecer{S: sess}, TinyScale(), 42); err != nil {
 		t.Fatal(err)
 	}
 	sess.Close()
@@ -249,10 +243,10 @@ func TestPopulateDeterministic(t *testing.T) {
 		db := sqldb.New()
 		s := db.NewSession()
 		defer s.Close()
-		if err := CreateSchema(sessExecer{s}); err != nil {
+		if err := CreateSchema(sqldb.SessionExecer{S: s}); err != nil {
 			t.Fatal(err)
 		}
-		if err := Populate(sessExecer{s}, TinyScale(), 9); err != nil {
+		if err := Populate(sqldb.SessionExecer{S: s}, TinyScale(), 9); err != nil {
 			t.Fatal(err)
 		}
 		tb, _ := db.Table("bids")
@@ -269,10 +263,10 @@ func TestDenormalizedCountersConsistent(t *testing.T) {
 	db := sqldb.New()
 	s := db.NewSession()
 	defer s.Close()
-	if err := CreateSchema(sessExecer{s}); err != nil {
+	if err := CreateSchema(sqldb.SessionExecer{S: s}); err != nil {
 		t.Fatal(err)
 	}
-	if err := Populate(sessExecer{s}, TinyScale(), 11); err != nil {
+	if err := Populate(sqldb.SessionExecer{S: s}, TinyScale(), 11); err != nil {
 		t.Fatal(err)
 	}
 	res, err := s.Exec("SELECT id, nb_bids FROM items")

@@ -124,12 +124,17 @@ func SchemaSQL() []string {
 	}
 }
 
-// Execer abstracts pooled and in-process statement execution.
+// Execer abstracts pooled and in-process statement execution. Exec ships
+// SQL text; ExecCached is the prepared-statement fast path for statements
+// repeated on every request (identical for in-process sessions, where the
+// database's plan cache already deduplicates the parse).
 type Execer interface {
 	Exec(query string, args ...sqldb.Value) (*sqldb.Result, error)
+	ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, error)
 }
 
 var _ Execer = (*wire.Pool)(nil)
+var _ Execer = (*wire.Conn)(nil)
 
 // CreateSchema applies the DDL.
 func CreateSchema(db Execer) error {

@@ -94,12 +94,12 @@ func (a *App) withLocks(ctx *servlet.Context, set []servlet.TableLock, fn func(e
 	}
 	broken := false
 	defer func() { ctx.DB.Put(conn, broken) }()
-	if _, err := conn.Exec(lockTablesSQL(set)); err != nil {
+	if _, err := conn.ExecCached(lockTablesSQL(set)); err != nil {
 		broken = true
 		return err
 	}
 	ferr := fn(conn)
-	if _, err := conn.Exec("UNLOCK TABLES"); err != nil {
+	if _, err := conn.ExecCached("UNLOCK TABLES"); err != nil {
 		broken = true
 		if ferr == nil {
 			ferr = err
@@ -225,7 +225,7 @@ func (a *App) home(ctx *servlet.Context, req *httpd.Request) (*httpd.Response, e
 	cid := intParam(req, "c_id", 0)
 	var greeting string
 	if cid > 0 {
-		res, err := ctx.DB.Exec("SELECT fname, lname FROM customers WHERE id = ?", sqldb.Int(cid))
+		res, err := ctx.DB.ExecCached("SELECT fname, lname FROM customers WHERE id = ?", sqldb.Int(cid))
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +234,7 @@ func (a *App) home(ctx *servlet.Context, req *httpd.Request) (*httpd.Response, e
 		}
 	}
 	subject := Subjects[int(cid)%len(Subjects)]
-	res, err := ctx.DB.Exec(
+	res, err := ctx.DB.ExecCached(
 		`SELECT i.id, i.title, a.lname, i.cost FROM items i
 		 JOIN authors a ON a.id = i.author_id
 		 WHERE i.subject = ? ORDER BY i.total_sold DESC LIMIT 5`,
@@ -260,7 +260,7 @@ func (a *App) newProducts(ctx *servlet.Context, req *httpd.Request) (*httpd.Resp
 	if subject == "" {
 		subject = Subjects[0]
 	}
-	res, err := ctx.DB.Exec(
+	res, err := ctx.DB.ExecCached(
 		`SELECT i.id, i.title, a.lname, i.cost FROM items i
 		 JOIN authors a ON a.id = i.author_id
 		 WHERE i.subject = ? ORDER BY i.pub_date DESC LIMIT 50`,
@@ -283,7 +283,7 @@ func (a *App) bestSellers(ctx *servlet.Context, req *httpd.Request) (*httpd.Resp
 	if subject == "" {
 		subject = Subjects[0]
 	}
-	res, err := ctx.DB.Exec(
+	res, err := ctx.DB.ExecCached(
 		`SELECT i.id, i.title, a.lname, i.cost FROM items i
 		 JOIN authors a ON a.id = i.author_id
 		 WHERE i.subject = ? ORDER BY i.total_sold DESC LIMIT 50`,
@@ -303,7 +303,7 @@ func (a *App) productDetail(ctx *servlet.Context, req *httpd.Request) (*httpd.Re
 		return nil, servlet.ErrNoDatabase
 	}
 	id := intParam(req, "i_id", 1)
-	res, err := ctx.DB.Exec(
+	res, err := ctx.DB.ExecCached(
 		`SELECT i.id, i.title, a.lname, i.cost, i.subject, i.descr, i.pub_date, i.stock
 		 FROM items i JOIN authors a ON a.id = i.author_id WHERE i.id = ?`,
 		sqldb.Int(id))
@@ -346,19 +346,19 @@ func (a *App) searchResults(ctx *servlet.Context, req *httpd.Request) (*httpd.Re
 	var err error
 	switch typ {
 	case "title":
-		res, err = ctx.DB.Exec(
+		res, err = ctx.DB.ExecCached(
 			`SELECT i.id, i.title, a.lname, i.cost FROM items i
 			 JOIN authors a ON a.id = i.author_id
 			 WHERE i.title LIKE ? ORDER BY i.title LIMIT 50`,
 			sqldb.String("%"+term+"%"))
 	case "subject":
-		res, err = ctx.DB.Exec(
+		res, err = ctx.DB.ExecCached(
 			`SELECT i.id, i.title, a.lname, i.cost FROM items i
 			 JOIN authors a ON a.id = i.author_id
 			 WHERE i.subject = ? ORDER BY i.title LIMIT 50`,
 			sqldb.String(strings.ToUpper(term)))
 	default: // author
-		res, err = ctx.DB.Exec(
+		res, err = ctx.DB.ExecCached(
 			`SELECT i.id, i.title, a.lname, i.cost FROM items i
 			 JOIN authors a ON a.id = i.author_id
 			 WHERE a.lname LIKE ? ORDER BY i.title LIMIT 50`,
@@ -424,7 +424,7 @@ func (a *App) shoppingCart(ctx *servlet.Context, req *httpd.Request) (*httpd.Res
 			}
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			for _, id := range ids {
-				res, err := ex.Exec(
+				res, err := ex.ExecCached(
 					`SELECT i.id, i.title, a.lname, i.cost FROM items i
 					 JOIN authors a ON a.id = i.author_id WHERE i.id = ?`,
 					sqldb.Int(id))
@@ -467,13 +467,13 @@ func (a *App) register(ctx *servlet.Context, req *httpd.Request) (*httpd.Respons
 	err := a.withLocks(ctx,
 		[]servlet.TableLock{{Table: "customers", Write: true}, {Table: "address", Write: true}},
 		func(ex Execer) error {
-			res, err := ex.Exec(
+			res, err := ex.ExecCached(
 				"INSERT INTO address (street, city, country_id) VALUES (?, ?, ?)",
 				sqldb.String(f.Get("street")), sqldb.String(f.Get("city")), sqldb.Int(1))
 			if err != nil {
 				return err
 			}
-			res, err = ex.Exec(
+			res, err = ex.ExecCached(
 				`INSERT INTO customers (uname, passwd, fname, lname, addr_id, phone, email, discount)
 				 VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
 				sqldb.String(uname), sqldb.String(f.Get("passwd")),
@@ -501,7 +501,7 @@ func (a *App) buyRequest(ctx *servlet.Context, req *httpd.Request) (*httpd.Respo
 		return nil, servlet.ErrNoDatabase
 	}
 	cid := intParam(req, "c_id", 1)
-	res, err := ctx.DB.Exec(
+	res, err := ctx.DB.ExecCached(
 		`SELECT c.fname, c.lname, a.street, a.city FROM customers c
 		 JOIN address a ON a.id = c.addr_id WHERE c.id = ?`, sqldb.Int(cid))
 	if err != nil {
@@ -548,7 +548,7 @@ func (a *App) buyConfirm(ctx *servlet.Context, req *httpd.Request) (*httpd.Respo
 			{Table: "credit_info", Write: true},
 		},
 		func(ex Execer) error {
-			cres, err := ex.Exec("SELECT discount FROM customers WHERE id = ?", sqldb.Int(cid))
+			cres, err := ex.ExecCached("SELECT discount FROM customers WHERE id = ?", sqldb.Int(cid))
 			if err != nil {
 				return err
 			}
@@ -563,7 +563,7 @@ func (a *App) buyConfirm(ctx *servlet.Context, req *httpd.Request) (*httpd.Respo
 			}
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			for _, id := range ids {
-				ires, err := ex.Exec("SELECT cost FROM items WHERE id = ?", sqldb.Int(id))
+				ires, err := ex.ExecCached("SELECT cost FROM items WHERE id = ?", sqldb.Int(id))
 				if err != nil {
 					return err
 				}
@@ -575,7 +575,7 @@ func (a *App) buyConfirm(ctx *servlet.Context, req *httpd.Request) (*httpd.Respo
 				time.Sleep(a.cfg.PGEDelay)
 			}
 			total := subtotal * (1 - discount)
-			ores, err := ex.Exec(
+			ores, err := ex.ExecCached(
 				`INSERT INTO orders (customer_id, o_date, subtotal, total, status)
 				 VALUES (?, ?, ?, ?, ?)`,
 				sqldb.Int(cid), sqldb.Int(12000), sqldb.Float(subtotal),
@@ -586,18 +586,18 @@ func (a *App) buyConfirm(ctx *servlet.Context, req *httpd.Request) (*httpd.Respo
 			orderID = ores.LastInsertID
 			for _, id := range ids {
 				qty := ct.Lines[id]
-				if _, err := ex.Exec(
+				if _, err := ex.ExecCached(
 					"INSERT INTO order_line (order_id, item_id, qty, discount) VALUES (?, ?, ?, ?)",
 					sqldb.Int(orderID), sqldb.Int(id), sqldb.Int(qty), sqldb.Float(discount)); err != nil {
 					return err
 				}
-				if _, err := ex.Exec(
+				if _, err := ex.ExecCached(
 					"UPDATE items SET stock = stock - ?, total_sold = total_sold + ? WHERE id = ?",
 					sqldb.Int(qty), sqldb.Int(qty), sqldb.Int(id)); err != nil {
 					return err
 				}
 			}
-			_, err = ex.Exec(
+			_, err = ex.ExecCached(
 				`INSERT INTO credit_info (order_id, cc_type, cc_number, cc_expiry, auth_id)
 				 VALUES (?, ?, ?, ?, ?)`,
 				sqldb.Int(orderID), sqldb.String("VISA"),
@@ -622,7 +622,7 @@ func (a *App) orderInquiry(ctx *servlet.Context, req *httpd.Request) (*httpd.Res
 		return nil, servlet.ErrNoDatabase
 	}
 	cid := intParam(req, "c_id", 1)
-	res, err := ctx.DB.Exec("SELECT uname FROM customers WHERE id = ?", sqldb.Int(cid))
+	res, err := ctx.DB.ExecCached("SELECT uname FROM customers WHERE id = ?", sqldb.Int(cid))
 	if err != nil {
 		return nil, err
 	}
@@ -642,7 +642,7 @@ func (a *App) orderDisplay(ctx *servlet.Context, req *httpd.Request) (*httpd.Res
 		return nil, servlet.ErrNoDatabase
 	}
 	cid := intParam(req, "c_id", 1)
-	res, err := ctx.DB.Exec(
+	res, err := ctx.DB.ExecCached(
 		`SELECT id, o_date, total, status FROM orders
 		 WHERE customer_id = ? ORDER BY id DESC LIMIT 1`, sqldb.Int(cid))
 	if err != nil {
@@ -653,7 +653,7 @@ func (a *App) orderDisplay(ctx *servlet.Context, req *httpd.Request) (*httpd.Res
 		r := res.Rows[0]
 		ov = OrderView{OrderID: r[0].AsInt(), Date: r[1].AsInt(),
 			Total: r[2].AsFloat(), Status: r[3].AsString()}
-		lres, err := ctx.DB.Exec(
+		lres, err := ctx.DB.ExecCached(
 			`SELECT ol.item_id, i.title, ol.qty FROM order_line ol
 			 JOIN items i ON i.id = ol.item_id WHERE ol.order_id = ?`,
 			sqldb.Int(ov.OrderID))
@@ -691,14 +691,14 @@ func (a *App) adminConfirm(ctx *servlet.Context, req *httpd.Request) (*httpd.Res
 	cost := float64(intParam(req, "cost", 25))
 	err := a.withLocks(ctx, []servlet.TableLock{{Table: "items", Write: true}},
 		func(ex Execer) error {
-			res, err := ex.Exec("SELECT cost FROM items WHERE id = ?", sqldb.Int(id))
+			res, err := ex.ExecCached("SELECT cost FROM items WHERE id = ?", sqldb.Int(id))
 			if err != nil {
 				return err
 			}
 			if len(res.Rows) == 0 {
 				return nil
 			}
-			_, err = ex.Exec("UPDATE items SET cost = ?, pub_date = ? WHERE id = ?",
+			_, err = ex.ExecCached("UPDATE items SET cost = ?, pub_date = ? WHERE id = ?",
 				sqldb.Float(cost), sqldb.Int(12001), sqldb.Int(id))
 			return err
 		})

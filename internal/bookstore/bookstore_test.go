@@ -18,10 +18,10 @@ func startDB(t testing.TB) string {
 	t.Helper()
 	db := sqldb.New()
 	sess := db.NewSession()
-	if err := CreateSchema(sessExecer{sess}); err != nil {
+	if err := CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
 		t.Fatal(err)
 	}
-	if err := Populate(sessExecer{sess}, TinyScale(), 42); err != nil {
+	if err := Populate(sqldb.SessionExecer{S: sess}, TinyScale(), 42); err != nil {
 		t.Fatal(err)
 	}
 	sess.Close()
@@ -32,13 +32,6 @@ func startDB(t testing.TB) string {
 	}
 	t.Cleanup(func() { srv.Close() })
 	return addr.String()
-}
-
-// sessExecer adapts an in-process session to the Execer interface.
-type sessExecer struct{ s *sqldb.Session }
-
-func (e sessExecer) Exec(q string, args ...sqldb.Value) (*sqldb.Result, error) {
-	return e.s.Exec(q, args...)
 }
 
 // newAppContainer builds a container hosting the direct-SQL app.
@@ -296,10 +289,10 @@ func TestPopulateScalesAndIsDeterministic(t *testing.T) {
 		db := sqldb.New()
 		s := db.NewSession()
 		defer s.Close()
-		if err := CreateSchema(sessExecer{s}); err != nil {
+		if err := CreateSchema(sqldb.SessionExecer{S: s}); err != nil {
 			t.Fatal(err)
 		}
-		if err := Populate(sessExecer{s}, TinyScale(), 7); err != nil {
+		if err := Populate(sqldb.SessionExecer{S: s}, TinyScale(), 7); err != nil {
 			t.Fatal(err)
 		}
 		return db

@@ -115,9 +115,13 @@ func SchemaSQL() []string {
 }
 
 // Execer abstracts the two ways statements reach the database: a pooled
-// wire client or an in-process session.
+// wire client or an in-process session. Exec ships SQL text; ExecCached is
+// the prepared-statement fast path for the statements an interaction
+// repeats on every request (for in-process sessions the two are identical —
+// the database's plan cache already deduplicates the parse).
 type Execer interface {
 	Exec(query string, args ...sqldb.Value) (*sqldb.Result, error)
+	ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, error)
 }
 
 var _ Execer = (*wire.Pool)(nil)

@@ -103,18 +103,18 @@ func Start(cfg Config) (lab *Lab, err error) {
 	sess := l.db.NewSession()
 	switch cfg.Benchmark {
 	case perfsim.Bookstore:
-		if err := bookstore.CreateSchema(sessExecer{sess}); err != nil {
+		if err := bookstore.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
 			return nil, err
 		}
-		if err := bookstore.Populate(sessExecer{sess}, cfg.BookScale, cfg.Seed); err != nil {
+		if err := bookstore.Populate(sqldb.SessionExecer{S: sess}, cfg.BookScale, cfg.Seed); err != nil {
 			return nil, err
 		}
 		l.profile = bookstore.Profile(cfg.BookScale)
 	case perfsim.Auction:
-		if err := auction.CreateSchema(sessExecer{sess}); err != nil {
+		if err := auction.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
 			return nil, err
 		}
-		if err := auction.Populate(sessExecer{sess}, cfg.AuctionScale, cfg.Seed); err != nil {
+		if err := auction.Populate(sqldb.SessionExecer{S: sess}, cfg.AuctionScale, cfg.Seed); err != nil {
 			return nil, err
 		}
 		l.profile = auction.Profile(cfg.AuctionScale)
@@ -151,13 +151,6 @@ func Start(cfg Config) (lab *Lab, err error) {
 	}
 	l.webAddr = webAddr.String()
 	return l, nil
-}
-
-// sessExecer adapts an in-process session for the apps' population helpers.
-type sessExecer struct{ s *sqldb.Session }
-
-func (e sessExecer) Exec(q string, args ...sqldb.Value) (*sqldb.Result, error) {
-	return e.s.Exec(q, args...)
 }
 
 func (l *Lab) basePath() string {
@@ -346,7 +339,15 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 	}
 
 	if l.dbSrv != nil {
-		s.Tiers = append(s.Tiers, telemetry.Tier{Name: "db", Queries: l.dbSrv.QueryCount()})
+		ds := l.dbSrv.Stats()
+		s.Tiers = append(s.Tiers, telemetry.Tier{
+			Name:          "db",
+			Queries:       ds.Queries,
+			PreparedExecs: ds.PreparedExecs,
+			TextExecs:     ds.TextExecs,
+			PlanHits:      ds.PlanCache.Hits,
+			PlanMisses:    ds.PlanCache.Misses,
+		})
 	}
 	return s
 }

@@ -64,6 +64,14 @@ func TestStatusEndpointReportsSaturation(t *testing.T) {
 			if db == nil || db.Queries == 0 {
 				t.Fatalf("db tier missing or idle: %+v", snap)
 			}
+			// Every architecture's hot statements run over the prepared
+			// fast path, and repeats must hit the shared plan cache.
+			if db.PreparedExecs == 0 {
+				t.Fatalf("no prepared executes reported: %+v", db)
+			}
+			if db.PlanHits == 0 || db.PlanMisses == 0 {
+				t.Fatalf("plan cache counters idle: %+v", db)
+			}
 			if a != perfsim.ArchPHP {
 				if web.Pool == nil || web.Pool.Gets == 0 || web.Pool.Dials == 0 {
 					t.Fatalf("AJP connector pool idle: %+v", web.Pool)

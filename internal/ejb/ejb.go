@@ -33,14 +33,17 @@ type EntityDef struct {
 	Fields []string
 }
 
-// entityMeta holds the container-generated SQL for one entity.
+// entityMeta holds the container-generated SQL for one entity, prepared
+// once at deployment: every CMP access (activation SELECT, field-store
+// UPDATE, create INSERT, remove DELETE) runs over the wire protocol's
+// EXECUTE-by-id fast path.
 type entityMeta struct {
 	def        EntityDef
-	loadSQL    string            // SELECT key, fields WHERE key = ?
-	insertSQL  string            // INSERT (fields...)
-	deleteSQL  string            // DELETE WHERE key = ?
-	updateSQL  map[string]string // per-field single-column UPDATE
-	fieldIndex map[string]int    // field -> position in loadSQL results
+	load       *wire.Stmt            // SELECT key, fields WHERE key = ?
+	insert     *wire.Stmt            // INSERT (fields...)
+	delete     *wire.Stmt            // DELETE WHERE key = ?
+	update     map[string]*wire.Stmt // per-field single-column UPDATE
+	fieldIndex map[string]int        // field -> position in load results
 }
 
 // Config configures a container.
@@ -94,19 +97,19 @@ func (c *Container) DefineEntity(def EntityDef) error {
 	}
 	m := &entityMeta{
 		def:        def,
-		updateSQL:  make(map[string]string, len(def.Fields)),
+		update:     make(map[string]*wire.Stmt, len(def.Fields)),
 		fieldIndex: make(map[string]int, len(def.Fields)),
 	}
 	cols := append([]string{def.Key}, def.Fields...)
-	m.loadSQL = fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?",
-		strings.Join(cols, ", "), def.Table, def.Key)
+	m.load = c.pool.Prepare(fmt.Sprintf("SELECT %s FROM %s WHERE %s = ?",
+		strings.Join(cols, ", "), def.Table, def.Key))
 	ph := strings.TrimSuffix(strings.Repeat("?, ", len(def.Fields)), ", ")
-	m.insertSQL = fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
-		def.Table, strings.Join(def.Fields, ", "), ph)
-	m.deleteSQL = fmt.Sprintf("DELETE FROM %s WHERE %s = ?", def.Table, def.Key)
+	m.insert = c.pool.Prepare(fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+		def.Table, strings.Join(def.Fields, ", "), ph))
+	m.delete = c.pool.Prepare(fmt.Sprintf("DELETE FROM %s WHERE %s = ?", def.Table, def.Key))
 	for i, f := range def.Fields {
-		m.updateSQL[f] = fmt.Sprintf("UPDATE %s SET %s = ? WHERE %s = ?",
-			def.Table, f, def.Key)
+		m.update[f] = c.pool.Prepare(fmt.Sprintf("UPDATE %s SET %s = ? WHERE %s = ?",
+			def.Table, f, def.Key))
 		m.fieldIndex[f] = i + 1 // position 0 is the key
 	}
 	c.mu.Lock()
@@ -128,10 +131,18 @@ func (c *Container) meta(name string) (*entityMeta, error) {
 	return m, nil
 }
 
-// exec funnels every container-generated statement, counting it.
+// exec funnels every dynamically built statement (finders), counting it.
+// The pool caches a Stmt per distinct query text, so even finder SQL runs
+// prepared after its first use.
 func (c *Container) exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
 	c.queries.Add(1)
-	return c.pool.Exec(query, args...)
+	return c.pool.ExecCached(query, args...)
+}
+
+// execStmt funnels the pre-prepared CMP statements, counting them.
+func (c *Container) execStmt(st *wire.Stmt, args ...sqldb.Value) (*sqldb.Result, error) {
+	c.queries.Add(1)
+	return st.Exec(args...)
 }
 
 // QueryCount returns the number of statements the container has issued —
@@ -197,7 +208,7 @@ func (e *Entity) Set(field string, v sqldb.Value) error {
 		e.tx.addDirty(e, field, v)
 		return nil
 	}
-	_, err := e.c.exec(e.meta.updateSQL[field], v, e.pk)
+	_, err := e.c.execStmt(e.meta.update[field], v, e.pk)
 	return err
 }
 
@@ -244,7 +255,7 @@ func (t *Tx) Commit() error {
 		last[k] = d.v
 	}
 	for _, k := range order {
-		if _, err := t.c.exec(k.e.meta.updateSQL[k.field], last[k], k.e.pk); err != nil {
+		if _, err := t.c.execStmt(k.e.meta.update[k.field], last[k], k.e.pk); err != nil {
 			return err
 		}
 	}
@@ -258,7 +269,7 @@ func (t *Tx) Load(entity string, pk sqldb.Value) (*Entity, error) {
 		return nil, err
 	}
 	t.c.loads.Add(1)
-	res, err := t.c.exec(m.loadSQL, pk)
+	res, err := t.c.execStmt(m.load, pk)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +341,7 @@ func (t *Tx) Create(entity string, values []sqldb.Value) (sqldb.Value, error) {
 		return sqldb.Null(), fmt.Errorf("ejb: %s create needs %d values, got %d",
 			entity, len(m.def.Fields), len(values))
 	}
-	res, err := t.c.exec(m.insertSQL, values...)
+	res, err := t.c.execStmt(m.insert, values...)
 	if err != nil {
 		return sqldb.Null(), err
 	}
@@ -343,7 +354,7 @@ func (t *Tx) Remove(entity string, pk sqldb.Value) error {
 	if err != nil {
 		return err
 	}
-	_, err = t.c.exec(m.deleteSQL, pk)
+	_, err = t.c.execStmt(m.delete, pk)
 	return err
 }
 

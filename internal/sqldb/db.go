@@ -16,11 +16,16 @@ type DB struct {
 	mu     sync.RWMutex // guards the catalog (tables map), not table data
 	tables map[string]*Table
 	locks  *lockManager
+	plans  *planCache
 }
 
 // New creates an empty database.
 func New() *DB {
-	return &DB{tables: make(map[string]*Table), locks: newLockManager()}
+	return &DB{
+		tables: make(map[string]*Table),
+		locks:  newLockManager(),
+		plans:  newPlanCache(0),
+	}
 }
 
 // ErrNoTable is wrapped by errors returned for statements that reference an
@@ -92,13 +97,31 @@ type Result struct {
 }
 
 // Exec parses and executes one statement with '?' placeholders bound to
-// args, honoring the session's LOCK TABLES state.
+// args, honoring the session's LOCK TABLES state. Parsing goes through the
+// database's shared plan cache, so repeated statements — from any session —
+// are parsed once.
 func (s *Session) Exec(query string, args ...Value) (*Result, error) {
-	stmt, err := sqlparse.Parse(query)
+	stmt, err := s.db.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
 	return s.ExecStmt(stmt, args...)
+}
+
+// SessionExecer adapts a Session to the application packages' Execer
+// interfaces. Pooled wire clients distinguish Exec (text) from ExecCached
+// (EXECUTE-by-id); for an in-process session the two coincide — Exec
+// already parses through the shared plan cache.
+type SessionExecer struct{ S *Session }
+
+// Exec executes one statement on the session.
+func (e SessionExecer) Exec(q string, args ...Value) (*Result, error) {
+	return e.S.Exec(q, args...)
+}
+
+// ExecCached executes one statement on the session (same as Exec).
+func (e SessionExecer) ExecCached(q string, args ...Value) (*Result, error) {
+	return e.S.Exec(q, args...)
 }
 
 // ExecStmt executes an already-parsed statement. Callers that issue the same

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
+	"sync"
 
 	"repro/internal/pool"
 	"repro/internal/sqldb"
@@ -12,10 +14,20 @@ import (
 
 // Conn is one client connection. It is not safe for concurrent use; the
 // Pool hands each borrower exclusive access, like a JDBC connection.
+//
+// Conn tracks which statements it has prepared on its server session
+// (query text -> client-assigned id), so the prepared-statement fast path
+// is transparent: ExecCached prepares on first use, pipelining the PREPARE
+// with the first EXECUTE in a single round trip, and a freshly dialed
+// connection simply starts with an empty map and re-prepares.
 type Conn struct {
 	nc net.Conn
 	r  *bufio.Reader
 	w  *bufio.Writer
+	fb frameBuf
+
+	stmts  map[string]uint32
+	nextID uint32
 }
 
 // Dial connects to a wire server.
@@ -25,27 +37,57 @@ func Dial(addr string) (*Conn, error) {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	return &Conn{
-		nc: nc,
-		r:  bufio.NewReaderSize(nc, 32<<10),
-		w:  bufio.NewWriterSize(nc, 32<<10),
+		nc:    nc,
+		r:     bufio.NewReaderSize(nc, 32<<10),
+		w:     bufio.NewWriterSize(nc, 32<<10),
+		stmts: make(map[string]uint32),
 	}, nil
 }
 
-// Exec sends one statement and waits for its result.
-func (c *Conn) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
-	if err := writeFrame(c.w, msgQuery, encodeQuery(query, args)); err != nil {
-		return nil, fmt.Errorf("wire: send: %w", err)
+// send writes one request frame from a pooled encoder (unflushed) and
+// returns the encoder to the pool.
+func (c *Conn) send(typ byte, e *enc) error {
+	err := writeFrame(c.w, typ, e.b)
+	putEnc(e)
+	if err != nil {
+		return fmt.Errorf("wire: send: %w", err)
 	}
+	return nil
+}
+
+// sendPrepare frames a PREPARE for id/query (unflushed).
+func (c *Conn) sendPrepare(id uint32, query string) error {
+	e := getEnc()
+	encodePrepare(e, id, query)
+	return c.send(msgPrepare, e)
+}
+
+// sendExecStmt frames an EXECUTE-by-id (unflushed).
+func (c *Conn) sendExecStmt(id uint32, args []sqldb.Value) error {
+	e := getEnc()
+	encodeExecStmt(e, id, args)
+	return c.send(msgExecStmt, e)
+}
+
+// flush pushes framed requests to the server.
+func (c *Conn) flush() error {
 	if err := c.w.Flush(); err != nil {
-		return nil, fmt.Errorf("wire: flush: %w", err)
+		return fmt.Errorf("wire: flush: %w", err)
 	}
-	typ, payload, err := readFrame(c.r)
+	return nil
+}
+
+// readReply reads one response frame and decodes it as a result.
+func (c *Conn) readReply() (*sqldb.Result, error) {
+	typ, payload, err := c.fb.read(c.r)
 	if err != nil {
 		return nil, fmt.Errorf("wire: recv: %w", err)
 	}
 	switch typ {
 	case msgResult:
 		return decodeResult(payload)
+	case msgPrepOK:
+		return &sqldb.Result{}, nil
 	case msgError:
 		return nil, &ServerError{Msg: string(payload)}
 	default:
@@ -53,7 +95,108 @@ func (c *Conn) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
 	}
 }
 
-// Close closes the underlying connection (the server releases its locks).
+// Exec sends one statement as SQL text and waits for its result (the v1
+// exchange; the server parses through its plan cache).
+func (c *Conn) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	e := getEnc()
+	encodeQuery(e, query, args)
+	if err := c.send(msgQuery, e); err != nil {
+		return nil, err
+	}
+	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	return c.readReply()
+}
+
+// Prepare registers query on the connection's server session and returns
+// its statement id. Most callers never need it: ExecCached prepares
+// implicitly.
+func (c *Conn) Prepare(query string) (uint32, error) {
+	if id, ok := c.stmts[query]; ok {
+		return id, nil
+	}
+	c.nextID++
+	id := c.nextID
+	if err := c.sendPrepare(id, query); err != nil {
+		return 0, err
+	}
+	if err := c.flush(); err != nil {
+		return 0, err
+	}
+	if _, err := c.readReply(); err != nil {
+		return 0, err
+	}
+	c.stmts[query] = id
+	return id, nil
+}
+
+// ExecPrepared runs a statement previously registered with Prepare.
+func (c *Conn) ExecPrepared(id uint32, args ...sqldb.Value) (*sqldb.Result, error) {
+	if err := c.sendExecStmt(id, args); err != nil {
+		return nil, err
+	}
+	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	return c.readReply()
+}
+
+// ExecCached runs query over the prepared-statement fast path, preparing it
+// on this connection first if needed. The first use pipelines PREPARE and
+// EXECUTE into one round trip; thereafter only the 4-byte statement id and
+// the arguments cross the wire.
+func (c *Conn) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	id, prepared := c.stmts[query]
+	if !prepared {
+		c.nextID++
+		id = c.nextID
+		if err := c.sendPrepare(id, query); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.sendExecStmt(id, args); err != nil {
+		return nil, err
+	}
+	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	if !prepared {
+		if _, perr := c.readReply(); perr != nil {
+			// The pipelined EXECUTE hit the unregistered id; drain its
+			// error response to keep the stream in lockstep, then report
+			// the PREPARE failure (a transport error poisons both reads).
+			if _, eerr := c.readReply(); eerr != nil && !IsServerError(eerr) {
+				return nil, eerr
+			}
+			return nil, perr
+		}
+		c.stmts[query] = id
+	}
+	return c.readReply()
+}
+
+// CloseStmt retires a prepared statement on both ends.
+func (c *Conn) CloseStmt(query string) error {
+	id, ok := c.stmts[query]
+	if !ok {
+		return nil
+	}
+	delete(c.stmts, query)
+	e := getEnc()
+	encodeCloseStmt(e, id)
+	if err := c.send(msgCloseStmt, e); err != nil {
+		return err
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	_, err := c.readReply()
+	return err
+}
+
+// Close closes the underlying connection (the server releases its locks
+// and every statement id prepared on it).
 func (c *Conn) Close() error { return c.nc.Close() }
 
 // ServerError is an error reported by the database server (as opposed to a
@@ -74,17 +217,23 @@ func IsServerError(err error) bool {
 // pool subsystem (internal/pool).
 type Pool struct {
 	p *pool.Pool[*Conn]
+
+	mu    sync.RWMutex // steady state is read-only lookups on the hot path
+	stmts map[string]*Stmt
 }
 
 // NewPool creates a pool of up to size connections to addr. Connections are
 // opened lazily.
 func NewPool(addr string, size int) *Pool {
-	return &Pool{p: pool.New(pool.Config[*Conn]{
-		Name:    "db@" + addr,
-		Dial:    func() (*Conn, error) { return Dial(addr) },
-		Destroy: func(c *Conn) { c.Close() },
-		Size:    size,
-	})}
+	return &Pool{
+		p: pool.New(pool.Config[*Conn]{
+			Name:    "db@" + addr,
+			Dial:    func() (*Conn, error) { return Dial(addr) },
+			Destroy: func(c *Conn) { c.Close() },
+			Size:    size,
+		}),
+		stmts: make(map[string]*Stmt),
+	}
 }
 
 // Get borrows a connection, dialing a new one if the pool has capacity.
@@ -100,9 +249,9 @@ func (p *Pool) Get() (*Conn, error) {
 // error to discard it and free capacity for a fresh dial.
 func (p *Pool) Put(c *Conn, broken bool) { p.p.Put(c, broken) }
 
-// Exec borrows a connection, runs the statement, and returns it. A
-// server-side error (IsServerError) keeps the connection; a transport
-// error discards it.
+// Exec borrows a connection, runs the statement as SQL text, and returns
+// it. A server-side error (IsServerError) keeps the connection; a
+// transport error discards it.
 func (p *Pool) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
 	var res *sqldb.Result
 	err := p.p.Do(false, func(err error) bool { return !IsServerError(err) },
@@ -111,6 +260,84 @@ func (p *Pool) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
 			res, err = c.Exec(query, args...)
 			return err
 		})
+	return res, err
+}
+
+// ExecCached runs query over the prepared-statement fast path, managing
+// per-connection statement ids transparently (see Stmt.Exec).
+func (p *Pool) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return p.Prepare(query).Exec(args...)
+}
+
+// Prepare returns the pool's shared handle for query. No network traffic
+// happens here: each connection registers the statement on first execute,
+// so a Stmt may be created once at startup and used from any goroutine.
+func (p *Pool) Prepare(query string) *Stmt {
+	p.mu.RLock()
+	s, ok := p.stmts[query]
+	p.mu.RUnlock()
+	if ok {
+		return s
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.stmts[query]; ok {
+		return s
+	}
+	s = &Stmt{p: p, query: query, retry: retryableStmt(query)}
+	p.stmts[query] = s
+	return s
+}
+
+// Stmt is a pool-level prepared statement: the query text plus the pool to
+// run it on. Statement ids live on the individual connections, so the
+// statement survives connection churn — a recycled or freshly dialed
+// connection transparently re-prepares on its next execute.
+type Stmt struct {
+	p     *Pool
+	query string
+	retry bool
+}
+
+// Query returns the statement's SQL text.
+func (s *Stmt) Query() string { return s.query }
+
+// retryableStmt reports whether a statement may safely run twice. Only
+// idempotent statements absorb a stale pooled connection with a retry: a
+// write retried after a transport failure could double-apply if the server
+// had already executed it before the connection died. (LOCK/UNLOCK TABLES
+// are safe: the dead connection's session lock set was released with it.)
+func retryableStmt(query string) bool {
+	q := strings.TrimSpace(query)
+	i := 0
+	for i < len(q) && q[i] != ' ' && q[i] != '\t' && q[i] != '\n' {
+		i++
+	}
+	switch strings.ToUpper(q[:i]) {
+	case "SELECT", "LOCK", "UNLOCK":
+		return true
+	}
+	return false
+}
+
+// Exec borrows a connection and runs the statement by id, preparing it on
+// that connection first when needed. For idempotent statements a transport
+// failure discards the broken connection and retries once on a fresh one;
+// because statement ids are per-connection state carried by the Conn
+// itself, the retry re-prepares from scratch rather than executing a stale
+// id. Writes are never retried (the text path never did either): the
+// server may have applied the statement before the connection died.
+func (s *Stmt) Exec(args ...sqldb.Value) (*sqldb.Result, error) {
+	var res *sqldb.Result
+	err := s.p.p.Do(s.retry, func(err error) bool { return !IsServerError(err) },
+		func(c *Conn) error {
+			var err error
+			res, err = c.ExecCached(s.query, args...)
+			return err
+		})
+	if errors.Is(err, pool.ErrClosed) {
+		return nil, errors.New("wire: pool closed")
+	}
 	return res, err
 }
 

@@ -3,6 +3,14 @@
 // testbed. The Client plays the role of PHP's native driver and of the
 // MM-MySQL type-4 JDBC driver; Pool provides the engine-side connection
 // pooling that Tomcat and JOnAS configure in the original system.
+//
+// Protocol v2 adds a prepared-statement fast path alongside the v1 text
+// query frame: PREPARE registers a statement under a client-assigned id on
+// the connection's server session, EXECUTE-by-id runs it with bound
+// arguments without re-sending (or re-parsing) the SQL text, and
+// CLOSE-STMT retires the id. v1 clients that only ever send msgQuery remain
+// fully supported — the frame layout and the text-query exchange are
+// unchanged.
 package wire
 
 import (
@@ -10,18 +18,36 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/sqldb"
 )
 
 // Frame layout: 4-byte big-endian payload length, 1-byte type, payload.
-// Request payload: query string, arg count, args. Response payload: result
-// or error.
+//
+// Requests:
+//
+//	msgQuery     query string, arg count, args      -> msgResult | msgError
+//	msgPrepare   u32 stmt id, query string          -> msgPrepOK | msgError
+//	msgExecStmt  u32 stmt id, arg count, args       -> msgResult | msgError
+//	msgCloseStmt u32 stmt id                        -> msgPrepOK | msgError
+//
+// Statement ids are assigned by the client and scoped to the connection, so
+// a PREPARE and its first EXECUTE pipeline into a single round trip.
 const (
-	msgQuery    = 0x01
-	msgResult   = 0x81
-	msgError    = 0x82
-	maxFrameLen = 16 << 20
+	msgQuery     = 0x01
+	msgPrepare   = 0x02
+	msgExecStmt  = 0x03
+	msgCloseStmt = 0x04
+	msgResult    = 0x81
+	msgError     = 0x82
+	msgPrepOK    = 0x83
+	maxFrameLen  = 16 << 20
+
+	// maxStmtsPerConn bounds one connection's prepared-statement table —
+	// both benchmarks together need a few dozen; the cap only stops a
+	// pathological client from pinning unlimited ASTs server-side.
+	maxStmtsPerConn = 4096
 )
 
 // value tags on the wire.
@@ -47,17 +73,32 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame.
+// readFrame reads one frame into a fresh buffer.
 func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var fb frameBuf
+	return fb.read(r)
+}
+
+// frameBuf reads frames into a buffer reused across calls, so a long-lived
+// connection stops allocating per request once the buffer reaches the
+// conversation's working-set size. Decoded payloads alias the buffer and
+// are only valid until the next read; every decode function below copies
+// what it keeps (string() conversions and value constructors copy).
+type frameBuf struct{ b []byte }
+
+func (fb *frameBuf) read(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:4])
+	n := int(binary.BigEndian.Uint32(hdr[:4]))
 	if n > maxFrameLen {
 		return 0, nil, fmt.Errorf("wire: oversized frame (%d bytes)", n)
 	}
-	payload = make([]byte, n)
+	if cap(fb.b) < n {
+		fb.b = make([]byte, n)
+	}
+	payload = fb.b[:n]
 	if _, err = io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
@@ -85,6 +126,23 @@ func (e *enc) value(v sqldb.Value) {
 		e.b = append(e.b, tagString)
 		e.str(v.AsString())
 	}
+}
+
+// encPool recycles encoder buffers across requests; the frame is written
+// out before the encoder is returned, so buffers never escape.
+var encPool = sync.Pool{New: func() any { return &enc{b: make([]byte, 0, 1024)} }}
+
+// maxPooledEnc keeps the occasional huge result from pinning memory.
+const maxPooledEnc = 1 << 20
+
+func getEnc() *enc { return encPool.Get().(*enc) }
+
+func putEnc(e *enc) {
+	if cap(e.b) > maxPooledEnc {
+		return
+	}
+	e.b = e.b[:0]
+	encPool.Put(e)
 }
 
 // dec is a cursor-style decoder.
@@ -157,35 +215,83 @@ func (d *dec) value() sqldb.Value {
 	}
 }
 
-// encodeQuery builds a query request payload.
-func encodeQuery(query string, args []sqldb.Value) []byte {
-	var e enc
-	e.str(query)
-	e.u32(uint32(len(args)))
-	for _, a := range args {
-		e.value(a)
-	}
-	return e.b
-}
-
-// decodeQuery parses a query request payload.
-func decodeQuery(p []byte) (string, []sqldb.Value, error) {
-	d := &dec{b: p}
-	q := d.str()
+// args decodes an argument vector (count-prefixed values).
+func (d *dec) args() []sqldb.Value {
 	n := int(d.u32())
 	if n > 1<<16 {
-		return "", nil, fmt.Errorf("wire: absurd arg count %d", n)
+		d.fail("absurd arg count")
+		return nil
+	}
+	if n == 0 {
+		return nil
 	}
 	args := make([]sqldb.Value, 0, n)
 	for i := 0; i < n && d.err == nil; i++ {
 		args = append(args, d.value())
 	}
+	return args
+}
+
+// encodeQuery appends a text-query request payload.
+func encodeQuery(e *enc, query string, args []sqldb.Value) {
+	e.str(query)
+	e.u32(uint32(len(args)))
+	for _, a := range args {
+		e.value(a)
+	}
+}
+
+// decodeQuery parses a text-query request payload.
+func decodeQuery(p []byte) (string, []sqldb.Value, error) {
+	d := &dec{b: p}
+	q := d.str()
+	args := d.args()
 	return q, args, d.err
 }
 
-// encodeResult builds a result payload.
-func encodeResult(r *sqldb.Result) []byte {
-	var e enc
+// encodePrepare appends a PREPARE payload.
+func encodePrepare(e *enc, id uint32, query string) {
+	e.u32(id)
+	e.str(query)
+}
+
+// decodePrepare parses a PREPARE payload.
+func decodePrepare(p []byte) (uint32, string, error) {
+	d := &dec{b: p}
+	id := d.u32()
+	q := d.str()
+	return id, q, d.err
+}
+
+// encodeExecStmt appends an EXECUTE-by-id payload.
+func encodeExecStmt(e *enc, id uint32, args []sqldb.Value) {
+	e.u32(id)
+	e.u32(uint32(len(args)))
+	for _, a := range args {
+		e.value(a)
+	}
+}
+
+// decodeExecStmt parses an EXECUTE-by-id payload.
+func decodeExecStmt(p []byte) (uint32, []sqldb.Value, error) {
+	d := &dec{b: p}
+	id := d.u32()
+	args := d.args()
+	return id, args, d.err
+}
+
+// encodeCloseStmt appends a CLOSE-STMT payload.
+func encodeCloseStmt(e *enc, id uint32) { e.u32(id) }
+
+// decodeCloseStmt parses a CLOSE-STMT payload.
+func decodeCloseStmt(p []byte) (uint32, error) {
+	d := &dec{b: p}
+	id := d.u32()
+	return id, d.err
+}
+
+// encodeResult appends a result payload.
+func encodeResult(e *enc, r *sqldb.Result) {
 	e.u64(uint64(r.RowsAffected))
 	e.u64(uint64(r.LastInsertID))
 	e.u32(uint32(len(r.Columns)))
@@ -199,10 +305,11 @@ func encodeResult(r *sqldb.Result) []byte {
 			e.value(v)
 		}
 	}
-	return e.b
 }
 
-// decodeResult parses a result payload.
+// decodeResult parses a result payload. Row values are carved from slab
+// allocations rather than one slice per row — list pages decode 50 rows
+// per response, and per-row allocs dominated the client-side profile.
 func decodeResult(p []byte) (*sqldb.Result, error) {
 	d := &dec{b: p}
 	r := &sqldb.Result{
@@ -213,6 +320,9 @@ func decodeResult(p []byte) (*sqldb.Result, error) {
 	if nc > 1<<16 {
 		return nil, fmt.Errorf("wire: absurd column count %d", nc)
 	}
+	if nc > 0 && d.err == nil {
+		r.Columns = make([]string, 0, min(nc, len(p)/4))
+	}
 	for i := 0; i < nc && d.err == nil; i++ {
 		r.Columns = append(r.Columns, d.str())
 	}
@@ -220,9 +330,26 @@ func decodeResult(p []byte) (*sqldb.Result, error) {
 	if nr > maxFrameLen {
 		return nil, fmt.Errorf("wire: absurd row count %d", nr)
 	}
+	if nr > 0 && d.err == nil {
+		// Each encoded row is at least 4 bytes (its width prefix), which
+		// bounds preallocation against a lying header.
+		r.Rows = make([]sqldb.Row, 0, min(nr, len(p)/4))
+	}
+	var slab []sqldb.Value
 	for i := 0; i < nr && d.err == nil; i++ {
 		w := int(d.u32())
-		row := make(sqldb.Row, 0, w)
+		if w > 1<<16 {
+			return nil, fmt.Errorf("wire: absurd row width %d", w)
+		}
+		if w > len(slab) {
+			n := 16 * w
+			if n < 512 {
+				n = 512
+			}
+			slab = make([]sqldb.Value, n)
+		}
+		row := sqldb.Row(slab[:0:w])
+		slab = slab[w:]
 		for j := 0; j < w && d.err == nil; j++ {
 			row = append(row, d.value())
 		}

@@ -11,10 +11,13 @@ import (
 	"sync/atomic"
 
 	"repro/internal/sqldb"
+	"repro/internal/sqldb/sqlparse"
 )
 
 // Server serves a sqldb.DB over TCP. Each connection gets its own session,
-// so LOCK TABLES state is per-connection, as in MySQL.
+// so LOCK TABLES state is per-connection, as in MySQL — and so are prepared
+// statement ids, which map client-assigned u32s to ASTs held by the
+// database's shared plan cache.
 type Server struct {
 	db     *sqldb.DB
 	logger *log.Logger
@@ -26,12 +29,38 @@ type Server struct {
 	shutdown chan struct{}
 	wg       sync.WaitGroup
 
-	queries atomic.Int64
+	queries       atomic.Int64
+	textExecs     atomic.Int64
+	preparedExecs atomic.Int64
+	prepares      atomic.Int64
 }
 
 // QueryCount returns the number of statements served — the database
 // tier's work counter in the cross-tier telemetry.
 func (s *Server) QueryCount() int64 { return s.queries.Load() }
+
+// Stats describes the database tier's protocol traffic for the cross-tier
+// telemetry: total statements, split by arrival path, plus the shared plan
+// cache's hit/miss counters.
+type Stats struct {
+	Queries       int64 `json:"queries"`
+	TextExecs     int64 `json:"text_execs"`
+	PreparedExecs int64 `json:"prepared_execs"`
+	Prepares      int64 `json:"prepares"`
+
+	PlanCache sqldb.PlanCacheStats `json:"plan_cache"`
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Queries:       s.queries.Load(),
+		TextExecs:     s.textExecs.Load(),
+		PreparedExecs: s.preparedExecs.Load(),
+		Prepares:      s.prepares.Load(),
+		PlanCache:     s.db.PlanCacheStats(),
+	}
+}
 
 // NewServer creates a server for db. logger may be nil to discard logs.
 func NewServer(db *sqldb.DB, logger *log.Logger) *Server {
@@ -101,39 +130,96 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReaderSize(conn, 32<<10)
 	w := bufio.NewWriterSize(conn, 32<<10)
+	var fb frameBuf // request buffer, reused per frame
+	// This connection's prepared ids. Bounded: see maxStmtsPerConn.
+	stmts := make(map[uint32]sqlparse.Statement)
 	for {
-		typ, payload, err := readFrame(r)
+		typ, payload, err := fb.read(r)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("read: %v", err)
 			}
 			return
 		}
-		if typ != msgQuery {
+		var res *sqldb.Result
+		var outTyp byte = msgResult
+		switch typ {
+		case msgQuery:
+			var query string
+			var args []sqldb.Value
+			query, args, err = decodeQuery(payload)
+			if err == nil {
+				s.queries.Add(1)
+				s.textExecs.Add(1)
+				res, err = sess.Exec(query, args...)
+			}
+		case msgPrepare:
+			var id uint32
+			var query string
+			id, query, err = decodePrepare(payload)
+			if err == nil {
+				s.prepares.Add(1)
+				if _, exists := stmts[id]; !exists && len(stmts) >= maxStmtsPerConn {
+					// The shared plan cache is bounded; the per-connection
+					// id table must be too, or one client could pin
+					// unlimited ASTs.
+					err = fmt.Errorf("wire: too many prepared statements (%d)", maxStmtsPerConn)
+				} else {
+					var stmt sqlparse.Statement
+					stmt, err = s.db.Prepare(query)
+					if err == nil {
+						stmts[id] = stmt
+						outTyp = msgPrepOK
+					}
+				}
+			}
+		case msgExecStmt:
+			var id uint32
+			var args []sqldb.Value
+			id, args, err = decodeExecStmt(payload)
+			if err == nil {
+				stmt, ok := stmts[id]
+				if !ok {
+					err = fmt.Errorf("wire: unknown statement id %d", id)
+				} else {
+					s.queries.Add(1)
+					s.preparedExecs.Add(1)
+					res, err = sess.ExecStmt(stmt, args...)
+				}
+			}
+		case msgCloseStmt:
+			var id uint32
+			id, err = decodeCloseStmt(payload)
+			if err == nil {
+				delete(stmts, id)
+				outTyp = msgPrepOK
+			}
+		default:
 			s.logf("unexpected frame type 0x%x", typ)
 			return
 		}
-		query, args, err := decodeQuery(payload)
-		var out []byte
-		var outTyp byte
-		if err == nil {
-			s.queries.Add(1)
-			var res *sqldb.Result
-			res, err = sess.Exec(query, args...)
-			if err == nil {
-				outTyp, out = msgResult, encodeResult(res)
-			}
+		e := getEnc()
+		switch {
+		case err != nil:
+			outTyp = msgError
+			e.b = append(e.b, err.Error()...)
+		case outTyp == msgResult:
+			encodeResult(e, res)
 		}
+		err = writeFrame(w, outTyp, e.b)
+		putEnc(e)
 		if err != nil {
-			outTyp, out = msgError, []byte(err.Error())
-		}
-		if err := writeFrame(w, outTyp, out); err != nil {
 			s.logf("write: %v", err)
 			return
 		}
-		if err := w.Flush(); err != nil {
-			s.logf("flush: %v", err)
-			return
+		// Pipelined requests (PREPARE immediately followed by EXECUTE) are
+		// answered in one TCP segment: flush only before blocking on the
+		// next read.
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				s.logf("flush: %v", err)
+				return
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -46,12 +47,35 @@ func TestFrameRoundtrip(t *testing.T) {
 
 func TestQueryEncodingRoundtrip(t *testing.T) {
 	args := []sqldb.Value{sqldb.Int(-7), sqldb.Float(2.5), sqldb.String("x"), sqldb.Null()}
-	q, got, err := decodeQuery(encodeQuery("SELECT 1", args))
+	var e enc
+	encodeQuery(&e, "SELECT 1", args)
+	q, got, err := decodeQuery(e.b)
 	if err != nil || q != "SELECT 1" || len(got) != 4 {
 		t.Fatalf("roundtrip: %v %q %v", err, q, got)
 	}
 	if got[0].AsInt() != -7 || got[1].AsFloat() != 2.5 || got[2].AsString() != "x" || !got[3].IsNull() {
 		t.Fatalf("args: %v", got)
+	}
+}
+
+func TestPreparedFrameRoundtrips(t *testing.T) {
+	var e enc
+	encodePrepare(&e, 42, "SELECT ?")
+	id, q, err := decodePrepare(e.b)
+	if err != nil || id != 42 || q != "SELECT ?" {
+		t.Fatalf("prepare roundtrip: %v %d %q", err, id, q)
+	}
+	e = enc{}
+	encodeExecStmt(&e, 7, []sqldb.Value{sqldb.Int(3), sqldb.String("y")})
+	id, args, err := decodeExecStmt(e.b)
+	if err != nil || id != 7 || len(args) != 2 || args[0].AsInt() != 3 || args[1].AsString() != "y" {
+		t.Fatalf("exec roundtrip: %v %d %v", err, id, args)
+	}
+	e = enc{}
+	encodeCloseStmt(&e, 9)
+	id, err = decodeCloseStmt(e.b)
+	if err != nil || id != 9 {
+		t.Fatalf("close roundtrip: %v %d", err, id)
 	}
 }
 
@@ -62,7 +86,9 @@ func TestResultEncodingRoundtrip(t *testing.T) {
 		RowsAffected: 5,
 		LastInsertID: 42,
 	}
-	out, err := decodeResult(encodeResult(in))
+	var e enc
+	encodeResult(&e, in)
+	out, err := decodeResult(e.b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +114,9 @@ func TestResultRoundtripProperty(t *testing.T) {
 		for i := 0; i < n; i++ {
 			in.Rows = append(in.Rows, sqldb.Row{sqldb.Int(ints[i]), sqldb.String(strs[i])})
 		}
-		out, err := decodeResult(encodeResult(in))
+		var e enc
+		encodeResult(&e, in)
+		out, err := decodeResult(e.b)
 		if err != nil || len(out.Rows) != len(in.Rows) {
 			return false
 		}
@@ -262,6 +290,180 @@ func TestPoolBoundsConnections(t *testing.T) {
 	c := <-acquired
 	p.Put(b, false)
 	p.Put(c, false)
+}
+
+func TestConnExecCached(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const q = "SELECT v FROM kv WHERE k = ?"
+	for i := 0; i < 3; i++ {
+		res, err := c.ExecCached(q, sqldb.Int(1))
+		if err != nil {
+			t.Fatalf("exec %d: %v", i, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "one" {
+			t.Fatalf("exec %d rows: %+v", i, res.Rows)
+		}
+	}
+	if len(c.stmts) != 1 {
+		t.Fatalf("want one cached statement, have %d", len(c.stmts))
+	}
+	if err := c.CloseStmt(q); err != nil {
+		t.Fatalf("close stmt: %v", err)
+	}
+	// After CLOSE-STMT the id is gone on both ends; the next ExecCached
+	// must silently re-prepare.
+	if _, err := c.ExecCached(q, sqldb.Int(2)); err != nil {
+		t.Fatalf("exec after close: %v", err)
+	}
+}
+
+func TestExecPreparedUnknownID(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.ExecPrepared(999)
+	if err == nil || !IsServerError(err) || !strings.Contains(err.Error(), "unknown statement id") {
+		t.Fatalf("want unknown-statement server error, got %v", err)
+	}
+	// The connection must remain usable.
+	if _, err := c.Exec("SELECT k FROM kv"); err != nil {
+		t.Fatalf("connection unusable: %v", err)
+	}
+}
+
+func TestExecCachedParseErrorKeepsConnection(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.ExecCached("SELEKT broken")
+	if err == nil || !IsServerError(err) {
+		t.Fatalf("want server error from pipelined PREPARE, got %v", err)
+	}
+	if len(c.stmts) != 0 {
+		t.Fatalf("failed prepare must not be cached: %v", c.stmts)
+	}
+	// The pipelined EXECUTE's error response must have been drained: the
+	// stream stays in lockstep.
+	res, err := c.ExecCached("SELECT v FROM kv WHERE k = ?", sqldb.Int(2))
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].AsString() != "two" {
+		t.Fatalf("connection out of sync after prepare failure: %v %+v", err, res)
+	}
+}
+
+// TestTextProtocolBackwardCompat drives the server with raw v1 frames — the
+// exact bytes a pre-v2 client emits — proving old clients still work
+// against the new server.
+func TestTextProtocolBackwardCompat(t *testing.T) {
+	_, addr := startServer(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	var e enc
+	e.str("SELECT v FROM kv WHERE k = ?")
+	e.u32(1)
+	e.value(sqldb.Int(1))
+	if err := writeFrame(nc, msgQuery, e.b); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(nc)
+	if err != nil || typ != msgResult {
+		t.Fatalf("v1 exchange: %v type=0x%x", err, typ)
+	}
+	res, err := decodeResult(payload)
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].AsString() != "one" {
+		t.Fatalf("v1 result: %v %+v", err, res)
+	}
+}
+
+func TestPoolStmtExec(t *testing.T) {
+	_, addr := startServer(t)
+	p := NewPool(addr, 2)
+	defer p.Close()
+	stmt := p.Prepare("SELECT v FROM kv WHERE k = ?")
+	if again := p.Prepare("SELECT v FROM kv WHERE k = ?"); again != stmt {
+		t.Fatal("Prepare must return the shared statement handle")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				res, err := stmt.Exec(sqldb.Int(2))
+				if err != nil {
+					t.Errorf("stmt exec: %v", err)
+					return
+				}
+				if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "two" {
+					t.Errorf("stmt rows: %+v", res.Rows)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStmtReconnectReprepares is the regression test for the stale-
+// connection retry: after every pooled connection dies with the server,
+// Stmt.Exec must re-establish statement ids on the replacement connection
+// instead of failing with "unknown statement id".
+func TestStmtReconnectReprepares(t *testing.T) {
+	db := sqldb.New()
+	s := db.NewSession()
+	for _, q := range []string{
+		"CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(50))",
+		"INSERT INTO kv VALUES (1, 'one')",
+	} {
+		if _, err := s.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	srv := NewServer(db, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(addr.String(), 1)
+	defer p.Close()
+	stmt := p.Prepare("SELECT v FROM kv WHERE k = ?")
+	if _, err := stmt.Exec(sqldb.Int(1)); err != nil {
+		t.Fatalf("first exec: %v", err)
+	}
+	// Kill the server (dropping the connection holding the statement id)
+	// and restart it on the same port: the pooled connection is now stale.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(db, nil)
+	if _, err := srv2.Listen(addr.String()); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	res, err := stmt.Exec(sqldb.Int(1))
+	if err != nil {
+		t.Fatalf("exec after reconnect: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "one" {
+		t.Fatalf("rows after reconnect: %+v", res.Rows)
+	}
+	if st := p.Stats(); st.Retries != 1 || st.Discards != 1 {
+		t.Fatalf("want 1 retry / 1 discard, got %+v", st)
+	}
 }
 
 func TestServerCloseIdempotent(t *testing.T) {

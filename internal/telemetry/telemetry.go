@@ -34,6 +34,13 @@ type Tier struct {
 	// CPU figures).
 	Bytes int64       `json:"bytes,omitempty"`
 	Pool  *pool.Stats `json:"pool,omitempty"`
+	// The database tier splits Queries by arrival path — EXECUTE-by-id
+	// (prepared) vs SQL text — and reports its shared plan cache, the
+	// statements-parsed-once observable of the wire protocol v2 work.
+	PreparedExecs int64 `json:"prepared_execs,omitempty"`
+	TextExecs     int64 `json:"text_execs,omitempty"`
+	PlanHits      int64 `json:"plan_hits,omitempty"`
+	PlanMisses    int64 `json:"plan_misses,omitempty"`
 	// Downstream names the tier Pool dials into. Pool wait time is
 	// evidence that *that* tier's connections are all busy, so
 	// Bottleneck charges the wait there, not to the pool's holder.
@@ -71,6 +78,10 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 				t.Loads -= pt.Loads
 				t.Stores -= pt.Stores
 				t.Bytes -= pt.Bytes
+				t.PreparedExecs -= pt.PreparedExecs
+				t.TextExecs -= pt.TextExecs
+				t.PlanHits -= pt.PlanHits
+				t.PlanMisses -= pt.PlanMisses
 				if t.Pool != nil && pt.Pool != nil {
 					d := t.Pool.Sub(*pt.Pool)
 					t.Pool = &d
@@ -172,6 +183,17 @@ func (s *Snapshot) Format() string {
 		}
 		fmt.Fprintf(&b, "%s%-9s %9d %9d %8s %12s %8s %10s %9s\n",
 			mark, t.Name, t.Requests, t.Queries, mb, poolCol, waits, waitTime, p95)
+	}
+	for _, t := range s.Tiers {
+		if t.PreparedExecs == 0 && t.TextExecs == 0 && t.PlanHits == 0 && t.PlanMisses == 0 {
+			continue
+		}
+		hitRate := 0.0
+		if n := t.PlanHits + t.PlanMisses; n > 0 {
+			hitRate = 100 * float64(t.PlanHits) / float64(n)
+		}
+		fmt.Fprintf(&b, "%s execs: %d prepared / %d text; plan cache: %d hits / %d misses (%.1f%%)\n",
+			t.Name, t.PreparedExecs, t.TextExecs, t.PlanHits, t.PlanMisses, hitRate)
 	}
 	fmt.Fprintf(&b, "bottleneck: %s\n", bottleneck)
 	return b.String()

@@ -15,7 +15,8 @@ func snap() *Snapshot {
 				Pool: &pool.Stats{Name: "ajp", Capacity: 8, Gets: 40}},
 			{Name: "servlet", Requests: 40, Downstream: "db",
 				Pool: &pool.Stats{Name: "db", Capacity: 8, Gets: 90, Waits: 12, WaitNanos: 5e6}},
-			{Name: "db", Queries: 90},
+			{Name: "db", Queries: 90, PreparedExecs: 70, TextExecs: 20,
+				PlanHits: 85, PlanMisses: 5},
 		},
 	}
 }
@@ -27,12 +28,19 @@ func TestDeltaSubtractsCounters(t *testing.T) {
 	after.Tiers[2].Queries = 300
 	after.Tiers[1].Pool.WaitNanos = 9e6
 
+	after.Tiers[2].PreparedExecs = 170
+	after.Tiers[2].PlanHits = 185
+
 	d := after.Delta(before)
 	if got := d.Tier("web").Requests; got != 150 {
 		t.Fatalf("web delta = %d, want 150", got)
 	}
 	if got := d.Tier("db").Queries; got != 210 {
 		t.Fatalf("db delta = %d, want 210", got)
+	}
+	if db := d.Tier("db"); db.PreparedExecs != 100 || db.PlanHits != 100 ||
+		db.TextExecs != 0 || db.PlanMisses != 0 {
+		t.Fatalf("prepared/plan-cache deltas: %+v", db)
 	}
 	if got := d.Tier("servlet").Pool.WaitNanos; got != 4e6 {
 		t.Fatalf("pool wait delta = %d, want 4e6", got)
@@ -84,5 +92,9 @@ func TestFormatMarksBottleneck(t *testing.T) {
 	}
 	if !strings.Contains(out, "*db") {
 		t.Fatalf("bottleneck tier not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "db execs: 70 prepared / 20 text") ||
+		!strings.Contains(out, "plan cache: 85 hits / 5 misses") {
+		t.Fatalf("missing prepared/plan-cache line:\n%s", out)
 	}
 }
