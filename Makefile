@@ -1,10 +1,14 @@
 # Paper-reproduction build targets. `make bench-json` records the perf
 # trajectory: it runs the paper-figure and wire-protocol benchmarks and
-# writes BENCH_<n>.json (see cmd/benchjson).
+# writes BENCH_<n>.json (see cmd/benchjson). `make ci` mirrors the GitHub
+# workflow locally: lint, build, race tests, bench smoke and the
+# perf-regression gate against the committed baseline.
 
 GO ?= go
+BASELINE ?= BENCH_0.json
+THRESHOLD ?= 10
 
-.PHONY: build test race vet bench bench-json bench-smoke
+.PHONY: build test race vet lint fmt bench bench-json bench-smoke bench-gate ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +22,13 @@ race:
 vet:
 	$(GO) vet ./...
 
+# gofmt -l prints offending files; any output fails the target.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: fmt vet
+
 # Full benchmark run (paper figures + ablations), human-readable.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -30,3 +41,13 @@ bench-json:
 # benchmark, without measuring anything (CI runs this).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Perf-regression gate: re-measure the headline benchmarks (best sample
+# across 3 spread-out rounds of 2 runs each — noise-robust) and fail on a
+# >$(THRESHOLD)% slowdown against $(BASELINE). Writes BENCH_ci.json.
+bench-gate:
+	$(GO) run ./cmd/benchjson -out BENCH_ci.json -count 2 -rounds 3 -benchtime 0.5s \
+		-compare $(BASELINE) -threshold $(THRESHOLD)
+
+# Mirror of .github/workflows/ci.yml for local runs.
+ci: lint build race bench-smoke bench-gate

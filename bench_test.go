@@ -232,6 +232,38 @@ func BenchmarkRealStackWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterReplicaSweep opens the new scenario axis past the
+// paper: the same workload over a 1-, 2- and 4-replica database tier
+// (read-one-write-all cluster, DESIGN.md §3), reporting achieved ipm.
+func BenchmarkClusterReplicaSweep(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4} {
+		replicas := replicas
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			lab, err := core.Start(core.Config{
+				Arch: perfsim.ArchServletSync, Benchmark: perfsim.Auction,
+				DBReplicas: replicas,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lab.Close()
+			var rep *workload.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = lab.Run(workload.Config{
+					Clients: 8, Mix: "browsing",
+					ThinkMean: time.Millisecond, SessionMean: time.Second,
+					RampUp: 50 * time.Millisecond, Measure: 400 * time.Millisecond,
+					Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.ThroughputIPM, "ipm")
+		})
+	}
+}
+
 // --- ablation benches (DESIGN.md §5) ---
 
 // BenchmarkAblationSyncLocking isolates the paper's sync delta on the

@@ -1,10 +1,17 @@
 // Command dbserver runs the SQL database tier standalone: it creates and
 // populates a benchmark schema and serves the wire protocol, the role MySQL
-// plays on the paper's database machine.
+// plays on the paper's database machine — or one replica of it, when the
+// stack runs the read-one-write-all cluster.
+//
+// A replica can seed itself deterministically (-seed; identical seeds give
+// bit-identical replicas, AUTO_INCREMENT included) or join a running
+// cluster by syncing a peer's data over the wire (-peers). SIGTERM drains:
+// in-flight statements finish before the listeners close.
 //
 // Usage:
 //
-//	dbserver -addr :7306 -benchmark bookstore|auction [-scale tiny|default|paper] [-seed N]
+//	dbserver -addr :7306 -benchmark bookstore|auction [-scale tiny|default|paper]
+//	         [-seed N] [-replica I] [-peers host:7306,host:7307] [-grace 5s]
 package main
 
 import (
@@ -12,9 +19,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/auction"
 	"repro/internal/bookstore"
+	"repro/internal/cluster"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/wire"
 )
@@ -25,47 +36,40 @@ func main() {
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
 		scale     = flag.String("scale", "default", "tiny, default or paper")
 		seed      = flag.Int64("seed", 1, "population seed")
+		replica   = flag.Int("replica", 0, "replica id, for logs and telemetry")
+		peers     = flag.String("peers", "", "comma-separated peer replicas to sync initial data from (skips -seed population)")
+		grace     = flag.Duration("grace", 5*time.Second, "SIGTERM drain grace for in-flight sessions")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logger := log.New(os.Stderr, fmt.Sprintf("replica[%d] ", *replica), log.LstdFlags)
 
 	db := sqldb.New()
 	sess := db.NewSession()
+	local := sqldb.SessionExecer{S: sess}
 	switch *benchmark {
 	case "bookstore":
-		sc := bookstore.DefaultScale()
-		switch *scale {
-		case "tiny":
-			sc = bookstore.TinyScale()
-		case "paper":
-			sc = bookstore.PaperScale()
-		}
-		if err := bookstore.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
-			logger.Fatal(err)
-		}
-		logger.Printf("populating bookstore at %s scale (%d items, %d customers)...",
-			*scale, sc.Items, sc.Customers)
-		if err := bookstore.Populate(sqldb.SessionExecer{S: sess}, sc, *seed); err != nil {
+		if err := bookstore.CreateSchema(local); err != nil {
 			logger.Fatal(err)
 		}
 	case "auction":
-		sc := auction.DefaultScale()
-		switch *scale {
-		case "tiny":
-			sc = auction.TinyScale()
-		case "paper":
-			sc = auction.PaperScale()
-		}
-		if err := auction.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
-			logger.Fatal(err)
-		}
-		logger.Printf("populating auction at %s scale (%d items, %d users)...",
-			*scale, sc.Items, sc.Users)
-		if err := auction.Populate(sqldb.SessionExecer{S: sess}, sc, *seed); err != nil {
+		if err := auction.CreateSchema(local); err != nil {
 			logger.Fatal(err)
 		}
 	default:
 		logger.Fatalf("unknown benchmark %q", *benchmark)
+	}
+
+	// Initial data: replay a live peer when joining an existing cluster,
+	// otherwise populate deterministically from the seed. When -peers was
+	// given, failing to sync is fatal: seeding instead would bring up a
+	// replica that silently diverges from a cluster that has moved past
+	// the seed state.
+	if peerList := cluster.ParseDSN(*peers); len(peerList) > 0 {
+		if !syncFromPeers(logger, local, peerList) {
+			logger.Fatalf("no peer in %q reachable; refusing to start from seed data", *peers)
+		}
+	} else {
+		populate(logger, local, *benchmark, *scale, *seed)
 	}
 	sess.Close()
 
@@ -74,7 +78,71 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	fmt.Printf("dbserver: %s database ready on %s (tables: %v)\n",
-		*benchmark, bound, db.TableNames())
-	select {} // serve forever
+	fmt.Printf("dbserver: replica %d, %s database ready on %s (tables: %v)\n",
+		*replica, *benchmark, bound, db.TableNames())
+
+	// SIGTERM / SIGINT drain in-flight sessions before closing listeners,
+	// so CI runs and cluster peers shut down without leaking connections.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	got := <-sig
+	logger.Printf("%s: draining (grace %s)...", got, *grace)
+	if err := srv.Shutdown(*grace); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("drained, bye")
+}
+
+// syncFromPeers replays the first reachable peer's data into the local
+// database — the startup replica-sync path. It reports whether a peer
+// provided the data.
+func syncFromPeers(logger *log.Logger, local sqldb.SessionExecer, peers []string) bool {
+	for _, peer := range peers {
+		conn, err := wire.Dial(peer)
+		if err != nil {
+			logger.Printf("peer %s unreachable: %v", peer, err)
+			continue
+		}
+		logger.Printf("syncing initial data from peer %s...", peer)
+		tables, rows, err := cluster.Sync(conn, local)
+		conn.Close()
+		if err != nil {
+			logger.Printf("sync from %s failed: %v", peer, err)
+			continue
+		}
+		logger.Printf("synced %d tables / %d rows from %s", tables, rows, peer)
+		return true
+	}
+	return false
+}
+
+func populate(logger *log.Logger, local sqldb.SessionExecer, benchmark, scale string, seed int64) {
+	switch benchmark {
+	case "bookstore":
+		sc := bookstore.DefaultScale()
+		switch scale {
+		case "tiny":
+			sc = bookstore.TinyScale()
+		case "paper":
+			sc = bookstore.PaperScale()
+		}
+		logger.Printf("populating bookstore at %s scale (%d items, %d customers)...",
+			scale, sc.Items, sc.Customers)
+		if err := bookstore.Populate(local, sc, seed); err != nil {
+			logger.Fatal(err)
+		}
+	case "auction":
+		sc := auction.DefaultScale()
+		switch scale {
+		case "tiny":
+			sc = auction.TinyScale()
+		case "paper":
+			sc = auction.PaperScale()
+		}
+		logger.Printf("populating auction at %s scale (%d items, %d users)...",
+			scale, sc.Items, sc.Users)
+		if err := auction.Populate(local, sc, seed); err != nil {
+			logger.Fatal(err)
+		}
+	}
 }

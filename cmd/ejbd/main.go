@@ -31,7 +31,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7099", "RMI listen address")
 		ajpAddr   = flag.String("ajp", "", "also serve presentation servlets on this AJP address")
-		dbAddr    = flag.String("db", "127.0.0.1:7306", "database wire address")
+		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address or a comma-separated replica list")
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
 		pool      = flag.Int("pool", 12, "database connection pool size")
 	)

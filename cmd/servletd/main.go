@@ -21,7 +21,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7009", "AJP listen address")
-		dbAddr    = flag.String("db", "127.0.0.1:7306", "database wire address")
+		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address or a comma-separated replica list")
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
 		sync      = flag.Bool("sync", false, "engine-side locking (the paper's sync variants)")
 		pool      = flag.Int("pool", 12, "database connection pool size")

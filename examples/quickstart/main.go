@@ -1,7 +1,8 @@
 // Quickstart: assemble one of the paper's middleware configurations as a
 // real multi-tier system (web server, servlet container over AJP, SQL
-// database over TCP — all in this process), issue a few interactions
-// against it, and print what happened.
+// database over TCP — all in this process), here with the database tier
+// replicated twice behind the read-one-write-all cluster client, issue a
+// few interactions against it, and print what happened.
 package main
 
 import (
@@ -15,18 +16,21 @@ import (
 )
 
 func main() {
-	// WsServlet-DB(sync): servlet container with engine-side locking.
+	// WsServlet-DB(sync): servlet container with engine-side locking,
+	// over a 2-replica database tier (reads load-balance, writes
+	// broadcast; see DESIGN.md §3).
 	lab, err := core.Start(core.Config{
-		Arch:      perfsim.ArchServletSync,
-		Benchmark: perfsim.Auction,
-		Seed:      1,
+		Arch:       perfsim.ArchServletSync,
+		Benchmark:  perfsim.Auction,
+		Seed:       1,
+		DBReplicas: 2,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer lab.Close()
-	fmt.Printf("auction site up as %s at http://%s/rubis/home\n",
-		perfsim.ArchServletSync, lab.WebAddr())
+	fmt.Printf("auction site up as %s at http://%s/rubis/home (db replicas: %v)\n",
+		perfsim.ArchServletSync, lab.WebAddr(), lab.ReplicaAddrs())
 
 	c := httpclient.New(lab.WebAddr(), 10*time.Second)
 	defer c.Close()

@@ -9,6 +9,7 @@ package auction
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/wire"
@@ -135,6 +136,8 @@ type Execer interface {
 
 var _ Execer = (*wire.Pool)(nil)
 var _ Execer = (*wire.Conn)(nil)
+var _ Execer = (*cluster.Client)(nil)
+var _ Execer = (*cluster.Session)(nil)
 
 // CreateSchema applies the DDL.
 func CreateSchema(db Execer) error {

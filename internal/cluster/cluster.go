@@ -1,0 +1,707 @@
+// Package cluster is the replication-aware database client: it fans one
+// logical database out over N internal/sqldb wire backends with
+// read-one-write-all semantics, the C-JDBC-style clustering middleware the
+// paper's authors name as the way past the single-database bottleneck.
+//
+// Routing policy: reads load-balance across healthy replicas (least
+// borrowed connections first, round-robin on ties, using the transport
+// pool's counters); writes — and LOCK/UNLOCK-bracketed sections with write
+// intent — broadcast to every healthy replica in replica order, serialized
+// per table by a cluster-wide write-order lock so all backends apply
+// conflicting writes in one global order. That ordering plus identical
+// seeding is what keeps replicas bit-identical (AUTO_INCREMENT assignment
+// included) without a database-level replication log.
+//
+// A replica that fails at the transport level is ejected: reads fail over
+// transparently, writes continue on the remaining replicas (or error, with
+// StrictWrites). An ejected replica rejoins through Rejoin, which replays a
+// healthy replica's data over the wire — the same replica-sync path a
+// fresh dbserver -peers uses at startup.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pool"
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+	"repro/internal/telemetry"
+)
+
+// ErrNoReplicas is returned when every replica has been ejected.
+var ErrNoReplicas = errors.New("cluster: no healthy replicas")
+
+// Config configures a Client.
+type Config struct {
+	// DSN is the multi-backend address list: "host:port[,host:port...]".
+	// A single address degenerates to a plain pooled client.
+	DSN string
+	// PoolSize bounds connections per replica (default 12).
+	PoolSize int
+	// StrictWrites makes a write error when any replica fails mid-broadcast
+	// (after completing the broadcast on the remaining healthy replicas, so
+	// the survivors stay mutually consistent). The default policy is
+	// write-all-available: the failed replica is ejected and the write
+	// succeeds on the rest.
+	StrictWrites bool
+}
+
+// ParseDSN splits a multi-backend DSN into its replica addresses.
+func ParseDSN(dsn string) []string {
+	var addrs []string
+	for _, a := range strings.Split(dsn, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// replica is one backend: its pool, health, and routing counters.
+type replica struct {
+	id   int
+	addr string
+	pool *wire.Pool
+
+	healthy   atomic.Bool
+	reads     atomic.Int64
+	writes    atomic.Int64
+	ejections atomic.Int64
+	lagNanos  atomic.Int64
+}
+
+// Client is the replicated database client. It is safe for concurrent use
+// and presents the same surface as a single wire.Pool: Exec/ExecCached for
+// pool-routed statements, Get/Put for LOCK-bracketed logical sessions, and
+// Prepare for shared statement handles.
+type Client struct {
+	replicas []*replica
+	rr       atomic.Uint64
+	locks    *writeLocks
+	routes   routes
+	strict   bool
+	// topo serializes broadcasts (read side) against Rejoin's resync
+	// (write side), so a joining replica never sees a half-applied write.
+	topo   sync.RWMutex
+	closed atomic.Bool
+}
+
+// New creates a client over the DSN's replicas with default policy.
+func New(dsn string, poolSize int) *Client {
+	return NewWithConfig(Config{DSN: dsn, PoolSize: poolSize})
+}
+
+// NewWithConfig creates a client.
+func NewWithConfig(cfg Config) *Client {
+	addrs := ParseDSN(cfg.DSN)
+	if len(addrs) == 0 {
+		addrs = []string{""}
+	}
+	size := cfg.PoolSize
+	if size <= 0 {
+		size = 12
+	}
+	c := &Client{locks: newWriteLocks(), strict: cfg.StrictWrites}
+	for i, addr := range addrs {
+		r := &replica{id: i, addr: addr, pool: wire.NewPool(addr, size)}
+		r.healthy.Store(true)
+		c.replicas = append(c.replicas, r)
+	}
+	return c
+}
+
+// Replicas returns the number of configured replicas.
+func (c *Client) Replicas() int { return len(c.replicas) }
+
+// Healthy returns the number of replicas currently accepting traffic.
+func (c *Client) Healthy() int {
+	n := 0
+	for _, r := range c.replicas {
+		if r.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// pickRead selects the read replica: the healthy replica with the fewest
+// borrowed connections (the pool's InUse gauge), round-robin on ties.
+func (c *Client) pickRead() *replica {
+	var best *replica
+	bestUse := 0
+	offset := int(c.rr.Add(1))
+	for i := range c.replicas {
+		r := c.replicas[(i+offset)%len(c.replicas)]
+		if !r.healthy.Load() {
+			continue
+		}
+		use := r.pool.InUse()
+		if best == nil || use < bestUse {
+			best, bestUse = r, use
+		}
+	}
+	return best
+}
+
+// eject marks a replica unhealthy after a transport failure and reports
+// whether it did. A single-replica client never ejects: there is nothing
+// to fail over to, so it degrades like a plain pool — errors surface and
+// the pool re-dials when the server returns. Its pool keeps its
+// statistics; Rejoin resets the stale connections.
+func (c *Client) eject(r *replica) bool {
+	if len(c.replicas) == 1 {
+		return false
+	}
+	if r.healthy.CompareAndSwap(true, false) {
+		r.ejections.Add(1)
+	}
+	return true
+}
+
+// isTransport reports whether err is a transport-level failure (as opposed
+// to a database-side error, which is deterministic across replicas).
+func isTransport(err error) bool {
+	return err != nil && !wire.IsServerError(err)
+}
+
+// Exec routes one statement as SQL text. See ExecCached for routing.
+func (c *Client) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return c.exec(query, args, false)
+}
+
+// ExecCached routes one statement over the prepared-statement fast path:
+// reads run on one load-balanced replica, writes broadcast to all healthy
+// replicas in order under the table write-order lock.
+func (c *Client) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return c.exec(query, args, true)
+}
+
+func (c *Client) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	// One replica: no routing decision exists — skip classification,
+	// counters and write ordering entirely and behave like a plain pool.
+	if len(c.replicas) == 1 {
+		return c.poolExec(c.replicas[0], query, args, cached)
+	}
+	rt := c.routes.of(query)
+	if rt.kind == kindRead {
+		return c.execRead(query, args, cached)
+	}
+	// LOCK/UNLOCK arriving outside a Get/Put session would strand lock
+	// state on pooled connections; sessions are the supported bracket.
+	if rt.kind == kindLock || rt.kind == kindUnlock {
+		return nil, fmt.Errorf("cluster: %s requires a session (Get/Put)",
+			strings.Fields(query)[0])
+	}
+	return c.execWrite(query, args, cached, rt)
+}
+
+// execRead runs a read on one replica, failing over (and ejecting) on
+// transport errors until a healthy replica answers.
+func (c *Client) execRead(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	return c.readWith(func(r *replica) (*sqldb.Result, error) {
+		return c.poolExec(r, query, args, cached)
+	})
+}
+
+// readWith runs one read via run on a load-balanced healthy replica,
+// ejecting and failing over on transport errors.
+func (c *Client) readWith(run func(*replica) (*sqldb.Result, error)) (*sqldb.Result, error) {
+	for {
+		r := c.pickRead()
+		if r == nil {
+			return nil, ErrNoReplicas
+		}
+		res, err := run(r)
+		if isTransport(err) {
+			if c.eject(r) {
+				continue // fail over to the next healthy replica
+			}
+			return nil, err
+		}
+		r.reads.Add(1)
+		return res, err
+	}
+}
+
+// execWrite broadcasts a write to every healthy replica in replica order,
+// holding the statement's table write-order locks across the broadcast.
+func (c *Client) execWrite(query string, args []sqldb.Value, cached bool, rt route) (*sqldb.Result, error) {
+	return c.writeWith(rt, func(r *replica) (*sqldb.Result, error) {
+		return c.poolExec(r, query, args, cached)
+	})
+}
+
+// bcast accumulates one broadcast's outcome: the canonical answer (the
+// first healthy replica's), per-replica lag behind that leader, and
+// whether any replica transport-failed — the accounting shared by
+// pool-level and session-level broadcasts.
+type bcast struct {
+	res      *sqldb.Result
+	first    error
+	lastErr  error
+	answered bool
+	failed   bool
+	tFirst   time.Time
+}
+
+// ok records a replica's (server-deterministic) answer.
+func (b *bcast) ok(r *replica, res *sqldb.Result, err error, countWrite bool) {
+	if countWrite {
+		r.writes.Add(1)
+	}
+	if !b.answered {
+		b.res, b.first, b.answered = res, err, true
+		b.tFirst = time.Now()
+	} else {
+		r.lagNanos.Add(time.Since(b.tFirst).Nanoseconds())
+	}
+}
+
+// fail records a replica's transport failure.
+func (b *bcast) fail(err error) { b.failed, b.lastErr = true, err }
+
+// result resolves the broadcast under the write policy.
+func (b *bcast) result(c *Client) (*sqldb.Result, error) {
+	if !b.answered {
+		if b.lastErr != nil {
+			return nil, b.lastErr
+		}
+		return nil, ErrNoReplicas
+	}
+	if b.failed && c.strict {
+		return nil, fmt.Errorf("cluster: strict write policy: replica failed mid-broadcast (applied on %d remaining)", c.Healthy())
+	}
+	return b.res, b.first
+}
+
+// writeWith broadcasts run to every healthy replica in replica order under
+// the route's table write-order locks.
+func (c *Client) writeWith(rt route, run func(*replica) (*sqldb.Result, error)) (*sqldb.Result, error) {
+	c.topo.RLock()
+	defer c.topo.RUnlock()
+	release := c.locks.acquire(rt.tables)
+	defer release()
+
+	var b bcast
+	for _, r := range c.replicas {
+		if !r.healthy.Load() {
+			continue
+		}
+		res, err := run(r)
+		if isTransport(err) {
+			c.eject(r)
+			b.fail(err)
+			continue
+		}
+		b.ok(r, res, err, true)
+	}
+	return b.result(c)
+}
+
+func (c *Client) poolExec(r *replica, query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	if cached {
+		return r.pool.ExecCached(query, args...)
+	}
+	return r.pool.Exec(query, args...)
+}
+
+// Prepare returns a shared statement handle, with each replica's pool
+// statement resolved once up front (no network happens here). Statement
+// ids live on the individual wire connections underneath, so a replica's
+// fresh or recycled connections transparently re-prepare — including
+// after ejection and rejoin.
+func (c *Client) Prepare(query string) *Stmt {
+	per := make([]*wire.Stmt, len(c.replicas))
+	for i, r := range c.replicas {
+		per[i] = r.pool.Prepare(query)
+	}
+	return &Stmt{c: c, query: query, rt: c.routes.of(query), per: per}
+}
+
+// Stmt is a cluster-level prepared statement: the routing decision plus
+// one pool statement per replica. Pool statements survive replica churn
+// (ids are per-connection state), so the handle never needs refreshing.
+type Stmt struct {
+	c     *Client
+	query string
+	rt    route
+	per   []*wire.Stmt // by replica id
+}
+
+// Query returns the statement's SQL text.
+func (s *Stmt) Query() string { return s.query }
+
+// Exec routes the prepared statement like Client.ExecCached, executing
+// through the pre-resolved per-replica handles.
+func (s *Stmt) Exec(args ...sqldb.Value) (*sqldb.Result, error) {
+	if len(s.c.replicas) == 1 {
+		return s.per[0].Exec(args...)
+	}
+	run := func(r *replica) (*sqldb.Result, error) { return s.per[r.id].Exec(args...) }
+	if s.rt.kind == kindRead {
+		return s.c.readWith(run)
+	}
+	return s.c.writeWith(s.rt, run)
+}
+
+// Get opens a logical session for a LOCK/UNLOCK-bracketed section. The
+// session pins reads to one load-balanced replica; a bracket with write
+// intent broadcasts the whole section to every healthy replica in order.
+func (c *Client) Get() (*Session, error) {
+	if c.closed.Load() {
+		return nil, errors.New("cluster: client closed")
+	}
+	pinned := c.pickRead()
+	if pinned == nil {
+		return nil, ErrNoReplicas
+	}
+	return &Session{
+		c:      c,
+		pinned: pinned,
+		conns:  make([]*wire.Conn, len(c.replicas)),
+		broken: make([]bool, len(c.replicas)),
+	}, nil
+}
+
+// Put returns a session. Pass broken=true when the bracket did not close
+// cleanly: every borrowed connection is discarded, releasing any LOCK
+// TABLES state server-side, exactly like discarding a single connection.
+func (c *Client) Put(s *Session, broken bool) {
+	if s == nil {
+		return
+	}
+	s.end(broken)
+}
+
+// Session is one logical connection over the cluster — what the
+// application borrows around a LOCK TABLES ... UNLOCK TABLES section. Not
+// safe for concurrent use, like the wire connection it replaces.
+type Session struct {
+	c      *Client
+	pinned *replica
+	conns  []*wire.Conn // by replica id; nil = not borrowed yet
+	broken []bool       // transport-failed connections, discarded at end
+
+	inBracket  bool
+	bracketAll bool   // write-intent bracket: section broadcasts
+	release    func() // bracket's write-order locks
+	topoHeld   bool
+	failed     bool
+}
+
+// conn lazily borrows this session's connection to r.
+func (s *Session) conn(r *replica) (*wire.Conn, error) {
+	if s.conns[r.id] != nil {
+		return s.conns[r.id], nil
+	}
+	cn, err := r.pool.Get()
+	if err != nil {
+		return nil, err
+	}
+	s.conns[r.id] = cn
+	return cn, nil
+}
+
+// Exec runs one statement on the session as SQL text.
+func (s *Session) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return s.exec(query, args, false)
+}
+
+// ExecCached runs one statement on the session over the prepared path.
+func (s *Session) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return s.exec(query, args, true)
+}
+
+func (s *Session) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	if s.failed {
+		return nil, errors.New("cluster: session failed, discard it")
+	}
+	// One replica: the session is an ordinary borrowed connection.
+	if len(s.c.replicas) == 1 {
+		cn, err := s.conn(s.pinned)
+		if err != nil {
+			s.failed = true
+			return nil, err
+		}
+		res, err := s.connExec(cn, query, args, cached)
+		if isTransport(err) {
+			s.broken[s.pinned.id] = true
+			s.failed = true
+		}
+		return res, err
+	}
+	rt := s.c.routes.of(query)
+	switch rt.kind {
+	case kindRead:
+		return s.execRead(query, args, cached)
+	case kindLock:
+		return s.execLock(query, args, cached, rt)
+	case kindUnlock:
+		return s.execUnlock(query, args, cached)
+	default:
+		return s.execWrite(query, args, cached, rt)
+	}
+}
+
+// execRead runs a read on the pinned replica's connection. Inside a
+// broadcast bracket the pinned replica holds the same locks as the rest,
+// so its answer is canonical.
+func (s *Session) execRead(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	cn, err := s.conn(s.pinned)
+	if err != nil {
+		s.fail(s.pinned)
+		return nil, err
+	}
+	res, err := s.connExec(cn, query, args, cached)
+	if isTransport(err) {
+		s.fail(s.pinned)
+		return nil, err
+	}
+	s.pinned.reads.Add(1)
+	return res, err
+}
+
+// execLock opens a bracket. Write intent broadcasts the LOCK to every
+// healthy replica and serializes the bracket's tables cluster-wide for its
+// whole duration; a read-only bracket locks the pinned replica only.
+//
+// A LOCK TABLES inside an open bracket mirrors MySQL's implicit release of
+// the previous set: the cluster-side bracket state (write-order locks,
+// topo hold) is released first, and if the previous bracket had broadcast,
+// the new LOCK broadcasts too — whatever its own intent — so every
+// connection that holds the old set receives the statement that releases
+// it.
+func (s *Session) execLock(query string, args []sqldb.Value, cached bool, rt route) (*sqldb.Result, error) {
+	wasAll := s.bracketAll
+	if s.inBracket {
+		s.closeBracket()
+	}
+	if !rt.writeBracket && !wasAll {
+		res, err := s.execRead(query, args, cached)
+		if err == nil {
+			s.inBracket = true
+		}
+		return res, err
+	}
+	s.c.topo.RLock()
+	s.topoHeld = true
+	if rt.writeBracket {
+		s.release = s.c.locks.acquire(rt.tables)
+	}
+	res, err := s.broadcast(query, args, cached, false)
+	if err != nil {
+		s.failed = true
+		return nil, err
+	}
+	s.inBracket, s.bracketAll = true, true
+	return res, nil
+}
+
+// execUnlock closes the bracket on every replica it was opened on.
+func (s *Session) execUnlock(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	var res *sqldb.Result
+	var err error
+	if s.bracketAll {
+		res, err = s.broadcast(query, args, cached, false)
+	} else {
+		res, err = s.execRead(query, args, cached)
+	}
+	if err != nil {
+		s.failed = true
+		return nil, err
+	}
+	s.closeBracket()
+	return res, nil
+}
+
+// execWrite broadcasts a write inside (or, degenerately, outside) a
+// bracket. Inside a write bracket the tables are already serialized by the
+// bracket's locks; outside, the statement takes its own.
+func (s *Session) execWrite(query string, args []sqldb.Value, cached bool, rt route) (*sqldb.Result, error) {
+	if s.bracketAll {
+		return s.broadcast(query, args, cached, true)
+	}
+	if s.inBracket {
+		// Write inside a read-only bracket: the database will reject it
+		// (READ-locked), so route it to the pinned replica alone and let
+		// the deterministic error come back.
+		return s.execRead(query, args, cached)
+	}
+	s.c.topo.RLock()
+	release := s.c.locks.acquire(rt.tables)
+	defer func() { release(); s.c.topo.RUnlock() }()
+	return s.broadcast(query, args, cached, true)
+}
+
+// broadcast sends one statement to every healthy replica in replica order
+// over the session's connections. Transport failures eject the replica and
+// — under the default policy — the broadcast continues; the pinned
+// replica's answer (or the first healthy one's) is canonical.
+func (s *Session) broadcast(query string, args []sqldb.Value, cached, countWrite bool) (*sqldb.Result, error) {
+	var b bcast
+	for _, r := range s.c.replicas {
+		if s.broken[r.id] || (!r.healthy.Load() && s.conns[r.id] == nil) {
+			continue
+		}
+		cn, err := s.conn(r)
+		if err == nil {
+			var res *sqldb.Result
+			res, err = s.connExec(cn, query, args, cached)
+			if err == nil || !isTransport(err) {
+				b.ok(r, res, err, countWrite)
+				continue
+			}
+		}
+		// Transport failure: this replica leaves the cluster; its
+		// connection (if any) is poisoned and discarded at session end.
+		s.fail(r)
+		b.fail(err)
+	}
+	res, err := b.result(s.c)
+	// A database-side error in `err` is deterministic and leaves the
+	// session usable; only an unanswered or strict-failed broadcast
+	// poisons it.
+	if !b.answered || (b.failed && s.c.strict) {
+		s.failed = true
+		return nil, err
+	}
+	// The session must keep reading from a replica that holds the bracket.
+	if !s.pinned.healthy.Load() {
+		for _, r := range s.c.replicas {
+			if r.healthy.Load() && s.conns[r.id] != nil && !s.broken[r.id] {
+				s.pinned = r
+				break
+			}
+		}
+	}
+	return res, err
+}
+
+func (s *Session) connExec(cn *wire.Conn, query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	if cached {
+		return cn.ExecCached(query, args...)
+	}
+	return cn.Exec(query, args...)
+}
+
+// fail poisons the session's connection to r and ejects r.
+func (s *Session) fail(r *replica) {
+	s.broken[r.id] = true
+	s.c.eject(r)
+}
+
+func (s *Session) closeBracket() {
+	if s.release != nil {
+		s.release()
+		s.release = nil
+	}
+	if s.topoHeld {
+		s.c.topo.RUnlock()
+		s.topoHeld = false
+	}
+	s.inBracket, s.bracketAll = false, false
+}
+
+// end returns every borrowed connection and releases bracket state.
+func (s *Session) end(broken bool) {
+	s.closeBracket()
+	for i, cn := range s.conns {
+		if cn == nil {
+			continue
+		}
+		s.c.replicas[i].pool.Put(cn, broken || s.failed || s.broken[i])
+		s.conns[i] = nil
+	}
+}
+
+// Rejoin brings an ejected replica back: its stale pooled connections are
+// dropped and, with sync true, a healthy replica's data is replayed onto
+// it first (the replica-sync path). Rejoin blocks new broadcasts until the
+// copy completes, so the joiner comes back consistent.
+func (c *Client) Rejoin(id int, syncData bool) error {
+	if id < 0 || id >= len(c.replicas) {
+		return fmt.Errorf("cluster: no replica %d", id)
+	}
+	r := c.replicas[id]
+	if r.healthy.Load() {
+		return nil
+	}
+	c.topo.Lock()
+	defer c.topo.Unlock()
+	r.pool.Reset()
+	if syncData {
+		src := c.pickRead()
+		if src == nil {
+			return ErrNoReplicas
+		}
+		if _, _, err := Sync(src.pool, r.pool); err != nil {
+			return fmt.Errorf("cluster: sync replica %d from %d: %w", id, src.id, err)
+		}
+	}
+	r.healthy.Store(true)
+	return nil
+}
+
+// Stats aggregates the per-replica pools into one pool.Stats — the single
+// "connections into the database tier" figure the cross-tier bottleneck
+// heuristic consumes. Counters sum; latency figures take the worst replica.
+func (c *Client) Stats() pool.Stats {
+	agg := pool.Stats{Name: "db-cluster"}
+	for _, r := range c.replicas {
+		ps := r.pool.Stats()
+		agg.Capacity += ps.Capacity
+		agg.InUse += ps.InUse
+		agg.Idle += ps.Idle
+		agg.Dials += ps.Dials
+		agg.Gets += ps.Gets
+		agg.Waits += ps.Waits
+		agg.WaitNanos += ps.WaitNanos
+		agg.Discards += ps.Discards
+		agg.Retries += ps.Retries
+		if ps.BorrowMeanMillis > agg.BorrowMeanMillis {
+			agg.BorrowMeanMillis = ps.BorrowMeanMillis
+		}
+		if ps.BorrowP95Millis > agg.BorrowP95Millis {
+			agg.BorrowP95Millis = ps.BorrowP95Millis
+		}
+		if ps.BorrowMaxMillis > agg.BorrowMaxMillis {
+			agg.BorrowMaxMillis = ps.BorrowMaxMillis
+		}
+	}
+	if len(c.replicas) == 1 {
+		agg.Name = "db@" + c.replicas[0].addr
+	}
+	return agg
+}
+
+// ReplicaStats reports the per-replica routing view for telemetry.
+func (c *Client) ReplicaStats() []telemetry.Replica {
+	out := make([]telemetry.Replica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		ps := r.pool.Stats()
+		out = append(out, telemetry.Replica{
+			ID:        r.id,
+			Addr:      r.addr,
+			Healthy:   r.healthy.Load(),
+			Reads:     r.reads.Load(),
+			Writes:    r.writes.Load(),
+			Ejections: r.ejections.Load(),
+			LagNanos:  r.lagNanos.Load(),
+			Pool:      &ps,
+		})
+	}
+	return out
+}
+
+// Close closes every replica pool.
+func (c *Client) Close() {
+	c.closed.Store(true)
+	for _, r := range c.replicas {
+		r.pool.Close()
+	}
+}

@@ -1,0 +1,461 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqldb/wire"
+)
+
+// testReplica is one backend under test: its database and wire server.
+type testReplica struct {
+	db   *sqldb.DB
+	srv  *wire.Server
+	addr string
+}
+
+// startReplicas boots n identically seeded backends with a small table.
+func startReplicas(t *testing.T, n int) []*testReplica {
+	t.Helper()
+	reps := make([]*testReplica, n)
+	for i := range reps {
+		db := sqldb.New()
+		sess := db.NewSession()
+		ex := sqldb.SessionExecer{S: sess}
+		mustExec(t, ex, `CREATE TABLE items (id INT PRIMARY KEY AUTO_INCREMENT, name VARCHAR(32), qty INT)`)
+		mustExec(t, ex, `CREATE TABLE audit (id INT PRIMARY KEY AUTO_INCREMENT, item INT, delta INT)`)
+		for j := 1; j <= 10; j++ {
+			mustExec(t, ex, "INSERT INTO items (name, qty) VALUES (?, ?)",
+				sqldb.String(fmt.Sprintf("item-%d", j)), sqldb.Int(100))
+		}
+		sess.Close()
+		srv := wire.NewServer(db, nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = &testReplica{db: db, srv: srv, addr: addr.String()}
+		t.Cleanup(func() { srv.Close() })
+	}
+	return reps
+}
+
+func mustExec(t *testing.T, ex Execer, q string, args ...sqldb.Value) {
+	t.Helper()
+	if _, err := ex.Exec(q, args...); err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+}
+
+func dsnOf(reps []*testReplica) string {
+	addrs := make([]string, len(reps))
+	for i, r := range reps {
+		addrs[i] = r.addr
+	}
+	return strings.Join(addrs, ",")
+}
+
+func newTestClient(t *testing.T, reps []*testReplica, cfg Config) *Client {
+	t.Helper()
+	cfg.DSN = dsnOf(reps)
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 4
+	}
+	c := NewWithConfig(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestReadsLoadBalance: reads must land on every healthy replica, not just
+// the first — the read-one half of read-one-write-all.
+func TestReadsLoadBalance(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{})
+	for i := 0; i < 40; i++ {
+		res, err := c.ExecCached("SELECT name FROM items WHERE id = ?", sqldb.Int(int64(1+i%10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("row count %d", len(res.Rows))
+		}
+	}
+	for i, r := range reps {
+		if n := r.srv.QueryCount(); n == 0 {
+			t.Errorf("replica %d served no statements; reads did not balance", i)
+		}
+	}
+	rs := c.ReplicaStats()
+	if rs[0].Reads+rs[1].Reads != 40 {
+		t.Errorf("routed reads %d+%d, want 40 total", rs[0].Reads, rs[1].Reads)
+	}
+	if rs[0].Writes != 0 || rs[1].Writes != 0 {
+		t.Errorf("reads were counted as writes: %+v", rs)
+	}
+}
+
+// TestWriteBroadcast: a write must apply on every replica, and the replicas
+// must assign the same AUTO_INCREMENT ids.
+func TestWriteBroadcast(t *testing.T) {
+	reps := startReplicas(t, 3)
+	c := newTestClient(t, reps, Config{})
+	res, err := c.ExecCached("INSERT INTO items (name, qty) VALUES (?, ?)",
+		sqldb.String("new"), sqldb.Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastInsertID != 11 {
+		t.Fatalf("LastInsertID %d, want 11", res.LastInsertID)
+	}
+	for i, r := range reps {
+		res := queryReplica(t, r, "SELECT qty FROM items WHERE id = 11")
+		if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 7 {
+			t.Errorf("replica %d missing broadcast row: %+v", i, res.Rows)
+		}
+	}
+}
+
+func queryReplica(t *testing.T, r *testReplica, q string) *sqldb.Result {
+	t.Helper()
+	sess := r.db.NewSession()
+	defer sess.Close()
+	res, err := sess.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWriteOrderingUnderConcurrency hammers one row from many goroutines
+// (run with -race): the per-table write-order lock must leave every replica
+// with the same final state and the same row sets.
+func TestWriteOrderingUnderConcurrency(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{PoolSize: 8})
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := c.ExecCached("UPDATE items SET qty = qty - 1 WHERE id = 1"); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.ExecCached("INSERT INTO audit (item, delta) VALUES (?, ?)",
+					sqldb.Int(1), sqldb.Int(int64(w*rounds+i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := int64(100 - workers*rounds)
+	for i, r := range reps {
+		res := queryReplica(t, r, "SELECT qty FROM items WHERE id = 1")
+		if got := res.Rows[0][0].AsInt(); got != want {
+			t.Errorf("replica %d qty %d, want %d", i, got, want)
+		}
+		audit := queryReplica(t, r, "SELECT COUNT(*) FROM audit")
+		if got := audit.Rows[0][0].AsInt(); got != int64(workers*rounds) {
+			t.Errorf("replica %d audit rows %d, want %d", i, got, workers*rounds)
+		}
+	}
+	// AUTO_INCREMENT assignment must agree row for row: the audit ids paired
+	// with each delta are identical across replicas only if both replicas
+	// applied the inserts in one global order.
+	a := queryReplica(t, reps[0], "SELECT id, delta FROM audit ORDER BY id")
+	b := queryReplica(t, reps[1], "SELECT id, delta FROM audit ORDER BY id")
+	for i := range a.Rows {
+		if a.Rows[i][0].AsInt() != b.Rows[i][0].AsInt() ||
+			a.Rows[i][1].AsInt() != b.Rows[i][1].AsInt() {
+			t.Fatalf("audit row %d diverged: %v vs %v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+// TestSessionBracketBroadcast drives the LOCK ... UNLOCK path the (non-
+// sync) applications use: the bracketed write must reach both replicas.
+func TestSessionBracketBroadcast(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{})
+	s, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecCached("LOCK TABLES items WRITE, audit READ"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ExecCached("SELECT qty FROM items WHERE id = 2")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("read in bracket: %v", err)
+	}
+	if _, err := s.ExecCached("UPDATE items SET qty = ? WHERE id = 2", sqldb.Int(55)); err != nil {
+		t.Fatal(err)
+	}
+	// A read-locked table rejects writes — deterministically on the one
+	// replica the read is routed to.
+	if _, err := s.ExecCached("INSERT INTO audit (item, delta) VALUES (1, 1)"); err == nil {
+		t.Fatal("write to READ-locked table must fail")
+	} else if !wire.IsServerError(err) {
+		t.Fatalf("want server error, got %v", err)
+	}
+	if _, err := s.ExecCached("UNLOCK TABLES"); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(s, false)
+	for i, r := range reps {
+		res := queryReplica(t, r, "SELECT qty FROM items WHERE id = 2")
+		if got := res.Rows[0][0].AsInt(); got != 55 {
+			t.Errorf("replica %d qty %d, want 55", i, got)
+		}
+	}
+}
+
+// TestFailoverMidWorkload kills one replica under load: reads must
+// continue on the survivor (after one ejection), and writes must keep
+// applying on the survivor under the default policy.
+func TestFailoverMidWorkload(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{})
+	// Warm both replicas.
+	for i := 0; i < 10; i++ {
+		if _, err := c.ExecCached("SELECT name FROM items WHERE id = 1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reps[1].srv.Close() // the failure
+
+	// Reads keep working; the dead replica is ejected on first contact.
+	for i := 0; i < 20; i++ {
+		if _, err := c.ExecCached("SELECT name FROM items WHERE id = 2"); err != nil {
+			t.Fatalf("read %d after failover: %v", i, err)
+		}
+	}
+	if h := c.Healthy(); h != 1 {
+		t.Fatalf("healthy %d, want 1", h)
+	}
+	// Writes continue on the survivor (write-all-available).
+	if _, err := c.ExecCached("UPDATE items SET qty = 1 WHERE id = 3"); err != nil {
+		t.Fatalf("write after failover: %v", err)
+	}
+	res := queryReplica(t, reps[0], "SELECT qty FROM items WHERE id = 3")
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Fatal("write did not apply on survivor")
+	}
+	rs := c.ReplicaStats()
+	if rs[1].Ejections != 1 || rs[1].Healthy {
+		t.Fatalf("replica 1 not ejected: %+v", rs[1])
+	}
+}
+
+// TestStrictWritePolicy: with StrictWrites, a write that loses a replica
+// mid-broadcast errors (after completing on the survivors).
+func TestStrictWritePolicy(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{StrictWrites: true})
+	// Warm the pools so the failure happens at execution, not dial.
+	if _, err := c.ExecCached("UPDATE items SET qty = 100 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	reps[1].srv.Close()
+	_, err := c.ExecCached("UPDATE items SET qty = 42 WHERE id = 1")
+	if err == nil {
+		t.Fatal("strict policy must error when a replica fails mid-broadcast")
+	}
+	// The survivor applied it regardless, staying self-consistent.
+	res := queryReplica(t, reps[0], "SELECT qty FROM items WHERE id = 1")
+	if res.Rows[0][0].AsInt() != 42 {
+		t.Fatal("survivor missing the strict-mode write")
+	}
+	// Reads still flow.
+	if _, err := c.ExecCached("SELECT name FROM items WHERE id = 1"); err != nil {
+		t.Fatalf("read after strict failure: %v", err)
+	}
+}
+
+// TestReprepareOnReplica: a prepared statement must survive replica
+// connection churn — fresh connections transparently re-prepare, including
+// after ejection and rejoin (the re-prepare-on-replica regression test).
+func TestReprepareOnReplica(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{PoolSize: 2})
+	st := c.Prepare("SELECT name FROM items WHERE id = ?")
+	for i := 0; i < 8; i++ {
+		if _, err := st.Exec(sqldb.Int(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wr := c.Prepare("UPDATE items SET qty = ? WHERE id = ?")
+	if _, err := wr.Exec(sqldb.Int(9), sqldb.Int(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill and restart replica 1 on the same address: every connection and
+	// server-side statement id it held is gone.
+	reps[1].srv.Close()
+	if _, err := wr.Exec(sqldb.Int(10), sqldb.Int(4)); err != nil {
+		t.Fatalf("write during outage (available policy): %v", err)
+	}
+	srv2 := wire.NewServer(reps[1].db, nil)
+	if _, err := srv2.Listen(reps[1].addr); err != nil {
+		t.Skipf("cannot rebind %s: %v", reps[1].addr, err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	reps[1].srv = srv2
+
+	if err := c.Rejoin(1, true); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if h := c.Healthy(); h != 2 {
+		t.Fatalf("healthy %d after rejoin, want 2", h)
+	}
+	// The rejoined replica caught up on the write it missed...
+	res := queryReplica(t, reps[1], "SELECT qty FROM items WHERE id = 4")
+	if got := res.Rows[0][0].AsInt(); got != 10 {
+		t.Fatalf("rejoined replica qty %d, want 10 (sync missed the write)", got)
+	}
+	// ...and both statements keep executing on both replicas: the new
+	// connections re-prepare behind the scenes.
+	before := reps[1].srv.QueryCount()
+	for i := 0; i < 20; i++ {
+		if _, err := st.Exec(sqldb.Int(2)); err != nil {
+			t.Fatalf("prepared read after rejoin: %v", err)
+		}
+	}
+	if _, err := wr.Exec(sqldb.Int(11), sqldb.Int(5)); err != nil {
+		t.Fatalf("prepared write after rejoin: %v", err)
+	}
+	if reps[1].srv.QueryCount() == before {
+		t.Fatal("rejoined replica served nothing; statements not re-prepared there")
+	}
+}
+
+// TestSyncCopiesData: the replica-sync path replays tables, rows and
+// AUTO_INCREMENT positions onto an empty schema.
+func TestSyncCopiesData(t *testing.T) {
+	reps := startReplicas(t, 1)
+	src := wire.NewPool(reps[0].addr, 2)
+	defer src.Close()
+
+	dst := sqldb.New()
+	sess := dst.NewSession()
+	ex := sqldb.SessionExecer{S: sess}
+	mustExec(t, ex, `CREATE TABLE items (id INT PRIMARY KEY AUTO_INCREMENT, name VARCHAR(32), qty INT)`)
+	mustExec(t, ex, `CREATE TABLE audit (id INT PRIMARY KEY AUTO_INCREMENT, item INT, delta INT)`)
+
+	tables, rows, err := Sync(src, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables != 2 || rows != 10 {
+		t.Fatalf("synced %d tables / %d rows, want 2 / 10", tables, rows)
+	}
+	res, err := sess.Exec("SELECT COUNT(*) FROM items")
+	if err != nil || res.Rows[0][0].AsInt() != 10 {
+		t.Fatalf("dst items: %v %+v", err, res)
+	}
+	// The next insert must continue the source's AUTO_INCREMENT sequence.
+	ins, err := sess.Exec("INSERT INTO items (name, qty) VALUES ('after', 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.LastInsertID != 11 {
+		t.Fatalf("post-sync LastInsertID %d, want 11", ins.LastInsertID)
+	}
+	sess.Close()
+}
+
+// TestRouteAnalysis pins the routing classifier's table extraction.
+func TestRouteAnalysis(t *testing.T) {
+	cases := []struct {
+		q      string
+		kind   stmtKind
+		tables string
+		wb     bool
+	}{
+		{"SELECT * FROM items", kindRead, "", false},
+		{"  select id from items where x = ?", kindRead, "", false},
+		{"SHOW TABLES", kindRead, "", false},
+		{"INSERT INTO orders (a, b) VALUES (?, ?)", kindWrite, "orders", false},
+		{"UPDATE Items SET qty = ? WHERE id = ?", kindWrite, "items", false},
+		{"DELETE FROM cart_items WHERE cart = ?", kindWrite, "cart_items", false},
+		{"CREATE TABLE foo (id INT)", kindWrite, "foo", false},
+		{"CREATE TABLE IF NOT EXISTS foo (id INT)", kindWrite, "foo", false},
+		{"CREATE UNIQUE INDEX idx_x ON bar (col)", kindWrite, "bar", false},
+		{"DROP TABLE IF EXISTS baz", kindWrite, "baz", false},
+		{"LOCK TABLES a READ, b WRITE, c READ", kindLock, "b", true},
+		{"LOCK TABLES a READ", kindLock, "", false},
+		{"UNLOCK TABLES", kindUnlock, "", false},
+	}
+	for _, tc := range cases {
+		r := analyze(tc.q)
+		if r.kind != tc.kind {
+			t.Errorf("%q kind %d, want %d", tc.q, r.kind, tc.kind)
+		}
+		if got := strings.Join(r.tables, ","); got != tc.tables {
+			t.Errorf("%q tables %q, want %q", tc.q, got, tc.tables)
+		}
+		if r.writeBracket != tc.wb {
+			t.Errorf("%q writeBracket %v, want %v", tc.q, r.writeBracket, tc.wb)
+		}
+	}
+}
+
+// TestNestedLockBracket: a second LOCK TABLES inside an open bracket
+// mirrors MySQL's implicit release — the first bracket's cluster-side
+// write-order locks must be released (regression: they leaked, blocking
+// every later writer to the table forever).
+func TestNestedLockBracket(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{})
+	s, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecCached("LOCK TABLES items WRITE"); err != nil {
+		t.Fatal(err)
+	}
+	// Nested re-lock of a different set: items' locks must be released.
+	if _, err := s.ExecCached("LOCK TABLES audit WRITE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecCached("INSERT INTO audit (item, delta) VALUES (1, 5)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecCached("UNLOCK TABLES"); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(s, false)
+
+	// A write to items from the pool must neither block on a leaked
+	// write-order lock nor on a leaked topo reader (exercised via Rejoin
+	// being a topo writer — nothing is ejected, so it is a no-op, but a
+	// leaked reader would have deadlocked a writer if one were pending).
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ExecCached("UPDATE items SET qty = 3 WHERE id = 1")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write to items blocked: nested LOCK leaked its write-order lock")
+	}
+	for i, r := range reps {
+		res := queryReplica(t, r, "SELECT COUNT(*) FROM audit")
+		if got := res.Rows[0][0].AsInt(); got != 1 {
+			t.Errorf("replica %d audit rows %d, want 1", i, got)
+		}
+	}
+}

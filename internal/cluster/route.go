@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// stmtKind classifies a statement for routing: reads go to one replica,
+// writes broadcast to all, LOCK/UNLOCK open and close a bracketed section.
+type stmtKind int
+
+const (
+	kindRead stmtKind = iota
+	kindWrite
+	kindLock
+	kindUnlock
+)
+
+// route is the routing decision for one query text: its kind, and for
+// writes and write-intent LOCK TABLES the tables whose cluster-wide write
+// order must be serialized.
+type route struct {
+	kind stmtKind
+	// tables lists the write-ordered tables (lower-cased, sorted, deduped).
+	// Empty for reads; for an unparsable write it holds the catch-all "".
+	tables []string
+	// writeBracket marks a LOCK TABLES set containing at least one WRITE
+	// intent: the whole bracketed section must broadcast.
+	writeBracket bool
+}
+
+// routes memoizes analyze per query text. The workloads repeat a small
+// fixed statement set, so this is a one-time cost per distinct text.
+type routes struct{ m sync.Map }
+
+func (rs *routes) of(query string) route {
+	if v, ok := rs.m.Load(query); ok {
+		return v.(route)
+	}
+	r := analyze(query)
+	rs.m.Store(query, r)
+	return r
+}
+
+// analyze classifies a statement from its leading tokens — the same
+// first-keyword dispatch the SQL parser uses, without paying for a full
+// parse on the routing hot path.
+func analyze(query string) route {
+	toks := tokens(query)
+	if len(toks) == 0 {
+		return route{kind: kindRead}
+	}
+	switch toks[0] {
+	case "SELECT", "SHOW":
+		return route{kind: kindRead}
+	case "UNLOCK":
+		return route{kind: kindUnlock}
+	case "LOCK":
+		return analyzeLock(toks)
+	case "INSERT": // INSERT INTO <t> ...
+		return writeRoute(tokenAfter(toks, "INTO"))
+	case "UPDATE": // UPDATE <t> SET ...
+		return writeRoute(tokenAt(toks, 1))
+	case "DELETE": // DELETE FROM <t> ...
+		return writeRoute(tokenAfter(toks, "FROM"))
+	case "CREATE": // CREATE TABLE [IF NOT EXISTS] <t> | CREATE [UNIQUE] INDEX <n> ON <t>
+		if contains(toks, "INDEX") {
+			return writeRoute(tokenAfter(toks, "ON"))
+		}
+		return writeRoute(lastToken(skipNoise(toks)))
+	case "DROP": // DROP TABLE [IF EXISTS] <t>
+		return writeRoute(lastToken(toks))
+	default:
+		// Unknown statement: assume a write serialized on the catch-all
+		// table key, so replicas still apply it in one order.
+		return writeRoute("")
+	}
+}
+
+// analyzeLock parses "LOCK TABLES a READ, b WRITE, ...": the write-intent
+// tables are the ones needing cluster-wide ordering.
+func analyzeLock(toks []string) route {
+	r := route{kind: kindLock}
+	var name string
+	for _, t := range toks[1:] {
+		switch t {
+		case "TABLES":
+		case "READ":
+			name = ""
+		case "WRITE":
+			if name != "" {
+				r.tables = append(r.tables, name)
+			}
+			r.writeBracket = true
+			name = ""
+		default:
+			name = t
+		}
+	}
+	r.tables = normalize(r.tables)
+	return r
+}
+
+func writeRoute(table string) route {
+	return route{kind: kindWrite, tables: normalize([]string{table})}
+}
+
+// tokens splits the statement head into upper-cased words, stripping commas
+// and parentheses; 16 tokens cover every header shape above.
+func tokens(query string) []string {
+	var out []string
+	field := func(s string) {
+		s = strings.Trim(s, ",()")
+		if s != "" {
+			out = append(out, strings.ToUpper(s))
+		}
+	}
+	start := -1
+	for i := 0; i < len(query) && len(out) < 16; i++ {
+		c := query[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == ',' || c == '(' {
+			if start >= 0 {
+				field(query[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 && len(out) < 16 {
+		field(query[start:])
+	}
+	return out
+}
+
+func tokenAfter(toks []string, word string) string {
+	for i, t := range toks {
+		if t == word && i+1 < len(toks) {
+			return toks[i+1]
+		}
+	}
+	return ""
+}
+
+func tokenAt(toks []string, i int) string {
+	if i < len(toks) {
+		return toks[i]
+	}
+	return ""
+}
+
+func lastToken(toks []string) string {
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[len(toks)-1]
+}
+
+// skipNoise drops the IF NOT EXISTS decoration so CREATE TABLE's name is
+// the last remaining header token.
+func skipNoise(toks []string) []string {
+	out := toks[:0:0]
+	for _, t := range toks {
+		switch t {
+		case "IF", "NOT", "EXISTS":
+		default:
+			out = append(out, t)
+		}
+		if len(out) >= 3 { // CREATE TABLE <t>
+			break
+		}
+	}
+	return out
+}
+
+func contains(toks []string, word string) bool {
+	for _, t := range toks {
+		if t == word {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize lower-cases, sorts and dedupes a table list (the acquisition
+// order of the write locks, mirroring LockManager's deadlock discipline).
+func normalize(tables []string) []string {
+	out := make([]string, 0, len(tables))
+	for _, t := range tables {
+		out = append(out, strings.ToLower(t))
+	}
+	sort.Strings(out)
+	j := 0
+	for i, t := range out {
+		if i == 0 || t != out[j-1] {
+			out[j] = t
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// writeLocks serializes the cluster-wide write order per table: every
+// broadcast acquires its tables' locks (in sorted order) before touching
+// the first replica, so all replicas apply conflicting writes in one global
+// order — the property that keeps AUTO_INCREMENT assignment and row state
+// identical across backends.
+type writeLocks struct {
+	mu sync.Mutex
+	m  map[string]*sync.Mutex
+}
+
+func newWriteLocks() *writeLocks {
+	return &writeLocks{m: make(map[string]*sync.Mutex)}
+}
+
+func (w *writeLocks) lockFor(table string) *sync.Mutex {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	l, ok := w.m[table]
+	if !ok {
+		l = &sync.Mutex{}
+		w.m[table] = l
+	}
+	return l
+}
+
+// acquire locks the (sorted, deduped) table set and returns an idempotent
+// release.
+func (w *writeLocks) acquire(tables []string) (release func()) {
+	held := make([]*sync.Mutex, 0, len(tables))
+	for _, t := range tables {
+		l := w.lockFor(t)
+		l.Lock()
+		held = append(held, l)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for i := len(held) - 1; i >= 0; i-- {
+				held[i].Unlock()
+			}
+		})
+	}
+}

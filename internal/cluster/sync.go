@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqldb"
+)
+
+// Execer is the minimal statement surface the sync path needs — satisfied
+// by a pooled wire client, a single wire connection, an in-process
+// sqldb.SessionExecer, and the cluster Client itself.
+type Execer interface {
+	Exec(query string, args ...sqldb.Value) (*sqldb.Result, error)
+}
+
+// syncBatch bounds rows per INSERT during a replica sync.
+const syncBatch = 64
+
+// Sync replays src's data onto dst, table by table: SHOW TABLES to
+// enumerate the catalog, SELECT * to read each table, DELETE FROM plus
+// batched INSERTs to rewrite it. dst must already have the schema (a fresh
+// dbserver creates it before syncing; a rejoining replica kept its own).
+// Explicit primary keys keep AUTO_INCREMENT counters aligned, so a synced
+// replica assigns the same ids as its source on the next broadcast insert.
+// It returns the tables and rows copied.
+func Sync(src, dst Execer) (tables, rows int, err error) {
+	cat, err := src.Exec("SHOW TABLES")
+	if err != nil {
+		return 0, 0, fmt.Errorf("cluster: sync: catalog: %w", err)
+	}
+	for _, row := range cat.Rows {
+		table := row[0].AsString()
+		n, err := syncTable(src, dst, table)
+		if err != nil {
+			return tables, rows, fmt.Errorf("cluster: sync %s: %w", table, err)
+		}
+		tables++
+		rows += n
+	}
+	return tables, rows, nil
+}
+
+func syncTable(src, dst Execer, table string) (int, error) {
+	data, err := src.Exec("SELECT * FROM " + table)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := dst.Exec("DELETE FROM " + table); err != nil {
+		return 0, err
+	}
+	if len(data.Rows) == 0 {
+		return 0, nil
+	}
+	cols := strings.Join(data.Columns, ", ")
+	one := "(" + strings.TrimSuffix(strings.Repeat("?, ", len(data.Columns)), ", ") + ")"
+	for off := 0; off < len(data.Rows); off += syncBatch {
+		end := off + syncBatch
+		if end > len(data.Rows) {
+			end = len(data.Rows)
+		}
+		batch := data.Rows[off:end]
+		placeholders := strings.TrimSuffix(strings.Repeat(one+", ", len(batch)), ", ")
+		args := make([]sqldb.Value, 0, len(batch)*len(data.Columns))
+		for _, r := range batch {
+			args = append(args, r...)
+		}
+		q := fmt.Sprintf("INSERT INTO %s (%s) VALUES %s", table, cols, placeholders)
+		if _, err := dst.Exec(q, args...); err != nil {
+			return 0, err
+		}
+	}
+	return len(data.Rows), nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/perfsim"
+	"repro/internal/workload"
+)
+
+// Clustered-database coverage: the lab with DBReplicas > 1 runs the same
+// stack over a read-one-write-all database tier (DESIGN.md §3).
+
+// TestClusterWorkloadReadsBothReplicas is the acceptance run: a 2-replica
+// RealStackWorkload completes with reads observed on both replicas and
+// consistent state across them.
+func TestClusterWorkloadReadsBothReplicas(t *testing.T) {
+	for _, arch := range []perfsim.Arch{perfsim.ArchServletSync, perfsim.ArchEJB} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			t.Parallel()
+			lab, err := Start(Config{
+				Arch: arch, Benchmark: perfsim.Auction,
+				Seed: 3, DBReplicas: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lab.Close()
+			rep, err := lab.Run(workload.Config{
+				Clients: 6, Mix: "bidding",
+				ThinkMean: time.Millisecond, SessionMean: time.Second,
+				RampUp: 30 * time.Millisecond, Measure: 300 * time.Millisecond,
+				Seed: 11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Interactions == 0 {
+				t.Fatal("no interactions completed")
+			}
+			if rep.Errors > rep.Interactions/10 {
+				t.Fatalf("error rate too high: %d errors / %d completions", rep.Errors, rep.Interactions)
+			}
+			for i, n := range lab.ReplicaQueryCounts() {
+				if n == 0 {
+					t.Errorf("replica %d served no statements; reads did not spread", i)
+				}
+			}
+			// The report's telemetry carries the per-replica section.
+			if rep.Tiers == nil || len(rep.Tiers.Replicas) != 2 {
+				t.Fatalf("report missing per-replica telemetry: %+v", rep.Tiers)
+			}
+			for _, r := range rep.Tiers.Replicas {
+				if r.Reads == 0 {
+					t.Errorf("replica %d routed no reads over the window: %+v", r.ID, r)
+				}
+			}
+			// Writes broadcast: both replicas hold identical bid state.
+			a, err := lab.ReplicaDB(0).NewSession().Exec("SELECT COUNT(*), MAX(id) FROM bids")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := lab.ReplicaDB(1).NewSession().Exec("SELECT COUNT(*), MAX(id) FROM bids")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+				t.Fatalf("replicas diverged: bids %v vs %v", a.Rows, b.Rows)
+			}
+		})
+	}
+}
+
+// TestClusterSurvivesReplicaFailover kills one of two replicas mid-
+// workload: the run must keep completing interactions on the survivor.
+func TestClusterSurvivesReplicaFailover(t *testing.T) {
+	lab, err := Start(Config{
+		Arch: perfsim.ArchServletSync, Benchmark: perfsim.Auction,
+		Seed: 3, DBReplicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+
+	killed := make(chan struct{})
+	rep, err := lab.Run(workload.Config{
+		Clients: 6, Mix: "bidding",
+		ThinkMean: time.Millisecond, SessionMean: time.Second,
+		RampUp: 30 * time.Millisecond, Measure: 500 * time.Millisecond,
+		Seed: 13,
+		OnMeasureStart: func() {
+			go func() {
+				time.Sleep(100 * time.Millisecond)
+				lab.StopReplica(1) // fault injection mid-window
+				close(killed)
+			}()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-killed
+	if rep.Interactions == 0 {
+		t.Fatal("no interactions completed across the failover")
+	}
+	// The stack must have kept serving after the kill: drive it again now
+	// that only one replica is alive.
+	after, err := lab.Run(workload.Config{
+		Clients: 4, Mix: "bidding",
+		ThinkMean: time.Millisecond, SessionMean: time.Second,
+		Measure: 200 * time.Millisecond, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Interactions == 0 || after.Errors > after.Interactions/10 {
+		t.Fatalf("survivor not serving cleanly: %d completions, %d errors",
+			after.Interactions, after.Errors)
+	}
+	cl := lab.Cluster()
+	if cl == nil {
+		t.Fatal("no cluster client")
+	}
+	if h := cl.Healthy(); h != 1 {
+		t.Fatalf("healthy replicas %d, want 1", h)
+	}
+	rs := cl.ReplicaStats()
+	if rs[1].Healthy || rs[1].Ejections == 0 {
+		t.Fatalf("replica 1 should be ejected: %+v", rs[1])
+	}
+}
+
+// TestClusterTelemetryDelta: the /status snapshot and its windowed delta
+// must both carry the replica section.
+func TestClusterTelemetryDelta(t *testing.T) {
+	lab, err := Start(Config{
+		Arch: perfsim.ArchPHP, Benchmark: perfsim.Bookstore,
+		Seed: 2, DBReplicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	before := lab.Telemetry()
+	if len(before.Replicas) != 2 {
+		t.Fatalf("snapshot has %d replicas, want 2", len(before.Replicas))
+	}
+	// Populate already ran; route some traffic and window it.
+	cl := lab.Cluster()
+	for i := 0; i < 6; i++ {
+		if _, err := cl.ExecCached("SELECT id FROM customers WHERE id = 1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta := lab.Telemetry().Delta(before)
+	var reads int64
+	for _, r := range delta.Replicas {
+		reads += r.Reads
+		if r.Writes != 0 {
+			t.Errorf("windowed writes %d on replica %d, want 0", r.Writes, r.ID)
+		}
+	}
+	if reads != 6 {
+		t.Fatalf("windowed reads %d, want 6", reads)
+	}
+}

@@ -15,10 +15,12 @@ package core
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/ajp"
 	"repro/internal/auction"
 	"repro/internal/bookstore"
+	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/ejb"
 	"repro/internal/httpd"
@@ -42,8 +44,13 @@ type Config struct {
 	// packages' TinyScale, keeping Start fast.
 	BookScale    bookstore.Scale
 	AuctionScale auction.Scale
-	// DBPoolSize bounds engine->database connections (default 12).
+	// DBPoolSize bounds engine->database connections (default 12, per
+	// replica).
 	DBPoolSize int
+	// DBReplicas runs the database tier as that many identically seeded
+	// backends behind the read-one-write-all cluster client (default 1 —
+	// the paper's single-database testbed).
+	DBReplicas int
 	// ImageBytes sizes each of the 64 synthetic item images (default 2048).
 	ImageBytes int
 	// Seed drives data generation.
@@ -62,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.DBPoolSize <= 0 {
 		c.DBPoolSize = 12
 	}
+	if c.DBReplicas <= 0 {
+		c.DBReplicas = 1
+	}
 	if c.ImageBytes <= 0 {
 		c.ImageBytes = 2048
 	}
@@ -74,8 +84,9 @@ func (c Config) withDefaults() Config {
 // Lab is a running configuration.
 type Lab struct {
 	cfg     Config
-	db      *sqldb.DB
-	dbSrv   *wire.Server
+	dbs     []*sqldb.DB    // one per replica, identically seeded
+	dbSrvs  []*wire.Server // closed (but kept, for final counters) once stopped
+	dbAddrs []string
 	web     *httpd.Server
 	webAddr string
 
@@ -98,38 +109,45 @@ func Start(cfg Config) (lab *Lab, err error) {
 		}
 	}()
 
-	// --- database tier ---
-	l.db = sqldb.New()
-	sess := l.db.NewSession()
-	switch cfg.Benchmark {
-	case perfsim.Bookstore:
-		if err := bookstore.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
+	// --- database tier: N identically seeded replicas (the startup
+	// replica-sync path of a single-process lab — deterministic population
+	// from one seed is equivalent to copying, and much faster) ---
+	for i := 0; i < cfg.DBReplicas; i++ {
+		db := sqldb.New()
+		sess := db.NewSession()
+		switch cfg.Benchmark {
+		case perfsim.Bookstore:
+			if err := bookstore.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
+				return nil, err
+			}
+			if err := bookstore.Populate(sqldb.SessionExecer{S: sess}, cfg.BookScale, cfg.Seed); err != nil {
+				return nil, err
+			}
+			l.profile = bookstore.Profile(cfg.BookScale)
+		case perfsim.Auction:
+			if err := auction.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
+				return nil, err
+			}
+			if err := auction.Populate(sqldb.SessionExecer{S: sess}, cfg.AuctionScale, cfg.Seed); err != nil {
+				return nil, err
+			}
+			l.profile = auction.Profile(cfg.AuctionScale)
+		default:
+			return nil, fmt.Errorf("core: unknown benchmark %v", cfg.Benchmark)
+		}
+		sess.Close()
+		srv := wire.NewServer(db, cfg.Logger)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
 			return nil, err
 		}
-		if err := bookstore.Populate(sqldb.SessionExecer{S: sess}, cfg.BookScale, cfg.Seed); err != nil {
-			return nil, err
-		}
-		l.profile = bookstore.Profile(cfg.BookScale)
-	case perfsim.Auction:
-		if err := auction.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
-			return nil, err
-		}
-		if err := auction.Populate(sqldb.SessionExecer{S: sess}, cfg.AuctionScale, cfg.Seed); err != nil {
-			return nil, err
-		}
-		l.profile = auction.Profile(cfg.AuctionScale)
-	default:
-		return nil, fmt.Errorf("core: unknown benchmark %v", cfg.Benchmark)
-	}
-	sess.Close()
-	l.dbSrv = wire.NewServer(l.db, cfg.Logger)
-	dbAddr, err := l.dbSrv.Listen("127.0.0.1:0")
-	if err != nil {
-		return nil, err
+		l.dbs = append(l.dbs, db)
+		l.dbSrvs = append(l.dbSrvs, srv)
+		l.dbAddrs = append(l.dbAddrs, addr.String())
 	}
 
 	// --- application tier ---
-	appHandler, err := l.startAppTier(dbAddr.String())
+	appHandler, err := l.startAppTier(strings.Join(l.dbAddrs, ","))
 	if err != nil {
 		return nil, err
 	}
@@ -271,8 +289,52 @@ func (l *Lab) WebAddr() string { return l.webAddr }
 // Profile returns the benchmark's workload profile.
 func (l *Lab) Profile() *workload.Profile { return l.profile }
 
-// DB exposes the database for assertions.
-func (l *Lab) DB() *sqldb.DB { return l.db }
+// DB exposes the (first) database for assertions.
+func (l *Lab) DB() *sqldb.DB { return l.dbs[0] }
+
+// ReplicaDB exposes replica i's database for assertions.
+func (l *Lab) ReplicaDB(i int) *sqldb.DB { return l.dbs[i] }
+
+// ReplicaAddrs returns the database tier's wire addresses.
+func (l *Lab) ReplicaAddrs() []string { return l.dbAddrs }
+
+// ReplicaQueryCounts returns each replica server's served-statement count —
+// the observable behind "reads landed on both replicas". Stopped replicas
+// report their final count.
+func (l *Lab) ReplicaQueryCounts() []int64 {
+	counts := make([]int64, len(l.dbSrvs))
+	for i, srv := range l.dbSrvs {
+		counts[i] = srv.QueryCount()
+	}
+	return counts
+}
+
+// StopReplica kills one database backend — the failover experiment's
+// fault injector. The cluster client ejects it on the next statement it
+// routes there. The server handle is kept so its final counters stay
+// readable (and telemetry deltas never go negative).
+func (l *Lab) StopReplica(i int) {
+	if i < 0 || i >= len(l.dbSrvs) {
+		return
+	}
+	l.dbSrvs[i].Close() // idempotent
+}
+
+// Cluster returns the app tier's replication-aware database client (nil
+// for configurations without one).
+func (l *Lab) Cluster() *cluster.Client {
+	container := l.container
+	if l.module != nil {
+		container = l.module.Container()
+	}
+	if container != nil && container.Context().DB != nil {
+		return container.Context().DB
+	}
+	if l.ejbC != nil {
+		return l.ejbC.DB()
+	}
+	return nil
+}
 
 // EJBQueryCount returns the EJB container's statement count (0 for non-EJB
 // configurations) — the observable behind §6.1's packet analysis.
@@ -338,16 +400,31 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 		})
 	}
 
-	if l.dbSrv != nil {
-		ds := l.dbSrv.Stats()
-		s.Tiers = append(s.Tiers, telemetry.Tier{
-			Name:          "db",
-			Queries:       ds.Queries,
-			PreparedExecs: ds.PreparedExecs,
-			TextExecs:     ds.TextExecs,
-			PlanHits:      ds.PlanCache.Hits,
-			PlanMisses:    ds.PlanCache.Misses,
-		})
+	if len(l.dbSrvs) > 0 {
+		// Aggregate the replica servers into the db tier, as the paper's
+		// single "database machine" column.
+		t := telemetry.Tier{Name: "db"}
+		for _, srv := range l.dbSrvs {
+			ds := srv.Stats()
+			t.Queries += ds.Queries
+			t.PreparedExecs += ds.PreparedExecs
+			t.TextExecs += ds.TextExecs
+			t.PlanHits += ds.PlanCache.Hits
+			t.PlanMisses += ds.PlanCache.Misses
+		}
+		s.Tiers = append(s.Tiers, t)
+	}
+
+	// Per-replica breakdown: the cluster client's routing view, joined
+	// with each replica server's own statement counter.
+	if cl := l.Cluster(); cl != nil && cl.Replicas() > 1 {
+		s.Replicas = cl.ReplicaStats()
+		for i := range s.Replicas {
+			id := s.Replicas[i].ID
+			if id < len(l.dbSrvs) {
+				s.Replicas[i].Queries = l.dbSrvs[id].QueryCount()
+			}
+		}
 	}
 	return s
 }
@@ -400,7 +477,7 @@ func (l *Lab) Close() {
 	if l.ejbC != nil {
 		l.ejbC.Close()
 	}
-	if l.dbSrv != nil {
-		l.dbSrv.Close()
+	for _, srv := range l.dbSrvs {
+		srv.Close()
 	}
 }

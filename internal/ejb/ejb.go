@@ -18,10 +18,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cluster"
 	"repro/internal/pool"
 	"repro/internal/rmi"
 	"repro/internal/sqldb"
-	"repro/internal/sqldb/wire"
+	"repro/internal/telemetry"
 )
 
 // EntityDef declares one entity bean: a table, its primary key and the
@@ -39,18 +40,20 @@ type EntityDef struct {
 // EXECUTE-by-id fast path.
 type entityMeta struct {
 	def        EntityDef
-	load       *wire.Stmt            // SELECT key, fields WHERE key = ?
-	insert     *wire.Stmt            // INSERT (fields...)
-	delete     *wire.Stmt            // DELETE WHERE key = ?
-	update     map[string]*wire.Stmt // per-field single-column UPDATE
-	fieldIndex map[string]int        // field -> position in load results
+	load       *cluster.Stmt            // SELECT key, fields WHERE key = ?
+	insert     *cluster.Stmt            // INSERT (fields...)
+	delete     *cluster.Stmt            // DELETE WHERE key = ?
+	update     map[string]*cluster.Stmt // per-field single-column UPDATE
+	fieldIndex map[string]int           // field -> position in load results
 }
 
 // Config configures a container.
 type Config struct {
-	// DBAddr is the database wire address (required).
+	// DBAddr is the database DSN (required): one wire address, or a
+	// comma-separated replica list for a read-one-write-all cluster.
 	DBAddr string
-	// DBPoolSize bounds concurrent database connections (default 12).
+	// DBPoolSize bounds concurrent database connections per replica
+	// (default 12).
 	DBPoolSize int
 	// WriteBehind batches field stores until Tx.Commit instead of issuing
 	// one UPDATE per Set — the ablation knob for the CMP-granularity
@@ -60,7 +63,7 @@ type Config struct {
 
 // Container manages entity beans and hosts session beans over RMI.
 type Container struct {
-	pool        *wire.Pool
+	pool        *cluster.Client
 	writeBehind bool
 
 	mu       sync.RWMutex
@@ -78,12 +81,8 @@ func NewContainer(cfg Config) (*Container, error) {
 	if cfg.DBAddr == "" {
 		return nil, fmt.Errorf("ejb: DBAddr required")
 	}
-	size := cfg.DBPoolSize
-	if size <= 0 {
-		size = 12
-	}
 	return &Container{
-		pool:        wire.NewPool(cfg.DBAddr, size),
+		pool:        cluster.New(cfg.DBAddr, cfg.DBPoolSize),
 		writeBehind: cfg.WriteBehind,
 		entities:    make(map[string]*entityMeta),
 		rmiServer:   rmi.NewServer(),
@@ -97,7 +96,7 @@ func (c *Container) DefineEntity(def EntityDef) error {
 	}
 	m := &entityMeta{
 		def:        def,
-		update:     make(map[string]*wire.Stmt, len(def.Fields)),
+		update:     make(map[string]*cluster.Stmt, len(def.Fields)),
 		fieldIndex: make(map[string]int, len(def.Fields)),
 	}
 	cols := append([]string{def.Key}, def.Fields...)
@@ -140,7 +139,7 @@ func (c *Container) exec(query string, args ...sqldb.Value) (*sqldb.Result, erro
 }
 
 // execStmt funnels the pre-prepared CMP statements, counting them.
-func (c *Container) execStmt(st *wire.Stmt, args ...sqldb.Value) (*sqldb.Result, error) {
+func (c *Container) execStmt(st *cluster.Stmt, args ...sqldb.Value) (*sqldb.Result, error) {
 	c.queries.Add(1)
 	return st.Exec(args...)
 }
@@ -156,22 +155,28 @@ func (c *Container) LoadCount() int64 { return c.loads.Load() }
 func (c *Container) StoreCount() int64 { return c.stores.Load() }
 
 // Stats describes the container's load for the cross-tier telemetry: the
-// CMP statement counters and the database pool's saturation counters.
+// CMP statement counters, the database pool's aggregate saturation
+// counters, and the per-replica routing breakdown for clustered databases.
 type Stats struct {
-	Queries int64      `json:"queries"`
-	Loads   int64      `json:"loads"`
-	Stores  int64      `json:"stores"`
-	DB      pool.Stats `json:"db"`
+	Queries  int64               `json:"queries"`
+	Loads    int64               `json:"loads"`
+	Stores   int64               `json:"stores"`
+	DB       pool.Stats          `json:"db"`
+	Replicas []telemetry.Replica `json:"replicas,omitempty"`
 }
 
 // Stats snapshots the container.
 func (c *Container) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Queries: c.queries.Load(),
 		Loads:   c.loads.Load(),
 		Stores:  c.stores.Load(),
 		DB:      c.pool.Stats(),
 	}
+	if c.pool.Replicas() > 1 {
+		s.Replicas = c.pool.ReplicaStats()
+	}
+	return s
 }
 
 // Entity is an activated entity bean instance: a local copy of one row.
@@ -375,7 +380,7 @@ func (c *Container) Close() error {
 	return err
 }
 
-// DB exposes the pooled database connection for session beans that need
+// DB exposes the pooled database client for session beans that need
 // non-CMP access (the paper's façades occasionally run read-only finders
 // directly).
-func (c *Container) DB() *wire.Pool { return c.pool }
+func (c *Container) DB() *cluster.Client { return c.pool }

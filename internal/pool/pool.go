@@ -205,6 +205,20 @@ func (p *Pool[T]) Do(retry bool, isBroken func(error) bool, fn func(T) error) er
 	return err2
 }
 
+// Reset destroys the idle connections without closing the pool: borrowers
+// keep working and dial fresh. The cluster uses it when a replica rejoins
+// after its server restarted — every idle connection is stale by then.
+func (p *Pool[T]) Reset() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.opened -= len(idle)
+	p.mu.Unlock()
+	for _, v := range idle {
+		p.doDestroy(v)
+	}
+}
+
 // Close destroys idle connections and marks the pool closed: blocked
 // borrowers fail with ErrClosed, and borrowed connections are destroyed
 // as they are returned. Safe to call concurrently with Get/Put and more
@@ -249,6 +263,15 @@ type Stats struct {
 	BorrowMeanMillis float64 `json:"borrow_mean_ms"`
 	BorrowP95Millis  float64 `json:"borrow_p95_ms"`
 	BorrowMaxMillis  float64 `json:"borrow_max_ms"`
+}
+
+// InUse returns the number of borrowed connections right now — the cheap
+// instantaneous load gauge the cluster read router balances on (the full
+// Stats snapshot walks the latency reservoir, too heavy for a hot path).
+func (p *Pool[T]) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opened - len(p.idle)
 }
 
 // Stats snapshots the pool.

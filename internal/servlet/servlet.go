@@ -20,16 +20,17 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ajp"
+	"repro/internal/cluster"
 	"repro/internal/httpd"
 	"repro/internal/pool"
-	"repro/internal/sqldb/wire"
+	"repro/internal/telemetry"
 )
 
 // Context is the shared state handed to every servlet.
 type Context struct {
-	// DB is the pooled connection to the database tier (the JDBC
-	// DataSource analog).
-	DB *wire.Pool
+	// DB is the replication-aware client to the database tier (the JDBC
+	// DataSource analog; one replica degenerates to a plain pool).
+	DB *cluster.Client
 	// Locks is the engine-side lock manager for (sync) configurations.
 	Locks *LockManager
 	// Sessions tracks client sessions by cookie.
@@ -83,12 +84,17 @@ func (Func) Destroy() {}
 
 // Config configures a container.
 type Config struct {
-	// DBAddr is the database wire address. Empty means the container's
-	// servlets do not use a database (tests).
+	// DBAddr is the database DSN: one wire address, or a comma-separated
+	// replica list ("host:p1,host:p2") for a read-one-write-all cluster.
+	// Empty means the container's servlets do not use a database (tests).
 	DBAddr string
-	// DBPoolSize bounds concurrent database connections (default 12, the
-	// value the perfsim calibration uses).
+	// DBPoolSize bounds concurrent database connections per replica
+	// (default 12, the value the perfsim calibration uses).
 	DBPoolSize int
+	// DBStrictWrites selects the cluster's strict write policy: a write
+	// errors when any replica fails mid-broadcast instead of continuing on
+	// the survivors.
+	DBStrictWrites bool
 }
 
 // Container hosts servlets.
@@ -106,11 +112,13 @@ type Container struct {
 }
 
 // Stats describes the container's load for the cross-tier telemetry:
-// requests dispatched to servlets, and the database pool's saturation
-// counters (nil when the container has no database).
+// requests dispatched to servlets, the database pool's aggregate
+// saturation counters (nil when the container has no database), and the
+// per-replica routing breakdown when the database is a cluster.
 type Stats struct {
-	Requests int64       `json:"requests"`
-	DB       *pool.Stats `json:"db,omitempty"`
+	Requests int64               `json:"requests"`
+	DB       *pool.Stats         `json:"db,omitempty"`
+	Replicas []telemetry.Replica `json:"replicas,omitempty"`
 }
 
 // Stats snapshots the container.
@@ -119,6 +127,9 @@ func (c *Container) Stats() Stats {
 	if c.ctx.DB != nil {
 		ps := c.ctx.DB.Stats()
 		s.DB = &ps
+		if c.ctx.DB.Replicas() > 1 {
+			s.Replicas = c.ctx.DB.ReplicaStats()
+		}
 	}
 	return s
 }
@@ -136,11 +147,11 @@ func NewContainer(cfg Config) *Container {
 		Sessions: NewSessionManager(),
 	}
 	if cfg.DBAddr != "" {
-		size := cfg.DBPoolSize
-		if size <= 0 {
-			size = 12
-		}
-		ctx.DB = wire.NewPool(cfg.DBAddr, size)
+		ctx.DB = cluster.NewWithConfig(cluster.Config{
+			DSN:          cfg.DBAddr,
+			PoolSize:     cfg.DBPoolSize,
+			StrictWrites: cfg.DBStrictWrites,
+		})
 	}
 	return &Container{ctx: ctx, mux: httpd.NewMux()}
 }

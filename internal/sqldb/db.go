@@ -139,6 +139,8 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, err
 		return s.execLockTables(st)
 	case *sqlparse.UnlockTables:
 		return s.execUnlockTables()
+	case *sqlparse.ShowTables:
+		return s.db.execShowTables()
 	case *sqlparse.Insert:
 		return s.withLock(st.Table, true, func(t *Table) (*Result, error) {
 			return execInsert(t, st, args)
@@ -243,6 +245,16 @@ func (db *DB) execCreateTable(st *sqlparse.CreateTable) (*Result, error) {
 	}
 	db.tables[t.name] = t
 	return &Result{}, nil
+}
+
+// execShowTables lists the catalog, one row per table in sorted order.
+func (db *DB) execShowTables() (*Result, error) {
+	names := db.TableNames()
+	res := &Result{Columns: []string{"table"}}
+	for _, n := range names {
+		res.Rows = append(res.Rows, Row{String(n)})
+	}
+	return res, nil
 }
 
 func (db *DB) execCreateIndex(st *sqlparse.CreateIndex) (*Result, error) {

@@ -529,3 +529,28 @@ func TestCaseInsensitiveNames(t *testing.T) {
 		t.Fatalf("case insensitivity: %+v", got.Rows)
 	}
 }
+
+// TestShowTables: the catalog query the cluster replica-sync path uses.
+func TestShowTables(t *testing.T) {
+	db := New()
+	s := db.NewSession()
+	defer s.Close()
+	for _, q := range []string{
+		"CREATE TABLE zebra (id INT)",
+		"CREATE TABLE apple (id INT)",
+	} {
+		if _, err := s.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Exec("SHOW TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "table" {
+		t.Fatalf("columns: %v", res.Columns)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].AsString() != "apple" || res.Rows[1][0].AsString() != "zebra" {
+		t.Fatalf("rows not the sorted catalog: %v", res.Rows)
+	}
+}

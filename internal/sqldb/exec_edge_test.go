@@ -131,9 +131,9 @@ func TestMatchRowsIndexAndScanAgree(t *testing.T) {
 			String(fmt.Sprintf("item-%d", i)), Int(int64(i%5)), Float(float64(i)), Int(int64(i%7)))
 	}
 	queries := []string{
-		"SELECT id FROM items WHERE category = 3 ORDER BY id",          // indexed
+		"SELECT id FROM items WHERE category = 3 ORDER BY id",               // indexed
 		"SELECT id FROM items WHERE category = 3 AND stock = 1 ORDER BY id", // indexed + residual filter
-		"SELECT id FROM items WHERE stock = 1 ORDER BY id",             // scan
+		"SELECT id FROM items WHERE stock = 1 ORDER BY id",                  // scan
 	}
 	for _, q := range queries {
 		indexed := mustExec(t, s, q)

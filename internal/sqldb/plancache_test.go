@@ -14,8 +14,8 @@ func TestNormalizeQuery(t *testing.T) {
 		{"  SELECT 1  ", "SELECT 1"},
 		{"SELECT\n\t1", "SELECT 1"},
 		{"SELECT  a,   b FROM t", "SELECT a, b FROM t"},
-		{"SELECT 'a  b'", "SELECT 'a  b'"},         // quoted whitespace preserved
-		{"SELECT \"x\t y\"", "SELECT \"x\t y\""},   // double quotes too
+		{"SELECT 'a  b'", "SELECT 'a  b'"},       // quoted whitespace preserved
+		{"SELECT \"x\t y\"", "SELECT \"x\t y\""}, // double quotes too
 		{"SELECT 'a  b'  ,  c", "SELECT 'a  b' , c"},
 		// Lexer escapes: a backslash-escaped quote does not close the
 		// literal, and a doubled quote stays inside it.

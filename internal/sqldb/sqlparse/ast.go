@@ -142,6 +142,10 @@ type LockItem struct {
 // UnlockTables is UNLOCK TABLES.
 type UnlockTables struct{}
 
+// ShowTables is SHOW TABLES — the catalog query the cluster replica-sync
+// path uses to enumerate what to copy.
+type ShowTables struct{}
+
 func (*CreateTable) stmt()  {}
 func (*CreateIndex) stmt()  {}
 func (*DropTable) stmt()    {}
@@ -151,6 +155,7 @@ func (*Delete) stmt()       {}
 func (*Select) stmt()       {}
 func (*LockTables) stmt()   {}
 func (*UnlockTables) stmt() {}
+func (*ShowTables) stmt()   {}
 
 // Expr is an expression node.
 type Expr interface{ expr() }

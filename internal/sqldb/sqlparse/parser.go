@@ -93,6 +93,12 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &UnlockTables{}, nil
+	case p.at(tokKeyword, "SHOW"):
+		p.next()
+		if _, err := p.expect(tokKeyword, "TABLES"); err != nil {
+			return nil, err
+		}
+		return &ShowTables{}, nil
 	default:
 		return nil, p.errf("unsupported statement beginning with %q", p.cur().text)
 	}

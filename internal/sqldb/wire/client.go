@@ -344,6 +344,14 @@ func (s *Stmt) Exec(args ...sqldb.Value) (*sqldb.Result, error) {
 // Stats snapshots the pool's saturation counters.
 func (p *Pool) Stats() pool.Stats { return p.p.Stats() }
 
+// InUse returns the number of borrowed connections — the cluster read
+// router's load gauge.
+func (p *Pool) InUse() int { return p.p.InUse() }
+
+// Reset discards the idle connections (they are stale after the server
+// restarted); borrowers dial fresh and transparently re-prepare.
+func (p *Pool) Reset() { p.p.Reset() }
+
 // Close closes idle connections and marks the pool closed. Borrowed
 // connections are closed as they are returned.
 func (p *Pool) Close() { p.p.Close() }

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/sqlparse"
@@ -26,8 +27,10 @@ type Server struct {
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	draining atomic.Bool
 	shutdown chan struct{}
 	wg       sync.WaitGroup
+	connWG   sync.WaitGroup // connection goroutines only (drain waits here)
 
 	queries       atomic.Int64
 	textExecs     atomic.Int64
@@ -102,11 +105,14 @@ func (s *Server) acceptLoop(ln net.Listener) {
 				return
 			default:
 			}
+			if s.draining.Load() {
+				return
+			}
 			s.logf("accept: %v", err)
 			return
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining.Load() {
 			s.mu.Unlock()
 			conn.Close()
 			return
@@ -114,12 +120,14 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
+		s.connWG.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	defer s.connWG.Done()
 	sess := s.db.NewSession()
 	defer func() {
 		sess.Close()
@@ -136,7 +144,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		typ, payload, err := fb.read(r)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !s.draining.Load() {
 				s.logf("read: %v", err)
 			}
 			return
@@ -220,8 +228,65 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.logf("flush: %v", err)
 				return
 			}
+			// A draining server finishes the in-flight statement (just
+			// answered above) and hangs up before blocking on the next read.
+			if s.draining.Load() {
+				return
+			}
 		}
 	}
+}
+
+// drainIdleGrace bounds how long Shutdown keeps an idle connection open:
+// long enough for a request already shipped by the client — in a socket
+// buffer or not yet parsed — to arrive and be answered, short enough that
+// pooled-but-quiet client connections don't stall the drain.
+const drainIdleGrace = 200 * time.Millisecond
+
+// Shutdown drains the server: it stops accepting, lets every connection
+// finish and answer work that is in flight (including requests already
+// shipped but not yet read — each connection gets a short read deadline
+// rather than an instant hangup), and falls back to a hard Close when
+// grace elapses first. This is what dbserver runs on SIGTERM, so a
+// cluster replica can leave without cutting off statements the broadcast
+// already shipped.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining.Store(true)
+	ln := s.ln
+	idle := drainIdleGrace
+	if grace < idle {
+		idle = grace
+	}
+	// Deadline instead of close: a connection with a request in flight
+	// reads it, answers, and exits on the draining check; one with
+	// nothing to say fails its read at the deadline and closes.
+	deadline := time.Now().Add(idle)
+	for c := range s.conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		s.logf("drain grace %s elapsed, closing %d connections", grace, n)
+	}
+	return s.Close()
 }
 
 // Close stops accepting and closes every connection, releasing their locks.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/sqldb"
 )
@@ -477,5 +478,73 @@ func TestServerCloseIdempotent(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShutdownDrainsInFlight: Shutdown must hang up idle connections
+// immediately, but let a connection that is mid-statement finish and
+// receive its answer — the SIGTERM drain dbserver and the cluster rely on.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	db := sqldb.New()
+	s := db.NewSession()
+	if _, err := s.Exec("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(50))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO kv VALUES (1, 'one')"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	srv := NewServer(db, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Connection A holds the table write-locked, then goes idle.
+	a, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.Exec("LOCK TABLES kv WRITE"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Connection B's SELECT blocks on A's lock: it is in flight when the
+	// drain starts.
+	type reply struct {
+		res *sqldb.Result
+		err error
+	}
+	b, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got := make(chan reply, 1)
+	go func() {
+		res, err := b.Exec("SELECT v FROM kv WHERE k = 1")
+		got <- reply{res, err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let B's request reach the server
+
+	// Drain: A is idle, so it is hung up at once — releasing its session
+	// locks — and B's in-flight SELECT completes and is answered.
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight statement must be answered through the drain: %v", r.err)
+	}
+	if len(r.res.Rows) != 1 || r.res.Rows[0][0].AsString() != "one" {
+		t.Fatalf("drained reply rows: %+v", r.res.Rows)
+	}
+	// Both connections are gone afterwards.
+	if _, err := a.Exec("UNLOCK TABLES"); err == nil {
+		t.Fatal("idle connection must be closed by the drain")
+	}
+	if _, err := b.Exec("SELECT v FROM kv WHERE k = 1"); err == nil {
+		t.Fatal("drained connection must be closed after its in-flight reply")
 	}
 }

@@ -47,12 +47,36 @@ type Tier struct {
 	Downstream string `json:"downstream,omitempty"`
 }
 
+// Replica is one database backend's view in a replicated (read-one-write-
+// all) run: how the cluster client routed traffic to it, its health, and —
+// when the snapshot owner also runs the servers — the statements it served.
+// Lag is the cumulative time this replica's write acknowledgements trailed
+// the first replica's during broadcasts (zero on the broadcast leader).
+type Replica struct {
+	ID      int    `json:"id"`
+	Addr    string `json:"addr,omitempty"`
+	Healthy bool   `json:"healthy"`
+	// Reads / Writes count statements the cluster client routed here;
+	// Ejections counts health ejections after transport failures.
+	Reads     int64 `json:"reads"`
+	Writes    int64 `json:"writes"`
+	Ejections int64 `json:"ejections,omitempty"`
+	LagNanos  int64 `json:"lag_nanos,omitempty"`
+	// Queries is the replica server's own statement counter (server-side
+	// view; 0 when the snapshot was taken from the client side only).
+	Queries int64       `json:"queries,omitempty"`
+	Pool    *pool.Stats `json:"pool,omitempty"`
+}
+
 // Snapshot is the whole stack at one moment (or, after Delta, over one
 // measurement window).
 type Snapshot struct {
 	Arch      string `json:"arch,omitempty"`
 	Benchmark string `json:"benchmark,omitempty"`
 	Tiers     []Tier `json:"tiers"`
+	// Replicas is the database tier's per-backend breakdown when the stack
+	// runs a replicated cluster; empty for a single-backend run.
+	Replicas []Replica `json:"replicas,omitempty"`
 }
 
 // Tier returns the named tier, or nil.
@@ -90,7 +114,33 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 		}
 		out.Tiers = append(out.Tiers, t)
 	}
+	for _, r := range s.Replicas {
+		if prev != nil {
+			if pr := prev.Replica(r.ID); pr != nil {
+				r.Reads -= pr.Reads
+				r.Writes -= pr.Writes
+				r.Ejections -= pr.Ejections
+				r.LagNanos -= pr.LagNanos
+				r.Queries -= pr.Queries
+				if r.Pool != nil && pr.Pool != nil {
+					d := r.Pool.Sub(*pr.Pool)
+					r.Pool = &d
+				}
+			}
+		}
+		out.Replicas = append(out.Replicas, r)
+	}
 	return out
+}
+
+// Replica returns the replica with the given id, or nil.
+func (s *Snapshot) Replica(id int) *Replica {
+	for i := range s.Replicas {
+		if s.Replicas[i].ID == id {
+			return &s.Replicas[i]
+		}
+	}
+	return nil
 }
 
 // Bottleneck names the most saturated tier: first by the cumulative time
@@ -194,6 +244,23 @@ func (s *Snapshot) Format() string {
 		}
 		fmt.Fprintf(&b, "%s execs: %d prepared / %d text; plan cache: %d hits / %d misses (%.1f%%)\n",
 			t.Name, t.PreparedExecs, t.TextExecs, t.PlanHits, t.PlanMisses, hitRate)
+	}
+	if len(s.Replicas) > 0 {
+		fmt.Fprintf(&b, "%-10s %9s %9s %9s %10s %12s %8s\n",
+			"replica", "reads", "writes", "queries", "lag", "pool", "state")
+		for _, r := range s.Replicas {
+			state := "healthy"
+			if !r.Healthy {
+				state = "ejected"
+			}
+			poolCol := "-"
+			if r.Pool != nil {
+				poolCol = fmt.Sprintf("%d/%d busy", r.Pool.InUse, r.Pool.Capacity)
+			}
+			fmt.Fprintf(&b, "db[%d]%-5s %9d %9d %9d %10s %12s %8s\n",
+				r.ID, "", r.Reads, r.Writes, r.Queries,
+				time.Duration(r.LagNanos).Round(time.Microsecond), poolCol, state)
+		}
 	}
 	fmt.Fprintf(&b, "bottleneck: %s\n", bottleneck)
 	return b.String()
