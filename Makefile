@@ -8,7 +8,12 @@ GO ?= go
 BASELINE ?= BENCH_0.json
 THRESHOLD ?= 10
 
-.PHONY: build test race vet lint fmt bench bench-json bench-smoke bench-gate ci
+# Per-package statement-coverage floors for `make cover` (pkg:percent).
+# The transaction-bearing packages are held to a floor: advisory on pull
+# requests in CI, enforced on pushes to main.
+COVER_FLOORS ?= repro/internal/sqldb:75 repro/internal/cluster:60
+
+.PHONY: build test race vet lint fmt bench bench-json bench-smoke bench-gate cover ci
 
 build:
 	$(GO) build ./...
@@ -49,5 +54,20 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -out BENCH_ci.json -count 2 -rounds 3 -benchtime 0.5s \
 		-compare $(BASELINE) -threshold $(THRESHOLD)
 
+# Coverage run with per-package floors: every package reports, the
+# packages named in COVER_FLOORS must clear their floor.
+cover:
+	@$(GO) test -cover ./... > coverage.txt; status=$$?; cat coverage.txt; \
+		if [ $$status -ne 0 ]; then echo "cover: tests failed"; exit $$status; fi
+	@fail=0; \
+	for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%:*}; floor=$${spec#*:}; \
+		pct=$$(awk -v p="$$pkg" '$$2 == p && /coverage:/ { for (i = 1; i <= NF; i++) if ($$i ~ /%/) { gsub(/%/, "", $$i); print $$i } }' coverage.txt); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for $$pkg"; fail=1; continue; fi; \
+		ok=$$(awk -v a="$$pct" -v b="$$floor" 'BEGIN { print (a >= b) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "cover: FAIL $$pkg at $$pct% (floor $$floor%)"; fail=1; \
+		else echo "cover: ok $$pkg $$pct% (floor $$floor%)"; fi; \
+	done; exit $$fail
+
 # Mirror of .github/workflows/ci.yml for local runs.
-ci: lint build race bench-smoke bench-gate
+ci: lint build race cover bench-smoke bench-gate

@@ -12,11 +12,14 @@ package repro_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/httpd/httpclient"
 	"repro/internal/perfsim"
+	"repro/internal/sqldb"
 	"repro/internal/workload"
 
 	"repro/internal/core"
@@ -264,7 +267,71 @@ func BenchmarkClusterReplicaSweep(b *testing.B) {
 	}
 }
 
-// --- ablation benches (DESIGN.md §5) ---
+// BenchmarkTxnContentionSweep opens the rollback-under-contention axis: the
+// canonical short write transaction (read a row, insert a child, update the
+// parent) runs from parallel workers against 1, 4 and 32 hot rows — from
+// every transaction colliding on one row to mostly disjoint write sets —
+// with a third of the transactions aborting. Measures the transaction
+// subsystem end to end (wire v3 frames, cluster write-order locks, undo
+// rollback) under real goroutine concurrency.
+func BenchmarkTxnContentionSweep(b *testing.B) {
+	for _, hot := range []int{1, 4, 32} {
+		hot := hot
+		b.Run(fmt.Sprintf("hot=%d", hot), func(b *testing.B) {
+			lab, err := core.Start(core.Config{
+				Arch: perfsim.ArchServletSync, Benchmark: perfsim.Auction,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lab.Close()
+			cl := lab.Cluster()
+			abortErr := fmt.Errorf("contention abort")
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := seq.Add(1)
+					item := sqldb.Int(1 + n%int64(hot))
+					err := cl.WithTx([]string{"bids", "items"}, func(tx *cluster.Session) error {
+						res, err := tx.ExecCached("SELECT max_bid FROM items WHERE id = ?", item)
+						if err != nil {
+							return err
+						}
+						if len(res.Rows) == 0 {
+							return fmt.Errorf("missing item %v", item)
+						}
+						bid := res.Rows[0][0].AsFloat() + 1
+						if _, err := tx.ExecCached(
+							`INSERT INTO bids (item_id, user_id, bid, max_bid, qty, bid_date)
+							 VALUES (?, 1, ?, ?, 1, 12006)`,
+							item, sqldb.Float(bid), sqldb.Float(bid*1.1)); err != nil {
+							return err
+						}
+						if _, err := tx.ExecCached(
+							"UPDATE items SET nb_bids = nb_bids + 1, max_bid = ? WHERE id = ?",
+							sqldb.Float(bid), item); err != nil {
+							return err
+						}
+						if n%3 == 0 {
+							return abortErr // a third of the bids roll back
+						}
+						return nil
+					})
+					if err != nil && err != abortErr {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			st := lab.DB().TxnStats()
+			b.ReportMetric(float64(st.Rollbacks), "aborts")
+			b.ReportMetric(float64(st.DeadlockTimeouts), "dl_timeouts")
+		})
+	}
+}
+
+// --- ablation benches (DESIGN.md §7) ---
 
 // BenchmarkAblationSyncLocking isolates the paper's sync delta on the
 // write-heavy mix.

@@ -2,10 +2,10 @@ package auction
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/httpd"
 	"repro/internal/servlet"
 	"repro/internal/sqldb"
@@ -81,8 +81,10 @@ func (a *App) Register(c *servlet.Container) {
 	}
 }
 
-// withLocks mirrors the bookstore helper: LOCK TABLES on a pinned
-// connection without sync, engine locks with.
+// withLocks mirrors the bookstore helper: engine locks with sync, a real
+// database transaction over the write-intent tables without — the short
+// write transactions of the benchmark (storeBid and friends) commit or roll
+// back atomically on every replica. Read-only sets run without a bracket.
 func (a *App) withLocks(ctx *servlet.Context, set []servlet.TableLock, fn func(ex Execer) error) error {
 	if ctx.DB == nil {
 		return servlet.ErrNoDatabase
@@ -92,50 +94,11 @@ func (a *App) withLocks(ctx *servlet.Context, set []servlet.TableLock, fn func(e
 		defer release()
 		return fn(ctx.DB)
 	}
-	conn, err := ctx.DB.Get()
-	if err != nil {
-		return err
+	writes := servlet.WriteTables(set)
+	if len(writes) == 0 {
+		return fn(ctx.DB)
 	}
-	broken := false
-	defer func() { ctx.DB.Put(conn, broken) }()
-	if _, err := conn.ExecCached(lockTablesSQL(set)); err != nil {
-		broken = true
-		return err
-	}
-	ferr := fn(conn)
-	if _, err := conn.ExecCached("UNLOCK TABLES"); err != nil {
-		broken = true
-		if ferr == nil {
-			ferr = err
-		}
-	}
-	return ferr
-}
-
-func lockTablesSQL(set []servlet.TableLock) string {
-	merged := make(map[string]bool, len(set))
-	for _, tl := range set {
-		merged[tl.Table] = merged[tl.Table] || tl.Write
-	}
-	names := make([]string, 0, len(merged))
-	for n := range merged {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	b.WriteString("LOCK TABLES ")
-	for i, n := range names {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(n)
-		if merged[n] {
-			b.WriteString(" WRITE")
-		} else {
-			b.WriteString(" READ")
-		}
-	}
-	return b.String()
+	return ctx.Tx(writes, func(tx *cluster.Session) error { return fn(tx) })
 }
 
 // ---- row shapes and rendering ----

@@ -73,27 +73,28 @@ func itemRowOf(tx *ejb.Tx, pk sqldb.Value) (ItemRow, error) {
 
 // List is the category/region finder plus per-row activations.
 func (f *Facade) List(args *ListArgs, reply *ListReply) error {
-	tx := f.C.Begin()
-	var keys []sqldb.Value
-	var err error
-	if args.Region > 0 {
-		keys, err = tx.FindWhere("Item", "region_id = ? AND category_id = ?",
-			[]sqldb.Value{sqldb.Int(args.Region), sqldb.Int(args.Category)}, "end_date", args.Limit)
-	} else {
-		keys, err = tx.FindWhere("Item", "category_id = ?",
-			[]sqldb.Value{sqldb.Int(args.Category)}, "end_date", args.Limit)
-	}
-	if err != nil {
-		return err
-	}
-	for _, pk := range keys {
-		row, err := itemRowOf(tx, pk)
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		var keys []sqldb.Value
+		var err error
+		if args.Region > 0 {
+			keys, err = tx.FindWhere("Item", "region_id = ? AND category_id = ?",
+				[]sqldb.Value{sqldb.Int(args.Region), sqldb.Int(args.Category)}, "end_date", args.Limit)
+		} else {
+			keys, err = tx.FindWhere("Item", "category_id = ?",
+				[]sqldb.Value{sqldb.Int(args.Category)}, "end_date", args.Limit)
+		}
 		if err != nil {
 			return err
 		}
-		reply.Items = append(reply.Items, row)
-	}
-	return nil
+		for _, pk := range keys {
+			row, err := itemRowOf(tx, pk)
+			if err != nil {
+				return err
+			}
+			reply.Items = append(reply.Items, row)
+		}
+		return nil
+	})
 }
 
 // ViewArgs / ViewReply serve the item page.
@@ -110,25 +111,26 @@ type ViewReply struct {
 
 // View activates the item and its seller.
 func (f *Facade) View(args *ViewArgs, reply *ViewReply) error {
-	tx := f.C.Begin()
-	it, err := tx.Load("Item", sqldb.Int(args.ItemID))
-	if err != nil {
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		it, err := tx.Load("Item", sqldb.Int(args.ItemID))
+		if err != nil {
+			return nil
+		}
+		get := func(field string) sqldb.Value { v, _ := it.Get(field); return v }
+		seller, err := tx.Load("User", get("seller_id"))
+		if err != nil {
+			return err
+		}
+		nick, _ := seller.Get("nickname")
+		reply.Found = true
+		reply.Name = get("name").AsString()
+		reply.Descr = get("description").AsString()
+		reply.MaxBid = get("max_bid").AsFloat()
+		reply.NBids = get("nb_bids").AsInt()
+		reply.BuyNow = get("buy_now").AsFloat()
+		reply.Seller = nick.AsString()
 		return nil
-	}
-	get := func(field string) sqldb.Value { v, _ := it.Get(field); return v }
-	seller, err := tx.Load("User", get("seller_id"))
-	if err != nil {
-		return err
-	}
-	nick, _ := seller.Get("nickname")
-	reply.Found = true
-	reply.Name = get("name").AsString()
-	reply.Descr = get("description").AsString()
-	reply.MaxBid = get("max_bid").AsFloat()
-	reply.NBids = get("nb_bids").AsInt()
-	reply.BuyNow = get("buy_now").AsFloat()
-	reply.Seller = nick.AsString()
-	return nil
+	})
 }
 
 // HistoryArgs / HistoryReply serve the bid history.
@@ -140,27 +142,28 @@ type HistoryReply struct {
 
 // History runs the bids finder and activates each bid and bidder.
 func (f *Facade) History(args *HistoryArgs, reply *HistoryReply) error {
-	tx := f.C.Begin()
-	keys, err := tx.FindBy("Bid", "item_id", sqldb.Int(args.ItemID), 20)
-	if err != nil {
-		return err
-	}
-	for _, bk := range keys {
-		b, err := tx.Load("Bid", bk)
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		keys, err := tx.FindBy("Bid", "item_id", sqldb.Int(args.ItemID), 20)
 		if err != nil {
 			return err
 		}
-		amount, _ := b.Get("bid")
-		uid, _ := b.Get("user_id")
-		u, err := tx.Load("User", uid)
-		if err != nil {
-			return err
+		for _, bk := range keys {
+			b, err := tx.Load("Bid", bk)
+			if err != nil {
+				return err
+			}
+			amount, _ := b.Get("bid")
+			uid, _ := b.Get("user_id")
+			u, err := tx.Load("User", uid)
+			if err != nil {
+				return err
+			}
+			nick, _ := u.Get("nickname")
+			reply.Bids = append(reply.Bids, amount.AsFloat())
+			reply.Users = append(reply.Users, nick.AsString())
 		}
-		nick, _ := u.Get("nickname")
-		reply.Bids = append(reply.Bids, amount.AsFloat())
-		reply.Users = append(reply.Users, nick.AsString())
-	}
-	return nil
+		return nil
+	})
 }
 
 // UserArgs / UserReply serve user info with recent comments.
@@ -174,29 +177,30 @@ type UserReply struct {
 
 // UserInfo activates the user and each recent comment (plus authors).
 func (f *Facade) UserInfo(args *UserArgs, reply *UserReply) error {
-	tx := f.C.Begin()
-	u, err := tx.Load("User", sqldb.Int(args.UserID))
-	if err != nil {
-		return nil
-	}
-	nick, _ := u.Get("nickname")
-	rating, _ := u.Get("rating")
-	reply.Found = true
-	reply.Nickname = nick.AsString()
-	reply.Rating = rating.AsInt()
-	keys, err := tx.FindBy("Comment", "to_user", sqldb.Int(args.UserID), 10)
-	if err != nil {
-		return err
-	}
-	for _, ck := range keys {
-		c, err := tx.Load("Comment", ck)
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		u, err := tx.Load("User", sqldb.Int(args.UserID))
+		if err != nil {
+			return nil
+		}
+		nick, _ := u.Get("nickname")
+		rating, _ := u.Get("rating")
+		reply.Found = true
+		reply.Nickname = nick.AsString()
+		reply.Rating = rating.AsInt()
+		keys, err := tx.FindBy("Comment", "to_user", sqldb.Int(args.UserID), 10)
 		if err != nil {
 			return err
 		}
-		text, _ := c.Get("comment")
-		reply.Comments = append(reply.Comments, text.AsString())
-	}
-	return nil
+		for _, ck := range keys {
+			c, err := tx.Load("Comment", ck)
+			if err != nil {
+				return err
+			}
+			text, _ := c.Get("comment")
+			reply.Comments = append(reply.Comments, text.AsString())
+		}
+		return nil
+	})
 }
 
 // BidArgs / BidReply store a bid.
@@ -210,30 +214,31 @@ type BidReply struct{ Accepted float64 }
 // StoreBid creates the bid entity and maintains the denormalized counters
 // with two single-column CMP stores.
 func (f *Facade) StoreBid(args *BidArgs, reply *BidReply) error {
-	tx := f.C.Begin()
-	it, err := tx.Load("Item", sqldb.Int(args.ItemID))
-	if err != nil {
-		return err
-	}
-	cur, _ := it.Get("max_bid")
-	amount := args.Amount
-	if amount <= cur.AsFloat() {
-		amount = cur.AsFloat() + 1
-	}
-	if _, err := tx.Create("Bid", []sqldb.Value{
-		sqldb.Int(args.ItemID), sqldb.Int(args.UserID), sqldb.Float(amount),
-		sqldb.Float(amount * 1.1), sqldb.Int(1), sqldb.Int(12006)}); err != nil {
-		return err
-	}
-	n, _ := it.Get("nb_bids")
-	if err := it.Set("nb_bids", sqldb.Int(n.AsInt()+1)); err != nil {
-		return err
-	}
-	if err := it.Set("max_bid", sqldb.Float(amount)); err != nil {
-		return err
-	}
-	reply.Accepted = amount
-	return nil
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		it, err := tx.Load("Item", sqldb.Int(args.ItemID))
+		if err != nil {
+			return err
+		}
+		cur, _ := it.Get("max_bid")
+		amount := args.Amount
+		if amount <= cur.AsFloat() {
+			amount = cur.AsFloat() + 1
+		}
+		if _, err := tx.Create("Bid", []sqldb.Value{
+			sqldb.Int(args.ItemID), sqldb.Int(args.UserID), sqldb.Float(amount),
+			sqldb.Float(amount * 1.1), sqldb.Int(1), sqldb.Int(12006)}); err != nil {
+			return err
+		}
+		n, _ := it.Get("nb_bids")
+		if err := it.Set("nb_bids", sqldb.Int(n.AsInt()+1)); err != nil {
+			return err
+		}
+		if err := it.Set("max_bid", sqldb.Float(amount)); err != nil {
+			return err
+		}
+		reply.Accepted = amount
+		return nil
+	})
 }
 
 // BuyNowArgs / BuyNowReply store a direct purchase.
@@ -246,21 +251,22 @@ type BuyNowReply struct{ OK bool }
 
 // StoreBuyNow creates the purchase and closes the auction.
 func (f *Facade) StoreBuyNow(args *BuyNowArgs, reply *BuyNowReply) error {
-	tx := f.C.Begin()
-	it, err := tx.Load("Item", sqldb.Int(args.ItemID))
-	if err != nil {
-		return err
-	}
-	if _, err := tx.Create("BuyNow", []sqldb.Value{
-		sqldb.Int(args.ItemID), sqldb.Int(args.UserID),
-		sqldb.Int(args.Qty), sqldb.Int(12005)}); err != nil {
-		return err
-	}
-	if err := it.Set("end_date", sqldb.Int(12005)); err != nil {
-		return err
-	}
-	reply.OK = true
-	return nil
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		it, err := tx.Load("Item", sqldb.Int(args.ItemID))
+		if err != nil {
+			return err
+		}
+		if _, err := tx.Create("BuyNow", []sqldb.Value{
+			sqldb.Int(args.ItemID), sqldb.Int(args.UserID),
+			sqldb.Int(args.Qty), sqldb.Int(12005)}); err != nil {
+			return err
+		}
+		if err := it.Set("end_date", sqldb.Int(12005)); err != nil {
+			return err
+		}
+		reply.OK = true
+		return nil
+	})
 }
 
 // CommentArgs / CommentReply store a comment and rating delta.
@@ -272,22 +278,23 @@ type CommentReply struct{ OK bool }
 
 // StoreComment creates the comment and updates the rating field.
 func (f *Facade) StoreComment(args *CommentArgs, reply *CommentReply) error {
-	tx := f.C.Begin()
-	if _, err := tx.Create("Comment", []sqldb.Value{
-		sqldb.Int(args.From), sqldb.Int(args.To), sqldb.Int(args.ItemID),
-		sqldb.Int(args.Rating), sqldb.String(args.Text)}); err != nil {
-		return err
-	}
-	u, err := tx.Load("User", sqldb.Int(args.To))
-	if err != nil {
-		return err
-	}
-	r, _ := u.Get("rating")
-	if err := u.Set("rating", sqldb.Int(r.AsInt()+args.Rating-2)); err != nil {
-		return err
-	}
-	reply.OK = true
-	return nil
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		if _, err := tx.Create("Comment", []sqldb.Value{
+			sqldb.Int(args.From), sqldb.Int(args.To), sqldb.Int(args.ItemID),
+			sqldb.Int(args.Rating), sqldb.String(args.Text)}); err != nil {
+			return err
+		}
+		u, err := tx.Load("User", sqldb.Int(args.To))
+		if err != nil {
+			return err
+		}
+		r, _ := u.Get("rating")
+		if err := u.Set("rating", sqldb.Int(r.AsInt()+args.Rating-2)); err != nil {
+			return err
+		}
+		reply.OK = true
+		return nil
+	})
 }
 
 // SellArgs / SellReply list a new item.
@@ -302,21 +309,22 @@ type SellReply struct{ ItemID int64 }
 
 // Sell verifies the seller and creates the item entity.
 func (f *Facade) Sell(args *SellArgs, reply *SellReply) error {
-	tx := f.C.Begin()
-	if _, err := tx.Load("User", sqldb.Int(args.Seller)); err != nil {
-		return err
-	}
-	pk, err := tx.Create("Item", []sqldb.Value{
-		sqldb.String(args.Name), sqldb.String("newly listed"),
-		sqldb.Int(args.Seller), sqldb.Int(args.Category), sqldb.Int(args.Region),
-		sqldb.Float(args.Price), sqldb.Float(args.Price * 1.2),
-		sqldb.Float(args.Price * 2), sqldb.Int(0), sqldb.Float(args.Price),
-		sqldb.Int(12000), sqldb.Int(12007)})
-	if err != nil {
-		return err
-	}
-	reply.ItemID = pk.AsInt()
-	return nil
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		if _, err := tx.Load("User", sqldb.Int(args.Seller)); err != nil {
+			return err
+		}
+		pk, err := tx.Create("Item", []sqldb.Value{
+			sqldb.String(args.Name), sqldb.String("newly listed"),
+			sqldb.Int(args.Seller), sqldb.Int(args.Category), sqldb.Int(args.Region),
+			sqldb.Float(args.Price), sqldb.Float(args.Price * 1.2),
+			sqldb.Float(args.Price * 2), sqldb.Int(0), sqldb.Float(args.Price),
+			sqldb.Int(12000), sqldb.Int(12007)})
+		if err != nil {
+			return err
+		}
+		reply.ItemID = pk.AsInt()
+		return nil
+	})
 }
 
 // RegisterArgs / RegisterReply create a user.
@@ -328,16 +336,17 @@ type RegisterReply struct{ UserID int64 }
 
 // Register creates the user entity.
 func (f *Facade) Register(args *RegisterArgs, reply *RegisterReply) error {
-	tx := f.C.Begin()
-	pk, err := tx.Create("User", []sqldb.Value{
-		sqldb.String("F"), sqldb.String("L"), sqldb.String(args.Nickname),
-		sqldb.String("pw"), sqldb.Int(args.Region), sqldb.Int(0),
-		sqldb.Float(0), sqldb.Int(12000)})
-	if err != nil {
-		return err
-	}
-	reply.UserID = pk.AsInt()
-	return nil
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		pk, err := tx.Create("User", []sqldb.Value{
+			sqldb.String("F"), sqldb.String("L"), sqldb.String(args.Nickname),
+			sqldb.String("pw"), sqldb.Int(args.Region), sqldb.Int(0),
+			sqldb.Float(0), sqldb.Int(12000)})
+		if err != nil {
+			return err
+		}
+		reply.UserID = pk.AsInt()
+		return nil
+	})
 }
 
 // AboutArgs / AboutReply serve the myEbay page.
@@ -351,31 +360,32 @@ type AboutReply struct {
 
 // About runs the user's finders and activations.
 func (f *Facade) About(args *AboutArgs, reply *AboutReply) error {
-	tx := f.C.Begin()
-	u, err := tx.Load("User", sqldb.Int(args.UserID))
-	if err != nil {
-		return nil
-	}
-	nick, _ := u.Get("nickname")
-	reply.Found = true
-	reply.Nickname = nick.AsString()
-	bidKeys, err := tx.FindBy("Bid", "user_id", sqldb.Int(args.UserID), 10)
-	if err != nil {
-		return err
-	}
-	reply.BidCount = len(bidKeys)
-	sellKeys, err := tx.FindBy("Item", "seller_id", sqldb.Int(args.UserID), 10)
-	if err != nil {
-		return err
-	}
-	for _, pk := range sellKeys {
-		row, err := itemRowOf(tx, pk)
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		u, err := tx.Load("User", sqldb.Int(args.UserID))
+		if err != nil {
+			return nil
+		}
+		nick, _ := u.Get("nickname")
+		reply.Found = true
+		reply.Nickname = nick.AsString()
+		bidKeys, err := tx.FindBy("Bid", "user_id", sqldb.Int(args.UserID), 10)
 		if err != nil {
 			return err
 		}
-		reply.Selling = append(reply.Selling, row)
-	}
-	return nil
+		reply.BidCount = len(bidKeys)
+		sellKeys, err := tx.FindBy("Item", "seller_id", sqldb.Int(args.UserID), 10)
+		if err != nil {
+			return err
+		}
+		for _, pk := range sellKeys {
+			row, err := itemRowOf(tx, pk)
+			if err != nil {
+				return err
+			}
+			reply.Selling = append(reply.Selling, row)
+		}
+		return nil
+	})
 }
 
 // PresentationApp is the servlet-side presentation tier of the EJB

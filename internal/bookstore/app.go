@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/httpd"
 	"repro/internal/servlet"
 	"repro/internal/sqldb"
@@ -15,8 +16,10 @@ import (
 // Config selects the locking discipline and optional emulated externals.
 type Config struct {
 	// Sync moves table locking into the engine-side lock manager (the
-	// paper's "(sync)" configurations); false issues LOCK TABLES /
-	// UNLOCK TABLES against the database, as the PHP scripts must.
+	// paper's "(sync)" configurations); false brackets each read-write
+	// interaction in a database transaction (BEGIN ... COMMIT, rollback on
+	// failure) — the role the PHP scripts' LOCK TABLES sections played,
+	// with narrower locks.
 	Sync bool
 	// PGEDelay emulates the TPC-W payment gateway authorization latency
 	// during Buy Confirm. Zero keeps tests fast.
@@ -74,9 +77,17 @@ func (a *App) Register(c *servlet.Container) {
 	}
 }
 
-// withLocks runs fn under the configuration's locking discipline. set lists
-// every table fn touches, write intents included, exactly as MyISAM's
-// LOCK TABLES requires.
+// withLocks runs fn under the configuration's concurrency discipline. set
+// lists every table fn touches with its intent. With Sync the engine-side
+// lock manager serializes (the paper's "(sync)" configurations). Without it
+// fn runs inside a real database transaction declaring the write-intent
+// tables: a short transaction whose locks are acquired per written table as
+// the statements arrive and released at COMMIT — strictly narrower than the
+// old LOCK TABLES bracket, which write-locked everything up front and
+// read-locked even the read-only tables for the whole section. An error
+// (or panic) rolls the whole section back on every replica. A set with no
+// write intent needs no bracket at all: its reads take their own short
+// locks statement by statement.
 func (a *App) withLocks(ctx *servlet.Context, set []servlet.TableLock, fn func(ex Execer) error) error {
 	if ctx.DB == nil {
 		return servlet.ErrNoDatabase
@@ -88,51 +99,11 @@ func (a *App) withLocks(ctx *servlet.Context, set []servlet.TableLock, fn func(e
 		// locks in the database, which is harmless (§2.2).
 		return fn(ctx.DB)
 	}
-	conn, err := ctx.DB.Get()
-	if err != nil {
-		return err
+	writes := servlet.WriteTables(set)
+	if len(writes) == 0 {
+		return fn(ctx.DB)
 	}
-	broken := false
-	defer func() { ctx.DB.Put(conn, broken) }()
-	if _, err := conn.ExecCached(lockTablesSQL(set)); err != nil {
-		broken = true
-		return err
-	}
-	ferr := fn(conn)
-	if _, err := conn.ExecCached("UNLOCK TABLES"); err != nil {
-		broken = true
-		if ferr == nil {
-			ferr = err
-		}
-	}
-	return ferr
-}
-
-// lockTablesSQL renders "LOCK TABLES a READ, b WRITE" in sorted order.
-func lockTablesSQL(set []servlet.TableLock) string {
-	merged := make(map[string]bool, len(set))
-	for _, tl := range set {
-		merged[tl.Table] = merged[tl.Table] || tl.Write
-	}
-	names := make([]string, 0, len(merged))
-	for n := range merged {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	b.WriteString("LOCK TABLES ")
-	for i, n := range names {
-		if i > 0 {
-			b.WriteString(", ")
-		}
-		b.WriteString(n)
-		if merged[n] {
-			b.WriteString(" WRITE")
-		} else {
-			b.WriteString(" READ")
-		}
-	}
-	return b.String()
+	return ctx.Tx(writes, func(tx *cluster.Session) error { return fn(tx) })
 }
 
 // ---- shared row shapes and rendering ----
@@ -411,10 +382,10 @@ func (a *App) shoppingCart(ctx *servlet.Context, req *httpd.Request) (*httpd.Res
 	}
 	var lines []priced
 	var total float64
-	// The cart page reads current prices and stock consistently: the
-	// non-sync configurations bracket the reads with LOCK TABLES (carts
-	// lived in the database in the original PHP code); sync serializes in
-	// the engine.
+	// The cart page's per-item reads: sync serializes them in the engine;
+	// non-sync runs them unbracketed (a read-only set opens no
+	// transaction), so each SELECT sees the latest committed prices —
+	// per-statement consistency, like the EJB configuration's reads.
 	err := a.withLocks(ctx,
 		[]servlet.TableLock{{Table: "items"}, {Table: "authors"}},
 		func(ex Execer) error {

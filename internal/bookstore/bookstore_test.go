@@ -273,14 +273,13 @@ func TestSyncAndNonSyncEquivalent(t *testing.T) {
 	}
 }
 
-func TestLockTablesSQLRendering(t *testing.T) {
-	got := lockTablesSQL([]servlet.TableLock{
+func TestWriteTablesExtraction(t *testing.T) {
+	got := servlet.WriteTables([]servlet.TableLock{
 		{Table: "orders", Write: true}, {Table: "customers"},
-		{Table: "items", Write: true}, {Table: "items"}, // dup merges to WRITE
+		{Table: "items", Write: true},
 	})
-	want := "LOCK TABLES customers READ, items WRITE, orders WRITE"
-	if got != want {
-		t.Fatalf("lockTablesSQL = %q, want %q", got, want)
+	if len(got) != 2 || got[0] != "items" || got[1] != "orders" {
+		t.Fatalf("WriteTables = %v, want [items orders]", got)
 	}
 }
 

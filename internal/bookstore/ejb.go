@@ -87,20 +87,21 @@ func itemSummaryOf(tx *ejb.Tx, pk sqldb.Value) (ItemSummary, error) {
 // List implements home / new products / best sellers: a finder plus one
 // activation per row.
 func (f *Facade) List(args *ItemListArgs, reply *ItemListReply) error {
-	tx := f.C.Begin()
-	keys, err := tx.FindWhere("Item", "subject = ?",
-		[]sqldb.Value{sqldb.String(args.Subject)}, args.OrderBy, args.Limit)
-	if err != nil {
-		return err
-	}
-	for _, pk := range keys {
-		s, err := itemSummaryOf(tx, pk)
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		keys, err := tx.FindWhere("Item", "subject = ?",
+			[]sqldb.Value{sqldb.String(args.Subject)}, args.OrderBy, args.Limit)
 		if err != nil {
 			return err
 		}
-		reply.Items = append(reply.Items, s)
-	}
-	return nil
+		for _, pk := range keys {
+			s, err := itemSummaryOf(tx, pk)
+			if err != nil {
+				return err
+			}
+			reply.Items = append(reply.Items, s)
+		}
+		return nil
+	})
 }
 
 // DetailArgs / DetailReply serve the product-detail page.
@@ -112,26 +113,27 @@ type DetailReply struct {
 
 // Detail activates one item and its author.
 func (f *Facade) Detail(args *DetailArgs, reply *DetailReply) error {
-	tx := f.C.Begin()
-	it, err := tx.Load("Item", sqldb.Int(args.ItemID))
-	if err != nil {
-		return nil // not found is not a fault
-	}
-	get := func(field string) sqldb.Value { v, _ := it.Get(field); return v }
-	authorID := get("author_id")
-	author, err := tx.Load("Author", authorID)
-	if err != nil {
-		return err
-	}
-	lname, _ := author.Get("lname")
-	reply.Found = true
-	reply.D = ItemDetail{
-		ItemSummary: ItemSummary{ID: args.ItemID, Title: get("title").AsString(),
-			Author: lname.AsString(), Cost: get("cost").AsFloat()},
-		Subject: get("subject").AsString(), Descr: get("descr").AsString(),
-		PubDate: get("pub_date").AsInt(), Stock: get("stock").AsInt(),
-	}
-	return nil
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		it, err := tx.Load("Item", sqldb.Int(args.ItemID))
+		if err != nil {
+			return nil // not found is not a fault
+		}
+		get := func(field string) sqldb.Value { v, _ := it.Get(field); return v }
+		authorID := get("author_id")
+		author, err := tx.Load("Author", authorID)
+		if err != nil {
+			return err
+		}
+		lname, _ := author.Get("lname")
+		reply.Found = true
+		reply.D = ItemDetail{
+			ItemSummary: ItemSummary{ID: args.ItemID, Title: get("title").AsString(),
+				Author: lname.AsString(), Cost: get("cost").AsFloat()},
+			Subject: get("subject").AsString(), Descr: get("descr").AsString(),
+			PubDate: get("pub_date").AsInt(), Stock: get("stock").AsInt(),
+		}
+		return nil
+	})
 }
 
 // SearchArgs / reply reuse ItemListReply.
@@ -142,45 +144,46 @@ type SearchArgs struct {
 
 // Search implements the three search modes via finders.
 func (f *Facade) Search(args *SearchArgs, reply *ItemListReply) error {
-	tx := f.C.Begin()
-	var keys []sqldb.Value
-	var err error
-	switch args.Type {
-	case "title":
-		keys, err = tx.FindWhere("Item", "title LIKE ?",
-			[]sqldb.Value{sqldb.String("%" + args.Term + "%")}, "title", 50)
-	case "subject":
-		keys, err = tx.FindWhere("Item", "subject = ?",
-			[]sqldb.Value{sqldb.String(strings.ToUpper(args.Term))}, "title", 50)
-	default: // author: finder on authors, then items per author
-		var authorKeys []sqldb.Value
-		authorKeys, err = tx.FindWhere("Author", "lname LIKE ?",
-			[]sqldb.Value{sqldb.String(args.Term + "%")}, "", 10)
-		if err != nil {
-			return err
-		}
-		for _, ak := range authorKeys {
-			iks, ferr := tx.FindBy("Item", "author_id", ak, 10)
-			if ferr != nil {
-				return ferr
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		var keys []sqldb.Value
+		var err error
+		switch args.Type {
+		case "title":
+			keys, err = tx.FindWhere("Item", "title LIKE ?",
+				[]sqldb.Value{sqldb.String("%" + args.Term + "%")}, "title", 50)
+		case "subject":
+			keys, err = tx.FindWhere("Item", "subject = ?",
+				[]sqldb.Value{sqldb.String(strings.ToUpper(args.Term))}, "title", 50)
+		default: // author: finder on authors, then items per author
+			var authorKeys []sqldb.Value
+			authorKeys, err = tx.FindWhere("Author", "lname LIKE ?",
+				[]sqldb.Value{sqldb.String(args.Term + "%")}, "", 10)
+			if err != nil {
+				return err
 			}
-			keys = append(keys, iks...)
+			for _, ak := range authorKeys {
+				iks, ferr := tx.FindBy("Item", "author_id", ak, 10)
+				if ferr != nil {
+					return ferr
+				}
+				keys = append(keys, iks...)
+			}
 		}
-	}
-	if err != nil {
-		return err
-	}
-	if len(keys) > 50 {
-		keys = keys[:50]
-	}
-	for _, pk := range keys {
-		s, err := itemSummaryOf(tx, pk)
 		if err != nil {
 			return err
 		}
-		reply.Items = append(reply.Items, s)
-	}
-	return nil
+		if len(keys) > 50 {
+			keys = keys[:50]
+		}
+		for _, pk := range keys {
+			s, err := itemSummaryOf(tx, pk)
+			if err != nil {
+				return err
+			}
+			reply.Items = append(reply.Items, s)
+		}
+		return nil
+	})
 }
 
 // GreetArgs / GreetReply implement the home-page greeting lookup.
@@ -189,15 +192,16 @@ type GreetReply struct{ Greeting string }
 
 // Greet activates the customer entity.
 func (f *Facade) Greet(args *GreetArgs, reply *GreetReply) error {
-	tx := f.C.Begin()
-	cst, err := tx.Load("Customer", sqldb.Int(args.CustomerID))
-	if err != nil {
-		return nil // unknown customer: empty greeting
-	}
-	fn, _ := cst.Get("fname")
-	ln, _ := cst.Get("lname")
-	reply.Greeting = fn.AsString() + " " + ln.AsString()
-	return nil
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		cst, err := tx.Load("Customer", sqldb.Int(args.CustomerID))
+		if err != nil {
+			return nil // unknown customer: empty greeting
+		}
+		fn, _ := cst.Get("fname")
+		ln, _ := cst.Get("lname")
+		reply.Greeting = fn.AsString() + " " + ln.AsString()
+		return nil
+	})
 }
 
 // CartArgs prices a cart.
@@ -214,18 +218,19 @@ type CartReply struct {
 
 // Cart activates each cart item.
 func (f *Facade) Cart(args *CartArgs, reply *CartReply) error {
-	tx := f.C.Begin()
-	for i, id := range args.ItemIDs {
-		s, err := itemSummaryOf(tx, sqldb.Int(id))
-		if err != nil {
-			continue
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		for i, id := range args.ItemIDs {
+			s, err := itemSummaryOf(tx, sqldb.Int(id))
+			if err != nil {
+				continue
+			}
+			reply.Items = append(reply.Items, s)
+			if i < len(args.Qtys) {
+				reply.Total += s.Cost * float64(args.Qtys[i])
+			}
 		}
-		reply.Items = append(reply.Items, s)
-		if i < len(args.Qtys) {
-			reply.Total += s.Cost * float64(args.Qtys[i])
-		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // RegisterArgs / RegisterReply create a customer.
@@ -236,22 +241,23 @@ type RegisterReply struct{ CustomerID int64 }
 
 // Register creates the address and customer entities.
 func (f *Facade) Register(args *RegisterArgs, reply *RegisterReply) error {
-	tx := f.C.Begin()
-	addr, err := tx.Create("Address", []sqldb.Value{
-		sqldb.String(args.Street), sqldb.String(args.City), sqldb.Int(1)})
-	if err != nil {
-		return err
-	}
-	cid, err := tx.Create("Customer", []sqldb.Value{
-		sqldb.String(args.Uname), sqldb.String(args.Passwd),
-		sqldb.String(args.Fname), sqldb.String(args.Lname),
-		addr, sqldb.String(""), sqldb.String(args.Uname + "@example.com"),
-		sqldb.Float(0)})
-	if err != nil {
-		return err
-	}
-	reply.CustomerID = cid.AsInt()
-	return nil
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		addr, err := tx.Create("Address", []sqldb.Value{
+			sqldb.String(args.Street), sqldb.String(args.City), sqldb.Int(1)})
+		if err != nil {
+			return err
+		}
+		cid, err := tx.Create("Customer", []sqldb.Value{
+			sqldb.String(args.Uname), sqldb.String(args.Passwd),
+			sqldb.String(args.Fname), sqldb.String(args.Lname),
+			addr, sqldb.String(""), sqldb.String(args.Uname + "@example.com"),
+			sqldb.Float(0)})
+		if err != nil {
+			return err
+		}
+		reply.CustomerID = cid.AsInt()
+		return nil
+	})
 }
 
 // BuyArgs / BuyReply run the purchase.
@@ -267,60 +273,61 @@ type BuyReply struct{ OrderID int64 }
 // locks are the only database-side serialization (the paper's EJB
 // configuration has no LOCK TABLES).
 func (f *Facade) Buy(args *BuyArgs, reply *BuyReply) error {
-	tx := f.C.Begin()
-	cst, err := tx.Load("Customer", sqldb.Int(args.CustomerID))
-	if err != nil {
-		return err
-	}
-	discount, _ := cst.Get("discount")
-	var subtotal float64
-	items := make([]*ejb.Entity, 0, len(args.ItemIDs))
-	for i, id := range args.ItemIDs {
-		it, err := tx.Load("Item", sqldb.Int(id))
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		cst, err := tx.Load("Customer", sqldb.Int(args.CustomerID))
 		if err != nil {
 			return err
 		}
-		cost, _ := it.Get("cost")
-		qty := int64(1)
-		if i < len(args.Qtys) {
-			qty = args.Qtys[i]
+		discount, _ := cst.Get("discount")
+		var subtotal float64
+		items := make([]*ejb.Entity, 0, len(args.ItemIDs))
+		for i, id := range args.ItemIDs {
+			it, err := tx.Load("Item", sqldb.Int(id))
+			if err != nil {
+				return err
+			}
+			cost, _ := it.Get("cost")
+			qty := int64(1)
+			if i < len(args.Qtys) {
+				qty = args.Qtys[i]
+			}
+			subtotal += cost.AsFloat() * float64(qty)
+			items = append(items, it)
 		}
-		subtotal += cost.AsFloat() * float64(qty)
-		items = append(items, it)
-	}
-	total := subtotal * (1 - discount.AsFloat())
-	orderPK, err := tx.Create("Order", []sqldb.Value{
-		sqldb.Int(args.CustomerID), sqldb.Int(12000),
-		sqldb.Float(subtotal), sqldb.Float(total), sqldb.String("PENDING")})
-	if err != nil {
-		return err
-	}
-	for i, it := range items {
-		qty := int64(1)
-		if i < len(args.Qtys) {
-			qty = args.Qtys[i]
-		}
-		if _, err := tx.Create("OrderLine", []sqldb.Value{
-			orderPK, it.PK(), sqldb.Int(qty), discount}); err != nil {
+		total := subtotal * (1 - discount.AsFloat())
+		orderPK, err := tx.Create("Order", []sqldb.Value{
+			sqldb.Int(args.CustomerID), sqldb.Int(12000),
+			sqldb.Float(subtotal), sqldb.Float(total), sqldb.String("PENDING")})
+		if err != nil {
 			return err
 		}
-		// Two single-column CMP stores per item.
-		stock, _ := it.Get("stock")
-		sold, _ := it.Get("total_sold")
-		if err := it.Set("stock", sqldb.Int(stock.AsInt()-qty)); err != nil {
+		for i, it := range items {
+			qty := int64(1)
+			if i < len(args.Qtys) {
+				qty = args.Qtys[i]
+			}
+			if _, err := tx.Create("OrderLine", []sqldb.Value{
+				orderPK, it.PK(), sqldb.Int(qty), discount}); err != nil {
+				return err
+			}
+			// Two single-column CMP stores per item.
+			stock, _ := it.Get("stock")
+			sold, _ := it.Get("total_sold")
+			if err := it.Set("stock", sqldb.Int(stock.AsInt()-qty)); err != nil {
+				return err
+			}
+			if err := it.Set("total_sold", sqldb.Int(sold.AsInt()+qty)); err != nil {
+				return err
+			}
+		}
+		if _, err := tx.Create("CreditInfo", []sqldb.Value{
+			orderPK, sqldb.String("VISA"), sqldb.String("4111111111111111"),
+			sqldb.Int(13000), sqldb.String("AUTH-OK")}); err != nil {
 			return err
 		}
-		if err := it.Set("total_sold", sqldb.Int(sold.AsInt()+qty)); err != nil {
-			return err
-		}
-	}
-	if _, err := tx.Create("CreditInfo", []sqldb.Value{
-		orderPK, sqldb.String("VISA"), sqldb.String("4111111111111111"),
-		sqldb.Int(13000), sqldb.String("AUTH-OK")}); err != nil {
-		return err
-	}
-	reply.OrderID = orderPK.AsInt()
-	return nil
+		reply.OrderID = orderPK.AsInt()
+		return nil
+	})
 }
 
 // OrderArgs / OrderReply fetch the latest order.
@@ -332,40 +339,41 @@ type OrderReply struct {
 
 // LastOrder runs the order-display logic: finder + per-entity activations.
 func (f *Facade) LastOrder(args *OrderArgs, reply *OrderReply) error {
-	tx := f.C.Begin()
-	keys, err := tx.FindWhere("Order", "customer_id = ?",
-		[]sqldb.Value{sqldb.Int(args.CustomerID)}, "id DESC", 1)
-	if err != nil || len(keys) == 0 {
-		return err
-	}
-	o, err := tx.Load("Order", keys[0])
-	if err != nil {
-		return err
-	}
-	get := func(field string) sqldb.Value { v, _ := o.Get(field); return v }
-	reply.Found = true
-	reply.Order = OrderView{OrderID: keys[0].AsInt(), Date: get("o_date").AsInt(),
-		Total: get("total").AsFloat(), Status: get("status").AsString()}
-	lineKeys, err := tx.FindBy("OrderLine", "order_id", keys[0], 0)
-	if err != nil {
-		return err
-	}
-	for _, lk := range lineKeys {
-		l, err := tx.Load("OrderLine", lk)
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		keys, err := tx.FindWhere("Order", "customer_id = ?",
+			[]sqldb.Value{sqldb.Int(args.CustomerID)}, "id DESC", 1)
+		if err != nil || len(keys) == 0 {
+			return err
+		}
+		o, err := tx.Load("Order", keys[0])
 		if err != nil {
 			return err
 		}
-		itemID, _ := l.Get("item_id")
-		qty, _ := l.Get("qty")
-		it, err := tx.Load("Item", itemID)
+		get := func(field string) sqldb.Value { v, _ := o.Get(field); return v }
+		reply.Found = true
+		reply.Order = OrderView{OrderID: keys[0].AsInt(), Date: get("o_date").AsInt(),
+			Total: get("total").AsFloat(), Status: get("status").AsString()}
+		lineKeys, err := tx.FindBy("OrderLine", "order_id", keys[0], 0)
 		if err != nil {
 			return err
 		}
-		title, _ := it.Get("title")
-		reply.Order.Lines = append(reply.Order.Lines, OrderLineView{
-			ItemID: itemID.AsInt(), Title: title.AsString(), Qty: qty.AsInt()})
-	}
-	return nil
+		for _, lk := range lineKeys {
+			l, err := tx.Load("OrderLine", lk)
+			if err != nil {
+				return err
+			}
+			itemID, _ := l.Get("item_id")
+			qty, _ := l.Get("qty")
+			it, err := tx.Load("Item", itemID)
+			if err != nil {
+				return err
+			}
+			title, _ := it.Get("title")
+			reply.Order.Lines = append(reply.Order.Lines, OrderLineView{
+				ItemID: itemID.AsInt(), Title: title.AsString(), Qty: qty.AsInt()})
+		}
+		return nil
+	})
 }
 
 // AdminArgs / AdminReply update an item.
@@ -377,19 +385,20 @@ type AdminReply struct{ Updated bool }
 
 // Admin performs the administrative update as two CMP field stores.
 func (f *Facade) Admin(args *AdminArgs, reply *AdminReply) error {
-	tx := f.C.Begin()
-	it, err := tx.Load("Item", sqldb.Int(args.ItemID))
-	if err != nil {
+	return f.C.RunInTx(func(tx *ejb.Tx) error {
+		it, err := tx.Load("Item", sqldb.Int(args.ItemID))
+		if err != nil {
+			return nil
+		}
+		if err := it.Set("cost", sqldb.Float(args.Cost)); err != nil {
+			return err
+		}
+		if err := it.Set("pub_date", sqldb.Int(12001)); err != nil {
+			return err
+		}
+		reply.Updated = true
 		return nil
-	}
-	if err := it.Set("cost", sqldb.Float(args.Cost)); err != nil {
-		return err
-	}
-	if err := it.Set("pub_date", sqldb.Int(12001)); err != nil {
-		return err
-	}
-	reply.Updated = true
-	return nil
+	})
 }
 
 // PresentationApp is the servlet-side presentation tier of the EJB

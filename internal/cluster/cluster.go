@@ -191,9 +191,11 @@ func (c *Client) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Res
 	if rt.kind == kindRead {
 		return c.execRead(query, args, cached)
 	}
-	// LOCK/UNLOCK arriving outside a Get/Put session would strand lock
-	// state on pooled connections; sessions are the supported bracket.
-	if rt.kind == kindLock || rt.kind == kindUnlock {
+	// LOCK/UNLOCK and transaction control arriving outside a Get/Put
+	// session would strand lock or transaction state on pooled connections;
+	// sessions are the supported bracket.
+	switch rt.kind {
+	case kindLock, kindUnlock, kindBegin, kindTxnEnd:
 		return nil, fmt.Errorf("cluster: %s requires a session (Get/Put)",
 			strings.Fields(query)[0])
 	}
@@ -379,8 +381,9 @@ func (c *Client) Put(s *Session, broken bool) {
 }
 
 // Session is one logical connection over the cluster — what the
-// application borrows around a LOCK TABLES ... UNLOCK TABLES section. Not
-// safe for concurrent use, like the wire connection it replaces.
+// application borrows around a LOCK TABLES ... UNLOCK TABLES section or a
+// BEGIN ... COMMIT transaction. Not safe for concurrent use, like the wire
+// connection it replaces.
 type Session struct {
 	c      *Client
 	pinned *replica
@@ -389,6 +392,7 @@ type Session struct {
 
 	inBracket  bool
 	bracketAll bool   // write-intent bracket: section broadcasts
+	inTxn      bool   // open transaction (a broadcast bracket on >1 replica)
 	release    func() // bracket's write-order locks
 	topoHeld   bool
 	failed     bool
@@ -418,10 +422,36 @@ func (s *Session) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, 
 }
 
 func (s *Session) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	res, err := s.execDispatch(query, args, cached)
+	// A lock-wait-timeout abort rolled the WHOLE transaction back on the
+	// replica that reported it, while the others still hold theirs open.
+	// The session must not be used further: statements after the abort
+	// would auto-commit on the aborted replica but stay transactional on
+	// the rest, and a later COMMIT would publish divergent state. Poisoning
+	// the session discards every connection, rolling the stragglers back.
+	if err != nil && s.inTxn && isTxnAbort(err) {
+		s.failed = true
+	}
+	return res, err
+}
+
+// isTxnAbort reports whether a database-side error also aborted the
+// server's transaction (the engine's deadlock wait timeout does; ordinary
+// statement errors leave the transaction open). Server errors cross the
+// wire as text, so the engine's sentinel is matched by message.
+func isTxnAbort(err error) bool {
+	return wire.IsServerError(err) &&
+		strings.Contains(err.Error(), sqldb.ErrLockWaitTimeout.Error())
+}
+
+func (s *Session) execDispatch(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
 	if s.failed {
 		return nil, errors.New("cluster: session failed, discard it")
 	}
-	// One replica: the session is an ordinary borrowed connection.
+	// One replica: the session is an ordinary borrowed connection. Only the
+	// transaction flag is tracked, so an unmatched BEGIN still discards the
+	// connection at session end instead of returning it to the pool with an
+	// open transaction.
 	if len(s.c.replicas) == 1 {
 		cn, err := s.conn(s.pinned)
 		if err != nil {
@@ -432,6 +462,13 @@ func (s *Session) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Re
 		if isTransport(err) {
 			s.broken[s.pinned.id] = true
 			s.failed = true
+		} else if err == nil {
+			switch s.c.routes.of(query).kind {
+			case kindBegin:
+				s.inTxn = true
+			case kindTxnEnd:
+				s.inTxn = false
+			}
 		}
 		return res, err
 	}
@@ -443,6 +480,13 @@ func (s *Session) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Re
 		return s.execLock(query, args, cached, rt)
 	case kindUnlock:
 		return s.execUnlock(query, args, cached)
+	case kindBegin:
+		if err := s.Begin(); err != nil {
+			return nil, err
+		}
+		return &sqldb.Result{}, nil
+	case kindTxnEnd:
+		return s.execTxnEndText(query, args, cached)
 	default:
 		return s.execWrite(query, args, cached, rt)
 	}
@@ -502,7 +546,9 @@ func (s *Session) execLock(query string, args []sqldb.Value, cached bool, rt rou
 	return res, nil
 }
 
-// execUnlock closes the bracket on every replica it was opened on.
+// execUnlock closes the bracket on every replica it was opened on. Inside
+// a transaction UNLOCK TABLES is a server-side no-op (no LOCK TABLES set is
+// active), so the transaction's bracket state stays untouched.
 func (s *Session) execUnlock(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
 	var res *sqldb.Result
 	var err error
@@ -515,8 +561,154 @@ func (s *Session) execUnlock(query string, args []sqldb.Value, cached bool) (*sq
 		s.failed = true
 		return nil, err
 	}
-	s.closeBracket()
+	if !s.inTxn {
+		s.closeBracket()
+	}
 	return res, nil
+}
+
+// Begin opens a transaction across the cluster. tables declares the tables
+// the transaction intends to write: their cluster-wide write-order locks
+// are taken (in sorted order) for the whole transaction, so concurrent
+// transactions on disjoint tables proceed in parallel while conflicting
+// ones serialize — which is what keeps every replica applying conflicting
+// transactions in one global order, aborts included. With no declaration
+// the transaction serializes on the catch-all key.
+//
+// The BEGIN frame is pipelined: it rides to each replica with the
+// transaction's first statement, so opening costs no extra round trip. A
+// transaction already open is committed first, as the database itself would
+// on BEGIN.
+func (s *Session) Begin(tables ...string) error {
+	if s.failed {
+		return errors.New("cluster: session failed, discard it")
+	}
+	if s.inTxn {
+		if err := s.Commit(); err != nil {
+			return err
+		}
+	}
+	ordered := normalize(tables)
+	if len(ordered) == 0 {
+		ordered = []string{""}
+	}
+	if len(s.c.replicas) == 1 {
+		cn, err := s.conn(s.pinned)
+		if err != nil {
+			s.failed = true
+			return err
+		}
+		// The declared write set serializes here too: the engine only
+		// write-locks a table at the transaction's first write to it, so
+		// without this two read-modify-write transactions could both read
+		// before either writes — the lost update the old up-front
+		// LOCK TABLES bracket excluded.
+		s.release = s.c.locks.acquire(ordered)
+		if err := cn.Begin(); err != nil {
+			s.broken[s.pinned.id] = true
+			s.failed = true
+			s.closeBracket()
+			return err
+		}
+		s.inTxn = true
+		return nil
+	}
+	if s.inBracket {
+		s.closeBracket() // a LOCK bracket ends here; the server releases its set on BEGIN
+	}
+	s.c.topo.RLock()
+	s.topoHeld = true
+	s.release = s.c.locks.acquire(ordered)
+	opened := 0
+	for _, r := range s.c.replicas {
+		if s.broken[r.id] || !r.healthy.Load() {
+			continue
+		}
+		cn, err := s.conn(r)
+		if err != nil {
+			s.fail(r)
+			continue
+		}
+		if err := cn.Begin(); err != nil {
+			s.fail(r)
+			continue
+		}
+		opened++
+	}
+	if opened == 0 {
+		s.failed = true
+		s.closeBracket()
+		return ErrNoReplicas
+	}
+	s.inTxn, s.inBracket, s.bracketAll = true, true, true
+	return nil
+}
+
+// Commit commits the open transaction on every replica it was opened on
+// and releases its write-order locks. Without an open transaction it is a
+// no-op, like the database's own COMMIT.
+func (s *Session) Commit() error { return s.endTxn((*wire.Conn).Commit) }
+
+// Rollback rolls the open transaction back everywhere. The database's undo
+// logs restore each replica to its pre-transaction state, so the replicas
+// stay bit-identical across the abort.
+func (s *Session) Rollback() error { return s.endTxn((*wire.Conn).Rollback) }
+
+// endTxn runs op (COMMIT or ROLLBACK) on every connection participating in
+// the transaction, in replica order, then releases the bracket state.
+func (s *Session) endTxn(op func(*wire.Conn) error) error {
+	if !s.inTxn {
+		return nil
+	}
+	defer func() {
+		s.inTxn = false
+		s.closeBracket()
+	}()
+	var lastErr error
+	done := 0
+	for _, r := range s.c.replicas {
+		cn := s.conns[r.id]
+		if cn == nil || s.broken[r.id] {
+			continue
+		}
+		if err := op(cn); err != nil {
+			if isTransport(err) {
+				s.fail(r)
+			}
+			lastErr = err
+			continue
+		}
+		done++
+	}
+	if done == 0 {
+		s.failed = true
+		if lastErr != nil {
+			return lastErr
+		}
+		return ErrNoReplicas
+	}
+	if lastErr != nil && s.c.strict {
+		return fmt.Errorf("cluster: strict write policy: replica failed mid-transaction-end (applied on %d): %w", done, lastErr)
+	}
+	return nil
+}
+
+// execTxnEndText routes a COMMIT/ROLLBACK arriving as statement text
+// through the same path as the Commit/Rollback API.
+func (s *Session) execTxnEndText(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	if !s.inTxn {
+		// No cluster-side transaction: let the pinned replica answer the
+		// (no-op) statement deterministically.
+		return s.execRead(query, args, cached)
+	}
+	op := (*wire.Conn).Commit
+	if toks := tokens(query); len(toks) > 0 && toks[0] == "ROLLBACK" {
+		op = (*wire.Conn).Rollback
+	}
+	if err := s.endTxn(op); err != nil {
+		return nil, err
+	}
+	return &sqldb.Result{}, nil
 }
 
 // execWrite broadcasts a write inside (or, degenerately, outside) a
@@ -604,11 +796,16 @@ func (s *Session) closeBracket() {
 		s.c.topo.RUnlock()
 		s.topoHeld = false
 	}
-	s.inBracket, s.bracketAll = false, false
+	s.inBracket, s.bracketAll, s.inTxn = false, false, false
 }
 
-// end returns every borrowed connection and releases bracket state.
+// end returns every borrowed connection and releases bracket state. A
+// session abandoned with its transaction still open discards every
+// connection: each server session rolls the transaction back as its
+// connection closes, so no pooled connection ever carries open transaction
+// state to its next borrower.
 func (s *Session) end(broken bool) {
+	broken = broken || s.inTxn
 	s.closeBracket()
 	for i, cn := range s.conns {
 		if cn == nil {
@@ -617,6 +814,48 @@ func (s *Session) end(broken bool) {
 		s.c.replicas[i].pool.Put(cn, broken || s.failed || s.broken[i])
 		s.conns[i] = nil
 	}
+}
+
+// WithTx runs fn inside one database transaction: a session is borrowed, a
+// transaction declaring the given write tables is opened on it, and fn's
+// outcome decides the verdict — nil commits, an error (or a panic, which is
+// re-raised after cleanup) rolls back, restoring every replica to its
+// pre-transaction state. This is the short-transaction bracket the
+// application hot paths use in place of LOCK TABLES sections, and the
+// demarcation primitive the EJB container wraps business methods in.
+func (c *Client) WithTx(tables []string, fn func(tx *Session) error) (err error) {
+	s, err := c.Get()
+	if err != nil {
+		return err
+	}
+	broken := false
+	committed := false
+	defer func() {
+		if r := recover(); r != nil {
+			s.Rollback() // best effort; end() discards the conns regardless
+			c.Put(s, true)
+			panic(r)
+		}
+		if !committed && s.inTxn {
+			if rbErr := s.Rollback(); rbErr != nil {
+				broken = true
+			}
+		}
+		c.Put(s, broken)
+	}()
+	if err := s.Begin(tables...); err != nil {
+		broken = true
+		return err
+	}
+	if err := fn(s); err != nil {
+		return err
+	}
+	if err := s.Commit(); err != nil {
+		broken = true
+		return err
+	}
+	committed = true
+	return nil
 }
 
 // Rejoin brings an ejected replica back: its stale pooled connections are

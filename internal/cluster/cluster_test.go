@@ -459,3 +459,392 @@ func TestNestedLockBracket(t *testing.T) {
 		}
 	}
 }
+
+// replicaDump renders one replica's full table state (scan order included),
+// for byte-identity assertions across replicas and across aborts.
+func replicaDump(t *testing.T, r *testReplica) string {
+	t.Helper()
+	var b strings.Builder
+	sess := r.db.NewSession()
+	defer sess.Close()
+	for _, name := range r.db.TableNames() {
+		res, err := sess.Exec("SELECT * FROM " + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "%s %v\n", name, res.Rows)
+	}
+	return b.String()
+}
+
+// TestTxnBroadcastCommit: a committed transaction applies on every replica,
+// with identical AUTO_INCREMENT assignment.
+func TestTxnBroadcastCommit(t *testing.T) {
+	reps := startReplicas(t, 3)
+	c := newTestClient(t, reps, Config{})
+	err := c.WithTx([]string{"items", "audit"}, func(tx *Session) error {
+		res, err := tx.ExecCached("INSERT INTO items (name, qty) VALUES (?, ?)",
+			sqldb.String("txn-item"), sqldb.Int(3))
+		if err != nil {
+			return err
+		}
+		if res.LastInsertID != 11 {
+			t.Errorf("LastInsertID %d, want 11", res.LastInsertID)
+		}
+		// Read-your-writes on the pinned replica.
+		sel, err := tx.ExecCached("SELECT qty FROM items WHERE id = 11")
+		if err != nil || len(sel.Rows) != 1 || sel.Rows[0][0].AsInt() != 3 {
+			t.Errorf("read-your-writes inside txn: %v %+v", err, sel)
+		}
+		_, err = tx.ExecCached("INSERT INTO audit (item, delta) VALUES (11, 3)")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := replicaDump(t, reps[0])
+	for i, r := range reps[1:] {
+		if got := replicaDump(t, r); got != want {
+			t.Fatalf("replica %d diverged after commit:\n%s\nvs\n%s", i+1, want, got)
+		}
+	}
+}
+
+// TestTxnRollbackKeepsReplicasIdentical: an aborted transaction leaves all
+// replicas byte-identical to the pre-transaction state.
+func TestTxnRollbackKeepsReplicasIdentical(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{})
+	before := replicaDump(t, reps[0])
+	sentinel := fmt.Errorf("mid-transaction failure")
+	err := c.WithTx([]string{"items", "audit"}, func(tx *Session) error {
+		if _, err := tx.ExecCached("INSERT INTO items (name, qty) VALUES ('doomed', 1)"); err != nil {
+			return err
+		}
+		if _, err := tx.ExecCached("UPDATE items SET qty = 0 WHERE id = 1"); err != nil {
+			return err
+		}
+		if _, err := tx.ExecCached("DELETE FROM items WHERE id = 2"); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("WithTx error %v, want the sentinel", err)
+	}
+	for i, r := range reps {
+		if got := replicaDump(t, r); got != before {
+			t.Fatalf("replica %d not restored after abort:\nbefore\n%s\nafter\n%s", i, before, got)
+		}
+	}
+	// The next transaction reuses the rolled-back AUTO_INCREMENT ids on
+	// every replica.
+	err = c.WithTx([]string{"items"}, func(tx *Session) error {
+		res, err := tx.ExecCached("INSERT INTO items (name, qty) VALUES ('kept', 1)")
+		if err != nil {
+			return err
+		}
+		if res.LastInsertID != 11 {
+			t.Errorf("post-abort LastInsertID %d, want 11", res.LastInsertID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := replicaDump(t, reps[0]), replicaDump(t, reps[1]); a != b {
+		t.Fatalf("replicas diverged after post-abort insert:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestTxnContentionReplicasConverge hammers one table with concurrent
+// transactions, a third of which abort (run with -race): every replica must
+// end bit-identical, with only committed work visible.
+func TestTxnContentionReplicasConverge(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{PoolSize: 8})
+	const workers, rounds = 6, 10
+	abort := fmt.Errorf("abort")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				err := c.WithTx([]string{"items", "audit"}, func(tx *Session) error {
+					if _, err := tx.ExecCached("UPDATE items SET qty = qty - 1 WHERE id = 1"); err != nil {
+						return err
+					}
+					if _, err := tx.ExecCached("INSERT INTO audit (item, delta) VALUES (?, ?)",
+						sqldb.Int(1), sqldb.Int(int64(w*rounds+i))); err != nil {
+						return err
+					}
+					if i%3 == 0 {
+						return abort // roll the whole thing back
+					}
+					return nil
+				})
+				if err != nil && err != abort {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	commits := int64(0)
+	for i := 0; i < rounds; i++ {
+		if i%3 != 0 {
+			commits += workers
+		}
+	}
+	res := queryReplica(t, reps[0], "SELECT qty FROM items WHERE id = 1")
+	if got := res.Rows[0][0].AsInt(); got != 100-commits {
+		t.Errorf("qty %d, want %d (only committed decrements)", got, 100-commits)
+	}
+	audit := queryReplica(t, reps[0], "SELECT COUNT(*) FROM audit")
+	if got := audit.Rows[0][0].AsInt(); got != commits {
+		t.Errorf("audit rows %d, want %d", got, commits)
+	}
+	if a, b := replicaDump(t, reps[0]), replicaDump(t, reps[1]); a != b {
+		t.Fatalf("replicas diverged under contention:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestTxnSessionEndDiscardsOpenTxn: a session returned with its transaction
+// still open must not leak the transaction to the pool — the connections
+// are discarded and the servers roll back.
+func TestTxnSessionEndDiscardsOpenTxn(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{})
+	before := replicaDump(t, reps[0])
+	s, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("items"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecCached("UPDATE items SET qty = 0 WHERE id = 5"); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(s, false) // abandoned mid-transaction
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if replicaDump(t, reps[0]) == before && replicaDump(t, reps[1]) == before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned transaction survived session end")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The pool stays usable.
+	if _, err := c.ExecCached("SELECT qty FROM items WHERE id = 5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithTxPanicRollsBack: a panic inside the transaction body rolls back
+// and re-panics — the contract container-managed demarcation builds on.
+func TestWithTxPanicRollsBack(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{})
+	before := replicaDump(t, reps[0])
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic must propagate out of WithTx")
+			}
+		}()
+		_ = c.WithTx([]string{"items"}, func(tx *Session) error {
+			if _, err := tx.ExecCached("UPDATE items SET qty = -1 WHERE id = 1"); err != nil {
+				return err
+			}
+			panic("business method exploded")
+		})
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if replicaDump(t, reps[0]) == before && replicaDump(t, reps[1]) == before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("panic path left transaction state:\n%s", replicaDump(t, reps[0]))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTxnReplicaFailureMidTxn: losing a replica mid-transaction must not
+// stop the survivors from committing identically, and the failed replica's
+// half-applied work dies with its connections.
+func TestTxnReplicaFailureMidTxn(t *testing.T) {
+	reps := startReplicas(t, 3)
+	c := newTestClient(t, reps, Config{})
+	err := c.WithTx([]string{"items"}, func(tx *Session) error {
+		if _, err := tx.ExecCached("UPDATE items SET qty = 41 WHERE id = 1"); err != nil {
+			return err
+		}
+		reps[2].srv.Close() // replica dies mid-transaction
+		if _, err := tx.ExecCached("UPDATE items SET qty = 42 WHERE id = 1"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("transaction must survive a replica loss under the default policy: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		res := queryReplica(t, reps[i], "SELECT qty FROM items WHERE id = 1")
+		if got := res.Rows[0][0].AsInt(); got != 42 {
+			t.Errorf("survivor %d qty %d, want 42", i, got)
+		}
+	}
+	if a, b := replicaDump(t, reps[0]), replicaDump(t, reps[1]); a != b {
+		t.Fatalf("survivors diverged:\n%s\nvs\n%s", a, b)
+	}
+	// The dead replica's sessions rolled back on close: its copy reverted
+	// to the pre-transaction value.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res := queryReplica(t, reps[2], "SELECT qty FROM items WHERE id = 1")
+		if res.Rows[0][0].AsInt() == 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead replica kept half a transaction: qty %d", res.Rows[0][0].AsInt())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSingleReplicaTxnSerializesDeclaredTables is the lost-update
+// regression test: on a single backend, two read-modify-write transactions
+// declaring the same table must serialize end to end — the engine only
+// write-locks at the first write, so the declared-set cluster lock is what
+// keeps both from reading before either writes.
+func TestSingleReplicaTxnSerializesDeclaredTables(t *testing.T) {
+	reps := startReplicas(t, 1)
+	c := newTestClient(t, reps, Config{PoolSize: 8})
+	const workers, rounds = 8, 15
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				err := c.WithTx([]string{"items"}, func(tx *Session) error {
+					res, err := tx.ExecCached("SELECT qty FROM items WHERE id = 1")
+					if err != nil {
+						return err
+					}
+					// Write back a value derived from the read: lost
+					// updates would make the final count fall short.
+					_, err = tx.ExecCached("UPDATE items SET qty = ? WHERE id = 1",
+						sqldb.Int(res.Rows[0][0].AsInt()+1))
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res := queryReplica(t, reps[0], "SELECT qty FROM items WHERE id = 1")
+	want := int64(100 + workers*rounds)
+	if got := res.Rows[0][0].AsInt(); got != want {
+		t.Fatalf("qty %d, want %d (read-modify-write transactions lost updates)", got, want)
+	}
+}
+
+// TestCatchAllTxnExcludesNamedWriters: an undeclared transaction must
+// conflict with declared-table writers, or replicas could apply the two
+// write streams in different orders.
+func TestCatchAllTxnExcludesNamedWriters(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{PoolSize: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				var tables []string
+				if w%2 == 0 {
+					tables = []string{"audit"} // declared
+				} // odd workers: undeclared -> catch-all
+				err := c.WithTx(tables, func(tx *Session) error {
+					_, err := tx.ExecCached("INSERT INTO audit (item, delta) VALUES (?, ?)",
+						sqldb.Int(int64(w)), sqldb.Int(int64(i)))
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	a := queryReplica(t, reps[0], "SELECT id, item, delta FROM audit ORDER BY id")
+	b := queryReplica(t, reps[1], "SELECT id, item, delta FROM audit ORDER BY id")
+	if len(a.Rows) != 40 || fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+		t.Fatalf("replicas diverged or lost rows (%d vs %d):\n%v\nvs\n%v",
+			len(a.Rows), len(b.Rows), a.Rows, b.Rows)
+	}
+}
+
+// TestTxnAbortErrorPoisonsSession: a lock-wait-timeout abort rolls the
+// whole transaction back on the reporting replica; the session must refuse
+// further statements (and discard its connections at end) instead of
+// letting the caller keep executing half in and half out of a transaction.
+func TestTxnAbortErrorPoisonsSession(t *testing.T) {
+	reps := startReplicas(t, 1)
+	reps[0].db.SetLockWaitTimeout(30 * time.Millisecond)
+	c := newTestClient(t, reps, Config{})
+
+	// A direct engine transaction holds audit's write lock.
+	blocker := reps[0].db.NewSession()
+	defer blocker.Close()
+	if _, err := blocker.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blocker.Exec("UPDATE audit SET delta = 0 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Put(s, false)
+	if err := s.Begin("items"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecCached("UPDATE items SET qty = 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	// The read against the blocked table times out: the server aborts the
+	// WHOLE transaction.
+	if _, err := s.ExecCached("SELECT delta FROM audit WHERE id = 1"); err == nil {
+		t.Fatal("read against a write-held table must time out")
+	}
+	// The session is poisoned: further statements must be refused, so the
+	// caller cannot commit a half-aborted transaction.
+	if _, err := s.ExecCached("UPDATE items SET qty = 2 WHERE id = 1"); err == nil {
+		t.Fatal("session must refuse statements after a transaction abort")
+	}
+	if _, err := blocker.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing from the aborted transaction survived.
+	res := queryReplica(t, reps[0], "SELECT qty FROM items WHERE id = 1")
+	if got := res.Rows[0][0].AsInt(); got != 100 {
+		t.Fatalf("qty %d, want 100 (aborted transaction leaked a write)", got)
+	}
+}

@@ -7,7 +7,8 @@ import (
 )
 
 // stmtKind classifies a statement for routing: reads go to one replica,
-// writes broadcast to all, LOCK/UNLOCK open and close a bracketed section.
+// writes broadcast to all, LOCK/UNLOCK open and close a bracketed section,
+// BEGIN opens a transaction and COMMIT/ROLLBACK close it.
 type stmtKind int
 
 const (
@@ -15,6 +16,8 @@ const (
 	kindWrite
 	kindLock
 	kindUnlock
+	kindBegin
+	kindTxnEnd
 )
 
 // route is the routing decision for one query text: its kind, and for
@@ -58,6 +61,10 @@ func analyze(query string) route {
 		return route{kind: kindUnlock}
 	case "LOCK":
 		return analyzeLock(toks)
+	case "BEGIN", "START":
+		return route{kind: kindBegin}
+	case "COMMIT", "ROLLBACK":
+		return route{kind: kindTxnEnd}
 	case "INSERT": // INSERT INTO <t> ...
 		return writeRoute(tokenAfter(toks, "INTO"))
 	case "UPDATE": // UPDATE <t> SET ...
@@ -208,9 +215,17 @@ func normalize(tables []string) []string {
 // the first replica, so all replicas apply conflicting writes in one global
 // order — the property that keeps AUTO_INCREMENT assignment and row state
 // identical across backends.
+//
+// The catch-all key "" (a statement whose table is unknown, or a
+// transaction declaring no write set) must conflict with every named
+// writer, not just with other catch-all holders: it takes the global lock
+// exclusively, while named sets share it. Without that, an undeclared
+// transaction's writes could interleave differently with a named writer on
+// different replicas.
 type writeLocks struct {
-	mu sync.Mutex
-	m  map[string]*sync.Mutex
+	mu     sync.Mutex
+	m      map[string]*sync.Mutex
+	global sync.RWMutex
 }
 
 func newWriteLocks() *writeLocks {
@@ -229,10 +244,24 @@ func (w *writeLocks) lockFor(table string) *sync.Mutex {
 }
 
 // acquire locks the (sorted, deduped) table set and returns an idempotent
-// release.
+// release. A set containing the catch-all "" excludes all writers.
 func (w *writeLocks) acquire(tables []string) (release func()) {
+	exclusive := false
+	for _, t := range tables {
+		if t == "" {
+			exclusive = true
+		}
+	}
+	if exclusive {
+		w.global.Lock()
+	} else {
+		w.global.RLock()
+	}
 	held := make([]*sync.Mutex, 0, len(tables))
 	for _, t := range tables {
+		if t == "" {
+			continue // covered by the exclusive global hold
+		}
 		l := w.lockFor(t)
 		l.Lock()
 		held = append(held, l)
@@ -242,6 +271,11 @@ func (w *writeLocks) acquire(tables []string) (release func()) {
 		once.Do(func() {
 			for i := len(held) - 1; i >= 0; i-- {
 				held[i].Unlock()
+			}
+			if exclusive {
+				w.global.Unlock()
+			} else {
+				w.global.RUnlock()
 			}
 		})
 	}

@@ -320,6 +320,21 @@ func (l *Lab) StopReplica(i int) {
 	l.dbSrvs[i].Close() // idempotent
 }
 
+// RestartReplica brings a stopped database backend's server back up on its
+// original address (its data survives in-process). The cluster client still
+// considers it ejected until Rejoin replays the writes it missed.
+func (l *Lab) RestartReplica(i int) error {
+	if i < 0 || i >= len(l.dbSrvs) {
+		return fmt.Errorf("core: no replica %d", i)
+	}
+	srv := wire.NewServer(l.dbs[i], l.cfg.Logger)
+	if _, err := srv.Listen(l.dbAddrs[i]); err != nil {
+		return err
+	}
+	l.dbSrvs[i] = srv
+	return nil
+}
+
 // Cluster returns the app tier's replication-aware database client (nil
 // for configurations without one).
 func (l *Lab) Cluster() *cluster.Client {
@@ -395,8 +410,9 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 		db := es.DB
 		s.Tiers = append(s.Tiers, telemetry.Tier{
 			Name: "ejb", Queries: es.Queries,
-			Loads: es.Loads, Stores: es.Stores, Pool: &db,
-			Downstream: "db",
+			Loads: es.Loads, Stores: es.Stores,
+			Commits: es.TxCommits, Aborts: es.TxAborts,
+			Pool: &db, Downstream: "db",
 		})
 	}
 
@@ -411,6 +427,10 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			t.TextExecs += ds.TextExecs
 			t.PlanHits += ds.PlanCache.Hits
 			t.PlanMisses += ds.PlanCache.Misses
+			t.Commits += ds.Txns.Commits
+			t.Aborts += ds.Txns.Rollbacks
+			t.DeadlockTimeouts += ds.Txns.DeadlockTimeouts
+			t.TxnLockWaitNanos += ds.Txns.LockWaitNanos
 		}
 		s.Tiers = append(s.Tiers, t)
 	}

@@ -71,9 +71,11 @@ type Container struct {
 
 	rmiServer *rmi.Server
 
-	queries atomic.Int64 // statements issued, for the packet-count analysis
-	loads   atomic.Int64
-	stores  atomic.Int64
+	queries   atomic.Int64 // statements issued, for the packet-count analysis
+	loads     atomic.Int64
+	stores    atomic.Int64
+	txCommits atomic.Int64
+	txAborts  atomic.Int64
 }
 
 // NewContainer creates a container connected to the database.
@@ -130,20 +132,6 @@ func (c *Container) meta(name string) (*entityMeta, error) {
 	return m, nil
 }
 
-// exec funnels every dynamically built statement (finders), counting it.
-// The pool caches a Stmt per distinct query text, so even finder SQL runs
-// prepared after its first use.
-func (c *Container) exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
-	c.queries.Add(1)
-	return c.pool.ExecCached(query, args...)
-}
-
-// execStmt funnels the pre-prepared CMP statements, counting them.
-func (c *Container) execStmt(st *cluster.Stmt, args ...sqldb.Value) (*sqldb.Result, error) {
-	c.queries.Add(1)
-	return st.Exec(args...)
-}
-
 // QueryCount returns the number of statements the container has issued —
 // the observable behind the paper's ~2,000 packets/s measurement.
 func (c *Container) QueryCount() int64 { return c.queries.Load() }
@@ -158,20 +146,26 @@ func (c *Container) StoreCount() int64 { return c.stores.Load() }
 // CMP statement counters, the database pool's aggregate saturation
 // counters, and the per-replica routing breakdown for clustered databases.
 type Stats struct {
-	Queries  int64               `json:"queries"`
-	Loads    int64               `json:"loads"`
-	Stores   int64               `json:"stores"`
-	DB       pool.Stats          `json:"db"`
-	Replicas []telemetry.Replica `json:"replicas,omitempty"`
+	Queries int64 `json:"queries"`
+	Loads   int64 `json:"loads"`
+	Stores  int64 `json:"stores"`
+	// TxCommits / TxAborts count container-managed transaction outcomes
+	// (RunInTx demarcations and explicit Tx completions).
+	TxCommits int64               `json:"tx_commits"`
+	TxAborts  int64               `json:"tx_aborts"`
+	DB        pool.Stats          `json:"db"`
+	Replicas  []telemetry.Replica `json:"replicas,omitempty"`
 }
 
 // Stats snapshots the container.
 func (c *Container) Stats() Stats {
 	s := Stats{
-		Queries: c.queries.Load(),
-		Loads:   c.loads.Load(),
-		Stores:  c.stores.Load(),
-		DB:      c.pool.Stats(),
+		Queries:   c.queries.Load(),
+		Loads:     c.loads.Load(),
+		Stores:    c.stores.Load(),
+		TxCommits: c.txCommits.Load(),
+		TxAborts:  c.txAborts.Load(),
+		DB:        c.pool.Stats(),
 	}
 	if c.pool.Replicas() > 1 {
 		s.Replicas = c.pool.ReplicaStats()
@@ -201,7 +195,10 @@ func (e *Entity) Get(field string) (sqldb.Value, error) {
 }
 
 // Set stores a managed field. With container-managed persistence each store
-// is one single-column UPDATE (unless the transaction batches writes).
+// is one single-column UPDATE (unless the transaction batches writes). The
+// first store opens the transaction's database transaction: every
+// subsequent statement of the business method runs inside it, and a
+// rollback revokes them all.
 func (e *Entity) Set(field string, v sqldb.Value) error {
 	i, ok := e.meta.fieldIndex[field]
 	if !ok {
@@ -213,15 +210,28 @@ func (e *Entity) Set(field string, v sqldb.Value) error {
 		e.tx.addDirty(e, field, v)
 		return nil
 	}
-	_, err := e.c.execStmt(e.meta.update[field], v, e.pk)
+	_, err := e.tx.execWrite(e.meta.update[field], v, e.pk)
 	return err
 }
 
-// Tx is a container-managed transaction. MyISAM offers no transactional
-// isolation, so Tx provides the unit-of-work API (and the write-behind
-// batching ablation) rather than rollback.
+// Tx is a container-managed transaction: the unit-of-work every business
+// method runs in. It is backed by a real database transaction, opened
+// lazily on the first write — reads before any write run on load-balanced
+// pooled connections, and a purely-read method never pays for transaction
+// state at all. Once a write happens, every statement of the method (reads
+// included) runs on the transaction's session, Commit makes the method's
+// effects atomic across all replicas, and Rollback (or a panic unwinding
+// through RunInTx) erases them bit-identically.
+//
+// Isolation note: reads before the first write are NOT serialized against
+// concurrent transactions — two business methods can both activate an
+// entity and then write values derived from the same stale read. This
+// mirrors the paper's EJB configuration, whose CMP activations ran under
+// nothing stronger than MyISAM's per-statement locks (the hand-written-SQL
+// apps' LOCK TABLES discipline had no EJB counterpart).
 type Tx struct {
 	c     *Container
+	sess  *cluster.Session
 	dirty []dirtyField
 	done  bool
 }
@@ -232,20 +242,111 @@ type dirtyField struct {
 	v     sqldb.Value
 }
 
-// Begin opens a container-managed transaction.
+// Begin opens a container-managed transaction. Most callers should use
+// RunInTx, which also demarcates the commit/rollback decision.
 func (c *Container) Begin() *Tx { return &Tx{c: c} }
+
+// RunInTx is container-managed transaction demarcation: the business
+// method fn runs inside a fresh transaction; returning nil commits,
+// returning an error rolls back, and a panic rolls back before re-raising
+// — so a crashing business method can never publish partial state.
+func (c *Container) RunInTx(fn func(tx *Tx) error) error {
+	tx := c.Begin()
+	defer func() {
+		if r := recover(); r != nil {
+			_ = tx.Rollback()
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// ensureTxn lazily opens the backing database transaction. The transaction
+// declares no write tables (a business method's write set is not known up
+// front), so conflicting transactions serialize on the cluster's catch-all
+// key when the database tier is replicated.
+func (t *Tx) ensureTxn() error {
+	if t.sess != nil {
+		return nil
+	}
+	if t.done {
+		return fmt.Errorf("ejb: transaction already completed")
+	}
+	sess, err := t.c.pool.Get()
+	if err != nil {
+		return err
+	}
+	if err := sess.Begin(); err != nil {
+		t.c.pool.Put(sess, true)
+		return err
+	}
+	t.sess = sess
+	return nil
+}
+
+// execRead runs a pre-prepared CMP statement: on the transaction's session
+// once one is open (read-your-writes), otherwise over the pool's
+// EXECUTE-by-id fast path.
+func (t *Tx) execRead(st *cluster.Stmt, args ...sqldb.Value) (*sqldb.Result, error) {
+	t.c.queries.Add(1)
+	if t.sess != nil {
+		return t.sess.ExecCached(st.Query(), args...)
+	}
+	return st.Exec(args...)
+}
+
+// execWrite runs a pre-prepared CMP write inside the database transaction,
+// opening it first if needed.
+func (t *Tx) execWrite(st *cluster.Stmt, args ...sqldb.Value) (*sqldb.Result, error) {
+	if err := t.ensureTxn(); err != nil {
+		return nil, err
+	}
+	t.c.queries.Add(1)
+	return t.sess.ExecCached(st.Query(), args...)
+}
+
+// execText runs dynamically built finder SQL (a read). The pool caches a
+// Stmt per distinct text, so even finders run prepared after first use.
+func (t *Tx) execText(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	t.c.queries.Add(1)
+	if t.sess != nil {
+		return t.sess.ExecCached(query, args...)
+	}
+	return t.c.pool.ExecCached(query, args...)
+}
+
+// end releases the backing session, committing or rolling back first.
+func (t *Tx) end(commit bool) error {
+	t.done = true
+	if t.sess == nil {
+		return nil
+	}
+	sess := t.sess
+	t.sess = nil
+	var err error
+	if commit {
+		err = sess.Commit()
+	} else {
+		err = sess.Rollback()
+	}
+	t.c.pool.Put(sess, err != nil)
+	return err
+}
 
 func (t *Tx) addDirty(e *Entity, field string, v sqldb.Value) {
 	t.dirty = append(t.dirty, dirtyField{e, field, v})
 }
 
 // Commit flushes deferred field stores (one UPDATE per dirty field, last
-// write wins per field).
+// write wins per field) and commits the database transaction.
 func (t *Tx) Commit() error {
 	if t.done {
 		return fmt.Errorf("ejb: transaction already completed")
 	}
-	t.done = true
 	type key struct {
 		e     *Entity
 		field string
@@ -260,11 +361,32 @@ func (t *Tx) Commit() error {
 		last[k] = d.v
 	}
 	for _, k := range order {
-		if _, err := t.c.execStmt(k.e.meta.update[k.field], last[k], k.e.pk); err != nil {
+		if _, err := t.execWrite(k.e.meta.update[k.field], last[k], k.e.pk); err != nil {
+			_ = t.end(false)
+			t.c.txAborts.Add(1)
 			return err
 		}
 	}
+	if err := t.end(true); err != nil {
+		t.c.txAborts.Add(1)
+		return err
+	}
+	t.c.txCommits.Add(1)
 	return nil
+}
+
+// Rollback aborts the transaction: deferred stores are discarded and the
+// database transaction (if any statement opened one) rolls back on every
+// replica. Without an open database transaction it is a no-op — a failing
+// read-only method has nothing to undo.
+func (t *Tx) Rollback() error {
+	if t.done {
+		return nil
+	}
+	t.dirty = nil
+	err := t.end(false)
+	t.c.txAborts.Add(1)
+	return err
 }
 
 // Load activates an entity by primary key within the transaction.
@@ -274,7 +396,7 @@ func (t *Tx) Load(entity string, pk sqldb.Value) (*Entity, error) {
 		return nil, err
 	}
 	t.c.loads.Add(1)
-	res, err := t.c.execStmt(m.load, pk)
+	res, err := t.execRead(m.load, pk)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +417,7 @@ func (t *Tx) FindBy(entity, col string, v sqldb.Value, limit int) ([]sqldb.Value
 	if limit > 0 {
 		q += fmt.Sprintf(" LIMIT %d", limit)
 	}
-	res, err := t.c.exec(q, v)
+	res, err := t.execText(q, v)
 	if err != nil {
 		return nil, err
 	}
@@ -319,7 +441,7 @@ func (t *Tx) FindWhere(entity, whereSQL string, args []sqldb.Value, orderBy stri
 	if limit > 0 {
 		q += fmt.Sprintf(" LIMIT %d", limit)
 	}
-	res, err := t.c.exec(q, args...)
+	res, err := t.execText(q, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +468,7 @@ func (t *Tx) Create(entity string, values []sqldb.Value) (sqldb.Value, error) {
 		return sqldb.Null(), fmt.Errorf("ejb: %s create needs %d values, got %d",
 			entity, len(m.def.Fields), len(values))
 	}
-	res, err := t.c.execStmt(m.insert, values...)
+	res, err := t.execWrite(m.insert, values...)
 	if err != nil {
 		return sqldb.Null(), err
 	}
@@ -359,7 +481,7 @@ func (t *Tx) Remove(entity string, pk sqldb.Value) error {
 	if err != nil {
 		return err
 	}
-	_, err = t.c.execStmt(m.delete, pk)
+	_, err = t.execWrite(m.delete, pk)
 	return err
 }
 

@@ -1,6 +1,7 @@
 package ejb
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/rmi"
@@ -68,6 +69,9 @@ func TestEntityLoadGetSet(t *testing.T) {
 	if got := c.QueryCount() - base; got != 1 {
 		t.Fatalf("CMP field store issued %d statements, want exactly 1", got)
 	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	// Verify through a fresh activation.
 	u2, err := c.Begin().Load("User", sqldb.Int(1))
 	if err != nil {
@@ -127,6 +131,9 @@ func TestCreateAndRemove(t *testing.T) {
 	}
 	if _, err := tx.Load("User", pk); err == nil {
 		t.Fatal("removed entity still loads")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -209,21 +216,22 @@ type RateReply struct {
 type UserFacade struct{ c *Container }
 
 func (f *UserFacade) Rate(args *RateArgs, reply *RateReply) error {
-	tx := f.c.Begin()
-	u, err := tx.Load("User", sqldb.Int(args.UserID))
-	if err != nil {
-		return err
-	}
-	r, err := u.Get("rating")
-	if err != nil {
-		return err
-	}
-	if err := u.Set("rating", sqldb.Int(r.AsInt()+args.Delta)); err != nil {
-		return err
-	}
-	reply.NewRating = r.AsInt() + args.Delta
-	reply.Queries = f.c.QueryCount()
-	return nil
+	return f.c.RunInTx(func(tx *Tx) error {
+		u, err := tx.Load("User", sqldb.Int(args.UserID))
+		if err != nil {
+			return err
+		}
+		r, err := u.Get("rating")
+		if err != nil {
+			return err
+		}
+		if err := u.Set("rating", sqldb.Int(r.AsInt()+args.Delta)); err != nil {
+			return err
+		}
+		reply.NewRating = r.AsInt() + args.Delta
+		reply.Queries = f.c.QueryCount()
+		return nil
+	})
 }
 
 func TestSessionFacadeOverRMI(t *testing.T) {
@@ -246,5 +254,102 @@ func TestSessionFacadeOverRMI(t *testing.T) {
 	}
 	if reply.Queries < 2 {
 		t.Fatalf("facade should have issued >=2 CMP statements, got %d", reply.Queries)
+	}
+}
+
+// TestRunInTxCommitsAndCounts: container-managed demarcation commits on nil
+// and the counters see it.
+func TestRunInTxCommitsAndCounts(t *testing.T) {
+	c := newTestContainer(t, Config{})
+	err := c.RunInTx(func(tx *Tx) error {
+		u, err := tx.Load("User", sqldb.Int(1))
+		if err != nil {
+			return err
+		}
+		return u.Set("rating", sqldb.Int(8))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := c.Begin().Load("User", sqldb.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := u.Get("rating"); r.AsInt() != 8 {
+		t.Fatalf("rating %v, want 8", r)
+	}
+	if s := c.Stats(); s.TxCommits != 1 || s.TxAborts != 0 {
+		t.Fatalf("tx counters %+v", s)
+	}
+}
+
+// TestRunInTxErrorRollsBack: a business method returning an error must
+// leave the database untouched.
+func TestRunInTxErrorRollsBack(t *testing.T) {
+	c := newTestContainer(t, Config{})
+	errSentinel := fmt.Errorf("business rule violated")
+	err := c.RunInTx(func(tx *Tx) error {
+		u, err := tx.Load("User", sqldb.Int(1))
+		if err != nil {
+			return err
+		}
+		if err := u.Set("rating", sqldb.Int(99)); err != nil {
+			return err
+		}
+		if _, err := tx.Create("User", []sqldb.Value{
+			sqldb.String("phantom"), sqldb.Int(0), sqldb.Float(0)}); err != nil {
+			return err
+		}
+		return errSentinel
+	})
+	if err != errSentinel {
+		t.Fatalf("err %v, want sentinel", err)
+	}
+	tx := c.Begin()
+	u, err := tx.Load("User", sqldb.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := u.Get("rating"); r.AsInt() != 5 {
+		t.Fatalf("aborted store visible: rating %v", r)
+	}
+	if keys, _ := tx.FindBy("User", "nick", sqldb.String("phantom"), 0); len(keys) != 0 {
+		t.Fatal("aborted create visible")
+	}
+	if s := c.Stats(); s.TxAborts != 1 {
+		t.Fatalf("tx counters %+v", s)
+	}
+}
+
+// TestRunInTxPanicRollsBack: a panicking business method rolls back and the
+// panic propagates (the container's panic ⇒ rollback guarantee).
+func TestRunInTxPanicRollsBack(t *testing.T) {
+	c := newTestContainer(t, Config{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic must propagate")
+			}
+		}()
+		_ = c.RunInTx(func(tx *Tx) error {
+			u, err := tx.Load("User", sqldb.Int(2))
+			if err != nil {
+				return err
+			}
+			if err := u.Set("balance", sqldb.Float(-1)); err != nil {
+				return err
+			}
+			panic("bean exploded")
+		})
+	}()
+	u, err := c.Begin().Load("User", sqldb.Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := u.Get("balance"); b.AsFloat() != 50.0 {
+		t.Fatalf("balance %v, want 50 (panic must roll back)", b)
+	}
+	if s := c.Stats(); s.TxAborts != 1 {
+		t.Fatalf("tx counters %+v", s)
 	}
 }

@@ -40,6 +40,18 @@ type Context struct {
 	attrs map[string]any
 }
 
+// Tx runs fn inside one database transaction — the explicit transaction API
+// servlets use for atomic multi-statement work. writeTables declares the
+// tables fn intends to write (the cluster serializes conflicting
+// transactions on them); fn returning nil commits, an error or panic rolls
+// back, leaving every replica bit-identical to its pre-transaction state.
+func (c *Context) Tx(writeTables []string, fn func(tx *cluster.Session) error) error {
+	if c.DB == nil {
+		return ErrNoDatabase
+	}
+	return c.DB.WithTx(writeTables, fn)
+}
+
 // SetAttr stores a container-scoped attribute (the ServletContext analog).
 func (c *Context) SetAttr(key string, v any) {
 	c.mu.Lock()
@@ -265,6 +277,20 @@ func (lm *LockManager) lock(name string) *sync.RWMutex {
 type TableLock struct {
 	Table string
 	Write bool
+}
+
+// WriteTables extracts the write-intent tables of a lock set, sorted — the
+// table declaration the applications hand to Context.Tx when a lock set
+// runs as a database transaction instead of engine locks.
+func WriteTables(set []TableLock) []string {
+	var out []string
+	for _, tl := range set {
+		if tl.Write {
+			out = append(out, tl.Table)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Acquire locks the set and returns a release function. Duplicate tables

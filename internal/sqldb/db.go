@@ -5,18 +5,23 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sqldb/sqlparse"
 )
 
 // DB is an in-memory database instance. It is safe for concurrent use by
-// multiple sessions; statement isolation follows MyISAM semantics (table
-// locks, no multi-statement transactions).
+// multiple sessions. Statement isolation follows MyISAM semantics (table
+// locks); multi-statement atomicity comes from the transaction subsystem
+// (txn.go): BEGIN/COMMIT/ROLLBACK with per-session row-level undo logs.
 type DB struct {
 	mu     sync.RWMutex // guards the catalog (tables map), not table data
 	tables map[string]*Table
 	locks  *lockManager
 	plans  *planCache
+
+	txns          txnCounters
+	lockWaitNanos atomic.Int64 // configured txn lock-wait timeout (0 = default)
 }
 
 // New creates an empty database.
@@ -67,18 +72,24 @@ func sortStrings(s []string) {
 }
 
 // Session is one client's connection state: the set of tables held via
-// LOCK TABLES. Sessions are not goroutine-safe; each connection owns one.
+// LOCK TABLES, and the open transaction if any. Sessions are not
+// goroutine-safe; each connection owns one.
 type Session struct {
 	db   *DB
 	held []heldLock // non-nil while a LOCK TABLES set is active
+	tx   *txn       // non-nil while a transaction is open
 }
 
 // NewSession creates a session on db.
 func (db *DB) NewSession() *Session { return &Session{db: db} }
 
-// Close releases any locks still held (a disconnecting client implicitly
-// runs UNLOCK TABLES).
+// Close rolls back any open transaction and releases any locks still held
+// (a disconnecting client implicitly runs ROLLBACK and UNLOCK TABLES).
 func (s *Session) Close() {
+	if s.tx != nil {
+		s.rollbackTxn()
+		s.db.txns.rollbacks.Add(1)
+	}
 	if s.held != nil {
 		s.db.locks.releaseSet(s.held)
 		s.held = nil
@@ -130,10 +141,13 @@ func (e SessionExecer) ExecCached(q string, args ...Value) (*Result, error) {
 func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparse.CreateTable:
+		s.implicitCommit()
 		return s.db.execCreateTable(st)
 	case *sqlparse.CreateIndex:
+		s.implicitCommit()
 		return s.db.execCreateIndex(st)
 	case *sqlparse.DropTable:
+		s.implicitCommit()
 		return s.db.execDropTable(st)
 	case *sqlparse.LockTables:
 		return s.execLockTables(st)
@@ -141,23 +155,48 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, err
 		return s.execUnlockTables()
 	case *sqlparse.ShowTables:
 		return s.db.execShowTables()
+	case *sqlparse.Begin:
+		return s.execBegin()
+	case *sqlparse.Commit:
+		return s.execCommit()
+	case *sqlparse.Rollback:
+		return s.execRollback()
 	case *sqlparse.Insert:
-		return s.withLock(st.Table, true, func(t *Table) (*Result, error) {
-			return execInsert(t, st, args)
+		return s.execDML(st.Table, func(t *Table) (*Result, error) {
+			return execInsert(t, st, args, s.tx)
 		})
 	case *sqlparse.Update:
-		return s.withLock(st.Table, true, func(t *Table) (*Result, error) {
-			return execUpdate(t, st, args)
+		return s.execDML(st.Table, func(t *Table) (*Result, error) {
+			return execUpdate(t, st, args, s.tx)
 		})
 	case *sqlparse.Delete:
-		return s.withLock(st.Table, true, func(t *Table) (*Result, error) {
-			return execDelete(t, st, args)
+		return s.execDML(st.Table, func(t *Table) (*Result, error) {
+			return execDelete(t, st, args, s.tx)
 		})
 	case *sqlparse.Select:
 		return s.execSelect(st, args)
 	default:
 		return nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
 	}
+}
+
+// implicitCommit commits an open transaction before statements that cannot
+// be part of one (DDL, LOCK TABLES) — MySQL's implicit-commit rule.
+func (s *Session) implicitCommit() {
+	if s.tx != nil {
+		s.commitTxn()
+	}
+}
+
+// execDML routes a write statement: inside a transaction the table's write
+// lock is acquired with the wait timeout and held until commit/rollback,
+// with the statement's effects undone on failure; outside, the statement
+// takes its implicit short MyISAM lock.
+func (s *Session) execDML(table string, fn func(*Table) (*Result, error)) (*Result, error) {
+	if s.tx != nil {
+		return s.withTxnLock(table, fn)
+	}
+	return s.withLock(table, true, fn)
 }
 
 // withLock brackets a single-table statement with its implicit MyISAM table
@@ -195,6 +234,7 @@ func (s *Session) holds(table string) (held, write bool) {
 }
 
 func (s *Session) execLockTables(st *sqlparse.LockTables) (*Result, error) {
+	s.implicitCommit()
 	if s.held != nil {
 		// MySQL implicitly releases the previous set.
 		s.db.locks.releaseSet(s.held)
@@ -290,7 +330,9 @@ func (db *DB) execDropTable(st *sqlparse.DropTable) (*Result, error) {
 }
 
 // execSelect locks every referenced table for read (unless held) and runs
-// the query.
+// the query. Inside a transaction the read locks are statement-scoped but
+// acquired with the wait timeout, and tables the transaction already
+// write-locks are read lock-free.
 func (s *Session) execSelect(st *sqlparse.Select, args []Value) (*Result, error) {
 	names := []string{st.From.Table}
 	for _, j := range st.Joins {
@@ -304,6 +346,9 @@ func (s *Session) execSelect(st *sqlparse.Select, args []Value) (*Result, error)
 			return nil, err
 		}
 		tabs[i] = t
+		if s.tx != nil {
+			continue // txnReadLocks handles the transaction's lock discipline
+		}
 		held, _ := s.holds(t.name)
 		if !held {
 			if s.held != nil {
@@ -312,7 +357,13 @@ func (s *Session) execSelect(st *sqlparse.Select, args []Value) (*Result, error)
 			toLock = append(toLock, heldLock{table: t.name})
 		}
 	}
-	if len(toLock) > 0 {
+	if s.tx != nil {
+		release, err := s.txnReadLocks(tabs)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	} else if len(toLock) > 0 {
 		acquired := s.db.locks.acquireSet(toLock)
 		defer s.db.locks.releaseSet(acquired)
 	}

@@ -266,7 +266,11 @@ func likeMatch(s, pattern string) bool {
 
 // ---- INSERT / UPDATE / DELETE ----
 
-func execInsert(t *Table, st *sqlparse.Insert, args []Value) (*Result, error) {
+// execInsert applies an INSERT. With tx non-nil, one undo record per row is
+// logged before the row lands, capturing the rowid it will take and the
+// pre-statement AUTO_INCREMENT/rowid counters — so rollback restores the
+// counters even when a later row of the statement fails.
+func execInsert(t *Table, st *sqlparse.Insert, args []Value, tx *txn) (*Result, error) {
 	cols := st.Columns
 	if len(cols) == 0 {
 		cols = make([]string, len(t.columns))
@@ -298,6 +302,10 @@ func execInsert(t *Table, st *sqlparse.Insert, args []Value) (*Result, error) {
 			}
 			row[colPos[i]] = coerce(v, t.columns[colPos[i]].Type)
 			provided[colPos[i]] = true
+		}
+		if tx != nil {
+			tx.add(undoRec{t: t, kind: undoInsert, id: t.nextID,
+				prevNextID: t.nextID, prevNextAI: t.nextAI})
 		}
 		for i, c := range t.columns {
 			if c.AutoIncrement && (!provided[i] || row[i].IsNull()) {
@@ -335,7 +343,10 @@ func coerce(v Value, t sqlparse.ColType) Value {
 	}
 }
 
-func execUpdate(t *Table, st *sqlparse.Update, args []Value) (*Result, error) {
+// execUpdate applies an UPDATE. With tx non-nil, each row's pre-image of
+// the assigned columns is logged before the row is touched, so a failing
+// assignment mid-row (or a later row) unwinds cleanly.
+func execUpdate(t *Table, st *sqlparse.Update, args []Value, tx *txn) (*Result, error) {
 	setPos := make([]int, len(st.Set))
 	for i, a := range st.Set {
 		p, err := t.colOf(a.Column)
@@ -360,6 +371,13 @@ func execUpdate(t *Table, st *sqlparse.Update, args []Value) (*Result, error) {
 			}
 			set[setPos[i]] = coerce(v, t.columns[setPos[i]].Type)
 		}
+		if tx != nil {
+			old := make(map[int]Value, len(set))
+			for col := range set {
+				old[col] = row[col]
+			}
+			tx.add(undoRec{t: t, kind: undoUpdate, id: id, old: old})
+		}
 		if err := t.update(id, set); err != nil {
 			return nil, err
 		}
@@ -368,12 +386,18 @@ func execUpdate(t *Table, st *sqlparse.Update, args []Value) (*Result, error) {
 	return res, nil
 }
 
-func execDelete(t *Table, st *sqlparse.Delete, args []Value) (*Result, error) {
+// execDelete applies a DELETE. With tx non-nil, each row is copied into the
+// undo log before removal; rollback resurrects it under its original rowid
+// and scan position.
+func execDelete(t *Table, st *sqlparse.Delete, args []Value, tx *txn) (*Result, error) {
 	ids, err := matchRows(t, st.Where, args)
 	if err != nil {
 		return nil, err
 	}
 	for _, id := range ids {
+		if tx != nil {
+			tx.add(undoRec{t: t, kind: undoDelete, id: id, row: cloneRow(t.rows[id])})
+		}
 		t.deleteRow(id)
 	}
 	return &Result{RowsAffected: int64(len(ids))}, nil

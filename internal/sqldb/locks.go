@@ -3,6 +3,7 @@ package sqldb
 import (
 	"sort"
 	"sync"
+	"time"
 )
 
 // lockManager implements MyISAM-style table locking for real (goroutine)
@@ -57,6 +58,48 @@ func (tl *tableLock) lock(write bool) {
 		tl.cond.Wait()
 	}
 	tl.readers++
+}
+
+// lockTimed acquires like lock but gives up once timeout elapses, returning
+// false with nothing held. Transactions use it for every lock they take:
+// their locks accumulate across statements in arbitrary table order, so a
+// cycle between two transactions is possible — the timeout converts a
+// would-be deadlock into an abort of one participant.
+func (tl *tableLock) lockTimed(write bool, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	// The timer broadcast takes tl.mu, so it serializes against the wait
+	// loop below: waiters are either woken by it or observe the expired
+	// deadline on their next check — no lost-wakeup window.
+	timer := time.AfterFunc(timeout, func() {
+		tl.mu.Lock()
+		tl.cond.Broadcast()
+		tl.mu.Unlock()
+	})
+	defer timer.Stop()
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if write {
+		tl.wantWriters++
+		for tl.writer || tl.readers > 0 {
+			if !time.Now().Before(deadline) {
+				tl.wantWriters--
+				tl.cond.Broadcast() // unblock readers yielding to us
+				return false
+			}
+			tl.cond.Wait()
+		}
+		tl.wantWriters--
+		tl.writer = true
+		return true
+	}
+	for tl.writer || tl.wantWriters > 0 {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		tl.cond.Wait()
+	}
+	tl.readers++
+	return true
 }
 
 func (tl *tableLock) unlock(write bool) {

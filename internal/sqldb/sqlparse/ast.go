@@ -146,6 +146,16 @@ type UnlockTables struct{}
 // path uses to enumerate what to copy.
 type ShowTables struct{}
 
+// Begin is BEGIN [WORK] / START TRANSACTION: it opens a multi-statement
+// transaction on the session.
+type Begin struct{}
+
+// Commit is COMMIT [WORK].
+type Commit struct{}
+
+// Rollback is ROLLBACK [WORK].
+type Rollback struct{}
+
 func (*CreateTable) stmt()  {}
 func (*CreateIndex) stmt()  {}
 func (*DropTable) stmt()    {}
@@ -156,6 +166,9 @@ func (*Select) stmt()       {}
 func (*LockTables) stmt()   {}
 func (*UnlockTables) stmt() {}
 func (*ShowTables) stmt()   {}
+func (*Begin) stmt()        {}
+func (*Commit) stmt()       {}
+func (*Rollback) stmt()     {}
 
 // Expr is an expression node.
 type Expr interface{ expr() }

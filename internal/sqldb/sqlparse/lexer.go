@@ -46,6 +46,8 @@ var keywords = map[string]bool{
 	"MIN": true, "MAX": true, "AVG": true, "DISTINCT": true, "DROP": true,
 	"IF": true, "EXISTS": true, "DEFAULT": true, "AUTO_INCREMENT": true,
 	"DATETIME": true, "TRUE": true, "FALSE": true, "SHOW": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "START": true,
+	"TRANSACTION": true, "WORK": true,
 }
 
 // lexer turns SQL text into tokens.

@@ -99,6 +99,24 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &ShowTables{}, nil
+	case p.at(tokKeyword, "BEGIN"):
+		p.next()
+		p.accept(tokKeyword, "WORK")
+		return &Begin{}, nil
+	case p.at(tokKeyword, "START"):
+		p.next()
+		if _, err := p.expect(tokKeyword, "TRANSACTION"); err != nil {
+			return nil, err
+		}
+		return &Begin{}, nil
+	case p.at(tokKeyword, "COMMIT"):
+		p.next()
+		p.accept(tokKeyword, "WORK")
+		return &Commit{}, nil
+	case p.at(tokKeyword, "ROLLBACK"):
+		p.next()
+		p.accept(tokKeyword, "WORK")
+		return &Rollback{}, nil
 	default:
 		return nil, p.errf("unsupported statement beginning with %q", p.cur().text)
 	}

@@ -316,3 +316,25 @@ func TestParamIndexing(t *testing.T) {
 		t.Fatalf("param indices: %v", idx)
 	}
 }
+
+func TestParseTxnControl(t *testing.T) {
+	for _, q := range []string{"BEGIN", "begin work", "START TRANSACTION"} {
+		if _, ok := mustParse(t, q).(*Begin); !ok {
+			t.Errorf("%q did not parse as Begin", q)
+		}
+	}
+	if _, ok := mustParse(t, "COMMIT WORK;").(*Commit); !ok {
+		t.Error("COMMIT WORK did not parse as Commit")
+	}
+	if _, ok := mustParse(t, "rollback").(*Rollback); !ok {
+		t.Error("rollback did not parse as Rollback")
+	}
+	if _, err := Parse("START"); err == nil {
+		t.Error("bare START must not parse")
+	}
+	// The new keywords must not break identifiers that contain them.
+	st := mustParse(t, "SELECT start_date FROM items").(*Select)
+	if cr, ok := st.Items[0].Expr.(*ColRefExpr); !ok || cr.Column != "start_date" {
+		t.Errorf("start_date mislexed: %+v", st.Items[0].Expr)
+	}
+}

@@ -244,6 +244,66 @@ func (t *Table) scan(fn func(id int64, r Row) error) error {
 	return err
 }
 
+// restoreCols reverts columns of the row at id to their pre-statement
+// values, maintaining indexes. It is the undo path of update: constraints
+// are not rechecked — the old values were valid when the statement ran, and
+// undo applies in reverse order, so the pre-image is always restorable.
+func (t *Table) restoreCols(id int64, old map[int]Value) {
+	r, ok := t.rows[id]
+	if !ok {
+		return
+	}
+	for col, ov := range old {
+		cur := r[col]
+		for _, ix := range t.indexes {
+			if ix.col != col {
+				continue
+			}
+			ix.remove(cur.key(), id)
+			ix.m[ov.key()] = append(ix.m[ov.key()], id)
+		}
+		r[col] = ov
+	}
+}
+
+// undoInsert removes an inserted row and restores the rowid/AUTO_INCREMENT
+// counters — the undo path of insert. Unlike a plain delete, the rowid is
+// also compacted out of rowOrder immediately: the restored counters mean
+// the id WILL be reused by the next insert, and a stale entry would make
+// scans emit that future row twice.
+func (t *Table) undoInsert(id, prevNextID, prevNextAI int64) {
+	t.deleteRow(id)
+	pos := sort.Search(len(t.rowOrder), func(i int) bool { return t.rowOrder[i] >= id })
+	if pos < len(t.rowOrder) && t.rowOrder[pos] == id {
+		t.rowOrder = append(t.rowOrder[:pos], t.rowOrder[pos+1:]...)
+	}
+	t.nextID = prevNextID
+	t.nextAI = prevNextAI
+}
+
+// restoreRow resurrects a deleted row under its original rowid, maintaining
+// indexes and scan order. rowOrder is always ascending (rowids are assigned
+// monotonically), so a sorted insert restores the original scan position;
+// the id may still be present when no scan compacted it away since the
+// delete.
+func (t *Table) restoreRow(id int64, r Row) {
+	if _, live := t.rows[id]; live {
+		return
+	}
+	t.rows[id] = r
+	for _, ix := range t.indexes {
+		k := r[ix.col].key()
+		ix.m[k] = append(ix.m[k], id)
+	}
+	pos := sort.Search(len(t.rowOrder), func(i int) bool { return t.rowOrder[i] >= id })
+	if pos < len(t.rowOrder) && t.rowOrder[pos] == id {
+		return
+	}
+	t.rowOrder = append(t.rowOrder, 0)
+	copy(t.rowOrder[pos+1:], t.rowOrder[pos:])
+	t.rowOrder[pos] = id
+}
+
 // lookup returns the rowids matching value v on column col via an index, or
 // ok=false when no index covers the column.
 func (t *Table) lookup(col int, v Value) (ids []int64, ok bool) {

@@ -28,6 +28,12 @@ type Conn struct {
 
 	stmts  map[string]uint32
 	nextID uint32
+
+	// pendingBegins counts BEGIN frames written but whose replies have not
+	// been read yet: Begin is pipelined — the frame rides to the server with
+	// the transaction's first statement, and the reply is drained just
+	// before that statement's own.
+	pendingBegins int
 }
 
 // Dial connects to a wire server.
@@ -86,13 +92,57 @@ func (c *Conn) readReply() (*sqldb.Result, error) {
 	switch typ {
 	case msgResult:
 		return decodeResult(payload)
-	case msgPrepOK:
+	case msgPrepOK, msgTxnOK:
 		return &sqldb.Result{}, nil
 	case msgError:
 		return nil, &ServerError{Msg: string(payload)}
 	default:
 		return nil, fmt.Errorf("wire: unexpected frame type 0x%x", typ)
 	}
+}
+
+// drainPending reads the replies of pipelined BEGIN frames, keeping the
+// stream in lockstep. Callers invoke it after flushing, before reading
+// their own reply.
+func (c *Conn) drainPending() error {
+	for c.pendingBegins > 0 {
+		c.pendingBegins--
+		if _, err := c.readReply(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Begin opens a transaction on the connection's server session. The frame
+// is only buffered: it ships with the next statement (or Commit/Rollback),
+// so opening a transaction costs no extra round trip.
+func (c *Conn) Begin() error {
+	if err := writeFrame(c.w, msgBegin, nil); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	c.pendingBegins++
+	return nil
+}
+
+// Commit commits the open transaction (a server-side no-op without one).
+func (c *Conn) Commit() error { return c.txnEnd(msgCommit) }
+
+// Rollback rolls the open transaction back (a no-op without one).
+func (c *Conn) Rollback() error { return c.txnEnd(msgRollback) }
+
+func (c *Conn) txnEnd(typ byte) error {
+	if err := writeFrame(c.w, typ, nil); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	if err := c.drainPending(); err != nil {
+		return err
+	}
+	_, err := c.readReply()
+	return err
 }
 
 // Exec sends one statement as SQL text and waits for its result (the v1
@@ -104,6 +154,9 @@ func (c *Conn) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
 		return nil, err
 	}
 	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	if err := c.drainPending(); err != nil {
 		return nil, err
 	}
 	return c.readReply()
@@ -124,6 +177,9 @@ func (c *Conn) Prepare(query string) (uint32, error) {
 	if err := c.flush(); err != nil {
 		return 0, err
 	}
+	if err := c.drainPending(); err != nil {
+		return 0, err
+	}
 	if _, err := c.readReply(); err != nil {
 		return 0, err
 	}
@@ -137,6 +193,9 @@ func (c *Conn) ExecPrepared(id uint32, args ...sqldb.Value) (*sqldb.Result, erro
 		return nil, err
 	}
 	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	if err := c.drainPending(); err != nil {
 		return nil, err
 	}
 	return c.readReply()
@@ -159,6 +218,9 @@ func (c *Conn) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, err
 		return nil, err
 	}
 	if err := c.flush(); err != nil {
+		return nil, err
+	}
+	if err := c.drainPending(); err != nil {
 		return nil, err
 	}
 	if !prepared {
@@ -189,6 +251,9 @@ func (c *Conn) CloseStmt(query string) error {
 		return err
 	}
 	if err := c.flush(); err != nil {
+		return err
+	}
+	if err := c.drainPending(); err != nil {
 		return err
 	}
 	_, err := c.readReply()

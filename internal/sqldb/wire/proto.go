@@ -11,6 +11,15 @@
 // CLOSE-STMT retires the id. v1 clients that only ever send msgQuery remain
 // fully supported — the frame layout and the text-query exchange are
 // unchanged.
+//
+// Protocol v3 adds transaction control: BEGIN / COMMIT / ROLLBACK frames
+// with empty payloads operating on the connection's server session. The
+// client pipelines BEGIN with the transaction's first statement (one round
+// trip opens the transaction and runs it), and the server rolls back any
+// transaction still open when a connection drops — so a dying client can
+// never publish half a transaction. v1/v2 clients remain wire-compatible,
+// and the statements also parse as SQL text for clients that prefer the
+// query frame.
 package wire
 
 import (
@@ -31,17 +40,25 @@ import (
 //	msgPrepare   u32 stmt id, query string          -> msgPrepOK | msgError
 //	msgExecStmt  u32 stmt id, arg count, args       -> msgResult | msgError
 //	msgCloseStmt u32 stmt id                        -> msgPrepOK | msgError
+//	msgBegin     (empty)                            -> msgTxnOK | msgError
+//	msgCommit    (empty)                            -> msgTxnOK | msgError
+//	msgRollback  (empty)                            -> msgTxnOK | msgError
 //
 // Statement ids are assigned by the client and scoped to the connection, so
-// a PREPARE and its first EXECUTE pipeline into a single round trip.
+// a PREPARE and its first EXECUTE pipeline into a single round trip — and
+// so does a BEGIN with its transaction's first statement.
 const (
 	msgQuery     = 0x01
 	msgPrepare   = 0x02
 	msgExecStmt  = 0x03
 	msgCloseStmt = 0x04
+	msgBegin     = 0x05
+	msgCommit    = 0x06
+	msgRollback  = 0x07
 	msgResult    = 0x81
 	msgError     = 0x82
 	msgPrepOK    = 0x83
+	msgTxnOK     = 0x84
 	maxFrameLen  = 16 << 20
 
 	// maxStmtsPerConn bounds one connection's prepared-statement table —

@@ -16,9 +16,11 @@ import (
 )
 
 // Server serves a sqldb.DB over TCP. Each connection gets its own session,
-// so LOCK TABLES state is per-connection, as in MySQL — and so are prepared
-// statement ids, which map client-assigned u32s to ASTs held by the
-// database's shared plan cache.
+// so LOCK TABLES state, open transactions and prepared statement ids (which
+// map client-assigned u32s to ASTs held by the database's shared plan
+// cache) are all per-connection, as in MySQL. A connection that drops — or
+// is drained by Shutdown — rolls back its open transaction when its session
+// closes.
 type Server struct {
 	db     *sqldb.DB
 	logger *log.Logger
@@ -43,8 +45,9 @@ type Server struct {
 func (s *Server) QueryCount() int64 { return s.queries.Load() }
 
 // Stats describes the database tier's protocol traffic for the cross-tier
-// telemetry: total statements, split by arrival path, plus the shared plan
-// cache's hit/miss counters.
+// telemetry: total statements, split by arrival path, the shared plan
+// cache's hit/miss counters, and the transaction subsystem's
+// commit/abort/deadlock counters.
 type Stats struct {
 	Queries       int64 `json:"queries"`
 	TextExecs     int64 `json:"text_execs"`
@@ -52,6 +55,7 @@ type Stats struct {
 	Prepares      int64 `json:"prepares"`
 
 	PlanCache sqldb.PlanCacheStats `json:"plan_cache"`
+	Txns      sqldb.TxnStats       `json:"txns"`
 }
 
 // Stats snapshots the server.
@@ -62,6 +66,7 @@ func (s *Server) Stats() Stats {
 		PreparedExecs: s.preparedExecs.Load(),
 		Prepares:      s.prepares.Load(),
 		PlanCache:     s.db.PlanCacheStats(),
+		Txns:          s.db.TxnStats(),
 	}
 }
 
@@ -123,6 +128,14 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.connWG.Add(1)
 		go s.serveConn(conn)
 	}
+}
+
+// txnStmts maps the v3 transaction-control frames to their shared,
+// stateless ASTs.
+var txnStmts = map[byte]sqlparse.Statement{
+	msgBegin:    &sqlparse.Begin{},
+	msgCommit:   &sqlparse.Commit{},
+	msgRollback: &sqlparse.Rollback{},
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -202,6 +215,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				delete(stmts, id)
 				outTyp = msgPrepOK
 			}
+		case msgBegin, msgCommit, msgRollback:
+			// Transaction control frames carry no payload; they run the
+			// corresponding statement on the session. queries counts them:
+			// they are statements the tier served, arriving framed.
+			s.queries.Add(1)
+			_, err = sess.ExecStmt(txnStmts[typ])
+			if err == nil {
+				outTyp = msgTxnOK
+			}
 		default:
 			s.logf("unexpected frame type 0x%x", typ)
 			return
@@ -247,9 +269,12 @@ const drainIdleGrace = 200 * time.Millisecond
 // finish and answer work that is in flight (including requests already
 // shipped but not yet read — each connection gets a short read deadline
 // rather than an instant hangup), and falls back to a hard Close when
-// grace elapses first. This is what dbserver runs on SIGTERM, so a
-// cluster replica can leave without cutting off statements the broadcast
-// already shipped.
+// grace elapses first. Transactions still open when their connection drains
+// are aborted: each connection's session rolls back as it closes, so no
+// half-applied transaction survives the shutdown. This is what dbserver
+// runs on SIGTERM, so a cluster replica can leave without cutting off
+// statements the broadcast already shipped — or keeping their effects
+// without the commit that would justify them.
 func (s *Server) Shutdown(grace time.Duration) error {
 	s.mu.Lock()
 	if s.closed {

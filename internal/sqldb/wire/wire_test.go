@@ -548,3 +548,160 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 		t.Fatal("drained connection must be closed after its in-flight reply")
 	}
 }
+
+// TestTxnOverWire drives the v3 frames end to end: pipelined BEGIN, writes,
+// COMMIT persisting and ROLLBACK restoring, per connection.
+func TestTxnOverWire(t *testing.T) {
+	db, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// The BEGIN reply is drained transparently before this statement's own.
+	if _, err := c.ExecCached("INSERT INTO kv VALUES (?, ?)", sqldb.Int(3), sqldb.String("three")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecCached("UPDATE kv SET v = ? WHERE k = ?", sqldb.String("mutated"), sqldb.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("DELETE FROM kv WHERE k = 2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess := db.NewSession()
+	defer sess.Close()
+	res, err := sess.Exec("SELECT k, v FROM kv ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[[1 "one"] [2 "two"] [3 "three"]]`
+	if got := valuesString(res.Rows); got != want {
+		t.Fatalf("kv after commit+rollback: %s, want %s", got, want)
+	}
+	st := db.TxnStats()
+	if st.Begins != 2 || st.Commits != 1 || st.Rollbacks != 1 {
+		t.Fatalf("txn stats %+v", st)
+	}
+}
+
+// TestConnDropRollsBackTxn: a connection dying mid-transaction must leave
+// no trace — the server session's auto-ROLLBACK.
+func TestConnDropRollsBackTxn(t *testing.T) {
+	db, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO kv VALUES (9, 'orphan')"); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // dies without COMMIT
+
+	sess := db.NewSession()
+	defer sess.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res, err := sess.Exec("SELECT COUNT(*) FROM kv WHERE k = 9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].AsInt() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("orphaned transaction not rolled back after connection drop")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShutdownAbortsInFlightTxn is the drain regression test: Shutdown must
+// abort (roll back) transactions still open on draining connections, not
+// just answer in-flight statements.
+func TestShutdownAbortsInFlightTxn(t *testing.T) {
+	db := sqldb.New()
+	s := db.NewSession()
+	if _, err := s.Exec("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(50))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO kv VALUES (1, 'one')"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	srv := NewServer(db, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The connection opens a transaction, mutates, and goes idle without
+	// committing — the state a client pause leaves mid-checkout.
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("UPDATE kv SET v = 'dirty' WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO kv VALUES (2, 'uncommitted')"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sess := db.NewSession()
+	defer sess.Close()
+	res, err := sess.Exec("SELECT k, v FROM kv ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := valuesString(res.Rows); got != `[[1 "one"]]` {
+		t.Fatalf("shutdown kept uncommitted transaction state: %s", got)
+	}
+	if db.TxnStats().Rollbacks != 1 {
+		t.Fatalf("rollbacks %d, want 1", db.TxnStats().Rollbacks)
+	}
+}
+
+func valuesString(rows []sqldb.Row) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('[')
+		for j, v := range r {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte(']')
+	return b.String()
+}

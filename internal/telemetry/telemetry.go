@@ -41,6 +41,16 @@ type Tier struct {
 	TextExecs     int64 `json:"text_execs,omitempty"`
 	PlanHits      int64 `json:"plan_hits,omitempty"`
 	PlanMisses    int64 `json:"plan_misses,omitempty"`
+	// Transaction outcomes. For the database tier these are the engine's
+	// counters (every BEGIN/COMMIT/ROLLBACK served); for the EJB tier they
+	// are container-managed demarcation outcomes. DeadlockTimeouts counts
+	// transactions aborted by the lock wait timeout, and TxnLockWaitNanos
+	// is cumulative time transactions spent blocked on table locks — both
+	// feed the bottleneck heuristic as database-tier saturation evidence.
+	Commits          int64 `json:"commits,omitempty"`
+	Aborts           int64 `json:"aborts,omitempty"`
+	DeadlockTimeouts int64 `json:"deadlock_timeouts,omitempty"`
+	TxnLockWaitNanos int64 `json:"txn_lock_wait_nanos,omitempty"`
 	// Downstream names the tier Pool dials into. Pool wait time is
 	// evidence that *that* tier's connections are all busy, so
 	// Bottleneck charges the wait there, not to the pool's holder.
@@ -106,6 +116,10 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 				t.TextExecs -= pt.TextExecs
 				t.PlanHits -= pt.PlanHits
 				t.PlanMisses -= pt.PlanMisses
+				t.Commits -= pt.Commits
+				t.Aborts -= pt.Aborts
+				t.DeadlockTimeouts -= pt.DeadlockTimeouts
+				t.TxnLockWaitNanos -= pt.TxnLockWaitNanos
 				if t.Pool != nil && pt.Pool != nil {
 					d := t.Pool.Sub(*pt.Pool)
 					t.Pool = &d
@@ -158,6 +172,10 @@ func (s *Snapshot) Bottleneck() string {
 		scores[t.Name] = &[3]float64{2: float64(t.Requests + t.Queries)}
 	}
 	for _, t := range s.Tiers {
+		// Time transactions spent blocked on the database's table locks is
+		// the same kind of evidence as pool wait time: work queued because
+		// the tier below was busy — charged to the tier that owns the locks.
+		scores[t.Name][0] += float64(t.TxnLockWaitNanos)
 		if t.Pool == nil {
 			continue
 		}
@@ -244,6 +262,14 @@ func (s *Snapshot) Format() string {
 		}
 		fmt.Fprintf(&b, "%s execs: %d prepared / %d text; plan cache: %d hits / %d misses (%.1f%%)\n",
 			t.Name, t.PreparedExecs, t.TextExecs, t.PlanHits, t.PlanMisses, hitRate)
+	}
+	for _, t := range s.Tiers {
+		if t.Commits == 0 && t.Aborts == 0 && t.DeadlockTimeouts == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s txns: %d commits / %d aborts (%d deadlock timeouts, %s waiting on locks)\n",
+			t.Name, t.Commits, t.Aborts, t.DeadlockTimeouts,
+			time.Duration(t.TxnLockWaitNanos).Round(time.Microsecond))
 	}
 	if len(s.Replicas) > 0 {
 		fmt.Fprintf(&b, "%-10s %9s %9s %9s %10s %12s %8s\n",
