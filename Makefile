@@ -5,7 +5,7 @@
 # perf-regression gate against the committed baseline.
 
 GO ?= go
-BASELINE ?= BENCH_0.json
+BASELINE ?= BENCH_2.json
 THRESHOLD ?= 10
 
 # Per-package statement-coverage floors for `make cover` (pkg:percent).
@@ -13,7 +13,7 @@ THRESHOLD ?= 10
 # requests in CI, enforced on pushes to main.
 COVER_FLOORS ?= repro/internal/sqldb:75 repro/internal/cluster:60
 
-.PHONY: build test race vet lint fmt bench bench-json bench-smoke bench-gate cover ci
+.PHONY: build test race vet lint fmt docs-lint bench bench-json bench-smoke bench-gate cover ci
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,12 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-lint: fmt vet
+# Documentation hygiene: dead relative links in the markdown docs and
+# internal/* packages missing a package comment fail the lint job.
+docs-lint:
+	$(GO) run ./cmd/doclint README.md DESIGN.md PROTOCOL.md PAPER.md PAPERS.md
+
+lint: fmt vet docs-lint
 
 # Full benchmark run (paper figures + ablations), human-readable.
 bench:

@@ -267,6 +267,42 @@ func BenchmarkClusterReplicaSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkAppReplicaSweep opens the scale-the-middle-tier axis the paper
+// asks about: the same workload over a 1-, 2- and 4-backend application
+// tier behind the front-end load balancer (internal/lb), with the database
+// tier fixed at one replica. The per-backend AJP/database pools are kept
+// small so the application tier is the capacity being added — the axis
+// that, next to BenchmarkClusterReplicaSweep, answers "replicate the app
+// tier or the DB tier?" with numbers.
+func BenchmarkAppReplicaSweep(b *testing.B) {
+	for _, backends := range []int{1, 2, 4} {
+		backends := backends
+		b.Run(fmt.Sprintf("appbackends=%d", backends), func(b *testing.B) {
+			lab, err := core.Start(core.Config{
+				Arch: perfsim.ArchServletSync, Benchmark: perfsim.Auction,
+				AppReplicas: backends, DBReplicas: 1, DBPoolSize: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lab.Close()
+			var rep *workload.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = lab.Run(workload.Config{
+					Clients: 48, Mix: "browsing",
+					ThinkMean: time.Millisecond, SessionMean: time.Second,
+					RampUp: 50 * time.Millisecond, Measure: 400 * time.Millisecond,
+					Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.ThroughputIPM, "ipm")
+		})
+	}
+}
+
 // BenchmarkTxnContentionSweep opens the rollback-under-contention axis: the
 // canonical short write transaction (read a row, insert a child, update the
 // parent) runs from parallel workers against 1, 4 and 32 hot rows — from

@@ -59,16 +59,58 @@ type File struct {
 	Results   []Result `json:"results"`
 }
 
+// usage documents the flags plus the gate semantics -h alone cannot
+// carry: what -compare fails on and why -rounds exists.
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `benchjson — record headline benchmarks as BENCH_<n>.json; optionally gate against a baseline
+
+Usage:
+  benchjson [flags] [package ...]
+
+Runs 'go test -bench' on the given packages (default: the repo root and
+./internal/sqldb/wire) and writes every benchmark's ns/op and custom
+metrics (ipm, stmts/interaction, µs/char, ...) as JSON, so the perf
+trajectory across PRs lives next to the code.
+
+Flags:
+`)
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), `
+Perf-regression gate (-compare):
+  With -compare BASELINE.json the fresh results are diffed against the
+  baseline and the process exits 1 when any benchmark present in both
+  files regressed by more than -threshold percent — ns/op rising, or the
+  'ipm' throughput metric falling, both relative to the baseline.
+  Benchmarks present in only one file are listed but never gate, so new
+  benchmarks land without a baseline edit. CI runs this: advisory on
+  pull requests, enforced on pushes to main.
+
+Noise robustness (-rounds / -count):
+  -count N reruns each benchmark within one 'go test' invocation;
+  -rounds M spreads M separate invocations across time. Scheduler noise
+  on a busy machine arrives in bursts that can swallow one whole
+  invocation, so the gate keeps the best observation (minimum ns/op,
+  maximum ipm) across all rounds — a single quiet run beats three noisy
+  averages.
+
+Examples:
+  benchjson                                     # record BENCH_<n>.json
+  benchjson -bench 'Fig0[56]' -benchtime 2s
+  benchjson -compare BENCH_2.json -threshold 10 -count 2 -rounds 3
+`)
+}
+
 func main() {
 	var (
-		bench     = flag.String("bench", defaultBench, "go test -bench regex")
-		benchtime = flag.String("benchtime", "1s", "go test -benchtime")
-		out       = flag.String("out", "", "output path (default: next BENCH_<n>.json)")
-		count     = flag.Int("count", 1, "go test -count")
-		compare   = flag.String("compare", "", "baseline BENCH_<n>.json to gate against")
-		threshold = flag.Float64("threshold", 10, "max tolerated slowdown, percent (-compare)")
-		rounds    = flag.Int("rounds", 1, "separate go-test invocations to merge best-of")
+		bench     = flag.String("bench", defaultBench, "go test -bench regex selecting the benchmarks to record")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime: time (1s) or iterations (100x) per benchmark")
+		out       = flag.String("out", "", "output path (default: BENCH_<n>.json for the next free n)")
+		count     = flag.Int("count", 1, "go test -count: benchmark repetitions per round (best observation kept)")
+		compare   = flag.String("compare", "", "baseline BENCH_<n>.json to gate against; exits 1 on a regression beyond -threshold")
+		threshold = flag.Float64("threshold", 10, "max tolerated regression, percent (ns/op up, or ipm down); used with -compare")
+		rounds    = flag.Int("rounds", 1, "separate go-test invocations whose results merge best-of (noise robustness)")
 	)
+	flag.Usage = usage
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {

@@ -1,0 +1,135 @@
+// Command doclint is the documentation hygiene gate CI's lint job runs:
+//
+//  1. Every relative link in the repo's markdown files must resolve to an
+//     existing file or directory (anchors are stripped first) — dead
+//     cross-references between README/DESIGN/PROTOCOL fail the build.
+//  2. Every package under internal/ must carry a package comment, so
+//     `go doc ./internal/...` is usable as operator documentation.
+//
+// Usage:
+//
+//	doclint [markdown files...]   # default: *.md in the repo root
+//
+// Exits non-zero listing every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)]+)\)`)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"doclint — markdown link + package comment checker\n\nUsage:\n  doclint [markdown files...]   (default: *.md in the current directory)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob("*.md")
+		if err != nil || len(files) == 0 {
+			fmt.Fprintln(os.Stderr, "doclint: no markdown files found")
+			os.Exit(1)
+		}
+	}
+
+	bad := 0
+	for _, f := range files {
+		bad += checkLinks(f)
+	}
+	bad += checkPackageComments("internal")
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("doclint: ok (%d markdown files, internal packages documented)\n", len(files))
+}
+
+// checkLinks verifies every relative markdown link in path resolves,
+// ignoring fenced code blocks and absolute URLs.
+func checkLinks(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		return 1
+	}
+	dir := filepath.Dir(path)
+	bad := 0
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := strings.TrimSpace(m[1])
+			if target == "" || strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue // external or intra-document
+			}
+			target, _, _ = strings.Cut(target, "#") // strip the anchor
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				fmt.Fprintf(os.Stderr, "doclint: %s:%d: dead link %q\n", path, i+1, m[1])
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+// checkPackageComments walks root for Go packages and reports every one
+// whose files all lack a package comment.
+func checkPackageComments(root string) int {
+	// Collect the .go files (tests excluded) per directory.
+	perDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		perDir[dir] = append(perDir[dir], path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		return 1
+	}
+	bad := 0
+	for dir, files := range perDir {
+		documented := false
+		for _, f := range files {
+			// Doc comments live before the package clause; no bodies needed.
+			af, err := parser.ParseFile(token.NewFileSet(), f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", f, err)
+				bad++
+				continue
+			}
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			fmt.Fprintf(os.Stderr, "doclint: package %s has no package comment\n", dir)
+			bad++
+		}
+	}
+	return bad
+}

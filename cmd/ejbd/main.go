@@ -11,7 +11,9 @@
 //	ejbd -addr :7099 -db 127.0.0.1:7306 -benchmark auction [-ajp :7009]
 //
 // When -ajp is given, ejbd also hosts the presentation servlets and serves
-// them over AJP so a webserver can connect directly.
+// them over AJP so a webserver can connect directly. In a load-balanced
+// application tier, -route names this backend for session affinity
+// (matching the webserver's -ajp entry), like servletd's -route.
 package main
 
 import (
@@ -33,7 +35,8 @@ func main() {
 		ajpAddr   = flag.String("ajp", "", "also serve presentation servlets on this AJP address")
 		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address or a comma-separated replica list")
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
-		pool      = flag.Int("pool", 12, "database connection pool size")
+		pool      = flag.Int("pool", 12, "database connection pool size, per replica")
+		route     = flag.String("route", "", "session-affinity route id for the presentation servlets in a load-balanced tier (requires -ajp)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -68,7 +71,7 @@ func main() {
 
 	if *ajpAddr != "" {
 		client := rmi.NewClient(bound.String(), *pool)
-		pc := servlet.NewContainer(servlet.Config{})
+		pc := servlet.NewContainer(servlet.Config{Route: *route})
 		switch *benchmark {
 		case "bookstore":
 			bookstore.NewPresentationApp(client, bookstore.DefaultScale()).Register(pc)

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/auction"
@@ -20,6 +21,44 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// usage documents every flag plus the semantics -h alone cannot carry:
+// what a run's phases mean and where the saturation table comes from.
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `loadgen — TPC-W-style client-browser emulator (the paper's §4.1 client machines)
+
+Usage:
+  loadgen [flags]
+
+Drives -clients emulated browsers against the web server at -addr. Each
+browser runs sessions over one persistent HTTP connection with a
+browser-style cookie jar (so JSESSIONID sessions — and their
+load-balancer affinity routes — persist across interactions), picks
+interactions from the -mix distribution, thinks negative-exponentially
+between them, and fetches each page's embedded images. The run is
+ramp-up / measure / ramp-down; only completions inside the measurement
+window count.
+
+The target is typically cmd/webserver — standalone, or fronting a
+load-balanced app tier and a replicated database (the multi-backend
+topologies; see "Operating the stack" in README.md). When the target
+serves /status (any core.Lab-assembled server), loadgen snapshots it at
+both measurement-window edges and prints the windowed per-tier
+saturation table naming the bottleneck tier.
+
+Flags:
+`)
+	flag.PrintDefaults()
+	fmt.Fprintf(flag.CommandLine.Output(), `
+Mixes:
+  bookstore: browsing (95%% read-only), shopping (80%%), ordering (50%%)
+  auction:   browsing (read-only), bidding (15%% read-write)
+
+Example:
+  loadgen -addr 127.0.0.1:8080 -benchmark auction -mix bidding \
+          -clients 50 -think 100ms -ramp 2s -measure 10s
+`)
+}
 
 // fetchStatus polls the server's /status telemetry endpoint; nil when the
 // server does not expose it (e.g. a bare webserver without core assembly).
@@ -39,19 +78,25 @@ func fetchStatus(addr string) *telemetry.Snapshot {
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "web server address")
-		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
-		mix       = flag.String("mix", "shopping", "workload mix name")
-		clients   = flag.Int("clients", 10, "emulated clients")
-		think     = flag.Duration("think", 100*time.Millisecond, "mean think time")
-		session   = flag.Duration("session", 30*time.Second, "mean session length")
-		ramp      = flag.Duration("ramp", 2*time.Second, "ramp-up")
-		measure   = flag.Duration("measure", 10*time.Second, "measurement window")
-		rampdown  = flag.Duration("rampdown", time.Second, "ramp-down")
-		images    = flag.Bool("images", true, "fetch embedded images")
-		seed      = flag.Int64("seed", 1, "seed")
+		addr      = flag.String("addr", "127.0.0.1:8080", "web server host:port to drive (a webserver, possibly fronting multiple app/db backends)")
+		benchmark = flag.String("benchmark", "bookstore", "application profile: bookstore (TPC-W) or auction (RUBiS)")
+		mix       = flag.String("mix", "shopping", "workload mix: browsing/shopping/ordering (bookstore) or browsing/bidding (auction)")
+		clients   = flag.Int("clients", 10, "number of concurrently emulated browsers")
+		think     = flag.Duration("think", 100*time.Millisecond, "mean think time between interactions (negative-exponential, truncated at 10x; TPC-W uses 7s)")
+		session   = flag.Duration("session", 30*time.Second, "mean browser-session length (exponential); each session opens a fresh connection and cookie jar")
+		ramp      = flag.Duration("ramp", 2*time.Second, "ramp-up phase excluded from measurement")
+		measure   = flag.Duration("measure", 10*time.Second, "measurement window (only completions inside it count)")
+		rampdown  = flag.Duration("rampdown", time.Second, "ramp-down phase excluded from measurement")
+		images    = flag.Bool("images", true, "fetch the images embedded in each page, like the paper's emulated browsers")
+		seed      = flag.Int64("seed", 1, "deterministic seed for interaction choice and think times")
 	)
+	flag.Usage = usage
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: unexpected arguments %q\n\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var profile *workload.Profile
 	switch *benchmark {

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	servletd -addr :7009 -db 127.0.0.1:7306 -benchmark bookstore [-sync] [-pool 12]
+//
+// In a load-balanced application tier (webserver -ajp lists several
+// backends), give each servletd the route id the balancer knows it by
+// (-route a0, -route a1, ...): new session ids carry the route as a
+// ".route" suffix and the balancer pins those sessions here. Session
+// state is container-local across processes — a backend death loses its
+// sessions' attributes (carts); affinity and failover still work.
 package main
 
 import (
@@ -24,12 +31,13 @@ func main() {
 		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address or a comma-separated replica list")
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
 		sync      = flag.Bool("sync", false, "engine-side locking (the paper's sync variants)")
-		pool      = flag.Int("pool", 12, "database connection pool size")
+		pool      = flag.Int("pool", 12, "database connection pool size, per replica")
+		route     = flag.String("route", "", "session-affinity route id in a load-balanced tier (must match the webserver's -ajp entry for this backend)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
-	c := servlet.NewContainer(servlet.Config{DBAddr: *dbAddr, DBPoolSize: *pool})
+	c := servlet.NewContainer(servlet.Config{DBAddr: *dbAddr, DBPoolSize: *pool, Route: *route})
 	switch *benchmark {
 	case "bookstore":
 		bookstore.New(bookstore.DefaultScale(), bookstore.Config{Sync: *sync}).Register(c)
@@ -42,7 +50,11 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	fmt.Printf("servletd: %s container on AJP %s (db %s, sync=%v)\n",
-		*benchmark, bound, *dbAddr, *sync)
+	routeNote := ""
+	if *route != "" {
+		routeNote = ", route=" + *route
+	}
+	fmt.Printf("servletd: %s container on AJP %s (db %s, sync=%v%s)\n",
+		*benchmark, bound, *dbAddr, *sync, routeNote)
 	select {}
 }

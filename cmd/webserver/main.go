@@ -1,10 +1,20 @@
 // Command webserver runs the web tier standalone: static images plus a
-// dynamic-content connector to a servletd instance over AJP — the role
-// Apache plays in the paper's testbed.
+// dynamic-content dispatcher to one or more servletd instances over AJP —
+// the role Apache (with mod_jk's worker balancing) plays in the paper's
+// testbed.
 //
 // Usage:
 //
 //	webserver -addr :8080 -ajp 127.0.0.1:7009 -base /tpcw/ [-imagebytes 2048]
+//
+// A comma-separated -ajp list load-balances the application tier
+// (least-in-flight, with session affinity on the JSESSIONID route
+// suffix). Each entry is "addr" — backend i gets route id "a<i>", which
+// the matching servletd must be started with (-route a<i>) — or
+// "route=addr" to name routes explicitly:
+//
+//	webserver -ajp 127.0.0.1:7009,127.0.0.1:7010            # routes a0, a1
+//	webserver -ajp tc1=127.0.0.1:7009,tc2=127.0.0.1:7010   # explicit routes
 package main
 
 import (
@@ -12,19 +22,21 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/ajp"
 	"repro/internal/datagen"
 	"repro/internal/httpd"
+	"repro/internal/lb"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		ajpAddr    = flag.String("ajp", "127.0.0.1:7009", "servlet container AJP address")
-		base       = flag.String("base", "/tpcw/", "dynamic content URL prefix")
-		imageBytes = flag.Int("imagebytes", 2048, "size of each synthetic image")
-		conns      = flag.Int("conns", 16, "AJP connector pool size")
+		ajpAddr    = flag.String("ajp", "127.0.0.1:7009", "servlet container AJP backend(s): addr[,addr...] or route=addr[,route=addr...]; more than one enables the app-tier load balancer")
+		base       = flag.String("base", "/tpcw/", "dynamic content URL prefix (/tpcw/ for bookstore, /rubis/ for auction)")
+		imageBytes = flag.Int("imagebytes", 2048, "size of each synthetic image, bytes")
+		conns      = flag.Int("conns", 16, "AJP connector pool size, per backend")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -36,15 +48,50 @@ func main() {
 	static.Add("/img/logo.gif", datagen.Image(1000, *imageBytes/2), "image/gif")
 	static.Add("/img/banner.gif", datagen.Image(1001, *imageBytes), "image/gif")
 
+	app, desc := appHandler(*ajpAddr, *conns)
 	mux := httpd.NewMux()
 	mux.Handle("/img/", static)
-	mux.Handle(*base, ajp.NewConnector(*ajpAddr, *conns))
+	mux.Handle(*base, app)
 
 	srv := httpd.NewServer(mux, logger)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		logger.Fatal(err)
 	}
-	fmt.Printf("webserver: http://%s%s -> AJP %s\n", bound, *base, *ajpAddr)
+	fmt.Printf("webserver: http://%s%s -> %s\n", bound, *base, desc)
 	select {}
+}
+
+// appHandler builds the dynamic-content dispatcher: a single AJP connector
+// for one backend, the load balancer for a list.
+func appHandler(spec string, conns int) (httpd.Handler, string) {
+	var backends []lb.Backend
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		route, addr, named := strings.Cut(entry, "=")
+		if !named {
+			// Count accepted backends, not list positions: a stray comma
+			// must not shift the documented "backend i gets route a<i>"
+			// contract the matching servletd -route flags rely on.
+			route, addr = fmt.Sprintf("a%d", len(backends)), entry
+		}
+		for _, be := range backends {
+			if be.ID == route {
+				log.Fatalf("webserver: -ajp assigns route %q twice (%q); routes must be unique or affinity pins two backends' sessions to one", route, entry)
+			}
+		}
+		conn := ajp.NewConnector(addr, conns)
+		backends = append(backends, lb.Backend{ID: route, Handler: conn, PoolStats: conn.Stats})
+	}
+	if len(backends) == 0 {
+		log.Fatal("webserver: -ajp names no backends")
+	}
+	if len(backends) == 1 {
+		return backends[0].Handler, "AJP " + spec
+	}
+	return lb.New(lb.Config{Backends: backends}),
+		fmt.Sprintf("lb over %d AJP backends (%s)", len(backends), spec)
 }

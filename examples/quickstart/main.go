@@ -1,8 +1,9 @@
 // Quickstart: assemble one of the paper's middleware configurations as a
-// real multi-tier system (web server, servlet container over AJP, SQL
+// real multi-tier system (web server, servlet containers over AJP, SQL
 // database over TCP — all in this process), here with the database tier
-// replicated twice behind the read-one-write-all cluster client, issue a
-// few interactions against it, and print what happened.
+// replicated twice behind the read-one-write-all cluster client AND the
+// application tier replicated twice behind the session-affine load
+// balancer, issue a few interactions against it, and print what happened.
 package main
 
 import (
@@ -16,21 +17,23 @@ import (
 )
 
 func main() {
-	// WsServlet-DB(sync): servlet container with engine-side locking,
-	// over a 2-replica database tier (reads load-balance, writes
-	// broadcast; see DESIGN.md §3).
+	// WsServlet-DB(sync): servlet containers with engine-side locking,
+	// 2 app backends behind the load balancer (DESIGN.md §3b), over a
+	// 2-replica database tier (reads load-balance, writes broadcast;
+	// DESIGN.md §3).
 	lab, err := core.Start(core.Config{
-		Arch:       perfsim.ArchServletSync,
-		Benchmark:  perfsim.Auction,
-		Seed:       1,
-		DBReplicas: 2,
+		Arch:        perfsim.ArchServletSync,
+		Benchmark:   perfsim.Auction,
+		Seed:        1,
+		DBReplicas:  2,
+		AppReplicas: 2,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer lab.Close()
-	fmt.Printf("auction site up as %s at http://%s/rubis/home (db replicas: %v)\n",
-		perfsim.ArchServletSync, lab.WebAddr(), lab.ReplicaAddrs())
+	fmt.Printf("auction site up as %s at http://%s/rubis/home (app backends: %d, db replicas: %v)\n",
+		perfsim.ArchServletSync, lab.WebAddr(), lab.AppBackends(), lab.ReplicaAddrs())
 
 	c := httpclient.New(lab.WebAddr(), 10*time.Second)
 	defer c.Close()

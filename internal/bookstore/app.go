@@ -1,6 +1,7 @@
 package bookstore
 
 import (
+	"encoding/gob"
 	"fmt"
 	"sort"
 	"strconv"
@@ -12,6 +13,11 @@ import (
 	"repro/internal/servlet"
 	"repro/internal/sqldb"
 )
+
+// The cart lives in the HTTP session; registering it with gob is what lets
+// a replicated application tier write it through the shared session store
+// (servlet.SessionStore) and restore it on another backend after failover.
+func init() { gob.Register(&cart{}) }
 
 // Config selects the locking discipline and optional emulated externals.
 type Config struct {
@@ -367,7 +373,7 @@ func (a *App) shoppingCart(ctx *servlet.Context, req *httpd.Request) (*httpd.Res
 		return nil, servlet.ErrNoDatabase
 	}
 	resp := httpd.NewResponse()
-	_, ct := sessionCart(ctx, req, resp)
+	sess, ct := sessionCart(ctx, req, resp)
 	if id := intParam(req, "i_id", 0); id > 0 {
 		qty := intParam(req, "qty", 1)
 		if qty <= 0 {
@@ -375,6 +381,7 @@ func (a *App) shoppingCart(ctx *servlet.Context, req *httpd.Request) (*httpd.Res
 		} else {
 			ct.Lines[id] = qty
 		}
+		sess.Set("cart", ct) // publish the mutation to the session store
 	}
 	type priced struct {
 		ItemSummary
@@ -504,6 +511,7 @@ func (a *App) buyConfirm(ctx *servlet.Context, req *httpd.Request) (*httpd.Respo
 	sess, ct := sessionCart(ctx, req, resp)
 	if len(ct.Lines) == 0 {
 		ct.Lines[1+cid%int64(a.sc.Items)] = 1 // emulated browsers always buy something
+		sess.Set("cart", ct)
 	}
 	// The sync configurations authorize payment before entering the
 	// critical section; the PHP flow holds its LOCK TABLES across the

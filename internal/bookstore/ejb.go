@@ -513,7 +513,7 @@ func (p *PresentationApp) search(ctx *servlet.Context, req *httpd.Request) (*htt
 
 func (p *PresentationApp) cart(ctx *servlet.Context, req *httpd.Request) (*httpd.Response, error) {
 	resp := httpd.NewResponse()
-	_, ct := sessionCart(ctx, req, resp)
+	sess, ct := sessionCart(ctx, req, resp)
 	if id := intParam(req, "i_id", 0); id > 0 {
 		qty := intParam(req, "qty", 1)
 		if qty <= 0 {
@@ -521,6 +521,7 @@ func (p *PresentationApp) cart(ctx *servlet.Context, req *httpd.Request) (*httpd
 		} else {
 			ct.Lines[id] = qty
 		}
+		sess.Set("cart", ct) // publish the mutation to the session store
 	}
 	args := CartArgs{}
 	for id, q := range ct.Lines {
@@ -577,6 +578,7 @@ func (p *PresentationApp) buyConfirm(ctx *servlet.Context, req *httpd.Request) (
 	cid := intParam(req, "c_id", 1)
 	if len(ct.Lines) == 0 {
 		ct.Lines[1+cid%int64(p.sc.Items)] = 1
+		sess.Set("cart", ct)
 	}
 	args := BuyArgs{CustomerID: cid}
 	for id, q := range ct.Lines {

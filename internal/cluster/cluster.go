@@ -106,7 +106,10 @@ func NewWithConfig(cfg Config) *Client {
 	if size <= 0 {
 		size = 12
 	}
-	c := &Client{locks: newWriteLocks(), strict: cfg.StrictWrites}
+	// Write-order locks are shared with every other client over the same
+	// replica set (one per app-tier backend), so conflicting writes apply
+	// in one process-wide global order — see lockRegistry.
+	c := &Client{locks: acquireWriteLocks(addrs), strict: cfg.StrictWrites}
 	for i, addr := range addrs {
 		r := &replica{id: i, addr: addr, pool: wire.NewPool(addr, size)}
 		r.healthy.Store(true)
@@ -890,32 +893,15 @@ func (c *Client) Rejoin(id int, syncData bool) error {
 // "connections into the database tier" figure the cross-tier bottleneck
 // heuristic consumes. Counters sum; latency figures take the worst replica.
 func (c *Client) Stats() pool.Stats {
-	agg := pool.Stats{Name: "db-cluster"}
-	for _, r := range c.replicas {
-		ps := r.pool.Stats()
-		agg.Capacity += ps.Capacity
-		agg.InUse += ps.InUse
-		agg.Idle += ps.Idle
-		agg.Dials += ps.Dials
-		agg.Gets += ps.Gets
-		agg.Waits += ps.Waits
-		agg.WaitNanos += ps.WaitNanos
-		agg.Discards += ps.Discards
-		agg.Retries += ps.Retries
-		if ps.BorrowMeanMillis > agg.BorrowMeanMillis {
-			agg.BorrowMeanMillis = ps.BorrowMeanMillis
-		}
-		if ps.BorrowP95Millis > agg.BorrowP95Millis {
-			agg.BorrowP95Millis = ps.BorrowP95Millis
-		}
-		if ps.BorrowMaxMillis > agg.BorrowMaxMillis {
-			agg.BorrowMaxMillis = ps.BorrowMaxMillis
-		}
+	pools := make([]pool.Stats, len(c.replicas))
+	for i, r := range c.replicas {
+		pools[i] = r.pool.Stats()
 	}
+	name := "db-cluster"
 	if len(c.replicas) == 1 {
-		agg.Name = "db@" + c.replicas[0].addr
+		name = "db@" + c.replicas[0].addr
 	}
-	return agg
+	return pool.Sum(name, pools)
 }
 
 // ReplicaStats reports the per-replica routing view for telemetry.
@@ -937,10 +923,18 @@ func (c *Client) ReplicaStats() []telemetry.Replica {
 	return out
 }
 
-// Close closes every replica pool.
+// Close closes every replica pool and releases the client's slot in the
+// shared write-order lock registry.
 func (c *Client) Close() {
-	c.closed.Store(true)
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
 	for _, r := range c.replicas {
 		r.pool.Close()
 	}
+	addrs := make([]string, len(c.replicas))
+	for i, r := range c.replicas {
+		addrs[i] = r.addr
+	}
+	releaseWriteLocks(addrs)
 }

@@ -762,6 +762,78 @@ func TestSingleReplicaTxnSerializesDeclaredTables(t *testing.T) {
 	}
 }
 
+// TestWriteOrderSharedAcrossClients is the replicated-application-tier
+// variant of the lost-update regression: a load-balanced tier runs one
+// cluster client per app backend over the same DSN, so the write-order
+// locks must be shared process-wide (lockRegistry) — two CLIENTS'
+// read-modify-write transactions on the same table must serialize exactly
+// like two sessions of one client.
+func TestWriteOrderSharedAcrossClients(t *testing.T) {
+	reps := startReplicas(t, 1)
+	c1 := newTestClient(t, reps, Config{PoolSize: 8})
+	c2 := newTestClient(t, reps, Config{PoolSize: 8})
+	const workers, rounds = 8, 15
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		c := c1
+		if w%2 == 1 {
+			c = c2 // half the workers on each client, like two app backends
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				err := c.WithTx([]string{"items"}, func(tx *Session) error {
+					res, err := tx.ExecCached("SELECT qty FROM items WHERE id = 2")
+					if err != nil {
+						return err
+					}
+					_, err = tx.ExecCached("UPDATE items SET qty = ? WHERE id = 2",
+						sqldb.Int(res.Rows[0][0].AsInt()+1))
+					return err
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res := queryReplica(t, reps[0], "SELECT qty FROM items WHERE id = 2")
+	want := int64(100 + workers*rounds)
+	if got := res.Rows[0][0].AsInt(); got != want {
+		t.Fatalf("qty %d, want %d (cross-client transactions lost updates)", got, want)
+	}
+}
+
+// TestLockRegistryRefcounts: closing every client over a DSN must free its
+// registry slot; an open one must keep it.
+func TestLockRegistryRefcounts(t *testing.T) {
+	addrs := []string{"127.0.0.1:65001", "127.0.0.1:65002"}
+	key := registryKey(addrs)
+	a := NewWithConfig(Config{DSN: strings.Join(addrs, ",")})
+	b := NewWithConfig(Config{DSN: addrs[1] + "," + addrs[0]}) // order-insensitive
+	if a.locks != b.locks {
+		t.Fatal("clients over the same replica set got distinct write-order locks")
+	}
+	a.Close()
+	a.Close() // double Close must not double-release
+	lockRegistry.mu.Lock()
+	refs := lockRegistry.m[key].refs
+	lockRegistry.mu.Unlock()
+	if refs != 1 {
+		t.Fatalf("refs = %d after one of two clients closed, want 1", refs)
+	}
+	b.Close()
+	lockRegistry.mu.Lock()
+	_, live := lockRegistry.m[key]
+	lockRegistry.mu.Unlock()
+	if live {
+		t.Fatal("registry entry leaked after the last client closed")
+	}
+}
+
 // TestCatchAllTxnExcludesNamedWriters: an undeclared transaction must
 // conflict with declared-table writers, or replicas could apply the two
 // write streams in different orders.

@@ -232,6 +232,59 @@ func newWriteLocks() *writeLocks {
 	return &writeLocks{m: make(map[string]*sync.Mutex)}
 }
 
+// lockRegistry shares one writeLocks instance per database — keyed by the
+// client's replica address set — across every cluster client in the
+// process. A replicated application tier runs one client per backend
+// (internal/lb spreads containers, each with its own client over the same
+// DSN); write ordering must span them, or two backends' read-modify-write
+// transactions could both read before either writes — the lost update the
+// per-client locks already exclude within one backend. This is the
+// C-JDBC-controller property reduced to one process; entries are
+// refcounted so a closed lab releases its registry slot.
+var lockRegistry = struct {
+	mu sync.Mutex
+	m  map[string]*sharedLocks
+}{m: make(map[string]*sharedLocks)}
+
+type sharedLocks struct {
+	locks *writeLocks
+	refs  int
+}
+
+// registryKey canonicalizes a replica address set. Order is ignored: two
+// clients listing the same backends must conflict on the same tables even
+// if misconfigured with different replica orders.
+func registryKey(addrs []string) string {
+	return strings.Join(normalize(addrs), ",")
+}
+
+// acquireWriteLocks returns the shared writeLocks for the address set,
+// creating it on first use.
+func acquireWriteLocks(addrs []string) *writeLocks {
+	key := registryKey(addrs)
+	lockRegistry.mu.Lock()
+	defer lockRegistry.mu.Unlock()
+	e, ok := lockRegistry.m[key]
+	if !ok {
+		e = &sharedLocks{locks: newWriteLocks()}
+		lockRegistry.m[key] = e
+	}
+	e.refs++
+	return e.locks
+}
+
+// releaseWriteLocks drops one reference, freeing the entry at zero.
+func releaseWriteLocks(addrs []string) {
+	key := registryKey(addrs)
+	lockRegistry.mu.Lock()
+	defer lockRegistry.mu.Unlock()
+	if e, ok := lockRegistry.m[key]; ok {
+		if e.refs--; e.refs <= 0 {
+			delete(lockRegistry.m, key)
+		}
+	}
+}
+
 func (w *writeLocks) lockFor(table string) *sync.Mutex {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -24,7 +24,9 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/ejb"
 	"repro/internal/httpd"
+	"repro/internal/lb"
 	"repro/internal/perfsim"
+	"repro/internal/pool"
 	"repro/internal/rmi"
 	"repro/internal/scriptmod"
 	"repro/internal/servlet"
@@ -51,6 +53,15 @@ type Config struct {
 	// backends behind the read-one-write-all cluster client (default 1 —
 	// the paper's single-database testbed).
 	DBReplicas int
+	// AppReplicas runs the application tier as that many container
+	// backends behind the front-end load balancer (internal/lb): N servlet
+	// containers, or N EJB container + presentation pairs in the EJB
+	// architecture, with session affinity and write-through session-state
+	// replication between them. Default 1 — the paper's single-container
+	// testbed, dispatched without a balancer. The in-process scripting
+	// module (ArchPHP) ignores it: mod_php is pinned to the web server's
+	// address space by construction (§2.1).
+	AppReplicas int
 	// ImageBytes sizes each of the 64 synthetic item images (default 2048).
 	ImageBytes int
 	// Seed drives data generation.
@@ -72,6 +83,9 @@ func (c Config) withDefaults() Config {
 	if c.DBReplicas <= 0 {
 		c.DBReplicas = 1
 	}
+	if c.AppReplicas <= 0 {
+		c.AppReplicas = 1
+	}
 	if c.ImageBytes <= 0 {
 		c.ImageBytes = 2048
 	}
@@ -90,11 +104,16 @@ type Lab struct {
 	web     *httpd.Server
 	webAddr string
 
-	module    *scriptmod.Module
-	container *servlet.Container
-	connector *ajp.Connector
-	ejbC      *ejb.Container
-	rmiClient *rmi.Client
+	module *scriptmod.Module
+	// The application tier: index i across these slices is one backend
+	// (route "a<i>"). One entry and no balancer in the paper's single
+	// container setups; N entries behind the balancer with AppReplicas.
+	containers []*servlet.Container
+	connectors []*ajp.Connector
+	ejbCs      []*ejb.Container
+	rmiClients []*rmi.Client
+	balancer   *lb.Balancer
+	sessions   *servlet.MemStore
 
 	profile *workload.Profile
 }
@@ -179,12 +198,49 @@ func (l *Lab) basePath() string {
 }
 
 // startAppTier builds the dynamic-content generator for the configured
-// architecture and returns the handler the web server dispatches to.
+// architecture and returns the handler the web server dispatches to: the
+// in-process module, a single AJP connector, or — with AppReplicas > 1 —
+// the front-end load balancer over N container backends sharing a
+// write-through session store.
 func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 	cfg := l.cfg
 	sync := cfg.Arch.EngineSync()
-	newAppContainer := func() *servlet.Container {
-		c := servlet.NewContainer(servlet.Config{DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize})
+	replicas := cfg.AppReplicas
+	// The in-process module has no replication axis (mod_php is pinned to
+	// the web server, §2.1): no session store, no shared locks, no routes.
+	if cfg.Arch == perfsim.ArchPHP {
+		replicas = 1
+	}
+	// Replicated backends share the session store AND the engine-side lock
+	// manager: the (sync) configurations' correctness rests on one
+	// process-wide lock table — per-backend managers would let two
+	// backends' read-modify-write interactions interleave.
+	var sharedLocks *servlet.LockManager
+	if replicas > 1 {
+		l.sessions = servlet.NewMemStore()
+		sharedLocks = servlet.NewLockManager()
+	}
+	// appRoute names backend i; with one backend there is no balancer and
+	// session ids stay bare (the pre-replication behavior).
+	appRoute := func(i int) string {
+		if replicas == 1 {
+			return ""
+		}
+		return fmt.Sprintf("a%d", i)
+	}
+	// store passes the shared MemStore as a properly nil interface when
+	// the tier is unreplicated.
+	store := func() servlet.SessionStore {
+		if l.sessions == nil {
+			return nil
+		}
+		return l.sessions
+	}
+	newAppContainer := func(route string) *servlet.Container {
+		c := servlet.NewContainer(servlet.Config{
+			DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize,
+			Route: route, SessionStore: store(), Locks: sharedLocks,
+		})
 		switch cfg.Benchmark {
 		case perfsim.Bookstore:
 			bookstore.New(cfg.BookScale, bookstore.Config{Sync: sync}).Register(c)
@@ -193,12 +249,23 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 		}
 		return c
 	}
+	// startBackend serves an initialized container over AJP and registers
+	// its connector as the next backend.
+	startBackend := func(c *servlet.Container) error {
+		addr, err := c.Start("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		l.containers = append(l.containers, c)
+		l.connectors = append(l.connectors, ajp.NewConnector(addr.String(), cfg.DBPoolSize))
+		return nil
+	}
 
 	switch cfg.Arch {
 	case perfsim.ArchPHP:
 		// In-process script module: generator in the web server's address
-		// space, no IPC (§2.1).
-		m, err := scriptmod.Mount(newAppContainer())
+		// space, no IPC (§2.1) — and therefore no replication axis.
+		m, err := scriptmod.Mount(newAppContainer(""))
 		if err != nil {
 			return nil, err
 		}
@@ -207,68 +274,77 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 
 	case perfsim.ArchServlet, perfsim.ArchServletSync,
 		perfsim.ArchServletDedicated, perfsim.ArchServletDedicatedSync:
-		// Servlet container in its own process boundary, reached over AJP.
-		// Co-located and dedicated differ only in machine placement, which
-		// a single host cannot express; both run the identical software
-		// path here (the placement effect is perfsim's domain).
-		c := newAppContainer()
-		addr, err := c.Start("127.0.0.1:0")
-		if err != nil {
-			return nil, err
+		// Servlet containers in their own process boundary, reached over
+		// AJP. Co-located and dedicated differ only in machine placement,
+		// which a single host cannot express; both run the identical
+		// software path here (the placement effect is perfsim's domain).
+		for i := 0; i < replicas; i++ {
+			if err := startBackend(newAppContainer(appRoute(i))); err != nil {
+				return nil, err
+			}
 		}
-		l.container = c
-		l.connector = ajp.NewConnector(addr.String(), cfg.DBPoolSize)
-		return l.connector, nil
 
 	case perfsim.ArchEJB:
 		// Four tiers: web -> (AJP) presentation servlets -> (RMI) session
-		// façade + entity beans -> database.
-		ec, err := ejb.NewContainer(ejb.Config{DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize})
-		if err != nil {
-			return nil, err
-		}
-		l.ejbC = ec
-		var pres interface{ Register(*servlet.Container) }
-		switch cfg.Benchmark {
-		case perfsim.Bookstore:
-			if err := bookstore.RegisterEntities(ec); err != nil {
+		// façade + entity beans -> database. Each backend is a complete
+		// presentation + EJB container pair, as a JOnAS farm would deploy.
+		for i := 0; i < replicas; i++ {
+			ec, err := ejb.NewContainer(ejb.Config{DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize})
+			if err != nil {
 				return nil, err
 			}
-			if err := ec.RegisterFacade(bookstore.FacadeName, &bookstore.Facade{C: ec}); err != nil {
+			l.ejbCs = append(l.ejbCs, ec)
+			var pres interface{ Register(*servlet.Container) }
+			switch cfg.Benchmark {
+			case perfsim.Bookstore:
+				if err := bookstore.RegisterEntities(ec); err != nil {
+					return nil, err
+				}
+				if err := ec.RegisterFacade(bookstore.FacadeName, &bookstore.Facade{C: ec}); err != nil {
+					return nil, err
+				}
+			default:
+				if err := auction.RegisterEntities(ec); err != nil {
+					return nil, err
+				}
+				if err := ec.RegisterFacade(auction.FacadeName, &auction.Facade{C: ec}); err != nil {
+					return nil, err
+				}
+			}
+			rmiAddr, err := ec.Serve("127.0.0.1:0")
+			if err != nil {
 				return nil, err
 			}
-		default:
-			if err := auction.RegisterEntities(ec); err != nil {
+			rc := rmi.NewClient(rmiAddr.String(), cfg.DBPoolSize)
+			l.rmiClients = append(l.rmiClients, rc)
+			switch cfg.Benchmark {
+			case perfsim.Bookstore:
+				pres = bookstore.NewPresentationApp(rc, cfg.BookScale)
+			default:
+				pres = auction.NewPresentationApp(rc, cfg.AuctionScale)
+			}
+			pc := servlet.NewContainer(servlet.Config{
+				Route: appRoute(i), SessionStore: store(),
+			})
+			pres.Register(pc)
+			if err := startBackend(pc); err != nil {
 				return nil, err
 			}
-			if err := ec.RegisterFacade(auction.FacadeName, &auction.Facade{C: ec}); err != nil {
-				return nil, err
-			}
 		}
-		rmiAddr, err := ec.Serve("127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		l.rmiClient = rmi.NewClient(rmiAddr.String(), cfg.DBPoolSize)
-		switch cfg.Benchmark {
-		case perfsim.Bookstore:
-			pres = bookstore.NewPresentationApp(l.rmiClient, cfg.BookScale)
-		default:
-			pres = auction.NewPresentationApp(l.rmiClient, cfg.AuctionScale)
-		}
-		pc := servlet.NewContainer(servlet.Config{})
-		pres.Register(pc)
-		addr, err := pc.Start("127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		l.container = pc
-		l.connector = ajp.NewConnector(addr.String(), cfg.DBPoolSize)
-		return l.connector, nil
 
 	default:
 		return nil, fmt.Errorf("core: unknown architecture %v", cfg.Arch)
 	}
+
+	if replicas == 1 {
+		return l.connectors[0], nil
+	}
+	backends := make([]lb.Backend, len(l.connectors))
+	for i, conn := range l.connectors {
+		backends[i] = lb.Backend{ID: appRoute(i), Handler: conn, PoolStats: conn.Stats}
+	}
+	l.balancer = lb.New(lb.Config{Backends: backends})
+	return l.balancer, nil
 }
 
 // staticImages builds the synthetic image set: 64 shared item images plus
@@ -336,84 +412,138 @@ func (l *Lab) RestartReplica(i int) error {
 }
 
 // Cluster returns the app tier's replication-aware database client (nil
-// for configurations without one).
+// for configurations without one). With a replicated application tier it
+// is backend 0's client — every backend speaks to the same database
+// replicas, so any backend's client observes the same logical database.
 func (l *Lab) Cluster() *cluster.Client {
-	container := l.container
+	var container *servlet.Container
 	if l.module != nil {
 		container = l.module.Container()
+	} else if len(l.containers) > 0 {
+		container = l.containers[0]
 	}
 	if container != nil && container.Context().DB != nil {
 		return container.Context().DB
 	}
-	if l.ejbC != nil {
-		return l.ejbC.DB()
+	if len(l.ejbCs) > 0 {
+		return l.ejbCs[0].DB()
 	}
 	return nil
 }
 
-// EJBQueryCount returns the EJB container's statement count (0 for non-EJB
-// configurations) — the observable behind §6.1's packet analysis.
-func (l *Lab) EJBQueryCount() int64 {
-	if l.ejbC == nil {
-		return 0
+// AppBackends returns the number of application-tier backends.
+func (l *Lab) AppBackends() int { return len(l.containers) }
+
+// StopAppBackend kills application backend i — the app-tier failover
+// experiment's fault injector. Its AJP listener, servlets and database
+// client all go down; the load balancer ejects it on the next request it
+// routes there, and pinned sessions fail over to a surviving backend via
+// the shared session store. In the EJB architecture the backend's RMI
+// client and EJB container die with it.
+func (l *Lab) StopAppBackend(i int) {
+	if i < 0 || i >= len(l.containers) {
+		return
 	}
-	return l.ejbC.QueryCount()
+	l.containers[i].Close() // idempotent
+	if i < len(l.rmiClients) {
+		l.rmiClients[i].Close()
+	}
+	if i < len(l.ejbCs) {
+		l.ejbCs[i].Close()
+	}
+}
+
+// EJBQueryCount returns the EJB tier's statement count (0 for non-EJB
+// configurations) — the observable behind §6.1's packet analysis. A
+// replicated tier reports the sum over its backends.
+func (l *Lab) EJBQueryCount() int64 {
+	var n int64
+	for _, ec := range l.ejbCs {
+		n += ec.QueryCount()
+	}
+	return n
 }
 
 // Telemetry snapshots every tier's request/query counters and transport
 // pool saturation — the observable behind the paper's which-tier-saturates
 // analysis. Counters accumulate from boot; diff two snapshots with
-// telemetry.Snapshot.Delta to window them.
+// telemetry.Snapshot.Delta to window them. Replicated tiers aggregate into
+// one tier figure (the paper's per-machine column), with the per-backend
+// breakdown in Snapshot.AppBackends / Snapshot.Replicas.
 func (l *Lab) Telemetry() *telemetry.Snapshot {
 	s := &telemetry.Snapshot{
 		Arch:      l.cfg.Arch.String(),
 		Benchmark: l.cfg.Benchmark.String(),
 	}
 
-	// Web tier: requests served, plus the AJP connector pool to the
-	// engine below it (absent in-process).
+	// Web tier: requests served, plus the AJP connector pool(s) to the
+	// engine below it (absent in-process). N balanced backends aggregate
+	// into one pool figure, so the bottleneck heuristic keeps working.
 	web := telemetry.Tier{Name: "web"}
 	if l.web != nil {
 		web.Requests = l.web.RequestCount()
 		web.Bytes = l.web.ResponseBytes()
 	}
-	if l.connector != nil {
-		ps := l.connector.Stats()
+	if len(l.connectors) > 0 {
+		var pools []pool.Stats
+		for _, conn := range l.connectors {
+			pools = append(pools, conn.Stats())
+		}
+		ps := sumPools("ajp", pools)
 		web.Pool = &ps
 		web.Downstream = "servlet"
 	}
 	s.Tiers = append(s.Tiers, web)
 
-	// Engine tier: the servlet container (standalone, in-process module,
-	// or EJB presentation layer). Its pool is whatever it calls into —
-	// the database pool, or the RMI client pool in the EJB configuration.
-	container := l.container
+	// Engine tier: the servlet containers (standalone, in-process module,
+	// or EJB presentation layer). Their pool is whatever they call into —
+	// the database pools, or the RMI client pools in the EJB configuration.
+	engine := l.containers
 	if l.module != nil {
-		container = l.module.Container()
+		engine = []*servlet.Container{l.module.Container()}
 	}
-	if container != nil {
-		cs := container.Stats()
-		t := telemetry.Tier{Name: "servlet", Requests: cs.Requests, Pool: cs.DB}
-		if t.Pool != nil {
+	if len(engine) > 0 {
+		t := telemetry.Tier{Name: "servlet"}
+		var dbPools []pool.Stats
+		for _, c := range engine {
+			cs := c.Stats()
+			t.Requests += cs.Requests
+			if cs.DB != nil {
+				dbPools = append(dbPools, *cs.DB)
+			}
+		}
+		if len(dbPools) > 0 {
+			ps := sumPools("db-cluster", dbPools)
+			t.Pool = &ps
 			t.Downstream = "db"
 		}
-		if l.rmiClient != nil {
-			ps := l.rmiClient.Stats()
+		if len(l.rmiClients) > 0 {
+			var pools []pool.Stats
+			for _, rc := range l.rmiClients {
+				pools = append(pools, rc.Stats())
+			}
+			ps := sumPools("rmi", pools)
 			t.Pool = &ps
 			t.Downstream = "ejb"
 		}
 		s.Tiers = append(s.Tiers, t)
 	}
 
-	if l.ejbC != nil {
-		es := l.ejbC.Stats()
-		db := es.DB
-		s.Tiers = append(s.Tiers, telemetry.Tier{
-			Name: "ejb", Queries: es.Queries,
-			Loads: es.Loads, Stores: es.Stores,
-			Commits: es.TxCommits, Aborts: es.TxAborts,
-			Pool: &db, Downstream: "db",
-		})
+	if len(l.ejbCs) > 0 {
+		t := telemetry.Tier{Name: "ejb", Downstream: "db"}
+		var dbPools []pool.Stats
+		for _, ec := range l.ejbCs {
+			es := ec.Stats()
+			t.Queries += es.Queries
+			t.Loads += es.Loads
+			t.Stores += es.Stores
+			t.Commits += es.TxCommits
+			t.Aborts += es.TxAborts
+			dbPools = append(dbPools, es.DB)
+		}
+		ps := sumPools("db-cluster", dbPools)
+		t.Pool = &ps
+		s.Tiers = append(s.Tiers, t)
 	}
 
 	if len(l.dbSrvs) > 0 {
@@ -435,10 +565,11 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 		s.Tiers = append(s.Tiers, t)
 	}
 
-	// Per-replica breakdown: the cluster client's routing view, joined
-	// with each replica server's own statement counter.
+	// Per-replica breakdown: the cluster clients' routing views (every app
+	// backend routes independently, so their counters sum), joined with
+	// each replica server's own statement counter.
 	if cl := l.Cluster(); cl != nil && cl.Replicas() > 1 {
-		s.Replicas = cl.ReplicaStats()
+		s.Replicas = aggregateReplicaStats(l.clusterClients())
 		for i := range s.Replicas {
 			id := s.Replicas[i].ID
 			if id < len(l.dbSrvs) {
@@ -446,7 +577,79 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			}
 		}
 	}
+
+	// Per-app-backend breakdown: the balancer's routing view, joined with
+	// each backend container's own request counter.
+	if l.balancer != nil {
+		s.AppBackends = l.balancer.Stats()
+		for i := range s.AppBackends {
+			if i < len(l.containers) {
+				s.AppBackends[i].Requests = l.containers[i].Stats().Requests
+			}
+		}
+	}
 	return s
+}
+
+// clusterClients returns every replication-aware database client in the
+// application tier: one per servlet backend (or the in-process module's),
+// plus each EJB container's.
+func (l *Lab) clusterClients() []*cluster.Client {
+	var out []*cluster.Client
+	add := func(c *servlet.Container) {
+		if c != nil && c.Context().DB != nil {
+			out = append(out, c.Context().DB)
+		}
+	}
+	if l.module != nil {
+		add(l.module.Container())
+	}
+	for _, c := range l.containers {
+		add(c)
+	}
+	for _, ec := range l.ejbCs {
+		out = append(out, ec.DB())
+	}
+	return out
+}
+
+// aggregateReplicaStats merges the per-replica routing views of N
+// independent cluster clients into one: counters sum, a replica reports
+// healthy only when every client still routes to it, pools sum.
+func aggregateReplicaStats(clients []*cluster.Client) []telemetry.Replica {
+	var out []telemetry.Replica
+	for ci, cl := range clients {
+		rs := cl.ReplicaStats()
+		if ci == 0 {
+			out = rs
+			continue
+		}
+		for i := range rs {
+			if i >= len(out) {
+				out = append(out, rs[i])
+				continue
+			}
+			out[i].Reads += rs[i].Reads
+			out[i].Writes += rs[i].Writes
+			out[i].Ejections += rs[i].Ejections
+			out[i].LagNanos += rs[i].LagNanos
+			out[i].Healthy = out[i].Healthy && rs[i].Healthy
+			if out[i].Pool != nil && rs[i].Pool != nil {
+				ps := sumPools(out[i].Pool.Name, []pool.Stats{*out[i].Pool, *rs[i].Pool})
+				out[i].Pool = &ps
+			}
+		}
+	}
+	return out
+}
+
+// sumPools aggregates transport pools into one figure, keeping a single
+// pool's snapshot (and name) untouched.
+func sumPools(name string, pools []pool.Stats) pool.Stats {
+	if len(pools) == 1 {
+		return pools[0]
+	}
+	return pool.Sum(name, pools)
 }
 
 // Run drives the lab with the client emulator and attaches the per-tier
@@ -482,20 +685,20 @@ func (l *Lab) Close() {
 	if l.web != nil {
 		l.web.Close()
 	}
-	if l.connector != nil {
-		l.connector.Close()
+	for _, conn := range l.connectors {
+		conn.Close()
 	}
 	if l.module != nil {
 		l.module.Close()
 	}
-	if l.container != nil {
-		l.container.Close()
+	for _, c := range l.containers {
+		c.Close()
 	}
-	if l.rmiClient != nil {
-		l.rmiClient.Close()
+	for _, rc := range l.rmiClients {
+		rc.Close()
 	}
-	if l.ejbC != nil {
-		l.ejbC.Close()
+	for _, ec := range l.ejbCs {
+		ec.Close()
 	}
 	for _, srv := range l.dbSrvs {
 		srv.Close()

@@ -135,7 +135,7 @@ func TestAppTierOutage(t *testing.T) {
 	if resp, _ := c.Get("/rubis/home"); resp == nil || resp.Status != 200 {
 		t.Fatal("pre-outage request failed")
 	}
-	lab.container.Close() // kill the app tier only
+	lab.StopAppBackend(0) // kill the app tier only
 	resp, err := c.Get("/rubis/home")
 	if err != nil {
 		t.Fatalf("want HTTP error, got transport failure: %v", err)

@@ -17,6 +17,20 @@ import (
 	"strings"
 )
 
+// CookieValue extracts one cookie's value from a Cookie header — the
+// shared parser under the servlet tier's session lookup and the load
+// balancer's affinity routing (they must agree on cookie parsing, or
+// affinity silently breaks).
+func CookieValue(header, name string) string {
+	for _, part := range strings.Split(header, ";") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if ok && k == name {
+			return v
+		}
+	}
+	return ""
+}
+
 // Request is one parsed HTTP request.
 type Request struct {
 	Method  string

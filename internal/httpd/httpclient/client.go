@@ -23,13 +23,17 @@ type Response struct {
 }
 
 // Client is a single-connection HTTP client. Not safe for concurrent use;
-// each emulated browser session owns one, matching the paper's model.
+// each emulated browser session owns one, matching the paper's model. It
+// keeps a browser-style cookie jar: cookies the server sets are echoed on
+// every subsequent request, which is what carries the JSESSIONID session
+// (and its load-balancer affinity route) across interactions.
 type Client struct {
 	addr    string
 	timeout time.Duration
 	conn    net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
+	jar     map[string]string
 }
 
 // New creates a client for addr ("host:port"). timeout bounds each request
@@ -92,11 +96,26 @@ func (c *Client) Do(method, path, contentType string, body []byte) (*Response, e
 		c.closeConn()
 		return nil, err
 	}
+	if sc := resp.Header["set-cookie"]; sc != "" {
+		// First attribute is the NAME=VALUE pair; the rest (Path, ...) are
+		// directives this single-site client does not need.
+		pair, _, _ := strings.Cut(sc, ";")
+		if name, value, ok := strings.Cut(strings.TrimSpace(pair), "="); ok {
+			if c.jar == nil {
+				c.jar = make(map[string]string)
+			}
+			c.jar[name] = value
+		}
+	}
 	if strings.EqualFold(resp.Header["connection"], "close") {
 		c.closeConn()
 	}
 	return resp, nil
 }
+
+// Cookie returns the jar's value for name ("" when the server never set
+// it) — tests use it to read the session's affinity route.
+func (c *Client) Cookie(name string) string { return c.jar[name] }
 
 // retriable reports errors that indicate a stale keep-alive connection.
 func retriable(err error) bool {
@@ -111,6 +130,18 @@ func (c *Client) attempt(method, path, contentType string, body []byte) (*Respon
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: %s\r\n", method, path, c.addr)
+	if len(c.jar) > 0 {
+		b.WriteString("Cookie: ")
+		first := true
+		for name, value := range c.jar {
+			if !first {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "%s=%s", name, value)
+			first = false
+		}
+		b.WriteString("\r\n")
+	}
 	if len(body) > 0 {
 		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
 		if contentType != "" {

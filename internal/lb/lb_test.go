@@ -1,0 +1,214 @@
+package lb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/httpd"
+)
+
+// stubBackend is a controllable handler: it counts calls and can be told
+// to fail (transport-level) or block.
+type stubBackend struct {
+	calls atomic.Int64
+	fail  atomic.Bool
+	gate  chan struct{} // non-nil: Service blocks until the gate closes
+}
+
+func (s *stubBackend) ServeHTTP(req *httpd.Request) (*httpd.Response, error) {
+	s.calls.Add(1)
+	if s.gate != nil {
+		<-s.gate
+	}
+	if s.fail.Load() {
+		return nil, errors.New("dial refused")
+	}
+	resp := httpd.NewResponse()
+	resp.Body = []byte("ok")
+	return resp, nil
+}
+
+func newBalancer(t *testing.T, stubs ...*stubBackend) *Balancer {
+	t.Helper()
+	var backends []Backend
+	for i, s := range stubs {
+		backends = append(backends, Backend{ID: fmt.Sprintf("a%d", i), Handler: s})
+	}
+	return New(Config{Backends: backends, RetryAfter: 50 * time.Millisecond})
+}
+
+func reqWithCookie(id string) *httpd.Request {
+	req := &httpd.Request{Method: "GET", Path: "/x", Header: httpd.Header{}}
+	if id != "" {
+		req.Header.Set("Cookie", "JSESSIONID="+id)
+	}
+	return req
+}
+
+func TestStatelessRequestsSpreadAcrossBackends(t *testing.T) {
+	b0, b1 := &stubBackend{}, &stubBackend{}
+	b := newBalancer(t, b0, b1)
+	for i := 0; i < 20; i++ {
+		if _, err := b.ServeHTTP(reqWithCookie("")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With equal load the round-robin tiebreak must use both backends.
+	if b0.calls.Load() == 0 || b1.calls.Load() == 0 {
+		t.Fatalf("calls not spread: %d / %d", b0.calls.Load(), b1.calls.Load())
+	}
+}
+
+func TestLeastInFlightAvoidsBusyBackend(t *testing.T) {
+	// Backend 0 is wedged mid-request (held by a pinned request); every
+	// new stateless request must route to backend 1.
+	b0 := &stubBackend{gate: make(chan struct{})}
+	b1 := &stubBackend{}
+	b := newBalancer(t, b0, b1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.ServeHTTP(reqWithCookie("s01.a0")) // parks on b0's gate
+	}()
+	deadline := time.Now().Add(time.Second)
+	for b0.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked request never dispatched")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := b.ServeHTTP(reqWithCookie("")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b1.calls.Load(); got != 10 {
+		t.Fatalf("free backend served %d of 10 requests; busy one stole some", got)
+	}
+	close(b0.gate)
+	wg.Wait()
+}
+
+func TestSessionAffinityPinsToRoute(t *testing.T) {
+	b0, b1 := &stubBackend{}, &stubBackend{}
+	b := newBalancer(t, b0, b1)
+	for i := 0; i < 10; i++ {
+		if _, err := b.ServeHTTP(reqWithCookie("s0000002a.a1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b0.calls.Load() != 0 || b1.calls.Load() != 10 {
+		t.Fatalf("affinity broken: b0=%d b1=%d", b0.calls.Load(), b1.calls.Load())
+	}
+	st := b.Stats()
+	if st[1].Affinity != 10 || st[1].Routed != 10 {
+		t.Fatalf("stats: %+v", st[1])
+	}
+}
+
+func TestFailoverRetriesOnSurvivor(t *testing.T) {
+	b0, b1 := &stubBackend{}, &stubBackend{}
+	b0.fail.Store(true)
+	b := newBalancer(t, b0, b1)
+	// A session pinned to the dead backend must still be answered.
+	resp, err := b.ServeHTTP(reqWithCookie("s01.a0"))
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("pinned request not failed over: %v %v", resp, err)
+	}
+	if b1.calls.Load() != 1 {
+		t.Fatalf("survivor calls = %d, want 1", b1.calls.Load())
+	}
+	st := b.Stats()
+	if st[0].Ejections != 1 || st[0].Failovers != 1 || st[0].Healthy {
+		t.Fatalf("dead backend stats: %+v", st[0])
+	}
+	// Subsequent pinned requests skip the dead backend entirely (no probe
+	// before the cooldown).
+	if _, err := b.ServeHTTP(reqWithCookie("s01.a0")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b0.calls.Load(); got != 1 {
+		t.Fatalf("dead backend called %d times before cooldown, want 1", got)
+	}
+	if b.Healthy() != 1 {
+		t.Fatalf("Healthy() = %d, want 1", b.Healthy())
+	}
+}
+
+func TestProbeReadmitsRecoveredBackend(t *testing.T) {
+	b0, b1 := &stubBackend{}, &stubBackend{}
+	b0.fail.Store(true)
+	b := newBalancer(t, b0, b1)
+	if _, err := b.ServeHTTP(reqWithCookie("")); err != nil {
+		t.Fatal(err) // ejects b0 (if routed there) — force it
+	}
+	b.ServeHTTP(reqWithCookie("s01.a0")) // guarantee b0 is ejected
+	b0.fail.Store(false)                 // backend recovers
+	time.Sleep(60 * time.Millisecond)    // cooldown elapses
+	deadline := time.Now().Add(time.Second)
+	for b.Healthy() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("recovered backend never readmitted")
+		}
+		if _, err := b.ServeHTTP(reqWithCookie("")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllBackendsDownSurfacesError(t *testing.T) {
+	b0, b1 := &stubBackend{}, &stubBackend{}
+	b0.fail.Store(true)
+	b1.fail.Store(true)
+	b := newBalancer(t, b0, b1)
+	if _, err := b.ServeHTTP(reqWithCookie("")); err == nil {
+		t.Fatal("want error with every backend down")
+	}
+	// Both ejected and inside the cooldown: no backend may be tried, and
+	// the sentinel surfaces.
+	if _, err := b.ServeHTTP(reqWithCookie("")); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("err = %v, want ErrNoBackends", err)
+	}
+}
+
+func TestConcurrentMixedTraffic(t *testing.T) {
+	// Race-detector exercise: stateless + pinned traffic over a backend
+	// that dies and recovers mid-run.
+	b0, b1 := &stubBackend{}, &stubBackend{}
+	b := newBalancer(t, b0, b1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := ""
+				if w%2 == 0 {
+					id = fmt.Sprintf("s%02d.a%d", w, w%2)
+				}
+				b.ServeHTTP(reqWithCookie(id))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			b0.fail.Store(i%2 == 0)
+			time.Sleep(5 * time.Millisecond)
+		}
+		b0.fail.Store(false)
+	}()
+	wg.Wait()
+	st := b.Stats()
+	if st[0].Routed+st[1].Routed == 0 {
+		t.Fatal("no traffic routed")
+	}
+}

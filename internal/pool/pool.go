@@ -304,6 +304,36 @@ func (s Stats) Utilization() float64 {
 	return float64(s.InUse) / float64(s.Capacity)
 }
 
+// Sum aggregates snapshots of several pools into one figure — the rule the
+// cluster client uses for its per-replica pools and the core lab for a
+// replicated app tier's connector pools: capacities, gauges and counters
+// sum; latency estimates take the worst pool (cumulative-sample estimates
+// cannot be averaged meaningfully).
+func Sum(name string, pools []Stats) Stats {
+	agg := Stats{Name: name}
+	for _, ps := range pools {
+		agg.Capacity += ps.Capacity
+		agg.InUse += ps.InUse
+		agg.Idle += ps.Idle
+		agg.Dials += ps.Dials
+		agg.Gets += ps.Gets
+		agg.Waits += ps.Waits
+		agg.WaitNanos += ps.WaitNanos
+		agg.Discards += ps.Discards
+		agg.Retries += ps.Retries
+		if ps.BorrowMeanMillis > agg.BorrowMeanMillis {
+			agg.BorrowMeanMillis = ps.BorrowMeanMillis
+		}
+		if ps.BorrowP95Millis > agg.BorrowP95Millis {
+			agg.BorrowP95Millis = ps.BorrowP95Millis
+		}
+		if ps.BorrowMaxMillis > agg.BorrowMaxMillis {
+			agg.BorrowMaxMillis = ps.BorrowMaxMillis
+		}
+	}
+	return agg
+}
+
 // Sub returns the counter deltas s−prev, keeping s's gauges and latency
 // figures (which are cumulative-sample estimates, not differentiable).
 func (s Stats) Sub(prev Stats) Stats {

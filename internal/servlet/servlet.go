@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"net"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -107,6 +106,27 @@ type Config struct {
 	// errors when any replica fails mid-broadcast instead of continuing on
 	// the survivors.
 	DBStrictWrites bool
+	// Route names this container in a load-balanced application tier (the
+	// jvmRoute of the paper's sticky-session setups): session ids carry it
+	// as a ".route" suffix, and the front-end balancer (internal/lb) pins a
+	// session's requests to the backend whose route matches. Empty means
+	// the container runs unreplicated and session ids stay bare.
+	Route string
+	// SessionStore is the write-through replication target for session
+	// state. Containers sharing a store fail sessions over transparently:
+	// when a pinned backend dies, the survivor restores the session from
+	// the store. Nil keeps sessions container-local (affinity still works;
+	// failover loses session state).
+	SessionStore SessionStore
+	// Locks overrides the container's engine-side lock manager. A
+	// replicated tier in one process must share one manager across its
+	// backends, or the (sync) configurations' engine-side table locks
+	// stop excluding each other and read-modify-write interactions on
+	// different backends can interleave. Nil creates a private manager
+	// (the single-container behavior). Engine-side locking cannot span
+	// OS processes — the paper's Java-synchronization configurations have
+	// the same single-container constraint.
+	Locks *LockManager
 }
 
 // Container hosts servlets.
@@ -154,9 +174,15 @@ type registered struct {
 // NewContainer creates a container. Call Register, then Start (AJP) and/or
 // mount it in-process via Handler().
 func NewContainer(cfg Config) *Container {
+	sm := NewSessionManager()
+	sm.route, sm.store = cfg.Route, cfg.SessionStore
+	locks := cfg.Locks
+	if locks == nil {
+		locks = NewLockManager()
+	}
 	ctx := &Context{
-		Locks:    NewLockManager(),
-		Sessions: NewSessionManager(),
+		Locks:    locks,
+		Sessions: sm,
 	}
 	if cfg.DBAddr != "" {
 		ctx.DB = cluster.NewWithConfig(cluster.Config{
@@ -333,22 +359,36 @@ func (lm *LockManager) Acquire(set []TableLock) (release func()) {
 	}
 }
 
-// SessionManager tracks client sessions via the JSESSIONID cookie.
+// SessionManager tracks client sessions via the JSESSIONID cookie. In a
+// replicated application tier it is configured (servlet.Config) with a
+// route — appended to session ids as ".route", the jvmRoute the front-end
+// balancer pins on — and a shared SessionStore that every attribute write
+// goes through, so any replica can restore a session it has never seen.
 type SessionManager struct {
+	route string
+	store SessionStore
+
 	mu   sync.Mutex
 	next int64
 	byID map[string]*Session
 }
 
-// Session is per-client state.
+// Session is per-client state. Attribute values must be gob-encodable
+// (register custom types with gob.Register) when a SessionStore is
+// configured; mutating a stored value in place does not replicate — call
+// Set again to publish, the same contract Java session replication places
+// on setAttribute.
 type Session struct {
 	ID string
 
+	store SessionStore
 	mu    sync.Mutex
 	attrs map[string]any
+	ver   uint64 // store version this copy reflects
 }
 
-// Set stores a session attribute.
+// Set stores a session attribute and, with a store configured, publishes
+// the session's state to it (write-through replication).
 func (s *Session) Set(key string, v any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -356,6 +396,41 @@ func (s *Session) Set(key string, v any) {
 		s.attrs = make(map[string]any)
 	}
 	s.attrs[key] = v
+	s.publishLocked()
+}
+
+// publishLocked replicates the attribute map to the store. An encode
+// failure (an attribute type not registered with gob) keeps the session
+// serving locally — only failover transparency is lost for this session.
+func (s *Session) publishLocked() {
+	if s.store == nil {
+		return
+	}
+	if data, err := encodeAttrs(s.attrs); err == nil {
+		s.ver = s.store.Save(s.ID, data)
+	}
+}
+
+// refresh reloads the session from the store when the store holds a newer
+// version — the session served requests on another backend since this
+// container last saw it (failover, or a rebalanced pin).
+func (s *Session) refresh() {
+	if s.store == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.store.Version(s.ID)
+	if !ok || v == s.ver {
+		return
+	}
+	data, ver, ok := s.store.Load(s.ID)
+	if !ok {
+		return
+	}
+	if attrs, err := decodeAttrs(data); err == nil {
+		s.attrs, s.ver = attrs, ver
+	}
 }
 
 // Get loads a session attribute.
@@ -378,19 +453,45 @@ func (m *SessionManager) Len() int {
 	return len(m.byID)
 }
 
-// Lookup finds the request's session via its cookie, or nil.
+// Lookup finds the request's session via its cookie, or nil. With a store
+// configured, a locally unknown session is restored from the store (the
+// failover path), and a known one is refreshed if the store has moved on.
 func (m *SessionManager) Lookup(req *httpd.Request) *Session {
-	id := cookieValue(req.Header.Get("Cookie"), "JSESSIONID")
+	id := httpd.CookieValue(req.Header.Get("Cookie"), "JSESSIONID")
 	if id == "" {
 		return nil
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.byID[id]
+	s := m.byID[id]
+	m.mu.Unlock()
+	if m.store == nil || s != nil {
+		if s != nil {
+			s.refresh()
+		}
+		return s
+	}
+	data, ver, ok := m.store.Load(id)
+	if !ok {
+		return nil
+	}
+	attrs, err := decodeAttrs(data)
+	if err != nil {
+		return nil
+	}
+	s = &Session{ID: id, store: m.store, attrs: attrs, ver: ver}
+	m.mu.Lock()
+	if cur, dup := m.byID[id]; dup {
+		s = cur // lost a restore race; the winner is canonical
+	} else {
+		m.byID[id] = s
+	}
+	m.mu.Unlock()
+	return s
 }
 
 // Ensure returns the request's session, creating one and setting the
-// response cookie if needed.
+// response cookie if needed. New ids carry the manager's route as a
+// ".route" suffix, the affinity tag internal/lb pins on.
 func (m *SessionManager) Ensure(req *httpd.Request, resp *httpd.Response) *Session {
 	if s := m.Lookup(req); s != nil {
 		return s
@@ -398,29 +499,24 @@ func (m *SessionManager) Ensure(req *httpd.Request, resp *httpd.Response) *Sessi
 	m.mu.Lock()
 	m.next++
 	id := fmt.Sprintf("s%08x", m.next)
-	s := &Session{ID: id}
+	if m.route != "" {
+		id += "." + m.route
+	}
+	s := &Session{ID: id, store: m.store}
 	m.byID[id] = s
 	m.mu.Unlock()
 	resp.Header.Set("Set-Cookie", "JSESSIONID="+id+"; Path=/")
 	return s
 }
 
-// Expire drops a session.
+// Expire drops a session, from the replication store too.
 func (m *SessionManager) Expire(id string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	delete(m.byID, id)
-}
-
-// cookieValue extracts one cookie from a Cookie header.
-func cookieValue(header, name string) string {
-	for _, part := range strings.Split(header, ";") {
-		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if ok && k == name {
-			return v
-		}
+	m.mu.Unlock()
+	if m.store != nil {
+		m.store.Delete(id)
 	}
-	return ""
 }
 
 // ErrNoDatabase is returned by servlets that need a database when the

@@ -78,6 +78,31 @@ type Replica struct {
 	Pool    *pool.Stats `json:"pool,omitempty"`
 }
 
+// AppBackend is one application-tier backend's view in a load-balanced
+// (replicated application tier) run: how the front-end balancer
+// (internal/lb) routed traffic to it, its health, and — when the snapshot
+// owner also runs the containers — the requests it served. Routed counts
+// balancer dispatches; Affinity counts the subset pinned here by session
+// affinity; Failovers counts pinned requests redirected to another backend
+// because this one was down.
+type AppBackend struct {
+	ID        string `json:"id"`
+	Healthy   bool   `json:"healthy"`
+	Routed    int64  `json:"routed"`
+	Affinity  int64  `json:"affinity,omitempty"`
+	Failovers int64  `json:"failovers,omitempty"`
+	Errors    int64  `json:"errors,omitempty"`
+	Ejections int64  `json:"ejections,omitempty"`
+	// InFlight is the balancer's requests-outstanding gauge at snapshot
+	// time — the least-in-flight routing signal.
+	InFlight int64 `json:"in_flight"`
+	// Requests is the backend container's own served count (container-side
+	// view; 0 when the snapshot was taken from the balancer side only).
+	Requests int64 `json:"requests,omitempty"`
+	// Pool is the balancer-side connector pool into this backend.
+	Pool *pool.Stats `json:"pool,omitempty"`
+}
+
 // Snapshot is the whole stack at one moment (or, after Delta, over one
 // measurement window).
 type Snapshot struct {
@@ -87,6 +112,9 @@ type Snapshot struct {
 	// Replicas is the database tier's per-backend breakdown when the stack
 	// runs a replicated cluster; empty for a single-backend run.
 	Replicas []Replica `json:"replicas,omitempty"`
+	// AppBackends is the application tier's per-backend breakdown when the
+	// stack runs load-balanced container replicas; empty otherwise.
+	AppBackends []AppBackend `json:"app_backends,omitempty"`
 }
 
 // Tier returns the named tier, or nil.
@@ -144,7 +172,34 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 		}
 		out.Replicas = append(out.Replicas, r)
 	}
+	for _, a := range s.AppBackends {
+		if prev != nil {
+			if pa := prev.AppBackend(a.ID); pa != nil {
+				a.Routed -= pa.Routed
+				a.Affinity -= pa.Affinity
+				a.Failovers -= pa.Failovers
+				a.Errors -= pa.Errors
+				a.Ejections -= pa.Ejections
+				a.Requests -= pa.Requests
+				if a.Pool != nil && pa.Pool != nil {
+					d := a.Pool.Sub(*pa.Pool)
+					a.Pool = &d
+				}
+			}
+		}
+		out.AppBackends = append(out.AppBackends, a)
+	}
 	return out
+}
+
+// AppBackend returns the application backend with the given id, or nil.
+func (s *Snapshot) AppBackend(id string) *AppBackend {
+	for i := range s.AppBackends {
+		if s.AppBackends[i].ID == id {
+			return &s.AppBackends[i]
+		}
+	}
+	return nil
 }
 
 // Replica returns the replica with the given id, or nil.
@@ -270,6 +325,23 @@ func (s *Snapshot) Format() string {
 		fmt.Fprintf(&b, "%s txns: %d commits / %d aborts (%d deadlock timeouts, %s waiting on locks)\n",
 			t.Name, t.Commits, t.Aborts, t.DeadlockTimeouts,
 			time.Duration(t.TxnLockWaitNanos).Round(time.Microsecond))
+	}
+	if len(s.AppBackends) > 0 {
+		fmt.Fprintf(&b, "%-10s %9s %9s %9s %9s %12s %8s\n",
+			"backend", "routed", "affinity", "failover", "inflight", "pool", "state")
+		for _, a := range s.AppBackends {
+			state := "healthy"
+			if !a.Healthy {
+				state = "ejected"
+			}
+			poolCol := "-"
+			if a.Pool != nil {
+				poolCol = fmt.Sprintf("%d/%d busy", a.Pool.InUse, a.Pool.Capacity)
+			}
+			fmt.Fprintf(&b, "%-10s %9d %9d %9d %9d %12s %8s\n",
+				fmt.Sprintf("app[%s]", a.ID), a.Routed, a.Affinity, a.Failovers,
+				a.InFlight, poolCol, state)
+		}
 	}
 	if len(s.Replicas) > 0 {
 		fmt.Fprintf(&b, "%-10s %9s %9s %9s %10s %12s %8s\n",
