@@ -5,7 +5,7 @@
 # perf-regression gate against the committed baseline.
 
 GO ?= go
-BASELINE ?= BENCH_2.json
+BASELINE ?= BENCH_3.json
 THRESHOLD ?= 10
 
 # Per-package statement-coverage floors for `make cover` (pkg:percent).
@@ -44,7 +44,12 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # Machine-readable snapshot of the headline benchmarks -> BENCH_<n>.json.
+# Refuses a dirty working tree: a recorded BENCH file must describe a
+# committed state, or the trajectory it documents cannot be reproduced.
 bench-json:
+	@if [ -n "$$(git status --porcelain)" ]; then \
+		echo "bench-json: working tree dirty — commit or stash first:"; \
+		git status --porcelain; exit 1; fi
 	$(GO) run ./cmd/benchjson
 
 # One-iteration smoke run: fails fast when a protocol change breaks a

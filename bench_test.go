@@ -367,6 +367,54 @@ func BenchmarkTxnContentionSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkReadOnlyTxnSweep measures the reclaimed correctness tax: the
+// same three-SELECT read-only business method bracketed by WithTx (full
+// transaction — catch-all write-order lock excluding every writer,
+// BEGIN/COMMIT broadcast to every replica) versus WithReadTx (pinned
+// replica, MVCC snapshots, no cluster locks) over a two-replica database
+// tier. The fullTx catch-all also serializes the parallel workers against
+// each other; the readTx workers run concurrently — that parallelism is
+// the point of the read-only path, so it is measured, not factored out.
+func BenchmarkReadOnlyTxnSweep(b *testing.B) {
+	for _, mode := range []string{"fullTx", "readTx"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			lab, err := core.Start(core.Config{
+				Arch: perfsim.ArchServletSync, Benchmark: perfsim.Auction,
+				DBReplicas: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lab.Close()
+			cl := lab.Cluster()
+			body := func(tx *cluster.Session) error {
+				for _, id := range []int64{1, 2, 3} {
+					if _, err := tx.ExecCached(
+						"SELECT max_bid FROM items WHERE id = ?", sqldb.Int(id)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					var err error
+					if mode == "readTx" {
+						err = cl.WithReadTx(body)
+					} else {
+						err = cl.WithTx(nil, body)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
 // --- ablation benches (DESIGN.md §7) ---
 
 // BenchmarkAblationSyncLocking isolates the paper's sync delta on the

@@ -82,8 +82,10 @@ Perf-regression gate (-compare):
   files regressed by more than -threshold percent — ns/op rising, or the
   'ipm' throughput metric falling, both relative to the baseline.
   Benchmarks present in only one file are listed but never gate, so new
-  benchmarks land without a baseline edit. CI runs this: advisory on
-  pull requests, enforced on pushes to main.
+  benchmarks land without a baseline edit. Allocation volume (B/op,
+  recorded via -benchmem) is compared too but only advisorily: a rise
+  past -bop-threshold prints an ALLOC WARNING without failing the gate.
+  CI runs this: advisory on pull requests, enforced on pushes to main.
 
 Noise robustness (-rounds / -count):
   -count N reruns each benchmark within one 'go test' invocation;
@@ -102,13 +104,14 @@ Examples:
 
 func main() {
 	var (
-		bench     = flag.String("bench", defaultBench, "go test -bench regex selecting the benchmarks to record")
-		benchtime = flag.String("benchtime", "1s", "go test -benchtime: time (1s) or iterations (100x) per benchmark")
-		out       = flag.String("out", "", "output path (default: BENCH_<n>.json for the next free n)")
-		count     = flag.Int("count", 1, "go test -count: benchmark repetitions per round (best observation kept)")
-		compare   = flag.String("compare", "", "baseline BENCH_<n>.json to gate against; exits 1 on a regression beyond -threshold")
-		threshold = flag.Float64("threshold", 10, "max tolerated regression, percent (ns/op up, or ipm down); used with -compare")
-		rounds    = flag.Int("rounds", 1, "separate go-test invocations whose results merge best-of (noise robustness)")
+		bench        = flag.String("bench", defaultBench, "go test -bench regex selecting the benchmarks to record")
+		benchtime    = flag.String("benchtime", "1s", "go test -benchtime: time (1s) or iterations (100x) per benchmark")
+		out          = flag.String("out", "", "output path (default: BENCH_<n>.json for the next free n)")
+		count        = flag.Int("count", 1, "go test -count: benchmark repetitions per round (best observation kept)")
+		compare      = flag.String("compare", "", "baseline BENCH_<n>.json to gate against; exits 1 on a regression beyond -threshold")
+		threshold    = flag.Float64("threshold", 10, "max tolerated regression, percent (ns/op up, or ipm down); used with -compare")
+		bopThreshold = flag.Float64("bop-threshold", 10, "advisory allocation threshold, percent (B/op up); flagged with -compare but never fails the gate")
+		rounds       = flag.Int("rounds", 1, "separate go-test invocations whose results merge best-of (noise robustness)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -117,7 +120,7 @@ func main() {
 		pkgs = []string{".", "./internal/sqldb/wire"}
 	}
 
-	args := []string{"test", "-run", "^$", "-bench", *bench,
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 		"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
 	args = append(args, pkgs...)
 	// Each round is its own go-test invocation. Noise on a busy machine
@@ -175,7 +178,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		if !gate(results, *compare, *threshold) {
+		if !gate(results, *compare, *threshold, *bopThreshold) {
 			os.Exit(1)
 		}
 	}
@@ -187,7 +190,10 @@ func main() {
 // metric (higher is better). Benchmarks missing from either side are
 // listed but never fail the gate — new benchmarks must not need a
 // baseline edit to land.
-func gate(results []Result, baselinePath string, threshold float64) bool {
+// Allocation volume gates only advisorily: B/op moves with Go runtime
+// internals and map layouts that are not this repo's regressions to own,
+// so a rise past bopThreshold is flagged loudly but never fails the gate.
+func gate(results []Result, baselinePath string, threshold, bopThreshold float64) bool {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		log.Fatalf("benchjson: baseline: %v", err)
@@ -229,6 +235,17 @@ func gate(results []Result, baselinePath string, threshold float64) bool {
 				change := pctChange(bi, ni)
 				fmt.Printf("  %-55s %10.0f %10.0f %+7.1f%%%s\n",
 					r.Name+" ipm", bi, ni, change, verdict(-change))
+			}
+		}
+		if bb, ok := b.Metrics["B/op"]; ok {
+			if nb, ok := r.Metrics["B/op"]; ok {
+				change := pctChange(bb, nb)
+				advisory := ""
+				if change > bopThreshold {
+					advisory = "  ALLOC WARNING (advisory)"
+				}
+				fmt.Printf("  %-55s %10.0f %10.0f %+7.1f%%%s\n",
+					r.Name+" B/op", bb, nb, change, advisory)
 			}
 		}
 	}

@@ -5,12 +5,23 @@
 //
 // Routing policy: reads load-balance across healthy replicas (least
 // borrowed connections first, round-robin on ties, using the transport
-// pool's counters); writes — and LOCK/UNLOCK-bracketed sections with write
-// intent — broadcast to every healthy replica in replica order, serialized
-// per table by a cluster-wide write-order lock so all backends apply
-// conflicting writes in one global order. That ordering plus identical
-// seeding is what keeps replicas bit-identical (AUTO_INCREMENT assignment
-// included) without a database-level replication log.
+// pool's counters, skipping replicas whose rejoin sync is still running);
+// writes — and LOCK/UNLOCK-bracketed sections with write intent — broadcast
+// to every healthy replica, serialized per table by a cluster-wide
+// write-order lock so all backends apply conflicting writes in one global
+// order. The broadcast itself is batched: the statement fans out to all
+// replicas concurrently and the acks are awaited together, so a broadcast
+// costs one round-trip time instead of N sequential ones. Ordering is
+// unaffected — conflicting writes are serialized by the write-order locks
+// held across the whole fan-out, so no replica can observe two conflicting
+// statements in different orders. That plus identical seeding is what keeps
+// replicas bit-identical (AUTO_INCREMENT assignment included) without a
+// database-level replication log.
+//
+// Read-only transactions (BeginReadOnly / WithReadTx) skip the write-order
+// locks entirely: they open on the session's pinned replica alone, where
+// the engine's MVCC serves their SELECTs from committed snapshots — no
+// broadcast, no cluster-wide serialization, no lock-table interaction.
 //
 // A replica that fails at the transport level is ejected: reads fail over
 // transparently, writes continue on the remaining replicas (or error, with
@@ -89,6 +100,31 @@ type Client struct {
 	// (write side), so a joining replica never sees a half-applied write.
 	topo   sync.RWMutex
 	closed atomic.Bool
+
+	// Broadcast batching and read-only transaction counters (telemetry).
+	broadcasts    atomic.Int64
+	broadcastAcks atomic.Int64
+	roTxns        atomic.Int64
+}
+
+// ClientStats reports the client's broadcast batching and read-only
+// transaction counters: Broadcasts is the number of write fan-outs,
+// BroadcastAcks the per-replica acknowledgements they collected (acks ÷
+// broadcasts = average batch size), ReadOnlyTxns the transactions that ran
+// on one replica without any write-order locks.
+type ClientStats struct {
+	Broadcasts    int64 `json:"broadcasts"`
+	BroadcastAcks int64 `json:"broadcast_acks"`
+	ReadOnlyTxns  int64 `json:"readonly_txns"`
+}
+
+// ClientStats snapshots the counters.
+func (c *Client) ClientStats() ClientStats {
+	return ClientStats{
+		Broadcasts:    c.broadcasts.Load(),
+		BroadcastAcks: c.broadcastAcks.Load(),
+		ReadOnlyTxns:  c.roTxns.Load(),
+	}
 }
 
 // New creates a client over the DSN's replicas with default policy.
@@ -134,13 +170,16 @@ func (c *Client) Healthy() int {
 
 // pickRead selects the read replica: the healthy replica with the fewest
 // borrowed connections (the pool's InUse gauge), round-robin on ties.
+// Replicas whose rejoin sync is still running are skipped even when marked
+// healthy — another client over the same DSN may be mid-copy onto them, and
+// a read landing there would see a half-synced data set.
 func (c *Client) pickRead() *replica {
 	var best *replica
 	bestUse := 0
 	offset := int(c.rr.Add(1))
 	for i := range c.replicas {
 		r := c.replicas[(i+offset)%len(c.replicas)]
-		if !r.healthy.Load() {
+		if !r.healthy.Load() || c.locks.syncing(r.addr) {
 			continue
 		}
 		use := r.pool.InUse()
@@ -241,34 +280,122 @@ func (c *Client) execWrite(query string, args []sqldb.Value, cached bool, rt rou
 	})
 }
 
+// fanResult is one replica's outcome within a batched broadcast.
+type fanResult struct {
+	res *sqldb.Result
+	err error
+	dur time.Duration
+	ran bool
+}
+
+// fanOut runs run once per eligible replica — concurrently when more than
+// one is eligible, inline otherwise. This is the batched broadcast: the
+// statement ships to every replica at once and the acks are awaited
+// together, so the broadcast costs one round-trip time instead of N
+// sequential ones. Per-replica ordering of conflicting writes is preserved
+// by the write-order locks every caller holds across the whole fan-out.
+// Each goroutine writes only its own index of outs, so no synchronization
+// beyond the WaitGroup is needed.
+func fanOut(replicas []*replica, eligible func(*replica) bool, run func(*replica) (*sqldb.Result, error)) []fanResult {
+	outs := make([]fanResult, len(replicas))
+	n, last := 0, -1
+	for i, r := range replicas {
+		if eligible(r) {
+			outs[i].ran = true
+			n, last = n+1, i
+		}
+	}
+	if n == 1 {
+		start := time.Now()
+		res, err := run(replicas[last])
+		outs[last] = fanResult{res: res, err: err, dur: time.Since(start), ran: true}
+		return outs
+	}
+	var wg sync.WaitGroup
+	for i := range replicas {
+		if !outs[i].ran {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			res, err := run(replicas[i])
+			outs[i] = fanResult{res: res, err: err, dur: time.Since(start), ran: true}
+		}(i)
+	}
+	wg.Wait()
+	return outs
+}
+
 // bcast accumulates one broadcast's outcome: the canonical answer (the
-// first healthy replica's), per-replica lag behind that leader, and
-// whether any replica transport-failed — the accounting shared by
-// pool-level and session-level broadcasts.
+// lowest-id participating replica's — deterministic regardless of ack
+// arrival order), per-replica lag behind the fastest ack, and whether any
+// replica transport-failed — the accounting shared by pool-level and
+// session-level broadcasts.
 type bcast struct {
 	res      *sqldb.Result
 	first    error
 	lastErr  error
 	answered bool
 	failed   bool
-	tFirst   time.Time
 }
 
-// ok records a replica's (server-deterministic) answer.
-func (b *bcast) ok(r *replica, res *sqldb.Result, err error, countWrite bool) {
+// ok records a replica's (server-deterministic) answer. lag is how far this
+// replica's ack trailed the broadcast's fastest.
+func (b *bcast) ok(r *replica, res *sqldb.Result, err error, countWrite bool, lag time.Duration) {
 	if countWrite {
 		r.writes.Add(1)
 	}
 	if !b.answered {
 		b.res, b.first, b.answered = res, err, true
-		b.tFirst = time.Now()
-	} else {
-		r.lagNanos.Add(time.Since(b.tFirst).Nanoseconds())
+	}
+	if lag > 0 {
+		r.lagNanos.Add(lag.Nanoseconds())
 	}
 }
 
 // fail records a replica's transport failure.
 func (b *bcast) fail(err error) { b.failed, b.lastErr = true, err }
+
+// collect folds a fan-out into the accounting, in replica order: transport
+// failures invoke onFail (ejection at pool level, session poisoning at
+// session level), everything else is a deterministic database answer.
+func (b *bcast) collect(outs []fanResult, replicas []*replica, countWrite bool, onFail func(*replica, error)) {
+	minDur := time.Duration(-1)
+	for i := range outs {
+		if outs[i].ran && !isTransport(outs[i].err) && (minDur < 0 || outs[i].dur < minDur) {
+			minDur = outs[i].dur
+		}
+	}
+	for i, o := range outs {
+		if !o.ran {
+			continue
+		}
+		r := replicas[i]
+		if isTransport(o.err) {
+			onFail(r, o.err)
+			b.fail(o.err)
+			continue
+		}
+		b.ok(r, o.res, o.err, countWrite, o.dur-minDur)
+	}
+}
+
+// noteBroadcast counts one fan-out and its successful acknowledgements for
+// the batch-size telemetry.
+func (c *Client) noteBroadcast(outs []fanResult) {
+	n := 0
+	for i := range outs {
+		if outs[i].ran && !isTransport(outs[i].err) {
+			n++
+		}
+	}
+	if n > 0 {
+		c.broadcasts.Add(1)
+		c.broadcastAcks.Add(int64(n))
+	}
+}
 
 // result resolves the broadcast under the write policy.
 func (b *bcast) result(c *Client) (*sqldb.Result, error) {
@@ -284,27 +411,19 @@ func (b *bcast) result(c *Client) (*sqldb.Result, error) {
 	return b.res, b.first
 }
 
-// writeWith broadcasts run to every healthy replica in replica order under
-// the route's table write-order locks.
+// writeWith broadcasts run to every healthy replica concurrently under the
+// route's table write-order locks (held across the whole fan-out, which is
+// what keeps conflicting writes in one global order on every replica).
 func (c *Client) writeWith(rt route, run func(*replica) (*sqldb.Result, error)) (*sqldb.Result, error) {
 	c.topo.RLock()
 	defer c.topo.RUnlock()
 	release := c.locks.acquire(rt.tables)
 	defer release()
 
+	outs := fanOut(c.replicas, func(r *replica) bool { return r.healthy.Load() }, run)
 	var b bcast
-	for _, r := range c.replicas {
-		if !r.healthy.Load() {
-			continue
-		}
-		res, err := run(r)
-		if isTransport(err) {
-			c.eject(r)
-			b.fail(err)
-			continue
-		}
-		b.ok(r, res, err, true)
-	}
+	b.collect(outs, c.replicas, true, func(r *replica, err error) { c.eject(r) })
+	c.noteBroadcast(outs)
 	return b.result(c)
 }
 
@@ -396,6 +515,7 @@ type Session struct {
 	inBracket  bool
 	bracketAll bool   // write-intent bracket: section broadcasts
 	inTxn      bool   // open transaction (a broadcast bracket on >1 replica)
+	readOnly   bool   // transaction opened with BeginReadOnly: pinned-only, no locks
 	release    func() // bracket's write-order locks
 	topoHeld   bool
 	failed     bool
@@ -438,6 +558,26 @@ func (s *Session) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Re
 	return res, err
 }
 
+// errReadOnlyTxn rejects a mutating statement inside a BeginReadOnly
+// transaction before it reaches any replica — the transaction holds no
+// write-order locks, so letting the write through would break the global
+// write order the replicas depend on.
+var errReadOnlyTxn = errors.New("cluster: write in read-only transaction")
+
+// rejectInReadOnly fails mutating statements inside a read-only
+// transaction. Reads pass; COMMIT/ROLLBACK pass (they end it); BEGIN passes
+// because Begin/the engine implicitly commit the open transaction first.
+func (s *Session) rejectInReadOnly(query string) error {
+	if !s.readOnly {
+		return nil
+	}
+	switch s.c.routes.of(query).kind {
+	case kindRead, kindBegin, kindTxnEnd:
+		return nil
+	}
+	return errReadOnlyTxn
+}
+
 // isTxnAbort reports whether a database-side error also aborted the
 // server's transaction (the engine's deadlock wait timeout does; ordinary
 // statement errors leave the transaction open). Server errors cross the
@@ -456,6 +596,9 @@ func (s *Session) execDispatch(query string, args []sqldb.Value, cached bool) (*
 	// connection at session end instead of returning it to the pool with an
 	// open transaction.
 	if len(s.c.replicas) == 1 {
+		if err := s.rejectInReadOnly(query); err != nil {
+			return nil, err
+		}
 		cn, err := s.conn(s.pinned)
 		if err != nil {
 			s.failed = true
@@ -468,12 +611,15 @@ func (s *Session) execDispatch(query string, args []sqldb.Value, cached bool) (*
 		} else if err == nil {
 			switch s.c.routes.of(query).kind {
 			case kindBegin:
-				s.inTxn = true
+				s.inTxn, s.readOnly = true, false
 			case kindTxnEnd:
-				s.inTxn = false
+				s.inTxn, s.readOnly = false, false
 			}
 		}
 		return res, err
+	}
+	if err := s.rejectInReadOnly(query); err != nil {
+		return nil, err
 	}
 	rt := s.c.routes.of(query)
 	switch rt.kind {
@@ -647,6 +793,48 @@ func (s *Session) Begin(tables ...string) error {
 	return nil
 }
 
+// BeginReadOnly opens a read-only transaction on the pinned replica alone.
+// Because the engine serves its reads from MVCC snapshots and a read-only
+// transaction writes nothing, the replication machinery has nothing to
+// order: no cluster-wide write-order locks are taken, no topology hold, no
+// broadcast — the transaction costs exactly what it would against a single
+// unreplicated database. Writes inside it are rejected client-side before
+// touching the wire. A transaction already open is committed first, as
+// Begin does.
+func (s *Session) BeginReadOnly() error {
+	if s.failed {
+		return errors.New("cluster: session failed, discard it")
+	}
+	if s.inTxn {
+		if err := s.Commit(); err != nil {
+			return err
+		}
+	}
+	if s.bracketAll {
+		// A broadcast LOCK bracket holds server-side lock sets on every
+		// replica; only a broadcast statement can release them all, so a
+		// pinned-only transaction cannot safely follow it. Fall back to a
+		// full transaction, which closes the bracket everywhere.
+		return s.Begin()
+	}
+	if s.inBracket {
+		s.closeBracket()
+	}
+	cn, err := s.conn(s.pinned)
+	if err != nil {
+		s.failed = true
+		return err
+	}
+	if err := cn.Begin(); err != nil {
+		s.fail(s.pinned)
+		s.failed = true
+		return err
+	}
+	s.inTxn, s.readOnly = true, true
+	s.c.roTxns.Add(1)
+	return nil
+}
+
 // Commit commits the open transaction on every replica it was opened on
 // and releases its write-order locks. Without an open transaction it is a
 // no-op, like the database's own COMMIT.
@@ -658,7 +846,10 @@ func (s *Session) Commit() error { return s.endTxn((*wire.Conn).Commit) }
 func (s *Session) Rollback() error { return s.endTxn((*wire.Conn).Rollback) }
 
 // endTxn runs op (COMMIT or ROLLBACK) on every connection participating in
-// the transaction, in replica order, then releases the bracket state.
+// the transaction — concurrently, like the statement broadcasts; the
+// bracket's write-order locks are still held until closeBracket below, so
+// the commit itself stays inside the transaction's serialized window — then
+// releases the bracket state.
 func (s *Session) endTxn(op func(*wire.Conn) error) error {
 	if !s.inTxn {
 		return nil
@@ -667,18 +858,22 @@ func (s *Session) endTxn(op func(*wire.Conn) error) error {
 		s.inTxn = false
 		s.closeBracket()
 	}()
+	outs := fanOut(s.c.replicas, func(r *replica) bool {
+		return s.conns[r.id] != nil && !s.broken[r.id]
+	}, func(r *replica) (*sqldb.Result, error) {
+		return nil, op(s.conns[r.id])
+	})
 	var lastErr error
 	done := 0
-	for _, r := range s.c.replicas {
-		cn := s.conns[r.id]
-		if cn == nil || s.broken[r.id] {
+	for i, o := range outs {
+		if !o.ran {
 			continue
 		}
-		if err := op(cn); err != nil {
-			if isTransport(err) {
-				s.fail(r)
+		if o.err != nil {
+			if isTransport(o.err) {
+				s.fail(s.c.replicas[i])
 			}
-			lastErr = err
+			lastErr = o.err
 			continue
 		}
 		done++
@@ -733,30 +928,32 @@ func (s *Session) execWrite(query string, args []sqldb.Value, cached bool, rt ro
 	return s.broadcast(query, args, cached, true)
 }
 
-// broadcast sends one statement to every healthy replica in replica order
-// over the session's connections. Transport failures eject the replica and
-// — under the default policy — the broadcast continues; the pinned
-// replica's answer (or the first healthy one's) is canonical.
+// broadcast sends one statement to every participating replica over the
+// session's connections — concurrently, like the pool-level fan-out; the
+// caller (or the session's bracket) holds the write-order locks that keep
+// conflicting broadcasts ordered. Transport failures eject the replica and
+// — under the default policy — the broadcast continues; the lowest-id
+// participating replica's answer is canonical.
 func (s *Session) broadcast(query string, args []sqldb.Value, cached, countWrite bool) (*sqldb.Result, error) {
 	var b bcast
+	// Borrow connections first: session state is single-owner, so the
+	// borrowing stays sequential and only the round trips parallelize.
 	for _, r := range s.c.replicas {
-		if s.broken[r.id] || (!r.healthy.Load() && s.conns[r.id] == nil) {
+		if s.broken[r.id] || s.conns[r.id] != nil || !r.healthy.Load() {
 			continue
 		}
-		cn, err := s.conn(r)
-		if err == nil {
-			var res *sqldb.Result
-			res, err = s.connExec(cn, query, args, cached)
-			if err == nil || !isTransport(err) {
-				b.ok(r, res, err, countWrite)
-				continue
-			}
+		if _, err := s.conn(r); err != nil {
+			s.fail(r)
+			b.fail(err)
 		}
-		// Transport failure: this replica leaves the cluster; its
-		// connection (if any) is poisoned and discarded at session end.
-		s.fail(r)
-		b.fail(err)
 	}
+	outs := fanOut(s.c.replicas, func(r *replica) bool {
+		return s.conns[r.id] != nil && !s.broken[r.id]
+	}, func(r *replica) (*sqldb.Result, error) {
+		return s.connExec(s.conns[r.id], query, args, cached)
+	})
+	b.collect(outs, s.c.replicas, countWrite, func(r *replica, err error) { s.fail(r) })
+	s.c.noteBroadcast(outs)
 	res, err := b.result(s.c)
 	// A database-side error in `err` is deterministic and leaves the
 	// session usable; only an unanswered or strict-failed broadcast
@@ -799,7 +996,7 @@ func (s *Session) closeBracket() {
 		s.c.topo.RUnlock()
 		s.topoHeld = false
 	}
-	s.inBracket, s.bracketAll, s.inTxn = false, false, false
+	s.inBracket, s.bracketAll, s.inTxn, s.readOnly = false, false, false, false
 }
 
 // end returns every borrowed connection and releases bracket state. A
@@ -861,6 +1058,48 @@ func (c *Client) WithTx(tables []string, fn func(tx *Session) error) (err error)
 	return nil
 }
 
+// WithReadTx runs fn inside a read-only transaction (BeginReadOnly): every
+// SELECT in fn is served from an MVCC snapshot on one pinned replica, with
+// no cluster-wide write-order locks and no broadcast traffic. This is the
+// demarcation bracket for read-only business methods — the replication
+// "correctness tax" drops out of their path entirely. fn's writes fail
+// deterministically; its error (or panic, re-raised after cleanup) rolls
+// the transaction back, nil commits it.
+func (c *Client) WithReadTx(fn func(tx *Session) error) (err error) {
+	s, err := c.Get()
+	if err != nil {
+		return err
+	}
+	broken := false
+	committed := false
+	defer func() {
+		if r := recover(); r != nil {
+			s.Rollback() // best effort; end() discards the conns regardless
+			c.Put(s, true)
+			panic(r)
+		}
+		if !committed && s.inTxn {
+			if rbErr := s.Rollback(); rbErr != nil {
+				broken = true
+			}
+		}
+		c.Put(s, broken)
+	}()
+	if err := s.BeginReadOnly(); err != nil {
+		broken = true
+		return err
+	}
+	if err := fn(s); err != nil {
+		return err
+	}
+	if err := s.Commit(); err != nil {
+		broken = true
+		return err
+	}
+	committed = true
+	return nil
+}
+
 // Rejoin brings an ejected replica back: its stale pooled connections are
 // dropped and, with sync true, a healthy replica's data is replayed onto
 // it first (the replica-sync path). Rejoin blocks new broadcasts until the
@@ -881,7 +1120,14 @@ func (c *Client) Rejoin(id int, syncData bool) error {
 		if src == nil {
 			return ErrNoReplicas
 		}
-		if _, _, err := Sync(src.pool, r.pool); err != nil {
+		// Mark the joiner as mid-sync in the shared (per-DSN) registry: this
+		// client's reads already skip it via the healthy flag, but OTHER
+		// clients over the same backends — which never ejected it and still
+		// see it healthy — must not route reads to a half-copied data set.
+		c.locks.beginSync(r.addr)
+		_, _, err := Sync(src.pool, r.pool)
+		c.locks.endSync(r.addr)
+		if err != nil {
 			return fmt.Errorf("cluster: sync replica %d from %d: %w", id, src.id, err)
 		}
 	}

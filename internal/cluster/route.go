@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // stmtKind classifies a statement for routing: reads go to one replica,
@@ -226,10 +227,49 @@ type writeLocks struct {
 	mu     sync.Mutex
 	m      map[string]*sync.Mutex
 	global sync.RWMutex
+
+	// Mid-rejoin tracker. Rejoin marks the joining replica's address while
+	// its data copy runs; read routing in every client sharing this
+	// writeLocks instance (same DSN — including clients that never ejected
+	// the replica themselves) skips the address, because a replica mid-sync
+	// holds a half-copied data set. syncCount is the lock-free fast path for
+	// the overwhelmingly common no-sync-running case.
+	syncCount atomic.Int32
+	syncMu    sync.Mutex
+	syncAddrs map[string]int
 }
 
 func newWriteLocks() *writeLocks {
-	return &writeLocks{m: make(map[string]*sync.Mutex)}
+	return &writeLocks{m: make(map[string]*sync.Mutex), syncAddrs: make(map[string]int)}
+}
+
+// beginSync marks addr as mid-rejoin; reads must not route there until the
+// matching endSync.
+func (w *writeLocks) beginSync(addr string) {
+	w.syncMu.Lock()
+	w.syncAddrs[addr]++
+	w.syncMu.Unlock()
+	w.syncCount.Add(1)
+}
+
+// endSync clears a beginSync mark.
+func (w *writeLocks) endSync(addr string) {
+	w.syncMu.Lock()
+	if w.syncAddrs[addr]--; w.syncAddrs[addr] <= 0 {
+		delete(w.syncAddrs, addr)
+	}
+	w.syncMu.Unlock()
+	w.syncCount.Add(-1)
+}
+
+// syncing reports whether addr is currently mid-rejoin.
+func (w *writeLocks) syncing(addr string) bool {
+	if w.syncCount.Load() == 0 {
+		return false
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return w.syncAddrs[addr] > 0
 }
 
 // lockRegistry shares one writeLocks instance per database — keyed by the

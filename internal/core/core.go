@@ -511,6 +511,12 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			if cs.DB != nil {
 				dbPools = append(dbPools, *cs.DB)
 			}
+			if cl := c.Context().DB; cl != nil {
+				ccs := cl.ClientStats()
+				t.Broadcasts += ccs.Broadcasts
+				t.BroadcastAcks += ccs.BroadcastAcks
+				t.ReadOnlyTxns += ccs.ReadOnlyTxns
+			}
 		}
 		if len(dbPools) > 0 {
 			ps := sumPools("db-cluster", dbPools)
@@ -539,6 +545,13 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			t.Stores += es.Stores
 			t.Commits += es.TxCommits
 			t.Aborts += es.TxAborts
+			// Read-only demarcations: the container's lazy, never-opened
+			// transactions plus any explicit BeginReadOnly the client ran.
+			t.ReadOnlyTxns += es.TxReadOnly
+			ccs := ec.DB().ClientStats()
+			t.Broadcasts += ccs.Broadcasts
+			t.BroadcastAcks += ccs.BroadcastAcks
+			t.ReadOnlyTxns += ccs.ReadOnlyTxns
 			dbPools = append(dbPools, es.DB)
 		}
 		ps := sumPools("db-cluster", dbPools)
@@ -561,6 +574,9 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			t.Aborts += ds.Txns.Rollbacks
 			t.DeadlockTimeouts += ds.Txns.DeadlockTimeouts
 			t.TxnLockWaitNanos += ds.Txns.LockWaitNanos
+			t.SnapshotReads += ds.MVCC.SnapshotReads
+			t.LockBypasses += ds.MVCC.LockBypasses
+			t.SnapshotRefreshes += ds.MVCC.Refreshes
 		}
 		s.Tiers = append(s.Tiers, t)
 	}

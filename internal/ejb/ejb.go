@@ -76,6 +76,7 @@ type Container struct {
 	stores    atomic.Int64
 	txCommits atomic.Int64
 	txAborts  atomic.Int64
+	roCommits atomic.Int64 // commits of transactions that never wrote
 }
 
 // NewContainer creates a container connected to the database.
@@ -151,21 +152,27 @@ type Stats struct {
 	Stores  int64 `json:"stores"`
 	// TxCommits / TxAborts count container-managed transaction outcomes
 	// (RunInTx demarcations and explicit Tx completions).
-	TxCommits int64               `json:"tx_commits"`
-	TxAborts  int64               `json:"tx_aborts"`
-	DB        pool.Stats          `json:"db"`
-	Replicas  []telemetry.Replica `json:"replicas,omitempty"`
+	TxCommits int64 `json:"tx_commits"`
+	TxAborts  int64 `json:"tx_aborts"`
+	// TxReadOnly counts the subset of TxCommits whose business method never
+	// wrote: the lazy demarcation left them without a database transaction,
+	// so their reads were pure MVCC snapshot traffic — no write-order locks,
+	// no broadcast, no replica coordination of any kind.
+	TxReadOnly int64               `json:"tx_readonly"`
+	DB         pool.Stats          `json:"db"`
+	Replicas   []telemetry.Replica `json:"replicas,omitempty"`
 }
 
 // Stats snapshots the container.
 func (c *Container) Stats() Stats {
 	s := Stats{
-		Queries:   c.queries.Load(),
-		Loads:     c.loads.Load(),
-		Stores:    c.stores.Load(),
-		TxCommits: c.txCommits.Load(),
-		TxAborts:  c.txAborts.Load(),
-		DB:        c.pool.Stats(),
+		Queries:    c.queries.Load(),
+		Loads:      c.loads.Load(),
+		Stores:     c.stores.Load(),
+		TxCommits:  c.txCommits.Load(),
+		TxAborts:   c.txAborts.Load(),
+		TxReadOnly: c.roCommits.Load(),
+		DB:         c.pool.Stats(),
 	}
 	if c.pool.Replicas() > 1 {
 		s.Replicas = c.pool.ReplicaStats()
@@ -224,11 +231,15 @@ func (e *Entity) Set(field string, v sqldb.Value) error {
 // through RunInTx) erases them bit-identically.
 //
 // Isolation note: reads before the first write are NOT serialized against
-// concurrent transactions — two business methods can both activate an
-// entity and then write values derived from the same stale read. This
-// mirrors the paper's EJB configuration, whose CMP activations ran under
-// nothing stronger than MyISAM's per-statement locks (the hand-written-SQL
-// apps' LOCK TABLES discipline had no EJB counterpart).
+// concurrent transactions — they are MVCC snapshot reads (each statement
+// sees the last committed state, never touching the lock table), so two
+// business methods can both activate an entity and then write values
+// derived from the same stale read. This mirrors the paper's EJB
+// configuration, whose CMP activations ran under nothing stronger than
+// MyISAM's per-statement locks (the hand-written-SQL apps' LOCK TABLES
+// discipline had no EJB counterpart). A method that never writes completes
+// without ever opening a database transaction: snapshot-only, zero
+// replication coordination.
 type Tx struct {
 	c     *Container
 	sess  *cluster.Session
@@ -367,11 +378,19 @@ func (t *Tx) Commit() error {
 			return err
 		}
 	}
+	// A method that never wrote has no backing database transaction: its
+	// reads ran as MVCC snapshot statements on pooled connections, and its
+	// "commit" is free. Counted separately so the telemetry can show how much
+	// of the transaction volume paid zero replication tax.
+	ro := t.sess == nil
 	if err := t.end(true); err != nil {
 		t.c.txAborts.Add(1)
 		return err
 	}
 	t.c.txCommits.Add(1)
+	if ro {
+		t.c.roCommits.Add(1)
+	}
 	return nil
 }
 

@@ -21,6 +21,7 @@ type DB struct {
 	plans  *planCache
 
 	txns          txnCounters
+	mvcc          mvccCounters
 	lockWaitNanos atomic.Int64 // configured txn lock-wait timeout (0 = default)
 }
 
@@ -50,6 +51,15 @@ func (db *DB) table(name string) (*Table, error) {
 
 // Table exposes a table for inspection (tests, data generators).
 func (db *DB) Table(name string) (*Table, error) { return db.table(name) }
+
+// tableLockOf returns t's lock-manager entry without the map lookup when
+// the pointer was cached at CREATE time.
+func (db *DB) tableLockOf(t *Table) *tableLock {
+	if t.tlock != nil {
+		return t.tlock
+	}
+	return db.locks.lockFor(t.name)
+}
 
 // TableNames returns the catalog in sorted order.
 func (db *DB) TableNames() []string {
@@ -210,16 +220,29 @@ func (s *Session) withLock(table string, write bool, fn func(*Table) (*Result, e
 		if write && !strong {
 			return nil, fmt.Errorf("sqldb: table %q locked READ, write denied", table)
 		}
-		return fn(t)
+		res, err := fn(t)
+		if write {
+			// MyISAM writes are committed per statement, even under
+			// LOCK TABLES WRITE: publish while the exclusive hold lasts.
+			t.publish()
+		}
+		return res, err
 	}
 	if s.held != nil {
 		// MyISAM: with LOCK TABLES active, only locked tables may be used.
 		return nil, fmt.Errorf("sqldb: table %q was not locked with LOCK TABLES", table)
 	}
-	tl := s.db.locks.lockFor(t.name)
+	tl := s.db.tableLockOf(t)
 	tl.lock(write)
-	defer tl.unlock(write)
-	return fn(t)
+	res, err := fn(t)
+	if write {
+		// Publish before releasing the lock: an auto-commit statement's
+		// effects are committed state the moment the lock drops, and a
+		// failed one may still have applied part of its row set.
+		t.publish()
+	}
+	tl.unlock(write)
+	return res, err
 }
 
 // holds reports whether the session's LOCK TABLES set covers table, and
@@ -275,6 +298,7 @@ func (db *DB) execCreateTable(st *sqlparse.CreateTable) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.tlock = db.locks.lockFor(t.name)
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.tables[t.name]; dup {
@@ -306,12 +330,13 @@ func (db *DB) execCreateIndex(st *sqlparse.CreateIndex) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tl := db.locks.lockFor(t.name)
+	tl := db.tableLockOf(t)
 	tl.lock(true)
 	defer tl.unlock(true)
 	if err := t.addIndex(st.Name, col, st.Unique); err != nil {
 		return nil, err
 	}
+	t.publish() // snapshots copy indexes; a new one must invalidate them
 	return &Result{}, nil
 }
 
@@ -329,43 +354,61 @@ func (db *DB) execDropTable(st *sqlparse.DropTable) (*Result, error) {
 	return &Result{}, nil
 }
 
-// execSelect locks every referenced table for read (unless held) and runs
-// the query. Inside a transaction the read locks are statement-scoped but
-// acquired with the wait timeout, and tables the transaction already
-// write-locks are read lock-free.
+// execSelect routes a query to the right read path. The default is the
+// snapshot path (mvcc.go): every referenced table is served from its frozen
+// last-committed version, with no read locks and no lock-wait — the
+// multi-version read that lets browse traffic bypass the 2PL machinery
+// entirely. Two cases still take the locked path: a LOCK TABLES session
+// reads its held tables directly (the MyISAM bracket demands current state
+// and already holds the locks), and a transaction that has write-locked any
+// referenced table reads live state under statement-scoped timed read locks
+// so it observes its own uncommitted writes.
 func (s *Session) execSelect(st *sqlparse.Select, args []Value) (*Result, error) {
 	names := []string{st.From.Table}
 	for _, j := range st.Joins {
 		names = append(names, j.Table.Table)
 	}
 	tabs := make([]*Table, len(names))
-	var toLock []heldLock
 	for i, n := range names {
 		t, err := s.db.table(n)
 		if err != nil {
 			return nil, err
 		}
 		tabs[i] = t
-		if s.tx != nil {
-			continue // txnReadLocks handles the transaction's lock discipline
-		}
-		held, _ := s.holds(t.name)
-		if !held {
-			if s.held != nil {
-				return nil, fmt.Errorf("sqldb: table %q was not locked with LOCK TABLES", n)
-			}
-			toLock = append(toLock, heldLock{table: t.name})
-		}
 	}
-	if s.tx != nil {
-		release, err := s.txnReadLocks(tabs)
+	switch {
+	case s.tx != nil:
+		if s.tx.holdsWriteAny(tabs) {
+			// Read-your-writes: the transaction wrote at least one of these
+			// tables, so the statement must see live (uncommitted) state.
+			release, err := s.txnReadLocks(tabs)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+			return execSelect(tabs, st, args)
+		}
+		views, release, err := s.snapshots(tabs, true)
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-	} else if len(toLock) > 0 {
-		acquired := s.db.locks.acquireSet(toLock)
-		defer s.db.locks.releaseSet(acquired)
+		return execSelect(views, st, args)
+	case s.held != nil:
+		// MyISAM: with LOCK TABLES active, only locked tables may be used —
+		// and reads on them go to live state under the held locks.
+		for i, t := range tabs {
+			if held, _ := s.holds(t.name); !held {
+				return nil, fmt.Errorf("sqldb: table %q was not locked with LOCK TABLES", names[i])
+			}
+		}
+		return execSelect(tabs, st, args)
+	default:
+		views, release, err := s.snapshots(tabs, false)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return execSelect(views, st, args)
 	}
-	return execSelect(tabs, st, args)
 }

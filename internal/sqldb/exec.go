@@ -396,7 +396,8 @@ func execDelete(t *Table, st *sqlparse.Delete, args []Value, tx *txn) (*Result, 
 	}
 	for _, id := range ids {
 		if tx != nil {
-			tx.add(undoRec{t: t, kind: undoDelete, id: id, row: cloneRow(t.rows[id])})
+			// Stored rows are immutable; the undo image can share the slice.
+			tx.add(undoRec{t: t, kind: undoDelete, id: id, row: t.rows[id]})
 		}
 		t.deleteRow(id)
 	}
@@ -561,16 +562,41 @@ func execSelect(tabs []*Table, st *sqlparse.Select, args []Value) (*Result, erro
 	// list (e.g. SELECT name FROM items ORDER BY price).
 	var sortKeys [][]Value
 
+	// Result rows are carved from slab allocations rather than one slice per
+	// row; stored rows are immutable (updates are copy-on-write), so a
+	// single-table SELECT * shares them outright with no copy at all.
+	// Slabs start at one row and double up to 64 rows per allocation: a
+	// point lookup pays for exactly one row, a big scan amortizes to a
+	// handful of allocations.
+	var slab []Value
+	slabRows := 1
+	newRow := func(w int) Row {
+		if w > len(slab) {
+			slab = make([]Value, slabRows*w)
+			if slabRows < 64 {
+				slabRows *= 2
+			}
+		}
+		r := Row(slab[:0:w])
+		slab = slab[w:]
+		return r
+	}
 	emit := func() error {
 		if agg {
 			return groups.add(ev)
 		}
-		out := make(Row, 0, len(res.Columns))
+		var out Row
 		if st.Star {
-			for _, r := range ev.rows {
-				out = append(out, cloneRow(r)...)
+			if len(ev.rows) == 1 {
+				out = ev.rows[0]
+			} else {
+				out = newRow(len(res.Columns))
+				for _, r := range ev.rows {
+					out = append(out, r...)
+				}
 			}
 		} else {
+			out = newRow(len(res.Columns))
 			for _, it := range st.Items {
 				v, err := ev.eval(it.Expr)
 				if err != nil {
@@ -879,9 +905,8 @@ func (gs *groupSet) add(ev *env) error {
 			seen:   make([]bool, len(gs.aggs)),
 		}
 		g.sample = make([]Row, len(ev.rows))
-		for i, r := range ev.rows {
-			g.sample[i] = cloneRow(r)
-		}
+		// Stored rows are immutable; samples can alias them.
+		copy(g.sample, ev.rows)
 		gs.groups[key] = g
 		gs.order = append(gs.order, key)
 	}

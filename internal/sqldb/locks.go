@@ -12,6 +12,13 @@ import (
 // table. Explicit LOCK TABLES acquires a set atomically in sorted order
 // (MySQL's deadlock-avoidance discipline); implicit per-statement locks
 // bracket single statements.
+//
+// Since the snapshot-read path landed (mvcc.go), plain SELECTs no longer
+// come here at all: the lock manager serves writers, LOCK TABLES brackets,
+// the read-your-writes reads of open transactions, and the brief read lock
+// a snapshot refresh takes to copy committed state. Sessions that hold a
+// *Table should go through DB.tableLockOf, which skips the map lookup via
+// the pointer cached on the table at CREATE time.
 type lockManager struct {
 	mu     sync.Mutex
 	tables map[string]*tableLock

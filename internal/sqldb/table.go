@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sqldb/sqlparse"
 )
@@ -19,7 +21,10 @@ type Column struct {
 
 // Table is heap storage plus indexes. Access must be serialized by the
 // database lock manager (MyISAM-style table locks); Table itself is not
-// goroutine-safe.
+// goroutine-safe — except for the snapshot machinery (mvcc.go): version is
+// bumped by writers under the write lock and read lock-free by the snapshot
+// fast path, and snap holds a frozen copy that any number of readers share
+// without locks.
 type Table struct {
 	name    string
 	columns []Column
@@ -33,14 +38,36 @@ type Table struct {
 
 	// rowOrder preserves insertion order for stable full scans.
 	rowOrder []int64
+
+	// tlock caches the lock-manager entry for this table, set before the
+	// table is published in the catalog (db.tableLockOf falls back to the
+	// name lookup when nil, e.g. on frozen snapshots).
+	tlock *tableLock
+
+	// Snapshot-read state (mvcc.go). version counts committed publications;
+	// snap caches the frozen copy of the last refreshed version; snapMu
+	// serializes refreshes so concurrent readers of a stale snapshot build
+	// one copy, not one each; snapHits counts lock-free reads served by the
+	// installed snapshot (reset at refresh) — the adaptive-refresh signal.
+	// On a frozen copy itself, frozen is set and snapSeq records the
+	// version it was built from; the atomics stay zero.
+	version  atomic.Uint64
+	snap     atomic.Pointer[Table]
+	snapMu   sync.Mutex
+	snapHits atomic.Int64
+	frozen   bool
+	snapSeq  uint64
 }
 
 // index is a hash index over one column, with lazily maintained sorted keys
-// for range scans.
+// for range scans. sorted marks frozen-snapshot indexes whose posting lists
+// were sorted at freeze time and are immutable, so lookups can return them
+// without the copy-and-sort.
 type index struct {
 	name   string
 	col    int
 	unique bool
+	sorted bool
 	m      map[indexKey][]int64
 }
 
@@ -160,13 +187,15 @@ func (t *Table) insert(r Row) (int64, error) {
 	return id, nil
 }
 
-// update rewrites columns of the row at id, maintaining indexes.
+// update rewrites columns of the row at id, maintaining indexes. The stored
+// row is replaced, never mutated in place: frozen snapshots share Row slices
+// with live storage, so a row that has ever been stored must stay immutable.
 func (t *Table) update(id int64, set map[int]Value) error {
 	r, ok := t.rows[id]
 	if !ok {
 		return fmt.Errorf("sqldb: update of missing rowid %d in %q", id, t.name)
 	}
-	// Unique checks first so a violation leaves the row untouched.
+	// Constraint checks first so a violation leaves row and indexes untouched.
 	for _, ix := range t.indexes {
 		nv, changed := set[ix.col]
 		if !changed || Equal(nv, r[ix.col]) {
@@ -182,16 +211,20 @@ func (t *Table) update(id int64, set map[int]Value) error {
 			return fmt.Errorf("sqldb: NULL in NOT NULL column %q.%q",
 				t.name, t.columns[col].Name)
 		}
-		old := r[col]
+	}
+	nr := make(Row, len(r))
+	copy(nr, r)
+	for col, nv := range set {
 		for _, ix := range t.indexes {
 			if ix.col != col {
 				continue
 			}
-			ix.remove(old.key(), id)
+			ix.remove(r[col].key(), id)
 			ix.m[nv.key()] = append(ix.m[nv.key()], id)
 		}
-		r[col] = nv
+		nr[col] = nv
 	}
+	t.rows[id] = nr
 	return nil
 }
 
@@ -226,8 +259,18 @@ func (t *Table) deleteRow(id int64) {
 }
 
 // scan calls fn for each live row in insertion order. fn must not mutate the
-// table. Deleted ids encountered in rowOrder are compacted away.
+// table. Deleted ids encountered in rowOrder are compacted away — except on
+// frozen snapshots, which many readers scan concurrently: their rowOrder was
+// tombstone-filtered at freeze time and must stay untouched.
 func (t *Table) scan(fn func(id int64, r Row) error) error {
+	if t.frozen {
+		for _, id := range t.rowOrder {
+			if err := fn(id, t.rows[id]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	live := t.rowOrder[:0]
 	var err error
 	for _, id := range t.rowOrder {
@@ -248,22 +291,26 @@ func (t *Table) scan(fn func(id int64, r Row) error) error {
 // values, maintaining indexes. It is the undo path of update: constraints
 // are not rechecked — the old values were valid when the statement ran, and
 // undo applies in reverse order, so the pre-image is always restorable.
+// Like update, it replaces the stored row (copy-on-write) rather than
+// mutating it, since snapshots may share the current slice.
 func (t *Table) restoreCols(id int64, old map[int]Value) {
 	r, ok := t.rows[id]
 	if !ok {
 		return
 	}
+	nr := make(Row, len(r))
+	copy(nr, r)
 	for col, ov := range old {
-		cur := r[col]
 		for _, ix := range t.indexes {
 			if ix.col != col {
 				continue
 			}
-			ix.remove(cur.key(), id)
+			ix.remove(r[col].key(), id)
 			ix.m[ov.key()] = append(ix.m[ov.key()], id)
 		}
-		r[col] = ov
+		nr[col] = ov
 	}
+	t.rows[id] = nr
 }
 
 // undoInsert removes an inserted row and restores the rowid/AUTO_INCREMENT
@@ -312,9 +359,57 @@ func (t *Table) lookup(col int, v Value) (ids []int64, ok bool) {
 		return nil, false
 	}
 	list := ix.m[v.key()]
+	if ix.sorted {
+		// Frozen-snapshot index: the posting list was sorted at freeze time
+		// and nobody mutates it, so it can be returned as-is.
+		return list, true
+	}
 	// Copy and sort for deterministic result order.
 	out := make([]int64, len(list))
 	copy(out, list)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, true
+}
+
+// freeze builds an immutable copy of t's current state for snapshot reads.
+// The caller must hold at least the table's read lock. Schema (columns,
+// colIdx) and the Row slices themselves are shared — rows are never mutated
+// in place once stored — while the row map, scan order and index posting
+// lists are copied so subsequent writers cannot disturb the snapshot.
+// rowOrder is tombstone-filtered up front because frozen scans skip the
+// lazy compaction, and posting lists are pre-sorted so frozen lookups skip
+// the per-lookup copy-and-sort.
+func (t *Table) freeze() *Table {
+	sp := &Table{
+		name:     t.name,
+		columns:  t.columns,
+		colIdx:   t.colIdx,
+		rows:     make(map[int64]Row, len(t.rows)),
+		nextID:   t.nextID,
+		nextAI:   t.nextAI,
+		pkCol:    t.pkCol,
+		indexes:  make(map[string]*index, len(t.indexes)),
+		rowOrder: make([]int64, 0, len(t.rows)),
+		frozen:   true,
+		snapSeq:  t.version.Load(),
+	}
+	for _, id := range t.rowOrder {
+		r, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		sp.rows[id] = r
+		sp.rowOrder = append(sp.rowOrder, id)
+	}
+	for key, ix := range t.indexes {
+		m := make(map[indexKey][]int64, len(ix.m))
+		for k, list := range ix.m {
+			cp := make([]int64, len(list))
+			copy(cp, list)
+			sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+			m[k] = cp
+		}
+		sp.indexes[key] = &index{name: ix.name, col: ix.col, unique: ix.unique, sorted: true, m: m}
+	}
+	return sp
 }

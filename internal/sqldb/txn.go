@@ -121,11 +121,13 @@ func (r *undoRec) revert() {
 	}
 }
 
-// txn is a session's active transaction: its undo log and the write locks
-// it holds until commit or rollback.
+// txn is a session's active transaction: its undo log, the write locks it
+// holds until commit or rollback, and the tables those locks cover (for the
+// snapshot publications at commit).
 type txn struct {
-	undo []undoRec
-	held []heldLock
+	undo   []undoRec
+	held   []heldLock
+	tables []*Table // write-locked tables, same order as held
 }
 
 // add appends an undo record.
@@ -146,6 +148,17 @@ func (tx *txn) revertTo(mark int) {
 func (tx *txn) holdsWrite(table string) bool {
 	for _, h := range tx.held {
 		if h.table == table {
+			return true
+		}
+	}
+	return false
+}
+
+// holdsWriteAny reports whether the transaction write-locks any of tabs —
+// the read-your-writes test that forces a SELECT off the snapshot path.
+func (tx *txn) holdsWriteAny(tabs []*Table) bool {
+	for _, t := range tabs {
+		if tx.holdsWrite(t.name) {
 			return true
 		}
 	}
@@ -189,8 +202,14 @@ func (s *Session) execRollback() (*Result, error) {
 	return &Result{}, nil
 }
 
-// commitTxn discards the undo log and releases the held write locks.
+// commitTxn discards the undo log and releases the held write locks. Each
+// written table is published first — still under its write lock — so the
+// transaction's effects on a table become visible to snapshot readers
+// atomically, and only at commit.
 func (s *Session) commitTxn() {
+	for _, t := range s.tx.tables {
+		t.publish()
+	}
 	s.db.locks.releaseSet(s.tx.held)
 	s.tx = nil
 	s.db.txns.commits.Add(1)
@@ -222,12 +241,13 @@ func (s *Session) txnWriteLock(t *Table) error {
 		return nil
 	}
 	start := time.Now()
-	ok := s.db.locks.lockFor(t.name).lockTimed(true, s.db.lockWait())
+	ok := s.db.tableLockOf(t).lockTimed(true, s.db.lockWait())
 	s.db.txns.lockWaitNanos.Add(time.Since(start).Nanoseconds())
 	if !ok {
 		return s.abortTxn(t.name)
 	}
 	s.tx.held = append(s.tx.held, heldLock{table: t.name, write: true})
+	s.tx.tables = append(s.tx.tables, t)
 	return nil
 }
 

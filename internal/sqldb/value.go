@@ -178,9 +178,7 @@ type indexKey struct {
 // Row is one table row. Rows are value slices in schema column order.
 type Row []Value
 
-// cloneRow copies a row so executor results do not alias storage.
-func cloneRow(r Row) Row {
-	out := make(Row, len(r))
-	copy(out, r)
-	return out
-}
+// Note: results may alias storage rows. That is safe because stored rows
+// are immutable once written — Table.update and Table.restoreCols replace
+// the slice rather than mutating it (the copy-on-write contract snapshots
+// rely on, mvcc.go).

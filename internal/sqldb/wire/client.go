@@ -21,10 +21,11 @@ import (
 // with the first EXECUTE in a single round trip, and a freshly dialed
 // connection simply starts with an empty map and re-prepares.
 type Conn struct {
-	nc net.Conn
-	r  *bufio.Reader
-	w  *bufio.Writer
-	fb frameBuf
+	nc   net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	fb   frameBuf
+	cols colCache // column-name reuse across responses
 
 	stmts  map[string]uint32
 	nextID uint32
@@ -91,7 +92,7 @@ func (c *Conn) readReply() (*sqldb.Result, error) {
 	}
 	switch typ {
 	case msgResult:
-		return decodeResult(payload)
+		return decodeResult(payload, &c.cols)
 	case msgPrepOK, msgTxnOK:
 		return &sqldb.Result{}, nil
 	case msgError:

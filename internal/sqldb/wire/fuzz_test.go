@@ -97,13 +97,13 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			// Transaction control frames carry no payload to decode; the
 			// server ignores whatever rode along. Nothing to round-trip.
 		case msgResult:
-			r, err := decodeResult(payload)
+			r, err := decodeResult(payload, nil)
 			if err != nil {
 				return
 			}
 			e := &enc{}
 			encodeResult(e, r)
-			r2, err := decodeResult(e.b)
+			r2, err := decodeResult(e.b, nil)
 			if err != nil {
 				t.Fatalf("result re-decode: %v", err)
 			}

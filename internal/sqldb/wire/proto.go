@@ -205,15 +205,20 @@ func (d *dec) byte() byte {
 	return v
 }
 
-func (d *dec) str() string {
+func (d *dec) str() string { return string(d.strBytes()) }
+
+// strBytes returns the next length-prefixed string's bytes without the
+// string conversion. The slice aliases the frame buffer and is only valid
+// until the next frame read; callers that keep it must copy.
+func (d *dec) strBytes() []byte {
 	n := int(d.u32())
 	if d.err != nil || d.off+n > len(d.b) || n < 0 {
 		d.fail("truncated string")
-		return ""
+		return nil
 	}
-	s := string(d.b[d.off : d.off+n])
+	b := d.b[d.off : d.off+n]
 	d.off += n
-	return s
+	return b
 }
 
 func (d *dec) value() sqldb.Value {
@@ -324,10 +329,18 @@ func encodeResult(e *enc, r *sqldb.Result) {
 	}
 }
 
+// colCache remembers the previous response's column-name slice. A pooled
+// client connection replays the same handful of statements, so almost every
+// response's header is byte-identical to one seen before: reusing the prior
+// []string (names compared against the frame bytes, no conversion) drops
+// both the slice and the per-name string allocations from the hot path.
+type colCache struct{ cols []string }
+
 // decodeResult parses a result payload. Row values are carved from slab
 // allocations rather than one slice per row — list pages decode 50 rows
 // per response, and per-row allocs dominated the client-side profile.
-func decodeResult(p []byte) (*sqldb.Result, error) {
+// cc, when non-nil, caches column headers across responses (see colCache).
+func decodeResult(p []byte, cc *colCache) (*sqldb.Result, error) {
 	d := &dec{b: p}
 	r := &sqldb.Result{
 		RowsAffected: int64(d.u64()),
@@ -337,11 +350,35 @@ func decodeResult(p []byte) (*sqldb.Result, error) {
 	if nc > 1<<16 {
 		return nil, fmt.Errorf("wire: absurd column count %d", nc)
 	}
-	if nc > 0 && d.err == nil {
+	switch {
+	case nc == 0 || d.err != nil:
+	case cc != nil && len(cc.cols) == nc:
+		// Optimistically compare against the cached header; on the first
+		// mismatch, materialize a fresh slice from the matched prefix.
+		cols := cc.cols
+		for i := 0; i < nc && d.err == nil; i++ {
+			b := d.strBytes()
+			if string(b) != cols[i] {
+				fresh := make([]string, i, nc)
+				copy(fresh, cols[:i])
+				fresh = append(fresh, string(b))
+				for j := i + 1; j < nc && d.err == nil; j++ {
+					fresh = append(fresh, d.str())
+				}
+				cols = fresh
+				break
+			}
+		}
+		r.Columns = cols
+		cc.cols = cols
+	default:
 		r.Columns = make([]string, 0, min(nc, len(p)/4))
-	}
-	for i := 0; i < nc && d.err == nil; i++ {
-		r.Columns = append(r.Columns, d.str())
+		for i := 0; i < nc && d.err == nil; i++ {
+			r.Columns = append(r.Columns, d.str())
+		}
+		if cc != nil {
+			cc.cols = r.Columns
+		}
 	}
 	nr := int(d.u32())
 	if nr > maxFrameLen {
@@ -359,9 +396,21 @@ func decodeResult(p []byte) (*sqldb.Result, error) {
 			return nil, fmt.Errorf("wire: absurd row width %d", w)
 		}
 		if w > len(slab) {
-			n := 16 * w
-			if n < 512 {
-				n = 512
+			// Size the slab from what is actually left to decode: the
+			// remaining row count, capped both by a constant (bounds slab
+			// size for huge results) and by the remaining payload bytes
+			// (every encoded value is at least one byte, so a lying row
+			// header cannot force a giant allocation). A single-row
+			// point-lookup response allocates exactly one row's worth.
+			n := (nr - i) * w
+			if max := 16 * w; n > max {
+				n = max
+			}
+			if left := len(d.b) - d.off; n > left {
+				n = left
+			}
+			if n < w {
+				n = w
 			}
 			slab = make([]sqldb.Value, n)
 		}

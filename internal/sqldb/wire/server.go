@@ -46,8 +46,8 @@ func (s *Server) QueryCount() int64 { return s.queries.Load() }
 
 // Stats describes the database tier's protocol traffic for the cross-tier
 // telemetry: total statements, split by arrival path, the shared plan
-// cache's hit/miss counters, and the transaction subsystem's
-// commit/abort/deadlock counters.
+// cache's hit/miss counters, the transaction subsystem's
+// commit/abort/deadlock counters, and the snapshot-read (MVCC) counters.
 type Stats struct {
 	Queries       int64 `json:"queries"`
 	TextExecs     int64 `json:"text_execs"`
@@ -56,6 +56,7 @@ type Stats struct {
 
 	PlanCache sqldb.PlanCacheStats `json:"plan_cache"`
 	Txns      sqldb.TxnStats       `json:"txns"`
+	MVCC      sqldb.MVCCStats      `json:"mvcc"`
 }
 
 // Stats snapshots the server.
@@ -67,6 +68,7 @@ func (s *Server) Stats() Stats {
 		Prepares:      s.prepares.Load(),
 		PlanCache:     s.db.PlanCacheStats(),
 		Txns:          s.db.TxnStats(),
+		MVCC:          s.db.MVCCStats(),
 	}
 }
 

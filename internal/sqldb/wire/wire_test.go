@@ -89,7 +89,7 @@ func TestResultEncodingRoundtrip(t *testing.T) {
 	}
 	var e enc
 	encodeResult(&e, in)
-	out, err := decodeResult(e.b)
+	out, err := decodeResult(e.b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestResultRoundtripProperty(t *testing.T) {
 		}
 		var e enc
 		encodeResult(&e, in)
-		out, err := decodeResult(e.b)
+		out, err := decodeResult(e.b, nil)
 		if err != nil || len(out.Rows) != len(in.Rows) {
 			return false
 		}
@@ -135,7 +135,7 @@ func TestResultRoundtripProperty(t *testing.T) {
 }
 
 func TestDecodeGarbage(t *testing.T) {
-	if _, err := decodeResult([]byte{1, 2, 3}); err == nil {
+	if _, err := decodeResult([]byte{1, 2, 3}, nil); err == nil {
 		t.Fatal("truncated result must error")
 	}
 	if _, _, err := decodeQuery([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
@@ -383,7 +383,7 @@ func TestTextProtocolBackwardCompat(t *testing.T) {
 	if err != nil || typ != msgResult {
 		t.Fatalf("v1 exchange: %v type=0x%x", err, typ)
 	}
-	res, err := decodeResult(payload)
+	res, err := decodeResult(payload, nil)
 	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].AsString() != "one" {
 		t.Fatalf("v1 result: %v %+v", err, res)
 	}

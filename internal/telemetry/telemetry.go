@@ -51,6 +51,23 @@ type Tier struct {
 	Aborts           int64 `json:"aborts,omitempty"`
 	DeadlockTimeouts int64 `json:"deadlock_timeouts,omitempty"`
 	TxnLockWaitNanos int64 `json:"txn_lock_wait_nanos,omitempty"`
+	// MVCC read-path counters (database tier): SELECT statements served from
+	// committed snapshots, per-table lock-manager bypasses those reads got
+	// for free, and snapshot rebuilds (the slow path — a rebuild takes the
+	// table's read lock once, then every reader until the next write is
+	// lock-free).
+	SnapshotReads     int64 `json:"snapshot_reads,omitempty"`
+	LockBypasses      int64 `json:"lock_bypasses,omitempty"`
+	SnapshotRefreshes int64 `json:"snapshot_refreshes,omitempty"`
+	// Replica-coordination counters (tiers that own a cluster client):
+	// Broadcasts counts statements fanned out to all replicas concurrently,
+	// BroadcastAcks the replica acknowledgements they gathered (acks ÷
+	// broadcasts ≈ replicas reached per write), and ReadOnlyTxns the
+	// transactions that declared themselves read-only and skipped the
+	// write-order locks entirely.
+	Broadcasts    int64 `json:"broadcasts,omitempty"`
+	BroadcastAcks int64 `json:"broadcast_acks,omitempty"`
+	ReadOnlyTxns  int64 `json:"readonly_txns,omitempty"`
 	// Downstream names the tier Pool dials into. Pool wait time is
 	// evidence that *that* tier's connections are all busy, so
 	// Bottleneck charges the wait there, not to the pool's holder.
@@ -61,7 +78,8 @@ type Tier struct {
 // all) run: how the cluster client routed traffic to it, its health, and —
 // when the snapshot owner also runs the servers — the statements it served.
 // Lag is the cumulative time this replica's write acknowledgements trailed
-// the first replica's during broadcasts (zero on the broadcast leader).
+// the fastest acknowledgement of each (concurrent) broadcast — zero on
+// whichever replica answered first.
 type Replica struct {
 	ID      int    `json:"id"`
 	Addr    string `json:"addr,omitempty"`
@@ -148,6 +166,12 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 				t.Aborts -= pt.Aborts
 				t.DeadlockTimeouts -= pt.DeadlockTimeouts
 				t.TxnLockWaitNanos -= pt.TxnLockWaitNanos
+				t.SnapshotReads -= pt.SnapshotReads
+				t.LockBypasses -= pt.LockBypasses
+				t.SnapshotRefreshes -= pt.SnapshotRefreshes
+				t.Broadcasts -= pt.Broadcasts
+				t.BroadcastAcks -= pt.BroadcastAcks
+				t.ReadOnlyTxns -= pt.ReadOnlyTxns
 				if t.Pool != nil && pt.Pool != nil {
 					d := t.Pool.Sub(*pt.Pool)
 					t.Pool = &d
@@ -325,6 +349,24 @@ func (s *Snapshot) Format() string {
 		fmt.Fprintf(&b, "%s txns: %d commits / %d aborts (%d deadlock timeouts, %s waiting on locks)\n",
 			t.Name, t.Commits, t.Aborts, t.DeadlockTimeouts,
 			time.Duration(t.TxnLockWaitNanos).Round(time.Microsecond))
+	}
+	for _, t := range s.Tiers {
+		if t.SnapshotReads == 0 && t.SnapshotRefreshes == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s mvcc: %d snapshot reads, %d lock bypasses, %d refreshes\n",
+			t.Name, t.SnapshotReads, t.LockBypasses, t.SnapshotRefreshes)
+	}
+	for _, t := range s.Tiers {
+		if t.Broadcasts == 0 && t.ReadOnlyTxns == 0 {
+			continue
+		}
+		acksPer := 0.0
+		if t.Broadcasts > 0 {
+			acksPer = float64(t.BroadcastAcks) / float64(t.Broadcasts)
+		}
+		fmt.Fprintf(&b, "%s cluster: %d broadcasts (%.1f acks each), %d read-only txns\n",
+			t.Name, t.Broadcasts, acksPer, t.ReadOnlyTxns)
 	}
 	if len(s.AppBackends) > 0 {
 		fmt.Fprintf(&b, "%-10s %9s %9s %9s %9s %12s %8s\n",
