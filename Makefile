@@ -13,7 +13,7 @@ THRESHOLD ?= 10
 # requests in CI, enforced on pushes to main.
 COVER_FLOORS ?= repro/internal/sqldb:75 repro/internal/cluster:60
 
-.PHONY: build test race vet lint fmt docs-lint bench bench-json bench-smoke bench-gate cover ci
+.PHONY: build test race vet lint fmt docs-lint bench bench-json bench-smoke bench-gate chaos-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,15 @@ bench-gate:
 	$(GO) run ./cmd/benchjson -out BENCH_ci.json -count 2 -rounds 3 -benchtime 0.5s \
 		-compare $(BASELINE) -threshold $(THRESHOLD)
 
+# Chaos smoke: the deterministic fault-injection matrix (tier × fault ×
+# timing) plus the slow-failure regressions in cluster and lb, under
+# -race with a hard timeout — a hang past a deadline is itself the bug.
+chaos-smoke:
+	$(GO) test -race -timeout 120s ./internal/chaos
+	$(GO) test -race -timeout 180s \
+		-run 'Chaos|Degraded|SlowReplica|RejoinDeadline|SyncWithin|PoolWaitTimeout|StalledBackend' \
+		./internal/core ./internal/cluster ./internal/lb
+
 # Coverage run with per-package floors: every package reports, the
 # packages named in COVER_FLOORS must clear their floor.
 cover:
@@ -80,4 +89,4 @@ cover:
 	done; exit $$fail
 
 # Mirror of .github/workflows/ci.yml for local runs.
-ci: lint build race cover bench-smoke bench-gate
+ci: lint build race chaos-smoke cover bench-smoke bench-gate

@@ -26,6 +26,7 @@ import (
 	"repro/internal/auction"
 	"repro/internal/bookstore"
 	"repro/internal/cluster"
+	"repro/internal/pool"
 	"repro/internal/sqldb"
 	"repro/internal/sqldb/wire"
 )
@@ -38,6 +39,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "population seed")
 		replica   = flag.Int("replica", 0, "replica id, for logs and telemetry")
 		peers     = flag.String("peers", "", "comma-separated peer replicas to sync initial data from (skips -seed population)")
+		peerOp    = flag.Duration("peer-timeout", 0, "dial and per-statement deadline against sync peers (0: transport defaults, negative: none)")
+		syncTO    = flag.Duration("sync-timeout", 2*time.Minute, "wall-clock budget for the whole startup data sync from a peer (0: unbounded)")
 		grace     = flag.Duration("grace", 5*time.Second, "SIGTERM drain grace for in-flight sessions")
 	)
 	flag.Parse()
@@ -65,7 +68,7 @@ func main() {
 	// replica that silently diverges from a cluster that has moved past
 	// the seed state.
 	if peerList := cluster.ParseDSN(*peers); len(peerList) > 0 {
-		if !syncFromPeers(logger, local, peerList) {
+		if !syncFromPeers(logger, local, peerList, *peerOp, *syncTO) {
 			logger.Fatalf("no peer in %q reachable; refusing to start from seed data", *peers)
 		}
 	} else {
@@ -94,17 +97,18 @@ func main() {
 }
 
 // syncFromPeers replays the first reachable peer's data into the local
-// database — the startup replica-sync path. It reports whether a peer
-// provided the data.
-func syncFromPeers(logger *log.Logger, local sqldb.SessionExecer, peers []string) bool {
+// database — the startup replica-sync path, bounded so a stalled peer
+// fails over to the next one instead of wedging startup. It reports
+// whether a peer provided the data.
+func syncFromPeers(logger *log.Logger, local sqldb.SessionExecer, peers []string, peerOp, budget time.Duration) bool {
 	for _, peer := range peers {
-		conn, err := wire.Dial(peer)
+		conn, err := wire.DialT(peer, pool.Timeouts{Dial: peerOp, Op: peerOp}.WithDefaults())
 		if err != nil {
 			logger.Printf("peer %s unreachable: %v", peer, err)
 			continue
 		}
 		logger.Printf("syncing initial data from peer %s...", peer)
-		tables, rows, err := cluster.Sync(conn, local)
+		tables, rows, err := cluster.SyncWithin(conn, local, budget)
 		conn.Close()
 		if err != nil {
 			logger.Printf("sync from %s failed: %v", peer, err)

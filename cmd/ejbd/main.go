@@ -25,6 +25,7 @@ import (
 	"repro/internal/auction"
 	"repro/internal/bookstore"
 	"repro/internal/ejb"
+	"repro/internal/pool"
 	"repro/internal/rmi"
 	"repro/internal/servlet"
 )
@@ -35,13 +36,26 @@ func main() {
 		ajpAddr   = flag.String("ajp", "", "also serve presentation servlets on this AJP address")
 		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address or a comma-separated replica list")
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
-		pool      = flag.Int("pool", 12, "database connection pool size, per replica")
+		poolSize  = flag.Int("pool", 12, "database connection pool size, per replica")
 		route     = flag.String("route", "", "session-affinity route id for the presentation servlets in a load-balanced tier (requires -ajp)")
+		dbDial    = flag.Duration("db-dial", 0, "database dial timeout (0: default, negative: none)")
+		dbOp      = flag.Duration("db-op", 0, "per-statement database deadline (0: default, negative: none)")
+		dbWait    = flag.Duration("db-wait", 0, "max wait for a free pooled connection (0: default, negative: unbounded)")
+		dbSlow    = flag.Duration("db-slow", 0, "eject replicas whose statements exceed this latency (0: disabled)")
+		dbSync    = flag.Duration("db-sync", 0, "wall-clock budget for replica rejoin data sync (0: cluster default)")
+		dbStrict  = flag.Bool("db-strict", false, "refuse writes (degraded read-only mode) instead of ejecting replicas on write failure")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
-	ec, err := ejb.NewContainer(ejb.Config{DBAddr: *dbAddr, DBPoolSize: *pool})
+	dbTimeouts := pool.Timeouts{Dial: *dbDial, Op: *dbOp, Wait: *dbWait}
+	ec, err := ejb.NewContainer(ejb.Config{
+		DBAddr: *dbAddr, DBPoolSize: *poolSize,
+		DBStrictWrites:  *dbStrict,
+		DBTimeouts:      dbTimeouts,
+		DBSlowThreshold: *dbSlow,
+		DBSyncTimeout:   *dbSync,
+	})
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -70,7 +84,7 @@ func main() {
 	fmt.Printf("ejbd: %s façade on RMI %s (db %s)\n", *benchmark, bound, *dbAddr)
 
 	if *ajpAddr != "" {
-		client := rmi.NewClient(bound.String(), *pool)
+		client := rmi.NewClientT(bound.String(), *poolSize, dbTimeouts)
 		pc := servlet.NewContainer(servlet.Config{Route: *route})
 		switch *benchmark {
 		case "bookstore":

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/auction"
 	"repro/internal/bookstore"
+	"repro/internal/pool"
 	"repro/internal/servlet"
 )
 
@@ -31,13 +32,23 @@ func main() {
 		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address or a comma-separated replica list")
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
 		sync      = flag.Bool("sync", false, "engine-side locking (the paper's sync variants)")
-		pool      = flag.Int("pool", 12, "database connection pool size, per replica")
+		poolSize  = flag.Int("pool", 12, "database connection pool size, per replica")
 		route     = flag.String("route", "", "session-affinity route id in a load-balanced tier (must match the webserver's -ajp entry for this backend)")
+		dbDial    = flag.Duration("db-dial", 0, "database dial timeout (0: default, negative: none)")
+		dbOp      = flag.Duration("db-op", 0, "per-statement database deadline (0: default, negative: none)")
+		dbWait    = flag.Duration("db-wait", 0, "max wait for a free pooled connection (0: default, negative: unbounded)")
+		dbSlow    = flag.Duration("db-slow", 0, "eject replicas whose statements exceed this latency (0: disabled)")
+		dbSync    = flag.Duration("db-sync", 0, "wall-clock budget for replica rejoin data sync (0: cluster default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
-	c := servlet.NewContainer(servlet.Config{DBAddr: *dbAddr, DBPoolSize: *pool, Route: *route})
+	c := servlet.NewContainer(servlet.Config{
+		DBAddr: *dbAddr, DBPoolSize: *poolSize, Route: *route,
+		DBTimeouts:      pool.Timeouts{Dial: *dbDial, Op: *dbOp, Wait: *dbWait},
+		DBSlowThreshold: *dbSlow,
+		DBSyncTimeout:   *dbSync,
+	})
 	switch *benchmark {
 	case "bookstore":
 		bookstore.New(bookstore.DefaultScale(), bookstore.Config{Sync: *sync}).Register(c)

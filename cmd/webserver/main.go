@@ -28,6 +28,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/httpd"
 	"repro/internal/lb"
+	"repro/internal/pool"
 )
 
 func main() {
@@ -37,6 +38,9 @@ func main() {
 		base       = flag.String("base", "/tpcw/", "dynamic content URL prefix (/tpcw/ for bookstore, /rubis/ for auction)")
 		imageBytes = flag.Int("imagebytes", 2048, "size of each synthetic image, bytes")
 		conns      = flag.Int("conns", 16, "AJP connector pool size, per backend")
+		ajpDial    = flag.Duration("ajp-dial", 0, "backend dial timeout (0: default, negative: none)")
+		ajpOp      = flag.Duration("ajp-op", 0, "per-request backend deadline (0: default, negative: none)")
+		ajpWait    = flag.Duration("ajp-wait", 0, "max wait for a free pooled backend connection (0: default, negative: unbounded)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -48,7 +52,7 @@ func main() {
 	static.Add("/img/logo.gif", datagen.Image(1000, *imageBytes/2), "image/gif")
 	static.Add("/img/banner.gif", datagen.Image(1001, *imageBytes), "image/gif")
 
-	app, desc := appHandler(*ajpAddr, *conns)
+	app, desc := appHandler(*ajpAddr, *conns, pool.Timeouts{Dial: *ajpDial, Op: *ajpOp, Wait: *ajpWait})
 	mux := httpd.NewMux()
 	mux.Handle("/img/", static)
 	mux.Handle(*base, app)
@@ -64,7 +68,7 @@ func main() {
 
 // appHandler builds the dynamic-content dispatcher: a single AJP connector
 // for one backend, the load balancer for a list.
-func appHandler(spec string, conns int) (httpd.Handler, string) {
+func appHandler(spec string, conns int, timeouts pool.Timeouts) (httpd.Handler, string) {
 	var backends []lb.Backend
 	for _, entry := range strings.Split(spec, ",") {
 		entry = strings.TrimSpace(entry)
@@ -83,7 +87,7 @@ func appHandler(spec string, conns int) (httpd.Handler, string) {
 				log.Fatalf("webserver: -ajp assigns route %q twice (%q); routes must be unique or affinity pins two backends' sessions to one", route, entry)
 			}
 		}
-		conn := ajp.NewConnector(addr, conns)
+		conn := ajp.NewConnectorT(addr, conns, timeouts)
 		backends = append(backends, lb.Backend{ID: route, Handler: conn, PoolStats: conn.Stats})
 	}
 	if len(backends) == 0 {

@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/url"
 	"sync"
+	"time"
 
 	"repro/internal/httpd"
 	"repro/internal/pool"
@@ -319,25 +320,47 @@ func (l *Listener) Close() error {
 // to a container over pooled persistent connections (internal/pool, sized
 // as mod_jk's connection_pool_size).
 type Connector struct {
-	pool *pool.Pool[*connectorConn]
+	pool      *pool.Pool[*connectorConn]
+	opTimeout time.Duration
 }
 
 type connectorConn struct {
 	nc net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+	// armedUntil amortizes SetDeadline: fast back-to-back round trips
+	// reuse the armed deadline while >3/4 of the op window remains.
+	armedUntil time.Time
 }
 
 // NewConnector creates a connector to a container at addr with up to size
-// pooled connections.
+// pooled connections and the default timeouts.
 func NewConnector(addr string, size int) *Connector {
+	return NewConnectorT(addr, size, pool.Timeouts{})
+}
+
+// NewConnectorT creates a connector bounding dials with t.Dial, each
+// round trip with t.Op, and pool borrow waits with t.Wait (zero fields
+// take the pool-package defaults; negative fields disable a bound).
+func NewConnectorT(addr string, size int, t pool.Timeouts) *Connector {
 	if size <= 0 {
 		size = 8
 	}
-	return &Connector{pool: pool.New(pool.Config[*connectorConn]{
+	t = t.WithDefaults()
+	waitTimeout := time.Duration(-1)
+	if t.Wait > 0 {
+		waitTimeout = t.Wait
+	}
+	return &Connector{opTimeout: t.Op, pool: pool.New(pool.Config[*connectorConn]{
 		Name: "ajp@" + addr,
 		Dial: func() (*connectorConn, error) {
-			nc, err := net.Dial("tcp", addr)
+			var nc net.Conn
+			var err error
+			if t.Dial > 0 {
+				nc, err = net.DialTimeout("tcp", addr, t.Dial)
+			} else {
+				nc, err = net.Dial("tcp", addr)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("ajp: dial %s: %w", addr, err)
 			}
@@ -347,8 +370,9 @@ func NewConnector(addr string, size int) *Connector {
 				bw: bufio.NewWriterSize(nc, 32<<10),
 			}, nil
 		},
-		Destroy: func(cc *connectorConn) { cc.nc.Close() },
-		Size:    size,
+		Destroy:     func(cc *connectorConn) { cc.nc.Close() },
+		Size:        size,
+		WaitTimeout: waitTimeout,
 	})}
 }
 
@@ -375,6 +399,12 @@ func (c *Connector) ServeHTTP(req *httpd.Request) (*httpd.Response, error) {
 func (c *Connector) Stats() pool.Stats { return c.pool.Stats() }
 
 func (c *Connector) roundTrip(cc *connectorConn, req *httpd.Request) (*httpd.Response, error) {
+	if c.opTimeout > 0 {
+		if now := time.Now(); cc.armedUntil.Sub(now) <= c.opTimeout-c.opTimeout/4 {
+			cc.armedUntil = now.Add(c.opTimeout)
+			cc.nc.SetDeadline(cc.armedUntil)
+		}
+	}
 	if err := writeFrame(cc.bw, frameRequest, encodeRequest(req)); err != nil {
 		return nil, err
 	}

@@ -91,7 +91,7 @@ func TestReadsSkipSyncingReplica(t *testing.T) {
 		t.Fatalf("survivor served %d reads, want 30", rs[0].Reads)
 	}
 
-	a.locks.endSync(reps[1].addr)
+	a.locks.endSync(reps[1].addr, true)
 	for i := 0; i < 30; i++ {
 		if _, err := b.ExecCached("SELECT name FROM items WHERE id = 1"); err != nil {
 			t.Fatal(err)

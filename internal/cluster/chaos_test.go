@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/pool"
+	"repro/internal/sqldb"
+)
+
+// slowExecer delays every statement — a stand-in for a stalled sync peer.
+type slowExecer struct {
+	inner Execer
+	delay time.Duration
+}
+
+func (s slowExecer) Exec(q string, args ...sqldb.Value) (*sqldb.Result, error) {
+	time.Sleep(s.delay)
+	return s.inner.Exec(q, args...)
+}
+
+func TestSyncWithinDeadline(t *testing.T) {
+	reps := startReplicas(t, 2)
+	src := sqldb.SessionExecer{S: reps[0].db.NewSession()}
+	dst := sqldb.SessionExecer{S: reps[1].db.NewSession()}
+	// Unbounded still works.
+	if _, _, err := SyncWithin(src, dst, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A destination that takes 30ms per statement blows a 20ms budget
+	// within the first table.
+	_, _, err := SyncWithin(src, slowExecer{inner: dst, delay: 30 * time.Millisecond}, 20*time.Millisecond)
+	if !errors.Is(err, ErrSyncTimeout) {
+		t.Fatalf("err = %v, want ErrSyncTimeout", err)
+	}
+}
+
+// TestRejoinDeadlineLeavesReplicaEjected: a rejoin whose data copy stalls
+// must give up at the sync deadline and leave the replica cleanly ejected
+// — unhealthy for this client AND marked half-synced for every client
+// sharing the DSN — instead of promoting a half-copied data set (or
+// hanging forever, the pre-deadline behavior).
+func TestRejoinDeadlineLeavesReplicaEjected(t *testing.T) {
+	reps := startReplicas(t, 2)
+	px, err := chaos.Listen("replica1", reps[1].addr, chaos.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	cfg := Config{
+		DSN:         reps[0].addr + "," + px.Addr(),
+		PoolSize:    2,
+		Timeouts:    pool.Timeouts{Op: 150 * time.Millisecond},
+		SyncTimeout: 300 * time.Millisecond,
+	}
+	c := NewWithConfig(cfg)
+	defer c.Close()
+
+	if _, err := c.ExecCached("UPDATE items SET qty = 7 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the proxy: the next broadcast's ack from replica 1 times out on
+	// the op deadline and ejects it.
+	px.Set(chaos.Fault{Kind: chaos.Stall})
+	if _, err := c.ExecCached("UPDATE items SET qty = 8 WHERE id = 1"); err != nil {
+		t.Fatalf("write-all-available write should survive the stalled replica: %v", err)
+	}
+	if c.Healthy() != 1 {
+		t.Fatalf("healthy = %d, want the stalled replica ejected", c.Healthy())
+	}
+
+	// Rejoin against the still-stalled replica: the sync must give up at
+	// its deadline, bounded well under a test timeout.
+	start := time.Now()
+	if err := c.Rejoin(1, true); err == nil {
+		t.Fatal("rejoin through a stalled proxy succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("rejoin took %v, want bounded by the deadlines", d)
+	}
+	if c.Healthy() != 1 {
+		t.Fatal("failed rejoin must leave the replica ejected")
+	}
+	if !c.locks.syncing(px.Addr()) {
+		t.Fatal("failed sync must leave the replica marked half-synced for other clients")
+	}
+
+	// Heal and rejoin for real.
+	px.Clear()
+	if err := c.Rejoin(1, true); err != nil {
+		t.Fatalf("rejoin after heal: %v", err)
+	}
+	if c.Healthy() != 2 {
+		t.Fatalf("healthy = %d after successful rejoin", c.Healthy())
+	}
+	if c.locks.syncing(px.Addr()) {
+		t.Fatal("successful sync must clear the half-synced mark")
+	}
+	res := queryReplica(t, reps[1], "SELECT qty FROM items WHERE id = 1")
+	if res.Rows[0][0].AsInt() != 8 {
+		t.Fatal("rejoined replica missing the write it slept through")
+	}
+}
+
+// TestPoolWaitTimeoutDoesNotEject: an exhausted pool is client-side
+// saturation, not replica failure — Get's wait deadline must surface the
+// typed error without ejecting the (perfectly healthy) replica.
+func TestPoolWaitTimeoutDoesNotEject(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{
+		PoolSize: 1,
+		Timeouts: pool.Timeouts{Wait: 40 * time.Millisecond},
+	})
+	// A write-bracket session borrows the single connection to BOTH
+	// replicas and holds them across the bracket.
+	s, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("LOCK TABLES audit WRITE"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.ExecCached("SELECT name FROM items WHERE id = 1")
+	if !errors.Is(err, pool.ErrWaitTimeout) {
+		t.Fatalf("read on exhausted pools = %v, want pool.ErrWaitTimeout", err)
+	}
+	if c.Healthy() != 2 {
+		t.Fatalf("healthy = %d; pool saturation must not eject replicas", c.Healthy())
+	}
+	if _, err := s.Exec("UNLOCK TABLES"); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(s, false)
+	if _, err := c.ExecCached("SELECT name FROM items WHERE id = 1"); err != nil {
+		t.Fatalf("read after the bracket released: %v", err)
+	}
+}
+
+// TestSlowReplicaEjection: a replica whose acks trail the pack beyond
+// SlowThreshold is ejected from routing even though its transport still
+// answers — the slow-but-alive replica otherwise drags every broadcast
+// down to its speed.
+func TestSlowReplicaEjection(t *testing.T) {
+	reps := startReplicas(t, 2)
+	px, err := chaos.Listen("replica1", reps[1].addr, chaos.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	c := NewWithConfig(Config{
+		DSN:           reps[0].addr + "," + px.Addr(),
+		PoolSize:      2,
+		SlowThreshold: 100 * time.Millisecond,
+	})
+	defer c.Close()
+	if _, err := c.ExecCached("UPDATE items SET qty = 1 WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	px.Set(chaos.Fault{Kind: chaos.Latency, Delay: 300 * time.Millisecond})
+	if _, err := c.ExecCached("UPDATE items SET qty = 2 WHERE id = 2"); err != nil {
+		t.Fatalf("write with a slow replica: %v", err)
+	}
+	if c.Healthy() != 1 {
+		t.Fatalf("healthy = %d, want the slow replica ejected", c.Healthy())
+	}
+	if cs := c.ClientStats(); cs.SlowEjections != 1 {
+		t.Fatalf("slow ejections = %d, want 1", cs.SlowEjections)
+	}
+	// Reads now route around it without paying its latency.
+	start := time.Now()
+	if _, err := c.ExecCached("SELECT name FROM items WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 150*time.Millisecond {
+		t.Fatalf("read took %v after the slow replica was ejected", d)
+	}
+}
+
+// TestDegradedModeReadOnly: under StrictWrites, losing a replica flips the
+// cluster into explicit read-only degradation — writes fail fast with
+// ErrDegraded (no broadcast attempted), reads keep flowing — and a full
+// rejoin flips it back.
+func TestDegradedModeReadOnly(t *testing.T) {
+	reps := startReplicas(t, 2)
+	px, err := chaos.Listen("replica1", reps[1].addr, chaos.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	c := NewWithConfig(Config{
+		DSN:          reps[0].addr + "," + px.Addr(),
+		PoolSize:     2,
+		StrictWrites: true,
+		Timeouts:     pool.Timeouts{Op: 150 * time.Millisecond},
+	})
+	defer c.Close()
+	if _, err := c.ExecCached("UPDATE items SET qty = 5 WHERE id = 3"); err != nil {
+		t.Fatal(err)
+	}
+
+	px.Set(chaos.Fault{Kind: chaos.Stall})
+	if _, err := c.ExecCached("UPDATE items SET qty = 6 WHERE id = 3"); err == nil {
+		t.Fatal("strict write must fail when a replica stalls mid-broadcast")
+	}
+	if !c.Degraded() {
+		t.Fatal("strict failure must latch degraded mode")
+	}
+
+	// Writes now fail FAST with the typed error, without broadcasting.
+	start := time.Now()
+	_, err = c.ExecCached("UPDATE items SET qty = 7 WHERE id = 3")
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("write in degraded mode = %v, want ErrDegraded", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("degraded write took %v, want a fast fail", d)
+	}
+	// A write transaction fails at BEGIN the same way.
+	if err := c.WithTx([]string{"items"}, func(tx *Session) error { return nil }); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("WithTx in degraded mode = %v, want ErrDegraded", err)
+	}
+
+	// Reads keep flowing off the survivor.
+	for i := 0; i < 5; i++ {
+		if _, err := c.ExecCached("SELECT name FROM items WHERE id = 3"); err != nil {
+			t.Fatalf("degraded read: %v", err)
+		}
+	}
+
+	px.Clear()
+	if err := c.Rejoin(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if c.Degraded() {
+		t.Fatal("full rejoin must exit degraded mode")
+	}
+	if _, err := c.ExecCached("UPDATE items SET qty = 9 WHERE id = 3"); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	cs := c.ClientStats()
+	if cs.DegradedEntries != 1 || cs.DegradedExits != 1 || cs.DegradedRejects < 2 {
+		t.Fatalf("degraded counters = %+v", cs)
+	}
+	for i, r := range reps {
+		res := queryReplica(t, r, "SELECT qty FROM items WHERE id = 3")
+		if got := res.Rows[0][0].AsInt(); got != 9 {
+			t.Fatalf("replica %d qty = %d, want 9 (divergence after recovery)", i, got)
+		}
+	}
+}

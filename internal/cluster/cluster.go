@@ -47,6 +47,18 @@ import (
 // ErrNoReplicas is returned when every replica has been ejected.
 var ErrNoReplicas = errors.New("cluster: no healthy replicas")
 
+// ErrDegraded fast-fails writes while a StrictWrites cluster is degraded:
+// one or more replicas are ejected, so no write can satisfy the policy.
+// Reads keep flowing off the healthy replicas; the cluster exits degraded
+// mode when Rejoin restores the full replica set. Callers can surface it
+// as "service read-only" instead of a cascade of per-write errors.
+var ErrDegraded = errors.New("cluster: degraded (read-only): strict write policy unsatisfiable until ejected replicas rejoin")
+
+// DefaultSyncTimeout bounds a rejoin's data copy. Syncing a testbed-scale
+// data set takes well under a second; half a minute means the source or
+// the joiner stalled.
+const DefaultSyncTimeout = 30 * time.Second
+
 // Config configures a Client.
 type Config struct {
 	// DSN is the multi-backend address list: "host:port[,host:port...]".
@@ -56,10 +68,26 @@ type Config struct {
 	PoolSize int
 	// StrictWrites makes a write error when any replica fails mid-broadcast
 	// (after completing the broadcast on the remaining healthy replicas, so
-	// the survivors stay mutually consistent). The default policy is
-	// write-all-available: the failed replica is ejected and the write
-	// succeeds on the rest.
+	// the survivors stay mutually consistent), and puts the cluster in
+	// read-only degraded mode (ErrDegraded) until the replica set is whole
+	// again. The default policy is write-all-available: the failed replica
+	// is ejected and the write succeeds on the rest.
 	StrictWrites bool
+	// Timeouts bounds dials, per-operation round trips and pool borrow
+	// waits on every replica pool (zero fields: pool-package defaults;
+	// negative: unbounded). A stalled replica thus surfaces as a transport
+	// error — and is ejected — instead of hanging a broadcast.
+	Timeouts pool.Timeouts
+	// SlowThreshold ejects a replica whose broadcast ack lags the fastest
+	// ack (or whose read exceeds the threshold outright) by more than this
+	// — the slow-but-not-stalled replica that drags every write to its
+	// speed, since a broadcast completes at the slowest ack. 0 disables
+	// latency-based ejection (the default: only transport failures eject).
+	SlowThreshold time.Duration
+	// SyncTimeout bounds a Rejoin's data copy (0: DefaultSyncTimeout;
+	// negative: unbounded). On expiry the replica is left cleanly ejected
+	// and marked half-synced rather than promoted.
+	SyncTimeout time.Duration
 }
 
 // ParseDSN splits a multi-backend DSN into its replica addresses.
@@ -96,10 +124,21 @@ type Client struct {
 	locks    *writeLocks
 	routes   routes
 	strict   bool
+	slow     time.Duration // SlowThreshold; 0 = disabled
+	syncTO   time.Duration // resolved SyncTimeout; 0 = unbounded
 	// topo serializes broadcasts (read side) against Rejoin's resync
 	// (write side), so a joining replica never sees a half-applied write.
 	topo   sync.RWMutex
 	closed atomic.Bool
+
+	// degraded is the strict-policy read-only latch: set when a write
+	// fails (or would fail) the strict policy, cleared when Rejoin makes
+	// the replica set whole. Writes fast-fail with ErrDegraded while set.
+	degraded        atomic.Bool
+	degradedEntries atomic.Int64
+	degradedExits   atomic.Int64
+	degradedRejects atomic.Int64
+	slowEjections   atomic.Int64
 
 	// Broadcast batching and read-only transaction counters (telemetry).
 	broadcasts    atomic.Int64
@@ -116,16 +155,34 @@ type ClientStats struct {
 	Broadcasts    int64 `json:"broadcasts"`
 	BroadcastAcks int64 `json:"broadcast_acks"`
 	ReadOnlyTxns  int64 `json:"readonly_txns"`
+	// SlowEjections counts replicas ejected for lagging SlowThreshold
+	// behind the pack rather than transport-failing. The Degraded* fields
+	// track the strict-policy read-only latch: entries/exits count mode
+	// flips, rejects counts writes fast-failed with ErrDegraded, and
+	// Degraded is the latch's current state.
+	SlowEjections   int64 `json:"slow_ejections,omitempty"`
+	DegradedEntries int64 `json:"degraded_entries,omitempty"`
+	DegradedExits   int64 `json:"degraded_exits,omitempty"`
+	DegradedRejects int64 `json:"degraded_rejects,omitempty"`
+	Degraded        bool  `json:"degraded,omitempty"`
 }
 
 // ClientStats snapshots the counters.
 func (c *Client) ClientStats() ClientStats {
 	return ClientStats{
-		Broadcasts:    c.broadcasts.Load(),
-		BroadcastAcks: c.broadcastAcks.Load(),
-		ReadOnlyTxns:  c.roTxns.Load(),
+		Broadcasts:      c.broadcasts.Load(),
+		BroadcastAcks:   c.broadcastAcks.Load(),
+		ReadOnlyTxns:    c.roTxns.Load(),
+		SlowEjections:   c.slowEjections.Load(),
+		DegradedEntries: c.degradedEntries.Load(),
+		DegradedExits:   c.degradedExits.Load(),
+		DegradedRejects: c.degradedRejects.Load(),
+		Degraded:        c.degraded.Load(),
 	}
 }
+
+// Degraded reports whether the strict-policy read-only latch is set.
+func (c *Client) Degraded() bool { return c.degraded.Load() }
 
 // New creates a client over the DSN's replicas with default policy.
 func New(dsn string, poolSize int) *Client {
@@ -142,12 +199,23 @@ func NewWithConfig(cfg Config) *Client {
 	if size <= 0 {
 		size = 12
 	}
+	syncTO := cfg.SyncTimeout
+	if syncTO == 0 {
+		syncTO = DefaultSyncTimeout
+	} else if syncTO < 0 {
+		syncTO = 0
+	}
 	// Write-order locks are shared with every other client over the same
 	// replica set (one per app-tier backend), so conflicting writes apply
 	// in one process-wide global order — see lockRegistry.
-	c := &Client{locks: acquireWriteLocks(addrs), strict: cfg.StrictWrites}
+	c := &Client{
+		locks:  acquireWriteLocks(addrs),
+		strict: cfg.StrictWrites,
+		slow:   cfg.SlowThreshold,
+		syncTO: syncTO,
+	}
 	for i, addr := range addrs {
-		r := &replica{id: i, addr: addr, pool: wire.NewPool(addr, size)}
+		r := &replica{id: i, addr: addr, pool: wire.NewPoolT(addr, size, cfg.Timeouts)}
 		r.healthy.Store(true)
 		c.replicas = append(c.replicas, r)
 	}
@@ -205,10 +273,79 @@ func (c *Client) eject(r *replica) bool {
 	return true
 }
 
+// ejectSlow ejects a replica for lagging, not failing: its transport still
+// answers, but so far behind the pack (or the threshold) that keeping it
+// in rotation drags every broadcast — which completes at the slowest ack —
+// down to its speed.
+func (c *Client) ejectSlow(r *replica) {
+	if len(c.replicas) == 1 {
+		return
+	}
+	if r.healthy.CompareAndSwap(true, false) {
+		r.ejections.Add(1)
+		c.slowEjections.Add(1)
+	}
+}
+
+// noteSlow applies the latency-based health policy to a finished fan-out:
+// any replica whose successful ack trailed the fastest by more than
+// SlowThreshold is ejected. Transport failures are handled by collect.
+func (c *Client) noteSlow(outs []fanResult) {
+	if c.slow <= 0 {
+		return
+	}
+	minDur := time.Duration(-1)
+	for i := range outs {
+		if outs[i].ran && !isTransport(outs[i].err) && (minDur < 0 || outs[i].dur < minDur) {
+			minDur = outs[i].dur
+		}
+	}
+	if minDur < 0 {
+		return
+	}
+	for i := range outs {
+		if outs[i].ran && !isTransport(outs[i].err) && outs[i].dur-minDur > c.slow {
+			c.ejectSlow(c.replicas[i])
+		}
+	}
+}
+
+// enterDegraded latches the strict-policy read-only mode.
+func (c *Client) enterDegraded() {
+	if c.strict && len(c.replicas) > 1 && c.degraded.CompareAndSwap(false, true) {
+		c.degradedEntries.Add(1)
+	}
+}
+
+// writeGate fast-fails writes that cannot satisfy the strict policy:
+// once any replica is ejected (or the degraded latch is already set), a
+// strict write is doomed, so it fails with ErrDegraded before acquiring
+// locks or touching the wire — reads keep flowing off the survivors. Under
+// the default write-all-available policy the gate is always open.
+func (c *Client) writeGate() error {
+	if !c.strict || len(c.replicas) == 1 {
+		return nil
+	}
+	if c.degraded.Load() || c.Healthy() < len(c.replicas) {
+		c.enterDegraded()
+		c.degradedRejects.Add(1)
+		return ErrDegraded
+	}
+	return nil
+}
+
 // isTransport reports whether err is a transport-level failure (as opposed
 // to a database-side error, which is deterministic across replicas).
 func isTransport(err error) bool {
 	return err != nil && !wire.IsServerError(err)
+}
+
+// ejectable reports transport failures that implicate the replica itself.
+// A pool wait timeout is client-side saturation — every pooled connection
+// is busy, which says nothing about the replica's health — so it surfaces
+// as an error without ejecting anybody.
+func ejectable(err error) bool {
+	return isTransport(err) && !errors.Is(err, pool.ErrWaitTimeout)
 }
 
 // Exec routes one statement as SQL text. See ExecCached for routing.
@@ -253,19 +390,26 @@ func (c *Client) execRead(query string, args []sqldb.Value, cached bool) (*sqldb
 }
 
 // readWith runs one read via run on a load-balanced healthy replica,
-// ejecting and failing over on transport errors.
+// ejecting and failing over on transport errors. A pool wait timeout
+// surfaces without ejection (the replica is fine; this client is
+// saturated), and a read slower than SlowThreshold ejects the replica
+// from future routing while still returning its answer.
 func (c *Client) readWith(run func(*replica) (*sqldb.Result, error)) (*sqldb.Result, error) {
 	for {
 		r := c.pickRead()
 		if r == nil {
 			return nil, ErrNoReplicas
 		}
+		start := time.Now()
 		res, err := run(r)
 		if isTransport(err) {
-			if c.eject(r) {
+			if ejectable(err) && c.eject(r) {
 				continue // fail over to the next healthy replica
 			}
 			return nil, err
+		}
+		if c.slow > 0 && time.Since(start) > c.slow {
+			c.ejectSlow(r)
 		}
 		r.reads.Add(1)
 		return res, err
@@ -406,6 +550,7 @@ func (b *bcast) result(c *Client) (*sqldb.Result, error) {
 		return nil, ErrNoReplicas
 	}
 	if b.failed && c.strict {
+		c.enterDegraded()
 		return nil, fmt.Errorf("cluster: strict write policy: replica failed mid-broadcast (applied on %d remaining)", c.Healthy())
 	}
 	return b.res, b.first
@@ -415,6 +560,9 @@ func (b *bcast) result(c *Client) (*sqldb.Result, error) {
 // route's table write-order locks (held across the whole fan-out, which is
 // what keeps conflicting writes in one global order on every replica).
 func (c *Client) writeWith(rt route, run func(*replica) (*sqldb.Result, error)) (*sqldb.Result, error) {
+	if err := c.writeGate(); err != nil {
+		return nil, err
+	}
 	c.topo.RLock()
 	defer c.topo.RUnlock()
 	release := c.locks.acquire(rt.tables)
@@ -422,7 +570,12 @@ func (c *Client) writeWith(rt route, run func(*replica) (*sqldb.Result, error)) 
 
 	outs := fanOut(c.replicas, func(r *replica) bool { return r.healthy.Load() }, run)
 	var b bcast
-	b.collect(outs, c.replicas, true, func(r *replica, err error) { c.eject(r) })
+	b.collect(outs, c.replicas, true, func(r *replica, err error) {
+		if ejectable(err) {
+			c.eject(r)
+		}
+	})
+	c.noteSlow(outs)
 	c.noteBroadcast(outs)
 	return b.result(c)
 }
@@ -647,12 +800,12 @@ func (s *Session) execDispatch(query string, args []sqldb.Value, cached bool) (*
 func (s *Session) execRead(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
 	cn, err := s.conn(s.pinned)
 	if err != nil {
-		s.fail(s.pinned)
+		s.fail(s.pinned, err)
 		return nil, err
 	}
 	res, err := s.connExec(cn, query, args, cached)
 	if isTransport(err) {
-		s.fail(s.pinned)
+		s.fail(s.pinned, err)
 		return nil, err
 	}
 	s.pinned.reads.Add(1)
@@ -680,6 +833,11 @@ func (s *Session) execLock(query string, args []sqldb.Value, cached bool, rt rou
 			s.inBracket = true
 		}
 		return res, err
+	}
+	if rt.writeBracket {
+		if err := s.c.writeGate(); err != nil {
+			return nil, err
+		}
 	}
 	s.c.topo.RLock()
 	s.topoHeld = true
@@ -765,6 +923,11 @@ func (s *Session) Begin(tables ...string) error {
 	if s.inBracket {
 		s.closeBracket() // a LOCK bracket ends here; the server releases its set on BEGIN
 	}
+	// A write transaction that cannot satisfy the strict policy fails at
+	// BEGIN, before any replica opens transaction state.
+	if err := s.c.writeGate(); err != nil {
+		return err
+	}
 	s.c.topo.RLock()
 	s.topoHeld = true
 	s.release = s.c.locks.acquire(ordered)
@@ -775,11 +938,11 @@ func (s *Session) Begin(tables ...string) error {
 		}
 		cn, err := s.conn(r)
 		if err != nil {
-			s.fail(r)
+			s.fail(r, err)
 			continue
 		}
 		if err := cn.Begin(); err != nil {
-			s.fail(r)
+			s.fail(r, err)
 			continue
 		}
 		opened++
@@ -826,7 +989,7 @@ func (s *Session) BeginReadOnly() error {
 		return err
 	}
 	if err := cn.Begin(); err != nil {
-		s.fail(s.pinned)
+		s.fail(s.pinned, err)
 		s.failed = true
 		return err
 	}
@@ -871,7 +1034,7 @@ func (s *Session) endTxn(op func(*wire.Conn) error) error {
 		}
 		if o.err != nil {
 			if isTransport(o.err) {
-				s.fail(s.c.replicas[i])
+				s.fail(s.c.replicas[i], o.err)
 			}
 			lastErr = o.err
 			continue
@@ -886,6 +1049,7 @@ func (s *Session) endTxn(op func(*wire.Conn) error) error {
 		return ErrNoReplicas
 	}
 	if lastErr != nil && s.c.strict {
+		s.c.enterDegraded()
 		return fmt.Errorf("cluster: strict write policy: replica failed mid-transaction-end (applied on %d): %w", done, lastErr)
 	}
 	return nil
@@ -922,6 +1086,9 @@ func (s *Session) execWrite(query string, args []sqldb.Value, cached bool, rt ro
 		// the deterministic error come back.
 		return s.execRead(query, args, cached)
 	}
+	if err := s.c.writeGate(); err != nil {
+		return nil, err
+	}
 	s.c.topo.RLock()
 	release := s.c.locks.acquire(rt.tables)
 	defer func() { release(); s.c.topo.RUnlock() }()
@@ -943,7 +1110,7 @@ func (s *Session) broadcast(query string, args []sqldb.Value, cached, countWrite
 			continue
 		}
 		if _, err := s.conn(r); err != nil {
-			s.fail(r)
+			s.fail(r, err)
 			b.fail(err)
 		}
 	}
@@ -952,7 +1119,7 @@ func (s *Session) broadcast(query string, args []sqldb.Value, cached, countWrite
 	}, func(r *replica) (*sqldb.Result, error) {
 		return s.connExec(s.conns[r.id], query, args, cached)
 	})
-	b.collect(outs, s.c.replicas, countWrite, func(r *replica, err error) { s.fail(r) })
+	b.collect(outs, s.c.replicas, countWrite, func(r *replica, err error) { s.fail(r, err) })
 	s.c.noteBroadcast(outs)
 	res, err := b.result(s.c)
 	// A database-side error in `err` is deterministic and leaves the
@@ -981,10 +1148,14 @@ func (s *Session) connExec(cn *wire.Conn, query string, args []sqldb.Value, cach
 	return cn.Exec(query, args...)
 }
 
-// fail poisons the session's connection to r and ejects r.
-func (s *Session) fail(r *replica) {
+// fail poisons the session's connection to r and — when err implicates
+// the replica rather than this client's own saturation (see ejectable) —
+// ejects r.
+func (s *Session) fail(r *replica, err error) {
 	s.broken[r.id] = true
-	s.c.eject(r)
+	if ejectable(err) {
+		s.c.eject(r)
+	}
 }
 
 func (s *Session) closeBracket() {
@@ -1125,13 +1296,20 @@ func (c *Client) Rejoin(id int, syncData bool) error {
 		// clients over the same backends — which never ejected it and still
 		// see it healthy — must not route reads to a half-copied data set.
 		c.locks.beginSync(r.addr)
-		_, _, err := Sync(src.pool, r.pool)
-		c.locks.endSync(r.addr)
+		_, _, err := SyncWithin(src.pool, r.pool, c.syncTO)
+		c.locks.endSync(r.addr, err == nil)
 		if err != nil {
+			// The replica stays cleanly ejected: healthy stays false for
+			// this client, and the sync taint keeps every other client's
+			// reads away from the half-copied data set until a later
+			// Rejoin completes.
 			return fmt.Errorf("cluster: sync replica %d from %d: %w", id, src.id, err)
 		}
 	}
 	r.healthy.Store(true)
+	if c.Healthy() == len(c.replicas) && c.degraded.CompareAndSwap(true, false) {
+		c.degradedExits.Add(1)
+	}
 	return nil
 }
 

@@ -237,10 +237,15 @@ type writeLocks struct {
 	syncCount atomic.Int32
 	syncMu    sync.Mutex
 	syncAddrs map[string]int
+	// tainted marks addresses whose last sync FAILED mid-copy (deadline
+	// expiry over a stalled peer, typically): the replica holds a
+	// half-copied data set no read may touch, so the mark outlives the
+	// sync itself and only a later successful sync clears it.
+	tainted map[string]bool
 }
 
 func newWriteLocks() *writeLocks {
-	return &writeLocks{m: make(map[string]*sync.Mutex), syncAddrs: make(map[string]int)}
+	return &writeLocks{m: make(map[string]*sync.Mutex), syncAddrs: make(map[string]int), tainted: make(map[string]bool)}
 }
 
 // beginSync marks addr as mid-rejoin; reads must not route there until the
@@ -252,24 +257,37 @@ func (w *writeLocks) beginSync(addr string) {
 	w.syncCount.Add(1)
 }
 
-// endSync clears a beginSync mark.
-func (w *writeLocks) endSync(addr string) {
+// endSync clears a beginSync mark. ok reports whether the copy completed:
+// a failed sync taints the address — syncing() keeps returning true, so
+// every client sharing the DSN keeps routing reads away from the
+// half-copied data set — until a later sync succeeds.
+func (w *writeLocks) endSync(addr string, ok bool) {
 	w.syncMu.Lock()
 	if w.syncAddrs[addr]--; w.syncAddrs[addr] <= 0 {
 		delete(w.syncAddrs, addr)
 	}
-	w.syncMu.Unlock()
 	w.syncCount.Add(-1)
+	if !ok {
+		if !w.tainted[addr] {
+			w.tainted[addr] = true
+			w.syncCount.Add(1) // keep the fast path non-zero while tainted
+		}
+	} else if w.tainted[addr] {
+		delete(w.tainted, addr)
+		w.syncCount.Add(-1)
+	}
+	w.syncMu.Unlock()
 }
 
-// syncing reports whether addr is currently mid-rejoin.
+// syncing reports whether addr is currently mid-rejoin, or tainted by a
+// failed rejoin whose half-copied data set was never overwritten.
 func (w *writeLocks) syncing(addr string) bool {
 	if w.syncCount.Load() == 0 {
 		return false
 	}
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
-	return w.syncAddrs[addr] > 0
+	return w.syncAddrs[addr] > 0 || w.tainted[addr]
 }
 
 // lockRegistry shares one writeLocks instance per database — keyed by the

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/sqldb"
 )
@@ -17,6 +19,12 @@ type Execer interface {
 // syncBatch bounds rows per INSERT during a replica sync.
 const syncBatch = 64
 
+// ErrSyncTimeout is returned by SyncWithin when the copy outlives its
+// deadline. The destination holds a half-copied data set; Rejoin reacts by
+// leaving the replica cleanly ejected (and marked mid-sync for every
+// client sharing the DSN) rather than promoting it.
+var ErrSyncTimeout = errors.New("cluster: sync deadline exceeded")
+
 // Sync replays src's data onto dst, table by table: SHOW TABLES to
 // enumerate the catalog, SELECT * to read each table, DELETE FROM plus
 // batched INSERTs to rewrite it. dst must already have the schema (a fresh
@@ -25,13 +33,29 @@ const syncBatch = 64
 // replica assigns the same ids as its source on the next broadcast insert.
 // It returns the tables and rows copied.
 func Sync(src, dst Execer) (tables, rows int, err error) {
+	return SyncWithin(src, dst, 0)
+}
+
+// SyncWithin is Sync bounded by a wall-clock budget (0: unbounded). The
+// deadline is checked between tables and between row batches — the units
+// of work whose individual round trips the transport deadlines already
+// bound — so expiry surfaces as ErrSyncTimeout within one round trip
+// rather than hanging for the whole copy of a large data set.
+func SyncWithin(src, dst Execer, budget time.Duration) (tables, rows int, err error) {
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
 	cat, err := src.Exec("SHOW TABLES")
 	if err != nil {
 		return 0, 0, fmt.Errorf("cluster: sync: catalog: %w", err)
 	}
 	for _, row := range cat.Rows {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return tables, rows, ErrSyncTimeout
+		}
 		table := row[0].AsString()
-		n, err := syncTable(src, dst, table)
+		n, err := syncTable(src, dst, table, deadline)
 		if err != nil {
 			return tables, rows, fmt.Errorf("cluster: sync %s: %w", table, err)
 		}
@@ -41,7 +65,7 @@ func Sync(src, dst Execer) (tables, rows int, err error) {
 	return tables, rows, nil
 }
 
-func syncTable(src, dst Execer, table string) (int, error) {
+func syncTable(src, dst Execer, table string, deadline time.Time) (int, error) {
 	data, err := src.Exec("SELECT * FROM " + table)
 	if err != nil {
 		return 0, err
@@ -55,6 +79,9 @@ func syncTable(src, dst Execer, table string) (int, error) {
 	cols := strings.Join(data.Columns, ", ")
 	one := "(" + strings.TrimSuffix(strings.Repeat("?, ", len(data.Columns)), ", ") + ")"
 	for off := 0; off < len(data.Rows); off += syncBatch {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return 0, ErrSyncTimeout
+		}
 		end := off + syncBatch
 		if end > len(data.Rows) {
 			end = len(data.Rows)

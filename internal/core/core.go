@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"repro/internal/ajp"
 	"repro/internal/auction"
 	"repro/internal/bookstore"
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/ejb"
@@ -66,6 +68,35 @@ type Config struct {
 	ImageBytes int
 	// Seed drives data generation.
 	Seed int64
+	// DBStrictWrites selects the cluster's strict write policy for the
+	// application tier's database clients. With it, losing a replica drops
+	// the cluster into explicit read-only degradation (cluster.ErrDegraded
+	// on writes) until every replica rejoins.
+	DBStrictWrites bool
+	// DBTimeouts bounds the app→db wire transport: dial, per-statement
+	// round trip, and pool-wait deadlines (pool.Timeouts semantics — zero
+	// fields take the transport defaults, negative disables).
+	DBTimeouts pool.Timeouts
+	// DBSlowThreshold ejects a database replica whose broadcast acks lag
+	// the fastest replica by more than this (0: disabled).
+	DBSlowThreshold time.Duration
+	// DBSyncTimeout bounds a rejoining replica's data copy.
+	DBSyncTimeout time.Duration
+	// AppTimeouts bounds the web→app AJP transport and, in the EJB
+	// architecture, the presentation→EJB RMI transport.
+	AppTimeouts pool.Timeouts
+	// Chaos interposes a fault-injecting TCP proxy (internal/chaos) on
+	// every cross-tier link: one in front of each database replica (the
+	// app tier dials the proxies) and one in front of each AJP backend.
+	// Faults are scripted ahead of time with DBChaos/AppChaos or injected
+	// at runtime through the Lab's SlowReplica / PartitionReplica /
+	// StallAppBackend hooks.
+	Chaos bool
+	// DBChaos / AppChaos script per-backend fault schedules, keyed by
+	// database replica / app backend index. Indexes absent from a map get
+	// a transparent proxy, still controllable through the hooks.
+	DBChaos  map[int]chaos.Schedule
+	AppChaos map[int]chaos.Schedule
 	// Logger receives tier logs; nil discards them.
 	Logger *log.Logger
 }
@@ -103,6 +134,12 @@ type Lab struct {
 	dbAddrs []string
 	web     *httpd.Server
 	webAddr string
+
+	// Chaos proxies (Config.Chaos): dbProxies[i] fronts database replica
+	// i — the app tier dials it instead of dbAddrs[i] — and appProxies[i]
+	// fronts app backend i's AJP listener.
+	dbProxies  []*chaos.Proxy
+	appProxies []*chaos.Proxy
 
 	module *scriptmod.Module
 	// The application tier: index i across these slices is one backend
@@ -165,8 +202,24 @@ func Start(cfg Config) (lab *Lab, err error) {
 		l.dbAddrs = append(l.dbAddrs, addr.String())
 	}
 
+	// --- chaos interposition: the app tier dials fault-injecting proxies
+	// instead of the replica servers; the real listen addresses stay in
+	// dbAddrs so RestartReplica re-listens where the proxy forwards ---
+	dialAddrs := l.dbAddrs
+	if cfg.Chaos {
+		dialAddrs = make([]string, len(l.dbAddrs))
+		for i, addr := range l.dbAddrs {
+			px, err := chaos.Listen(fmt.Sprintf("db%d", i), addr, cfg.DBChaos[i])
+			if err != nil {
+				return nil, err
+			}
+			l.dbProxies = append(l.dbProxies, px)
+			dialAddrs[i] = px.Addr()
+		}
+	}
+
 	// --- application tier ---
-	appHandler, err := l.startAppTier(strings.Join(l.dbAddrs, ","))
+	appHandler, err := l.startAppTier(strings.Join(dialAddrs, ","))
 	if err != nil {
 		return nil, err
 	}
@@ -239,6 +292,8 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 	newAppContainer := func(route string) *servlet.Container {
 		c := servlet.NewContainer(servlet.Config{
 			DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize,
+			DBStrictWrites: cfg.DBStrictWrites, DBTimeouts: cfg.DBTimeouts,
+			DBSlowThreshold: cfg.DBSlowThreshold, DBSyncTimeout: cfg.DBSyncTimeout,
 			Route: route, SessionStore: store(), Locks: sharedLocks,
 		})
 		switch cfg.Benchmark {
@@ -256,8 +311,17 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 		if err != nil {
 			return err
 		}
+		dial := addr.String()
+		if cfg.Chaos {
+			px, err := chaos.Listen(fmt.Sprintf("app%d", len(l.containers)), dial, cfg.AppChaos[len(l.containers)])
+			if err != nil {
+				return err
+			}
+			l.appProxies = append(l.appProxies, px)
+			dial = px.Addr()
+		}
 		l.containers = append(l.containers, c)
-		l.connectors = append(l.connectors, ajp.NewConnector(addr.String(), cfg.DBPoolSize))
+		l.connectors = append(l.connectors, ajp.NewConnectorT(dial, cfg.DBPoolSize, cfg.AppTimeouts))
 		return nil
 	}
 
@@ -289,7 +353,11 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 		// façade + entity beans -> database. Each backend is a complete
 		// presentation + EJB container pair, as a JOnAS farm would deploy.
 		for i := 0; i < replicas; i++ {
-			ec, err := ejb.NewContainer(ejb.Config{DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize})
+			ec, err := ejb.NewContainer(ejb.Config{
+				DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize,
+				DBStrictWrites: cfg.DBStrictWrites, DBTimeouts: cfg.DBTimeouts,
+				DBSlowThreshold: cfg.DBSlowThreshold, DBSyncTimeout: cfg.DBSyncTimeout,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -315,7 +383,7 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 			if err != nil {
 				return nil, err
 			}
-			rc := rmi.NewClient(rmiAddr.String(), cfg.DBPoolSize)
+			rc := rmi.NewClientT(rmiAddr.String(), cfg.DBPoolSize, cfg.AppTimeouts)
 			l.rmiClients = append(l.rmiClients, rc)
 			switch cfg.Benchmark {
 			case perfsim.Bookstore:
@@ -453,6 +521,87 @@ func (l *Lab) StopAppBackend(i int) {
 	}
 }
 
+// DBProxy returns the chaos proxy fronting database replica i (nil
+// without Config.Chaos) for direct fault scripting.
+func (l *Lab) DBProxy(i int) *chaos.Proxy {
+	if i < 0 || i >= len(l.dbProxies) {
+		return nil
+	}
+	return l.dbProxies[i]
+}
+
+// AppProxy returns the chaos proxy fronting app backend i's AJP link
+// (nil without Config.Chaos).
+func (l *Lab) AppProxy(i int) *chaos.Proxy {
+	if i < 0 || i >= len(l.appProxies) {
+		return nil
+	}
+	return l.appProxies[i]
+}
+
+// SlowReplica makes every byte to and from database replica i wait d —
+// the up-but-slow replica. With cluster.Config.SlowThreshold set, the
+// next broadcast ejects it. No-op without Config.Chaos.
+func (l *Lab) SlowReplica(i int, d time.Duration) {
+	if px := l.DBProxy(i); px != nil {
+		px.Set(chaos.Fault{Kind: chaos.Latency, Delay: d})
+	}
+}
+
+// PartitionReplica blackholes database replica i: in-flight and new
+// connections hang (not refuse) until the clients' own deadlines fire —
+// the slow-failure analog of StopReplica. No-op without Config.Chaos.
+func (l *Lab) PartitionReplica(i int) {
+	if px := l.DBProxy(i); px != nil {
+		px.Set(chaos.Fault{Kind: chaos.Stall})
+	}
+}
+
+// HealReplica lifts replica i's injected fault. Connections that were
+// stalled are torn down rather than resumed (the chaos package's
+// stall-kills invariant); the cluster redials, and RejoinAll brings the
+// ejected replica back into rotation.
+func (l *Lab) HealReplica(i int) {
+	if px := l.DBProxy(i); px != nil {
+		px.Clear()
+	}
+}
+
+// StallAppBackend blackholes application backend i's AJP link: the web
+// tier's requests to it hang until the connector's deadline fires and
+// the balancer ejects it. The backend process itself stays healthy —
+// the fault is the link, which is exactly what StopAppBackend cannot
+// model. No-op without Config.Chaos.
+func (l *Lab) StallAppBackend(i int) {
+	if px := l.AppProxy(i); px != nil {
+		px.Set(chaos.Fault{Kind: chaos.Stall})
+	}
+}
+
+// HealAppBackend lifts app backend i's injected fault; the balancer's
+// readmission probes bring it back.
+func (l *Lab) HealAppBackend(i int) {
+	if px := l.AppProxy(i); px != nil {
+		px.Clear()
+	}
+}
+
+// RejoinAll rejoins every ejected database replica on every cluster
+// client in the application tier, resyncing data, and returns the first
+// error. Rejoin on a healthy replica is a no-op, so calling it broadly
+// is safe.
+func (l *Lab) RejoinAll() error {
+	var firstErr error
+	for _, cl := range l.clusterClients() {
+		for id := 0; id < cl.Replicas(); id++ {
+			if err := cl.Rejoin(id, true); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
 // EJBQueryCount returns the EJB tier's statement count (0 for non-EJB
 // configurations) — the observable behind §6.1's packet analysis. A
 // replicated tier reports the sum over its backends.
@@ -516,6 +665,11 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 				t.Broadcasts += ccs.Broadcasts
 				t.BroadcastAcks += ccs.BroadcastAcks
 				t.ReadOnlyTxns += ccs.ReadOnlyTxns
+				t.SlowEjections += ccs.SlowEjections
+				t.DegradedEntries += ccs.DegradedEntries
+				t.DegradedExits += ccs.DegradedExits
+				t.DegradedRejects += ccs.DegradedRejects
+				t.Degraded = t.Degraded || ccs.Degraded
 			}
 		}
 		if len(dbPools) > 0 {
@@ -552,6 +706,11 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			t.Broadcasts += ccs.Broadcasts
 			t.BroadcastAcks += ccs.BroadcastAcks
 			t.ReadOnlyTxns += ccs.ReadOnlyTxns
+			t.SlowEjections += ccs.SlowEjections
+			t.DegradedEntries += ccs.DegradedEntries
+			t.DegradedExits += ccs.DegradedExits
+			t.DegradedRejects += ccs.DegradedRejects
+			t.Degraded = t.Degraded || ccs.Degraded
 			dbPools = append(dbPools, es.DB)
 		}
 		ps := sumPools("db-cluster", dbPools)
@@ -715,6 +874,12 @@ func (l *Lab) Close() {
 	}
 	for _, ec := range l.ejbCs {
 		ec.Close()
+	}
+	for _, px := range l.appProxies {
+		px.Close()
+	}
+	for _, px := range l.dbProxies {
+		px.Close()
 	}
 	for _, srv := range l.dbSrvs {
 		srv.Close()

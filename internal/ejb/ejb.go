@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/pool"
@@ -59,6 +60,19 @@ type Config struct {
 	// one UPDATE per Set — the ablation knob for the CMP-granularity
 	// experiment. The paper's measured system behaves like false.
 	WriteBehind bool
+	// DBStrictWrites selects the cluster's strict write policy: a write
+	// errors when any replica fails mid-broadcast instead of continuing on
+	// the survivors.
+	DBStrictWrites bool
+	// DBTimeouts bounds the cluster transport: dial, per-statement round
+	// trip, and pool-wait deadlines (pool.Timeouts semantics).
+	DBTimeouts pool.Timeouts
+	// DBSlowThreshold ejects a replica whose broadcast acks lag the
+	// fastest replica by more than this (0: disabled).
+	DBSlowThreshold time.Duration
+	// DBSyncTimeout bounds a rejoining replica's data copy (cluster.Config
+	// semantics: 0 is the cluster default, negative is unbounded).
+	DBSyncTimeout time.Duration
 }
 
 // Container manages entity beans and hosts session beans over RMI.
@@ -85,7 +99,14 @@ func NewContainer(cfg Config) (*Container, error) {
 		return nil, fmt.Errorf("ejb: DBAddr required")
 	}
 	return &Container{
-		pool:        cluster.New(cfg.DBAddr, cfg.DBPoolSize),
+		pool: cluster.NewWithConfig(cluster.Config{
+			DSN:           cfg.DBAddr,
+			PoolSize:      cfg.DBPoolSize,
+			StrictWrites:  cfg.DBStrictWrites,
+			Timeouts:      cfg.DBTimeouts,
+			SlowThreshold: cfg.DBSlowThreshold,
+			SyncTimeout:   cfg.DBSyncTimeout,
+		}),
 		writeBehind: cfg.WriteBehind,
 		entities:    make(map[string]*entityMeta),
 		rmiServer:   rmi.NewServer(),

@@ -34,6 +34,9 @@ type Client struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	jar     map[string]string
+	// armedUntil amortizes SetDeadline: fast back-to-back requests reuse
+	// the armed deadline while >3/4 of the timeout window remains.
+	armedUntil time.Time
 }
 
 // New creates a client for addr ("host:port"). timeout bounds each request
@@ -42,16 +45,25 @@ func New(addr string, timeout time.Duration) *Client {
 	return &Client{addr: addr, timeout: timeout}
 }
 
-// connect (re)establishes the persistent connection.
+// connect (re)establishes the persistent connection. The round-trip
+// timeout bounds the dial too — a stalled accept queue should fail like
+// a stalled response, not hang the emulated browser.
 func (c *Client) connect() error {
 	c.closeConn()
-	conn, err := net.Dial("tcp", c.addr)
+	var conn net.Conn
+	var err error
+	if c.timeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, c.timeout)
+	} else {
+		conn, err = net.Dial("tcp", c.addr)
+	}
 	if err != nil {
 		return fmt.Errorf("httpclient: dial %s: %w", c.addr, err)
 	}
 	c.conn = conn
 	c.br = bufio.NewReaderSize(conn, 32<<10)
 	c.bw = bufio.NewWriterSize(conn, 16<<10)
+	c.armedUntil = time.Time{} // fresh conn has no deadline armed yet
 	return nil
 }
 
@@ -126,7 +138,10 @@ func retriable(err error) bool {
 
 func (c *Client) attempt(method, path, contentType string, body []byte) (*Response, error) {
 	if c.timeout > 0 {
-		_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+		if now := time.Now(); c.armedUntil.Sub(now) <= c.timeout-c.timeout/4 {
+			c.armedUntil = now.Add(c.timeout)
+			_ = c.conn.SetDeadline(c.armedUntil)
+		}
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: %s\r\n", method, path, c.addr)

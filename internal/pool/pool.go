@@ -18,6 +18,9 @@ package pool
 
 import (
 	"errors"
+	"math/rand/v2"
+	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +30,64 @@ import (
 
 // ErrClosed is returned by Get after Close.
 var ErrClosed = errors.New("pool: closed")
+
+// ErrWaitTimeout is returned by Get when the pool stayed exhausted for the
+// whole wait deadline. Before the deadline existed, a borrower queued on a
+// pool whose every connection was stuck talking to a stalled peer blocked
+// forever; now the caller gets a bounded, typed failure it can convert
+// into a clean error (or a failover) instead of a hang.
+var ErrWaitTimeout = errors.New("pool: wait timeout (pool exhausted)")
+
+// Default deadlines. "A few hundred ms" of queueing on an exhausted pool
+// already means the tier below is saturated or stalled; dial and op bounds
+// are generous enough that only a genuinely wedged peer hits them.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultOpTimeout   = 10 * time.Second
+	DefaultWaitTimeout = 500 * time.Millisecond
+)
+
+// Timeouts bounds the three ways a transport client can block on a slow or
+// stalled peer: establishing a connection, one request/response round trip
+// on it, and waiting for a pooled connection to free up. The zero value
+// selects the package defaults; a negative field disables that bound.
+// Every transport client in the stack (sqldb/wire, ajp, rmi) accepts one.
+type Timeouts struct {
+	Dial time.Duration
+	Op   time.Duration
+	Wait time.Duration
+}
+
+// WithDefaults resolves zero fields to the package defaults and negative
+// fields to "no bound" (0).
+func (t Timeouts) WithDefaults() Timeouts {
+	norm := func(d, def time.Duration) time.Duration {
+		if d == 0 {
+			return def
+		}
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	return Timeouts{
+		Dial: norm(t.Dial, DefaultDialTimeout),
+		Op:   norm(t.Op, DefaultOpTimeout),
+		Wait: norm(t.Wait, DefaultWaitTimeout),
+	}
+}
+
+// IsTimeout reports whether err is a deadline expiry — a read/write that
+// outlived its per-operation deadline, or a dial that outlived its dial
+// timeout. Timeouts are transport errors (the connection's stream state is
+// unknowable), but callers can distinguish them for telemetry.
+func IsTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) || errors.Is(err, ErrWaitTimeout) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
 
 // Config configures a Pool.
 type Config[T any] struct {
@@ -40,6 +101,21 @@ type Config[T any] struct {
 	Destroy func(T)
 	// Size caps concurrently open connections (default 1).
 	Size int
+	// WaitTimeout bounds how long Get blocks on an exhausted pool before
+	// failing with ErrWaitTimeout (0: DefaultWaitTimeout; negative: wait
+	// forever, the pre-deadline behavior).
+	WaitTimeout time.Duration
+	// RetryAttempts caps how many times Do retries a transport failure on a
+	// fresh connection (default 1, the classic stale-connection retry).
+	RetryAttempts int
+	// RetryBackoff is the base of the exponential backoff between retry
+	// attempts (default 2ms, doubling per attempt with up to 50% added
+	// jitter); RetryBackoffMax caps it (default 50ms). The first retry of a
+	// round trip is immediate — a stale pooled connection is certain to
+	// fail and certain to be fixed by redialing — and backoff starts with
+	// the second, when the peer itself is suspect.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 }
 
 // Pool is a fixed-capacity lazy connection pool, safe for concurrent use.
@@ -55,6 +131,11 @@ type Pool[T any] struct {
 	destroy func(T)
 	limit   int
 
+	waitTimeout time.Duration // 0: wait forever
+	attempts    int           // total Do tries on transport failure
+	backoffBase time.Duration
+	backoffCap  time.Duration
+
 	permits chan struct{} // capacity tokens; blocked receivers queue FIFO
 	done    chan struct{} // closed by Close to release waiters
 
@@ -63,13 +144,18 @@ type Pool[T any] struct {
 	opened int
 	closed bool
 
-	dials     atomic.Int64
-	gets      atomic.Int64
-	waits     atomic.Int64
-	waitNanos atomic.Int64
-	discards  atomic.Int64
-	retries   atomic.Int64
-	borrow    *stats.Reservoir // borrow latency, seconds
+	dials        atomic.Int64
+	gets         atomic.Int64
+	waits        atomic.Int64
+	waitNanos    atomic.Int64
+	discards     atomic.Int64
+	retries      atomic.Int64
+	waitTimeouts atomic.Int64
+	opTimeouts   atomic.Int64
+	timeoutNanos atomic.Int64
+	backoffs     atomic.Int64
+	backoffNanos atomic.Int64
+	borrow       *stats.Reservoir // borrow latency, seconds
 }
 
 // New creates a pool.
@@ -81,14 +167,36 @@ func New[T any](cfg Config[T]) *Pool[T] {
 	if size <= 0 {
 		size = 1
 	}
+	waitTimeout := cfg.WaitTimeout
+	if waitTimeout == 0 {
+		waitTimeout = DefaultWaitTimeout
+	} else if waitTimeout < 0 {
+		waitTimeout = 0
+	}
+	attempts := 1 + cfg.RetryAttempts
+	if cfg.RetryAttempts <= 0 {
+		attempts = 2 // one retry: the classic stale-connection absorb
+	}
+	backoffBase := cfg.RetryBackoff
+	if backoffBase <= 0 {
+		backoffBase = 2 * time.Millisecond
+	}
+	backoffCap := cfg.RetryBackoffMax
+	if backoffCap <= 0 {
+		backoffCap = 50 * time.Millisecond
+	}
 	p := &Pool[T]{
-		name:    cfg.Name,
-		dial:    cfg.Dial,
-		destroy: cfg.Destroy,
-		limit:   size,
-		permits: make(chan struct{}, size),
-		done:    make(chan struct{}),
-		borrow:  stats.NewReservoir(1024, 1),
+		name:        cfg.Name,
+		dial:        cfg.Dial,
+		destroy:     cfg.Destroy,
+		limit:       size,
+		waitTimeout: waitTimeout,
+		attempts:    attempts,
+		backoffBase: backoffBase,
+		backoffCap:  backoffCap,
+		permits:     make(chan struct{}, size),
+		done:        make(chan struct{}),
+		borrow:      stats.NewReservoir(1024, 1),
 	}
 	for i := 0; i < size; i++ {
 		p.permits <- struct{}{}
@@ -107,11 +215,30 @@ func (p *Pool[T]) Get() (T, error) {
 	case <-p.permits:
 	default:
 		p.waits.Add(1)
-		select {
-		case <-p.permits:
-			p.waitNanos.Add(time.Since(start).Nanoseconds())
-		case <-p.done:
-			return zero, ErrClosed
+		if p.waitTimeout > 0 {
+			timer := time.NewTimer(p.waitTimeout)
+			select {
+			case <-p.permits:
+				timer.Stop()
+				p.waitNanos.Add(time.Since(start).Nanoseconds())
+			case <-p.done:
+				timer.Stop()
+				return zero, ErrClosed
+			case <-timer.C:
+				// The whole pool spent the deadline borrowed — saturation
+				// (or a stalled peer holding every connection). The time
+				// spent queueing still counts toward the saturation signal.
+				p.waitTimeouts.Add(1)
+				p.waitNanos.Add(time.Since(start).Nanoseconds())
+				return zero, ErrWaitTimeout
+			}
+		} else {
+			select {
+			case <-p.permits:
+				p.waitNanos.Add(time.Since(start).Nanoseconds())
+			case <-p.done:
+				return zero, ErrClosed
+			}
 		}
 	}
 	p.mu.Lock()
@@ -178,31 +305,61 @@ func (p *Pool[T]) doDestroy(v T) {
 
 // Do borrows a connection, runs fn on it, and returns it — discarded when
 // fn's error is transport-level per isBroken (nil means every error is).
-// With retry true, one transport failure is retried on a fresh
-// connection, absorbing a stale pooled connection (the peer may have
-// dropped it while idle).
+// With retry true, transport failures are retried on fresh connections up
+// to Config.RetryAttempts times (default once, absorbing a stale pooled
+// connection the peer dropped while idle). The first retry is immediate;
+// later ones back off exponentially with jitter, since by then the peer
+// itself is suspect and hammering it helps nobody.
 func (p *Pool[T]) Do(retry bool, isBroken func(error) bool, fn func(T) error) error {
-	v, err := p.Get()
-	if err != nil {
-		return err
+	var prev error
+	for attempt := 0; ; attempt++ {
+		v, err := p.Get()
+		if err != nil {
+			if prev != nil {
+				return errors.Join(err, prev)
+			}
+			return err
+		}
+		opStart := time.Now()
+		err = fn(v)
+		if err == nil || (isBroken != nil && !isBroken(err)) {
+			p.Put(v, false)
+			return err
+		}
+		p.Put(v, true)
+		if IsTimeout(err) {
+			p.opTimeouts.Add(1)
+			p.timeoutNanos.Add(time.Since(opStart).Nanoseconds())
+		}
+		if !retry || attempt+1 >= p.attempts {
+			return err
+		}
+		prev = err
+		p.retries.Add(1)
+		if attempt >= 1 {
+			p.sleepBackoff(attempt - 1)
+		}
 	}
-	err = fn(v)
-	if err == nil || (isBroken != nil && !isBroken(err)) {
-		p.Put(v, false)
-		return err
+}
+
+// sleepBackoff blocks for backoffBase·2^n (capped at backoffCap) plus up to
+// 50% jitter, or until the pool closes. Jitter de-synchronizes the
+// retrying borrowers of a shared pool so a recovered peer sees a ramp, not
+// a thundering herd.
+func (p *Pool[T]) sleepBackoff(n int) {
+	d := p.backoffBase << n
+	if d > p.backoffCap || d <= 0 {
+		d = p.backoffCap
 	}
-	p.Put(v, true)
-	if !retry {
-		return err
+	d += time.Duration(rand.Int64N(int64(d)/2 + 1))
+	p.backoffs.Add(1)
+	p.backoffNanos.Add(int64(d))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-p.done:
 	}
-	p.retries.Add(1)
-	v, err2 := p.Get()
-	if err2 != nil {
-		return errors.Join(err2, err)
-	}
-	err2 = fn(v)
-	p.Put(v, err2 != nil && (isBroken == nil || isBroken(err2)))
-	return err2
 }
 
 // Reset destroys the idle connections without closing the pool: borrowers
@@ -259,6 +416,16 @@ type Stats struct {
 	WaitNanos int64 `json:"wait_nanos"`
 	Discards  int64 `json:"discards"`
 	Retries   int64 `json:"retries"`
+	// WaitTimeouts counts borrows that gave up after the wait deadline;
+	// OpTimeouts counts Do round trips that failed on an expired
+	// read/write deadline, with TimeoutNanos the time those round trips
+	// burned before expiring; Backoffs/BackoffNanos count the retry
+	// backoff sleeps and the time spent in them.
+	WaitTimeouts int64 `json:"wait_timeouts,omitempty"`
+	OpTimeouts   int64 `json:"op_timeouts,omitempty"`
+	TimeoutNanos int64 `json:"timeout_nanos,omitempty"`
+	Backoffs     int64 `json:"backoffs,omitempty"`
+	BackoffNanos int64 `json:"backoff_nanos,omitempty"`
 	// Borrow latency from the reservoir, milliseconds.
 	BorrowMeanMillis float64 `json:"borrow_mean_ms"`
 	BorrowP95Millis  float64 `json:"borrow_p95_ms"`
@@ -290,6 +457,11 @@ func (p *Pool[T]) Stats() Stats {
 		WaitNanos:        p.waitNanos.Load(),
 		Discards:         p.discards.Load(),
 		Retries:          p.retries.Load(),
+		WaitTimeouts:     p.waitTimeouts.Load(),
+		OpTimeouts:       p.opTimeouts.Load(),
+		TimeoutNanos:     p.timeoutNanos.Load(),
+		Backoffs:         p.backoffs.Load(),
+		BackoffNanos:     p.backoffNanos.Load(),
 		BorrowMeanMillis: p.borrow.Mean() * 1000,
 		BorrowP95Millis:  p.borrow.Percentile(95) * 1000,
 		BorrowMaxMillis:  p.borrow.Max() * 1000,
@@ -321,6 +493,11 @@ func Sum(name string, pools []Stats) Stats {
 		agg.WaitNanos += ps.WaitNanos
 		agg.Discards += ps.Discards
 		agg.Retries += ps.Retries
+		agg.WaitTimeouts += ps.WaitTimeouts
+		agg.OpTimeouts += ps.OpTimeouts
+		agg.TimeoutNanos += ps.TimeoutNanos
+		agg.Backoffs += ps.Backoffs
+		agg.BackoffNanos += ps.BackoffNanos
 		if ps.BorrowMeanMillis > agg.BorrowMeanMillis {
 			agg.BorrowMeanMillis = ps.BorrowMeanMillis
 		}
@@ -344,5 +521,10 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.WaitNanos -= prev.WaitNanos
 	d.Discards -= prev.Discards
 	d.Retries -= prev.Retries
+	d.WaitTimeouts -= prev.WaitTimeouts
+	d.OpTimeouts -= prev.OpTimeouts
+	d.TimeoutNanos -= prev.TimeoutNanos
+	d.Backoffs -= prev.Backoffs
+	d.BackoffNanos -= prev.BackoffNanos
 	return d
 }

@@ -330,6 +330,112 @@ func TestDoRetriesOnceOnBrokenConn(t *testing.T) {
 	}
 }
 
+func TestGetWaitTimeout(t *testing.T) {
+	h := &harness{}
+	p := New(Config[*fakeConn]{
+		Name:        "test",
+		Dial:        func() (*fakeConn, error) { return &fakeConn{id: int(h.dials.Add(1))}, nil },
+		Size:        1,
+		WaitTimeout: 30 * time.Millisecond,
+	})
+	defer p.Close()
+	a, _ := p.Get()
+	start := time.Now()
+	_, err := p.Get()
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("Get on exhausted pool = %v, want ErrWaitTimeout", err)
+	}
+	if !IsTimeout(err) {
+		t.Fatal("ErrWaitTimeout must classify as a timeout")
+	}
+	if d := time.Since(start); d < 25*time.Millisecond || d > 5*time.Second {
+		t.Fatalf("wait timeout fired after %v, want ~30ms", d)
+	}
+	s := p.Stats()
+	if s.WaitTimeouts != 1 || s.WaitNanos <= 0 {
+		t.Fatalf("stats should count the timed-out wait: %+v", s)
+	}
+	p.Put(a, false)
+	if c, err := p.Get(); err != nil {
+		t.Fatalf("Get after a freed conn: %v", err)
+	} else {
+		p.Put(c, false)
+	}
+}
+
+func TestGetWaitTimeoutDisabled(t *testing.T) {
+	h := &harness{}
+	p := New(Config[*fakeConn]{
+		Name:        "test",
+		Dial:        func() (*fakeConn, error) { return &fakeConn{id: int(h.dials.Add(1))}, nil },
+		Size:        1,
+		WaitTimeout: -1,
+	})
+	defer p.Close()
+	a, _ := p.Get()
+	acquired := make(chan *fakeConn)
+	go func() {
+		c, err := p.Get()
+		if err != nil {
+			t.Errorf("blocked get: %v", err)
+		}
+		acquired <- c
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("Get should still be blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Put(a, false)
+	c := <-acquired
+	p.Put(c, false)
+}
+
+func TestDoBoundedRetriesWithBackoff(t *testing.T) {
+	h := &harness{}
+	p := New(Config[*fakeConn]{
+		Name:          "test",
+		Dial:          func() (*fakeConn, error) { return &fakeConn{id: int(h.dials.Add(1))}, nil },
+		Size:          2,
+		RetryAttempts: 3,
+		RetryBackoff:  time.Millisecond,
+	})
+	defer p.Close()
+	attempts := 0
+	failure := errors.New("transport down")
+	err := p.Do(true, nil, func(c *fakeConn) error {
+		attempts++
+		return failure
+	})
+	if !errors.Is(err, failure) {
+		t.Fatalf("err = %v, want the transport error", err)
+	}
+	if attempts != 4 { // 1 try + 3 retries
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+	s := p.Stats()
+	if s.Retries != 3 || s.Discards != 4 {
+		t.Fatalf("stats = %+v, want 3 retries / 4 discards", s)
+	}
+	// First retry is immediate; the remaining two back off.
+	if s.Backoffs != 2 || s.BackoffNanos <= 0 {
+		t.Fatalf("stats = %+v, want 2 counted backoff sleeps", s)
+	}
+}
+
+func TestTimeoutsWithDefaults(t *testing.T) {
+	got := Timeouts{}.WithDefaults()
+	want := Timeouts{Dial: DefaultDialTimeout, Op: DefaultOpTimeout, Wait: DefaultWaitTimeout}
+	if got != want {
+		t.Fatalf("zero Timeouts resolved to %+v, want defaults", got)
+	}
+	got = Timeouts{Dial: -1, Op: time.Second, Wait: -1}.WithDefaults()
+	want = Timeouts{Dial: 0, Op: time.Second, Wait: 0}
+	if got != want {
+		t.Fatalf("got %+v, want negatives disabled and explicit values kept", got)
+	}
+}
+
 func TestDoKeepsConnOnApplicationError(t *testing.T) {
 	h := &harness{}
 	p := h.pool(2)

@@ -30,6 +30,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/pool"
 )
@@ -299,7 +300,8 @@ func IsFault(err error) bool {
 // Client calls a remote Server over a pool of persistent connections
 // (internal/pool). It is safe for concurrent use.
 type Client struct {
-	pool *pool.Pool[*clientConn]
+	pool      *pool.Pool[*clientConn]
+	opTimeout time.Duration
 }
 
 type clientConn struct {
@@ -307,17 +309,39 @@ type clientConn struct {
 	br *bufio.Reader
 	bw *bufio.Writer
 	gs *gobStream
+	// armedUntil amortizes SetDeadline: fast back-to-back round trips
+	// reuse the armed deadline while >3/4 of the op window remains.
+	armedUntil time.Time
 }
 
-// NewClient creates a client with up to size pooled connections.
+// NewClient creates a client with up to size pooled connections and the
+// default timeouts.
 func NewClient(addr string, size int) *Client {
+	return NewClientT(addr, size, pool.Timeouts{})
+}
+
+// NewClientT creates a client bounding dials with t.Dial, each call's
+// round trip with t.Op, and pool borrow waits with t.Wait (zero fields
+// take the pool-package defaults; negative fields disable a bound).
+func NewClientT(addr string, size int, t pool.Timeouts) *Client {
 	if size <= 0 {
 		size = 8
 	}
-	return &Client{pool: pool.New(pool.Config[*clientConn]{
+	t = t.WithDefaults()
+	waitTimeout := time.Duration(-1)
+	if t.Wait > 0 {
+		waitTimeout = t.Wait
+	}
+	return &Client{opTimeout: t.Op, pool: pool.New(pool.Config[*clientConn]{
 		Name: "rmi@" + addr,
 		Dial: func() (*clientConn, error) {
-			nc, err := net.Dial("tcp", addr)
+			var nc net.Conn
+			var err error
+			if t.Dial > 0 {
+				nc, err = net.DialTimeout("tcp", addr, t.Dial)
+			} else {
+				nc, err = net.Dial("tcp", addr)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("rmi: dial %s: %w", addr, err)
 			}
@@ -326,8 +350,9 @@ func NewClient(addr string, size int) *Client {
 				bw: bufio.NewWriterSize(nc, 32<<10),
 				gs: newGobStream()}, nil
 		},
-		Destroy: func(cc *clientConn) { cc.nc.Close() },
-		Size:    size,
+		Destroy:     func(cc *clientConn) { cc.nc.Close() },
+		Size:        size,
+		WaitTimeout: waitTimeout,
 	})}
 }
 
@@ -345,6 +370,12 @@ func (c *Client) Call(methodName string, args, reply any) error {
 func (c *Client) Stats() pool.Stats { return c.pool.Stats() }
 
 func (c *Client) roundTrip(cc *clientConn, methodName string, args, reply any) error {
+	if c.opTimeout > 0 {
+		if now := time.Now(); cc.armedUntil.Sub(now) <= c.opTimeout-c.opTimeout/4 {
+			cc.armedUntil = now.Add(c.opTimeout)
+			cc.nc.SetDeadline(cc.armedUntil)
+		}
+	}
 	gs := cc.gs
 	gs.buf.Reset()
 	gs.buf.WriteString(methodName)

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ajp"
 	"repro/internal/cluster"
@@ -106,6 +107,16 @@ type Config struct {
 	// errors when any replica fails mid-broadcast instead of continuing on
 	// the survivors.
 	DBStrictWrites bool
+	// DBTimeouts bounds the cluster transport: dial, per-statement round
+	// trip, and pool-wait deadlines (pool.Timeouts semantics — zero fields
+	// take the transport defaults, negative disables).
+	DBTimeouts pool.Timeouts
+	// DBSlowThreshold ejects a replica whose broadcast acks lag the
+	// fastest replica by more than this (0: disabled).
+	DBSlowThreshold time.Duration
+	// DBSyncTimeout bounds a rejoining replica's data copy (cluster.Config
+	// semantics: 0 is the cluster default, negative is unbounded).
+	DBSyncTimeout time.Duration
 	// Route names this container in a load-balanced application tier (the
 	// jvmRoute of the paper's sticky-session setups): session ids carry it
 	// as a ".route" suffix, and the front-end balancer (internal/lb) pins a
@@ -186,9 +197,12 @@ func NewContainer(cfg Config) *Container {
 	}
 	if cfg.DBAddr != "" {
 		ctx.DB = cluster.NewWithConfig(cluster.Config{
-			DSN:          cfg.DBAddr,
-			PoolSize:     cfg.DBPoolSize,
-			StrictWrites: cfg.DBStrictWrites,
+			DSN:           cfg.DBAddr,
+			PoolSize:      cfg.DBPoolSize,
+			StrictWrites:  cfg.DBStrictWrites,
+			Timeouts:      cfg.DBTimeouts,
+			SlowThreshold: cfg.DBSlowThreshold,
+			SyncTimeout:   cfg.DBSyncTimeout,
 		})
 	}
 	return &Container{ctx: ctx, mux: httpd.NewMux()}

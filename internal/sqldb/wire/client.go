@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/pool"
 	"repro/internal/sqldb"
@@ -30,6 +31,17 @@ type Conn struct {
 	stmts  map[string]uint32
 	nextID uint32
 
+	// opTimeout bounds one public operation (all of its writes, flushes
+	// and reads) with a connection deadline, so a stalled server turns
+	// into a transport error instead of a hang. 0 means unbounded.
+	// armedUntil amortizes SetDeadline: re-arming is a timer-heap
+	// operation per call, so fast back-to-back ops reuse the armed
+	// deadline while it still holds >3/4 of the window (an op observes
+	// between 0.75×Op and Op of budget — bounded is the contract, not
+	// precise).
+	opTimeout  time.Duration
+	armedUntil time.Time
+
 	// pendingBegins counts BEGIN frames written but whose replies have not
 	// been read yet: Begin is pipelined — the frame rides to the server with
 	// the transaction's first statement, and the reply is drained just
@@ -37,18 +49,47 @@ type Conn struct {
 	pendingBegins int
 }
 
-// Dial connects to a wire server.
+// Dial connects to a wire server with the default dial and per-operation
+// timeouts.
 func Dial(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialT(addr, pool.Timeouts{}.WithDefaults())
+}
+
+// DialT connects to a wire server, bounding the dial with t.Dial and every
+// subsequent operation with t.Op (zero fields: unbounded).
+func DialT(addr string, t pool.Timeouts) (*Conn, error) {
+	var nc net.Conn
+	var err error
+	if t.Dial > 0 {
+		nc, err = net.DialTimeout("tcp", addr, t.Dial)
+	} else {
+		nc, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	return &Conn{
-		nc:    nc,
-		r:     bufio.NewReaderSize(nc, 32<<10),
-		w:     bufio.NewWriterSize(nc, 32<<10),
-		stmts: make(map[string]uint32),
+		nc:        nc,
+		r:         bufio.NewReaderSize(nc, 32<<10),
+		w:         bufio.NewWriterSize(nc, 32<<10),
+		stmts:     make(map[string]uint32),
+		opTimeout: t.Op,
 	}, nil
+}
+
+// arm starts the per-operation deadline clock. Called at the top of each
+// public operation — not in flush — so writes that spill the 32KB buffer
+// mid-encode (large sync batches) are bounded too.
+func (c *Conn) arm() {
+	if c.opTimeout <= 0 {
+		return
+	}
+	now := time.Now()
+	if c.armedUntil.Sub(now) > c.opTimeout-c.opTimeout/4 {
+		return
+	}
+	c.armedUntil = now.Add(c.opTimeout)
+	c.nc.SetDeadline(c.armedUntil)
 }
 
 // send writes one request frame from a pooled encoder (unflushed) and
@@ -119,6 +160,7 @@ func (c *Conn) drainPending() error {
 // is only buffered: it ships with the next statement (or Commit/Rollback),
 // so opening a transaction costs no extra round trip.
 func (c *Conn) Begin() error {
+	c.arm()
 	if err := writeFrame(c.w, msgBegin, nil); err != nil {
 		return fmt.Errorf("wire: send: %w", err)
 	}
@@ -133,6 +175,7 @@ func (c *Conn) Commit() error { return c.txnEnd(msgCommit) }
 func (c *Conn) Rollback() error { return c.txnEnd(msgRollback) }
 
 func (c *Conn) txnEnd(typ byte) error {
+	c.arm()
 	if err := writeFrame(c.w, typ, nil); err != nil {
 		return fmt.Errorf("wire: send: %w", err)
 	}
@@ -149,6 +192,7 @@ func (c *Conn) txnEnd(typ byte) error {
 // Exec sends one statement as SQL text and waits for its result (the v1
 // exchange; the server parses through its plan cache).
 func (c *Conn) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	c.arm()
 	e := getEnc()
 	encodeQuery(e, query, args)
 	if err := c.send(msgQuery, e); err != nil {
@@ -170,6 +214,7 @@ func (c *Conn) Prepare(query string) (uint32, error) {
 	if id, ok := c.stmts[query]; ok {
 		return id, nil
 	}
+	c.arm()
 	c.nextID++
 	id := c.nextID
 	if err := c.sendPrepare(id, query); err != nil {
@@ -190,6 +235,7 @@ func (c *Conn) Prepare(query string) (uint32, error) {
 
 // ExecPrepared runs a statement previously registered with Prepare.
 func (c *Conn) ExecPrepared(id uint32, args ...sqldb.Value) (*sqldb.Result, error) {
+	c.arm()
 	if err := c.sendExecStmt(id, args); err != nil {
 		return nil, err
 	}
@@ -207,6 +253,7 @@ func (c *Conn) ExecPrepared(id uint32, args ...sqldb.Value) (*sqldb.Result, erro
 // EXECUTE into one round trip; thereafter only the 4-byte statement id and
 // the arguments cross the wire.
 func (c *Conn) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	c.arm()
 	id, prepared := c.stmts[query]
 	if !prepared {
 		c.nextID++
@@ -245,6 +292,7 @@ func (c *Conn) CloseStmt(query string) error {
 	if !ok {
 		return nil
 	}
+	c.arm()
 	delete(c.stmts, query)
 	e := getEnc()
 	encodeCloseStmt(e, id)
@@ -288,15 +336,28 @@ type Pool struct {
 	stmts map[string]*Stmt
 }
 
-// NewPool creates a pool of up to size connections to addr. Connections are
-// opened lazily.
+// NewPool creates a pool of up to size connections to addr with the
+// default timeouts. Connections are opened lazily.
 func NewPool(addr string, size int) *Pool {
+	return NewPoolT(addr, size, pool.Timeouts{})
+}
+
+// NewPoolT creates a pool of up to size connections to addr, bounding
+// dials, operations and borrow waits with t (zero fields take the
+// pool-package defaults; negative fields disable a bound).
+func NewPoolT(addr string, size int, t pool.Timeouts) *Pool {
+	t = t.WithDefaults()
+	waitTimeout := time.Duration(-1)
+	if t.Wait > 0 {
+		waitTimeout = t.Wait
+	}
 	return &Pool{
 		p: pool.New(pool.Config[*Conn]{
-			Name:    "db@" + addr,
-			Dial:    func() (*Conn, error) { return Dial(addr) },
-			Destroy: func(c *Conn) { c.Close() },
-			Size:    size,
+			Name:        "db@" + addr,
+			Dial:        func() (*Conn, error) { return DialT(addr, t) },
+			Destroy:     func(c *Conn) { c.Close() },
+			Size:        size,
+			WaitTimeout: waitTimeout,
 		}),
 		stmts: make(map[string]*Stmt),
 	}

@@ -68,6 +68,17 @@ type Tier struct {
 	Broadcasts    int64 `json:"broadcasts,omitempty"`
 	BroadcastAcks int64 `json:"broadcast_acks,omitempty"`
 	ReadOnlyTxns  int64 `json:"readonly_txns,omitempty"`
+	// Robustness counters (tiers that own a cluster client). The transport-
+	// level figures — operation deadlines hit, pool-wait timeouts, retry
+	// backoff sleeps — live in Pool; these are the routing-level ones:
+	// replicas ejected for lagging the broadcast pack, and the strict-write
+	// degraded (read-only) mode's entries, exits, and fast-failed writes.
+	// Degraded is a gauge: true while the cluster is read-only right now.
+	SlowEjections   int64 `json:"slow_ejections,omitempty"`
+	DegradedEntries int64 `json:"degraded_entries,omitempty"`
+	DegradedExits   int64 `json:"degraded_exits,omitempty"`
+	DegradedRejects int64 `json:"degraded_rejects,omitempty"`
+	Degraded        bool  `json:"degraded,omitempty"`
 	// Downstream names the tier Pool dials into. Pool wait time is
 	// evidence that *that* tier's connections are all busy, so
 	// Bottleneck charges the wait there, not to the pool's holder.
@@ -172,6 +183,10 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 				t.Broadcasts -= pt.Broadcasts
 				t.BroadcastAcks -= pt.BroadcastAcks
 				t.ReadOnlyTxns -= pt.ReadOnlyTxns
+				t.SlowEjections -= pt.SlowEjections
+				t.DegradedEntries -= pt.DegradedEntries
+				t.DegradedExits -= pt.DegradedExits
+				t.DegradedRejects -= pt.DegradedRejects
 				if t.Pool != nil && pt.Pool != nil {
 					d := t.Pool.Sub(*pt.Pool)
 					t.Pool = &d
@@ -263,7 +278,11 @@ func (s *Snapshot) Bottleneck() string {
 			target = t.Name // unnamed or unknown downstream: charge the holder
 		}
 		sc := scores[target]
-		sc[0] += float64(t.Pool.WaitNanos)
+		// Time burned on operations that hit their deadline is the same
+		// evidence as wait time, only stronger: the tier below was not just
+		// busy but unresponsive. Both charge to the pool's Downstream, so a
+		// stalled database reads as "db is the bottleneck (timing out)".
+		sc[0] += float64(t.Pool.WaitNanos + t.Pool.TimeoutNanos)
 		if u := t.Pool.Utilization(); u > sc[1] {
 			sc[1] = u
 		}
@@ -368,6 +387,30 @@ func (s *Snapshot) Format() string {
 		fmt.Fprintf(&b, "%s cluster: %d broadcasts (%.1f acks each), %d read-only txns\n",
 			t.Name, t.Broadcasts, acksPer, t.ReadOnlyTxns)
 	}
+	for _, t := range s.Tiers {
+		p := t.Pool
+		if p == nil || (p.OpTimeouts == 0 && p.WaitTimeouts == 0 && p.Backoffs == 0) {
+			continue
+		}
+		into := t.Downstream
+		if into == "" {
+			into = t.Name
+		}
+		fmt.Fprintf(&b, "%s->%s faults: %d op timeouts (%s lost), %d pool-wait timeouts, %d backoffs (%s waiting)\n",
+			t.Name, into, p.OpTimeouts, time.Duration(p.TimeoutNanos).Round(time.Microsecond),
+			p.WaitTimeouts, p.Backoffs, time.Duration(p.BackoffNanos).Round(time.Microsecond))
+	}
+	for _, t := range s.Tiers {
+		if t.SlowEjections == 0 && t.DegradedEntries == 0 && t.DegradedRejects == 0 && !t.Degraded {
+			continue
+		}
+		state := "recovered"
+		if t.Degraded {
+			state = "DEGRADED: read-only"
+		}
+		fmt.Fprintf(&b, "%s cluster health: %d slow ejections; degraded mode %d entries / %d exits, %d writes fast-failed [%s]\n",
+			t.Name, t.SlowEjections, t.DegradedEntries, t.DegradedExits, t.DegradedRejects, state)
+	}
 	if len(s.AppBackends) > 0 {
 		fmt.Fprintf(&b, "%-10s %9s %9s %9s %9s %12s %8s\n",
 			"backend", "routed", "affinity", "failover", "inflight", "pool", "state")
@@ -402,6 +445,13 @@ func (s *Snapshot) Format() string {
 				time.Duration(r.LagNanos).Round(time.Microsecond), poolCol, state)
 		}
 	}
-	fmt.Fprintf(&b, "bottleneck: %s\n", bottleneck)
+	verdict := bottleneck
+	for _, t := range s.Tiers {
+		if t.Pool != nil && t.Downstream == bottleneck && t.Pool.OpTimeouts > 0 {
+			verdict += " (timing out)"
+			break
+		}
+	}
+	fmt.Fprintf(&b, "bottleneck: %s\n", verdict)
 	return b.String()
 }

@@ -98,3 +98,54 @@ func TestFormatMarksBottleneck(t *testing.T) {
 		t.Fatalf("missing prepared/plan-cache line:\n%s", out)
 	}
 }
+
+func TestBottleneckChargesTimeoutsDownstream(t *testing.T) {
+	s := snap()
+	// A quiet pool that nonetheless burned time on expired deadlines: the
+	// database was unresponsive, and the verdict names it with the
+	// timing-out qualifier.
+	s.Tiers[1].Pool.WaitNanos = 0
+	s.Tiers[1].Pool.OpTimeouts = 4
+	s.Tiers[1].Pool.TimeoutNanos = 8e8
+	if got := s.Bottleneck(); got != "db" {
+		t.Fatalf("bottleneck = %q, want db (servlet's db pool timing out)", got)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "bottleneck: db (timing out)") {
+		t.Fatalf("missing timing-out verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "servlet->db faults: 4 op timeouts") {
+		t.Fatalf("missing fault line:\n%s", out)
+	}
+}
+
+func TestDeltaAndFormatDegradedCounters(t *testing.T) {
+	before := snap()
+	before.Tiers[1].SlowEjections = 1
+	before.Tiers[1].DegradedRejects = 2
+	after := snap()
+	after.Tiers[1].SlowEjections = 3
+	after.Tiers[1].DegradedEntries = 1
+	after.Tiers[1].DegradedExits = 1
+	after.Tiers[1].DegradedRejects = 9
+	after.Tiers[1].Degraded = true
+	after.Tiers[1].Pool.WaitTimeouts = 5
+	after.Tiers[1].Pool.Backoffs = 7
+	after.Tiers[1].Pool.BackoffNanos = 2e6
+
+	d := after.Delta(before)
+	sv := d.Tier("servlet")
+	if sv.SlowEjections != 2 || sv.DegradedEntries != 1 || sv.DegradedExits != 1 || sv.DegradedRejects != 7 {
+		t.Fatalf("degraded deltas: %+v", sv)
+	}
+	if !sv.Degraded {
+		t.Fatal("Degraded is a gauge and must pass through the delta")
+	}
+	out := after.Format()
+	if !strings.Contains(out, "servlet cluster health: 3 slow ejections; degraded mode 1 entries / 1 exits, 9 writes fast-failed [DEGRADED: read-only]") {
+		t.Fatalf("missing cluster-health line:\n%s", out)
+	}
+	if !strings.Contains(out, "5 pool-wait timeouts, 7 backoffs") {
+		t.Fatalf("missing pool fault counters:\n%s", out)
+	}
+}
