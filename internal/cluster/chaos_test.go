@@ -179,6 +179,138 @@ func TestSlowReplicaEjection(t *testing.T) {
 	}
 }
 
+// TestEndSyncTaintKeepsCountPositive: when a sync fails, the taint inherits
+// the sync's syncCount contribution instead of decrementing and
+// re-incrementing — syncing()'s lock-free fast path must never observe a
+// transient zero while a half-copied replica still needs reads routed away.
+// This pins the counter's balance across the taint lifecycle.
+func TestEndSyncTaintKeepsCountPositive(t *testing.T) {
+	w := newWriteLocks()
+	w.beginSync("a")
+	if !w.syncing("a") || w.syncCount.Load() != 1 {
+		t.Fatalf("mid-sync: syncing=%v count=%d", w.syncing("a"), w.syncCount.Load())
+	}
+	w.endSync("a", false)
+	if !w.syncing("a") || w.syncCount.Load() != 1 {
+		t.Fatalf("after failed sync: syncing=%v count=%d, want taint holding count at 1", w.syncing("a"), w.syncCount.Load())
+	}
+	// A second failed cycle must not double-count the taint.
+	w.beginSync("a")
+	w.endSync("a", false)
+	if !w.syncing("a") || w.syncCount.Load() != 1 {
+		t.Fatalf("after second failed sync: syncing=%v count=%d", w.syncing("a"), w.syncCount.Load())
+	}
+	// Success clears the taint and the sync's own count.
+	w.beginSync("a")
+	w.endSync("a", true)
+	if w.syncing("a") || w.syncCount.Load() != 0 {
+		t.Fatalf("after successful sync: syncing=%v count=%d, want clean zero", w.syncing("a"), w.syncCount.Load())
+	}
+}
+
+// TestStaleDegradedLatchSelfHeals: a degraded latch that outlives the last
+// rejoin (every replica healthy again — e.g. a racing rejoin completed
+// between a broadcast's ejection and its enterDegraded) must not leave a
+// whole healthy cluster read-only forever: the write gate self-heals, and
+// Rejoin on an already-healthy replica clears the latch instead of
+// returning early past it.
+func TestStaleDegradedLatchSelfHeals(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{StrictWrites: true})
+	c.degraded.Store(true)
+	if _, err := c.ExecCached("UPDATE items SET qty = 11 WHERE id = 4"); err != nil {
+		t.Fatalf("write on a whole healthy cluster = %v, want the stale latch self-healed", err)
+	}
+	if c.Degraded() {
+		t.Fatal("stale latch must clear once the replica set is whole")
+	}
+	if cs := c.ClientStats(); cs.DegradedExits != 1 {
+		t.Fatalf("degraded exits = %d, want 1", cs.DegradedExits)
+	}
+
+	c.degraded.Store(true)
+	if err := c.Rejoin(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Degraded() {
+		t.Fatal("Rejoin on a healthy replica must still clear the stale latch")
+	}
+}
+
+// TestMissedWriteOnSaturatedPoolEjects: a replica whose pool wait times out
+// during a write broadcast that APPLIED on the other replicas has missed
+// the write — it must be ejected (and resynced on rejoin) even though a
+// wait timeout is not transport evidence on the read path. Under
+// StrictWrites this is also the wedge regression: the degraded latch must
+// always come with an ejected replica, so Rejoin has something to bring
+// back and an exit path for the latch.
+func TestMissedWriteOnSaturatedPoolEjects(t *testing.T) {
+	reps := startReplicas(t, 2)
+	px, err := chaos.Listen("replica1", reps[1].addr, chaos.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	c := NewWithConfig(Config{
+		DSN:          reps[0].addr + "," + px.Addr(),
+		PoolSize:     1,
+		StrictWrites: true,
+		Timeouts:     pool.Timeouts{Wait: 60 * time.Millisecond},
+	})
+	defer c.Close()
+	if _, err := c.ExecCached("UPDATE items SET qty = 1 WHERE id = 5"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy replica 1's single pooled connection with a slow round trip;
+	// a concurrent write on a different table (different write-order lock)
+	// applies on replica 0 and times out waiting for replica 1's pool.
+	px.Set(chaos.Fault{Kind: chaos.Latency, Delay: 400 * time.Millisecond})
+	slow := make(chan error, 1)
+	go func() {
+		_, err := c.ExecCached("UPDATE items SET qty = 2 WHERE id = 5")
+		slow <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if _, err := c.ExecCached("INSERT INTO audit (item, delta) VALUES (?, ?)",
+		sqldb.Int(5), sqldb.Int(-1)); err == nil {
+		t.Fatal("strict write must fail when a replica's pool stays exhausted mid-broadcast")
+	}
+	if c.Healthy() != 1 {
+		t.Fatalf("healthy = %d, want the replica that missed the write ejected", c.Healthy())
+	}
+	if !c.Degraded() {
+		t.Fatal("strict missed-write failure must latch degraded mode")
+	}
+	if _, err := c.ExecCached("UPDATE items SET qty = 3 WHERE id = 5"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("write in degraded mode = %v, want ErrDegraded", err)
+	}
+	if err := <-slow; err != nil {
+		t.Fatalf("the in-flight slow write should still complete: %v", err)
+	}
+
+	// Rejoin with sync replays the missed audit row; the latch clears and
+	// writes flow again, leaving the replicas row-identical.
+	px.Clear()
+	if err := c.Rejoin(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if c.Degraded() || c.Healthy() != 2 {
+		t.Fatalf("degraded=%v healthy=%d after full rejoin", c.Degraded(), c.Healthy())
+	}
+	if _, err := c.ExecCached("UPDATE items SET qty = 9 WHERE id = 5"); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+	for i, r := range reps {
+		if got := queryReplica(t, r, "SELECT qty FROM items WHERE id = 5").Rows[0][0].AsInt(); got != 9 {
+			t.Fatalf("replica %d qty = %d, want 9", i, got)
+		}
+		if got := queryReplica(t, r, "SELECT delta FROM audit WHERE item = 5"); len(got.Rows) != 1 {
+			t.Fatalf("replica %d audit rows = %d, want the missed write resynced", i, len(got.Rows))
+		}
+	}
+}
+
 // TestDegradedModeReadOnly: under StrictWrites, losing a replica flips the
 // cluster into explicit read-only degradation — writes fail fast with
 // ErrDegraded (no broadcast attempted), reads keep flowing — and a full

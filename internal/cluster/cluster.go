@@ -317,21 +317,37 @@ func (c *Client) enterDegraded() {
 	}
 }
 
+// exitDegradedIfWhole clears the degraded latch once every replica is back
+// in the healthy set. It runs on rejoin and as writeGate's self-heal: the
+// latch exists to protect a cluster that is missing writes somewhere, so a
+// whole replica set must never stay read-only (a stale latch with all
+// replicas healthy — e.g. a racing rejoin completing between a broadcast's
+// ejection and its enterDegraded — would otherwise wedge writes forever,
+// since no replica is left for Rejoin to bring back).
+func (c *Client) exitDegradedIfWhole() {
+	if c.Healthy() == len(c.replicas) && c.degraded.CompareAndSwap(true, false) {
+		c.degradedExits.Add(1)
+	}
+}
+
 // writeGate fast-fails writes that cannot satisfy the strict policy:
-// once any replica is ejected (or the degraded latch is already set), a
-// strict write is doomed, so it fails with ErrDegraded before acquiring
-// locks or touching the wire — reads keep flowing off the survivors. Under
-// the default write-all-available policy the gate is always open.
+// once any replica is ejected, a strict write is doomed, so it fails with
+// ErrDegraded before acquiring locks or touching the wire — reads keep
+// flowing off the survivors. A degraded latch outliving the last rejoin
+// (every replica healthy again) is stale and self-heals here instead of
+// rejecting writes on a whole cluster. Under the default
+// write-all-available policy the gate is always open.
 func (c *Client) writeGate() error {
 	if !c.strict || len(c.replicas) == 1 {
 		return nil
 	}
-	if c.degraded.Load() || c.Healthy() < len(c.replicas) {
-		c.enterDegraded()
-		c.degradedRejects.Add(1)
-		return ErrDegraded
+	if c.Healthy() == len(c.replicas) {
+		c.exitDegradedIfWhole()
+		return nil
 	}
-	return nil
+	c.enterDegraded()
+	c.degradedRejects.Add(1)
+	return ErrDegraded
 }
 
 // isTransport reports whether err is a transport-level failure (as opposed
@@ -342,8 +358,11 @@ func isTransport(err error) bool {
 
 // ejectable reports transport failures that implicate the replica itself.
 // A pool wait timeout is client-side saturation — every pooled connection
-// is busy, which says nothing about the replica's health — so it surfaces
-// as an error without ejecting anybody.
+// is busy, which says nothing about the replica's health — so on the read
+// path it surfaces as an error without ejecting anybody. Write broadcasts
+// override this: whatever the error class, a replica that failed to apply
+// a statement the others applied has diverged and is ejected (see
+// collect's applied flag).
 func ejectable(err error) bool {
 	return isTransport(err) && !errors.Is(err, pool.ErrWaitTimeout)
 }
@@ -505,20 +524,26 @@ func (b *bcast) fail(err error) { b.failed, b.lastErr = true, err }
 // collect folds a fan-out into the accounting, in replica order: transport
 // failures invoke onFail (ejection at pool level, session poisoning at
 // session level), everything else is a deterministic database answer.
-func (b *bcast) collect(outs []fanResult, replicas []*replica, countWrite bool, onFail func(*replica, error)) {
+// onFail's applied flag reports whether some other replica answered this
+// fan-out — the consistency signal: a replica that transport-failed while
+// the statement applied elsewhere has missed a write and must leave the
+// healthy set whatever the error class, or it would keep serving (and
+// re-broadcasting from) a diverged data set.
+func (b *bcast) collect(outs []fanResult, replicas []*replica, countWrite bool, onFail func(r *replica, err error, applied bool)) {
 	minDur := time.Duration(-1)
 	for i := range outs {
 		if outs[i].ran && !isTransport(outs[i].err) && (minDur < 0 || outs[i].dur < minDur) {
 			minDur = outs[i].dur
 		}
 	}
+	applied := minDur >= 0
 	for i, o := range outs {
 		if !o.ran {
 			continue
 		}
 		r := replicas[i]
 		if isTransport(o.err) {
-			onFail(r, o.err)
+			onFail(r, o.err, applied)
 			b.fail(o.err)
 			continue
 		}
@@ -541,7 +566,13 @@ func (c *Client) noteBroadcast(outs []fanResult) {
 	}
 }
 
-// result resolves the broadcast under the write policy.
+// result resolves the broadcast under the write policy. The strict-mode
+// degraded latch only ever engages here when the broadcast both applied
+// somewhere AND failed somewhere — and in that case the failure handlers
+// ejected every failed replica (missed-write ejection), so Rejoin always
+// has an unhealthy replica to bring back and clear the latch through; an
+// all-failed broadcast (nothing applied, replicas still identical) returns
+// the transport error without latching.
 func (b *bcast) result(c *Client) (*sqldb.Result, error) {
 	if !b.answered {
 		if b.lastErr != nil {
@@ -570,8 +601,11 @@ func (c *Client) writeWith(rt route, run func(*replica) (*sqldb.Result, error)) 
 
 	outs := fanOut(c.replicas, func(r *replica) bool { return r.healthy.Load() }, run)
 	var b bcast
-	b.collect(outs, c.replicas, true, func(r *replica, err error) {
-		if ejectable(err) {
+	b.collect(outs, c.replicas, true, func(r *replica, err error, applied bool) {
+		// applied: the write landed on another replica, so this one has
+		// missed it — eject even on a non-ejectable error (pool wait
+		// timeout); only a rejoin sync can make it bit-identical again.
+		if applied || ejectable(err) {
 			c.eject(r)
 		}
 	})
@@ -1028,18 +1062,28 @@ func (s *Session) endTxn(op func(*wire.Conn) error) error {
 	})
 	var lastErr error
 	done := 0
+	for _, o := range outs {
+		if o.ran && o.err == nil {
+			done++
+		}
+	}
+	failedTransport := false
 	for i, o := range outs {
-		if !o.ran {
+		if !o.ran || o.err == nil {
 			continue
 		}
-		if o.err != nil {
-			if isTransport(o.err) {
-				s.fail(s.c.replicas[i], o.err)
+		lastErr = o.err
+		if isTransport(o.err) {
+			failedTransport = true
+			r := s.c.replicas[i]
+			s.fail(r, o.err)
+			if done > 0 && r.healthy.Load() {
+				// The server rolled this replica's transaction back when its
+				// connection died, while others committed it: the replica has
+				// diverged, so eject it whatever the error class.
+				s.c.eject(r)
 			}
-			lastErr = o.err
-			continue
 		}
-		done++
 	}
 	if done == 0 {
 		s.failed = true
@@ -1049,7 +1093,13 @@ func (s *Session) endTxn(op func(*wire.Conn) error) error {
 		return ErrNoReplicas
 	}
 	if lastErr != nil && s.c.strict {
-		s.c.enterDegraded()
+		// Latch degraded only for a transport failure, which the loop above
+		// turned into an ejection — so a Rejoin exists to clear the latch. A
+		// database-side error deterministically hit every replica alike and
+		// must not leave a whole healthy cluster read-only.
+		if failedTransport {
+			s.c.enterDegraded()
+		}
 		return fmt.Errorf("cluster: strict write policy: replica failed mid-transaction-end (applied on %d): %w", done, lastErr)
 	}
 	return nil
@@ -1119,7 +1169,19 @@ func (s *Session) broadcast(query string, args []sqldb.Value, cached, countWrite
 	}, func(r *replica) (*sqldb.Result, error) {
 		return s.connExec(s.conns[r.id], query, args, cached)
 	})
-	b.collect(outs, s.c.replicas, countWrite, func(r *replica, err error) { s.fail(r, err) })
+	b.collect(outs, s.c.replicas, countWrite, func(r *replica, err error, _ bool) { s.fail(r, err) })
+	if countWrite && b.answered {
+		// The write landed somewhere, so every replica this session could
+		// not reach — a failed borrow above, a connection broken earlier in
+		// the bracket, or this fan-out's failure — has missed it and
+		// diverged: eject it regardless of why the connection broke (even
+		// pool saturation), leaving the rejoin sync as the only way back.
+		for _, r := range s.c.replicas {
+			if s.broken[r.id] && r.healthy.Load() {
+				s.c.eject(r)
+			}
+		}
+	}
 	s.c.noteBroadcast(outs)
 	res, err := b.result(s.c)
 	// A database-side error in `err` is deterministic and leaves the
@@ -1281,6 +1343,10 @@ func (c *Client) Rejoin(id int, syncData bool) error {
 	}
 	r := c.replicas[id]
 	if r.healthy.Load() {
+		// Nothing to bring back — but an operator calling Rejoin on an
+		// already-whole cluster is an explicit recovery action, so clear a
+		// stale degraded latch rather than leaving it with no exit path.
+		c.exitDegradedIfWhole()
 		return nil
 	}
 	c.topo.Lock()
@@ -1307,9 +1373,7 @@ func (c *Client) Rejoin(id int, syncData bool) error {
 		}
 	}
 	r.healthy.Store(true)
-	if c.Healthy() == len(c.replicas) && c.degraded.CompareAndSwap(true, false) {
-		c.degradedExits.Add(1)
-	}
+	c.exitDegradedIfWhole()
 	return nil
 }
 

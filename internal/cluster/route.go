@@ -266,14 +266,22 @@ func (w *writeLocks) endSync(addr string, ok bool) {
 	if w.syncAddrs[addr]--; w.syncAddrs[addr] <= 0 {
 		delete(w.syncAddrs, addr)
 	}
-	w.syncCount.Add(-1)
+	// Ordering matters for syncing()'s lock-free fast path: a fresh taint
+	// inherits this sync's syncCount contribution (no decrement at all)
+	// rather than decrementing and re-incrementing, so the counter never
+	// transiently hits zero while the half-copied replica still needs
+	// reads routed away from it.
 	if !ok {
-		if !w.tainted[addr] {
+		if w.tainted[addr] {
+			w.syncCount.Add(-1)
+		} else {
 			w.tainted[addr] = true
-			w.syncCount.Add(1) // keep the fast path non-zero while tainted
 		}
-	} else if w.tainted[addr] {
-		delete(w.tainted, addr)
+	} else {
+		if w.tainted[addr] {
+			delete(w.tainted, addr)
+			w.syncCount.Add(-1)
+		}
 		w.syncCount.Add(-1)
 	}
 	w.syncMu.Unlock()

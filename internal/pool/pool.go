@@ -106,7 +106,9 @@ type Config[T any] struct {
 	// forever, the pre-deadline behavior).
 	WaitTimeout time.Duration
 	// RetryAttempts caps how many times Do retries a transport failure on a
-	// fresh connection (default 1, the classic stale-connection retry).
+	// fresh connection (0: default 1, the classic stale-connection retry;
+	// negative: no retries at all, mirroring the Timeouts
+	// negative-disables convention — for strictly non-idempotent traffic).
 	RetryAttempts int
 	// RetryBackoff is the base of the exponential backoff between retry
 	// attempts (default 2ms, doubling per attempt with up to 50% added
@@ -116,6 +118,12 @@ type Config[T any] struct {
 	// the second, when the peer itself is suspect.
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+	// RetrySeed, when non-zero, draws the backoff jitter from a private
+	// seeded generator instead of the global one, so a fault-injection run
+	// that depends on retry timing replays exactly (the same convention as
+	// chaos.Schedule.Seed). Zero keeps the global source — fine for the
+	// usual goal of de-synchronizing concurrent borrowers.
+	RetrySeed uint64
 }
 
 // Pool is a fixed-capacity lazy connection pool, safe for concurrent use.
@@ -135,6 +143,9 @@ type Pool[T any] struct {
 	attempts    int           // total Do tries on transport failure
 	backoffBase time.Duration
 	backoffCap  time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // nil: global jitter source
 
 	permits chan struct{} // capacity tokens; blocked receivers queue FIFO
 	done    chan struct{} // closed by Close to release waiters
@@ -174,7 +185,9 @@ func New[T any](cfg Config[T]) *Pool[T] {
 		waitTimeout = 0
 	}
 	attempts := 1 + cfg.RetryAttempts
-	if cfg.RetryAttempts <= 0 {
+	if cfg.RetryAttempts < 0 {
+		attempts = 1 // negative disables retries, like Timeouts' negatives
+	} else if cfg.RetryAttempts == 0 {
 		attempts = 2 // one retry: the classic stale-connection absorb
 	}
 	backoffBase := cfg.RetryBackoff
@@ -197,6 +210,9 @@ func New[T any](cfg Config[T]) *Pool[T] {
 		permits:     make(chan struct{}, size),
 		done:        make(chan struct{}),
 		borrow:      stats.NewReservoir(1024, 1),
+	}
+	if cfg.RetrySeed != 0 {
+		p.rng = rand.New(rand.NewPCG(cfg.RetrySeed, 0))
 	}
 	for i := 0; i < size; i++ {
 		p.permits <- struct{}{}
@@ -310,6 +326,14 @@ func (p *Pool[T]) doDestroy(v T) {
 // connection the peer dropped while idle). The first retry is immediate;
 // later ones back off exponentially with jitter, since by then the peer
 // itself is suspect and hammering it helps nobody.
+//
+// Deadline expiries are never retried, even with retry true: a round trip
+// that outlived its op deadline may have been fully delivered to a
+// merely-slow peer and still be executing, so re-sending it on a fresh
+// connection would duplicate its side effects (a POST through AJP, an RMI
+// call). Only failures that prove the request went nowhere — a stale
+// connection's reset or EOF — are safe to absorb with a retry; a timeout
+// surfaces immediately and the caller decides (eject, fail over, error).
 func (p *Pool[T]) Do(retry bool, isBroken func(error) bool, fn func(T) error) error {
 	var prev error
 	for attempt := 0; ; attempt++ {
@@ -330,6 +354,7 @@ func (p *Pool[T]) Do(retry bool, isBroken func(error) bool, fn func(T) error) er
 		if IsTimeout(err) {
 			p.opTimeouts.Add(1)
 			p.timeoutNanos.Add(time.Since(opStart).Nanoseconds())
+			return err // possibly delivered — retrying could double-apply
 		}
 		if !retry || attempt+1 >= p.attempts {
 			return err
@@ -342,16 +367,30 @@ func (p *Pool[T]) Do(retry bool, isBroken func(error) bool, fn func(T) error) er
 	}
 }
 
-// sleepBackoff blocks for backoffBase·2^n (capped at backoffCap) plus up to
-// 50% jitter, or until the pool closes. Jitter de-synchronizes the
-// retrying borrowers of a shared pool so a recovered peer sees a ramp, not
-// a thundering herd.
-func (p *Pool[T]) sleepBackoff(n int) {
+// backoffDelay computes the nth backoff: backoffBase·2^n (capped at
+// backoffCap) plus up to 50% jitter. Jitter de-synchronizes the retrying
+// borrowers of a shared pool so a recovered peer sees a ramp, not a
+// thundering herd; with Config.RetrySeed set it comes from the pool's
+// private generator, so the delay sequence replays exactly.
+func (p *Pool[T]) backoffDelay(n int) time.Duration {
 	d := p.backoffBase << n
 	if d > p.backoffCap || d <= 0 {
 		d = p.backoffCap
 	}
-	d += time.Duration(rand.Int64N(int64(d)/2 + 1))
+	span := int64(d)/2 + 1
+	if p.rng != nil {
+		p.rngMu.Lock()
+		d += time.Duration(p.rng.Int64N(span))
+		p.rngMu.Unlock()
+	} else {
+		d += time.Duration(rand.Int64N(span))
+	}
+	return d
+}
+
+// sleepBackoff blocks for the nth backoff delay, or until the pool closes.
+func (p *Pool[T]) sleepBackoff(n int) {
+	d := p.backoffDelay(n)
 	p.backoffs.Add(1)
 	p.backoffNanos.Add(int64(d))
 	timer := time.NewTimer(d)
