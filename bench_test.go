@@ -415,6 +415,59 @@ func BenchmarkReadOnlyTxnSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheSweep measures the caching tier (DESIGN.md §10) on the
+// real stack: the full emulator with both cache levels off and on, across
+// a read-heavy and a write-heavy mix. The browsing mix is where the tier
+// earns its keep — most interactions are anonymous catalog reads that the
+// page cache can replay outright and whose queries the result cache
+// absorbs; the bidding mix bounds the cost of carrying the caches when
+// commits keep invalidating them.
+func BenchmarkCacheSweep(b *testing.B) {
+	for _, mix := range []string{"browsing", "bidding"} {
+		for _, caches := range []string{"off", "on"} {
+			mix, caches := mix, caches
+			b.Run(fmt.Sprintf("mix=%s/caches=%s", mix, caches), func(b *testing.B) {
+				cfg := core.Config{
+					Arch: perfsim.ArchServletSync, Benchmark: perfsim.Auction,
+				}
+				if caches == "on" {
+					cfg.DBQueryCache = 512
+					cfg.PageCache = 256
+					cfg.PageCacheTTL = time.Second
+				}
+				lab, err := core.Start(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer lab.Close()
+				var rep *workload.Report
+				for i := 0; i < b.N; i++ {
+					rep, err = lab.Run(workload.Config{
+						Clients: 8, Mix: mix,
+						ThinkMean: time.Millisecond, SessionMean: time.Second,
+						RampUp: 50 * time.Millisecond, Measure: 400 * time.Millisecond,
+						Seed: 7,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(rep.ThroughputIPM, "ipm")
+				if rep.Tiers != nil {
+					for _, tier := range rep.Tiers.Tiers {
+						if n := tier.PageCacheHits + tier.PageCacheMisses; n > 0 {
+							b.ReportMetric(100*float64(tier.PageCacheHits)/float64(n), "page_hit%")
+						}
+						if n := tier.QueryCacheHits + tier.QueryCacheMisses; n > 0 {
+							b.ReportMetric(100*float64(tier.QueryCacheHits)/float64(n), "query_hit%")
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- ablation benches (DESIGN.md §7) ---
 
 // BenchmarkAblationSyncLocking isolates the paper's sync delta on the

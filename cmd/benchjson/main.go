@@ -39,7 +39,7 @@ import (
 // perf PRs track.
 const defaultBench = "BenchmarkIPCPerCharCost|BenchmarkEJBQueryTraffic|" +
 	"BenchmarkRealStackWorkload|BenchmarkExecText|BenchmarkExecPrepared|" +
-	"BenchmarkPoolExecPrepared"
+	"BenchmarkPoolExecPrepared|BenchmarkCacheSweep"
 
 // Result is one benchmark line.
 type Result struct {

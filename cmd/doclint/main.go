@@ -5,6 +5,10 @@
 //     cross-references between README/DESIGN/PROTOCOL fail the build.
 //  2. Every package under internal/ must carry a package comment, so
 //     `go doc ./internal/...` is usable as operator documentation.
+//  3. Every `-flag` a markdown line attributes to a daemon (a line naming
+//     servletd, webserver, ... alongside the backticked flag) must be
+//     registered by that daemon's cmd/<name>/main.go — documented flags
+//     that no binary accepts fail the build.
 //
 // Usage:
 //
@@ -16,11 +20,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -48,6 +55,7 @@ func main() {
 		bad += checkLinks(f)
 	}
 	bad += checkPackageComments("internal")
+	bad += checkFlagDocs(files)
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", bad)
 		os.Exit(1)
@@ -88,6 +96,106 @@ func checkLinks(path string) int {
 		}
 	}
 	return bad
+}
+
+// flagTokRe matches a backticked flag, optionally carrying a value:
+// `-db-cache`, `-db-cache 256`, `-measure 10s`.
+var flagTokRe = regexp.MustCompile("`-([a-z][a-z0-9-]*)[^`]*`")
+
+// checkFlagDocs verifies that every backticked `-flag` token on a
+// non-fenced doc line that names a daemon is registered by that daemon's
+// main.go. A line naming several daemons passes if any of them accepts
+// the flag (prose like "servletd's -route must match the webserver's
+// -ajp entry" stays legal).
+func checkFlagDocs(docs []string) int {
+	mains, err := filepath.Glob(filepath.Join("cmd", "*", "main.go"))
+	if err != nil || len(mains) == 0 {
+		return 0 // not run from the repo root; nothing to check against
+	}
+	daemons := map[string]map[string]bool{}
+	for _, m := range mains {
+		daemons[filepath.Base(filepath.Dir(m))] = registeredFlags(m)
+	}
+	bad := 0
+	for _, path := range docs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // checkLinks already reported it
+		}
+		inFence := false
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			var named []string
+			for d := range daemons {
+				if strings.Contains(line, d) {
+					named = append(named, d)
+				}
+			}
+			if len(named) == 0 {
+				continue
+			}
+			for _, m := range flagTokRe.FindAllStringSubmatch(line, -1) {
+				fl := m[1]
+				if fl == "h" || fl == "help" {
+					continue // stdlib flag package built-ins
+				}
+				known := false
+				for _, d := range named {
+					if daemons[d][fl] {
+						known = true
+						break
+					}
+				}
+				if !known {
+					sort.Strings(named)
+					fmt.Fprintf(os.Stderr, "doclint: %s:%d: flag -%s is not registered by %s\n",
+						path, i+1, fl, strings.Join(named, " or "))
+					bad++
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// registeredFlags collects the flag names a main.go registers through
+// flag.String/Int/Bool/Duration/... calls (any flag.X with a literal
+// first argument).
+func registeredFlags(path string) map[string]bool {
+	flags := map[string]bool{}
+	af, err := parser.ParseFile(token.NewFileSet(), path, nil, 0)
+	if err != nil {
+		return flags
+	}
+	ast.Inspect(af, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "flag" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if name, err := strconv.Unquote(lit.Value); err == nil && name != "" {
+			flags[name] = true
+		}
+		return true
+	})
+	return flags
 }
 
 // checkPackageComments walks root for Go packages and reports every one

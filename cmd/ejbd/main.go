@@ -44,6 +44,7 @@ func main() {
 		dbSlow    = flag.Duration("db-slow", 0, "eject replicas whose statements exceed this latency (0: disabled)")
 		dbSync    = flag.Duration("db-sync", 0, "wall-clock budget for replica rejoin data sync (0: cluster default)")
 		dbStrict  = flag.Bool("db-strict", false, "refuse writes (degraded read-only mode) instead of ejecting replicas on write failure")
+		dbCache   = flag.Int("db-cache", 0, "query-result cache entries, validated by commit-time table versions (0: disabled)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -55,6 +56,7 @@ func main() {
 		DBTimeouts:      dbTimeouts,
 		DBSlowThreshold: *dbSlow,
 		DBSyncTimeout:   *dbSync,
+		DBQueryCache:    *dbCache,
 	})
 	if err != nil {
 		logger.Fatal(err)

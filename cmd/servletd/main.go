@@ -39,6 +39,7 @@ func main() {
 		dbWait    = flag.Duration("db-wait", 0, "max wait for a free pooled connection (0: default, negative: unbounded)")
 		dbSlow    = flag.Duration("db-slow", 0, "eject replicas whose statements exceed this latency (0: disabled)")
 		dbSync    = flag.Duration("db-sync", 0, "wall-clock budget for replica rejoin data sync (0: cluster default)")
+		dbCache   = flag.Int("db-cache", 0, "query-result cache entries, validated by commit-time table versions (0: disabled)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -48,6 +49,7 @@ func main() {
 		DBTimeouts:      pool.Timeouts{Dial: *dbDial, Op: *dbOp, Wait: *dbWait},
 		DBSlowThreshold: *dbSlow,
 		DBSyncTimeout:   *dbSync,
+		DBQueryCache:    *dbCache,
 	})
 	switch *benchmark {
 	case "bookstore":

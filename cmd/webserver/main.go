@@ -41,6 +41,8 @@ func main() {
 		ajpDial    = flag.Duration("ajp-dial", 0, "backend dial timeout (0: default, negative: none)")
 		ajpOp      = flag.Duration("ajp-op", 0, "per-request backend deadline (0: default, negative: none)")
 		ajpWait    = flag.Duration("ajp-wait", 0, "max wait for a free pooled backend connection (0: default, negative: unbounded)")
+		pageCache  = flag.Int("page-cache", 0, "full-page cache entries for anonymous GETs (0: disabled)")
+		pageTTL    = flag.Duration("page-cache-ttl", 0, "page cache entry lifetime (0: default)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -53,6 +55,12 @@ func main() {
 	static.Add("/img/banner.gif", datagen.Image(1001, *imageBytes), "image/gif")
 
 	app, desc := appHandler(*ajpAddr, *conns, pool.Timeouts{Dial: *ajpDial, Op: *ajpOp, Wait: *ajpWait})
+	if *pageCache > 0 {
+		// Cross-process deployment: freshness rides on the X-Content-Epoch
+		// response header the app tier stamps, plus the TTL backstop.
+		app = lb.NewPageCache(app, lb.PageCacheConfig{MaxEntries: *pageCache, TTL: *pageTTL})
+		desc += fmt.Sprintf(" (page cache: %d entries)", *pageCache)
+	}
 	mux := httpd.NewMux()
 	mux.Handle("/img/", static)
 	mux.Handle(*base, app)

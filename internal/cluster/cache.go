@@ -1,0 +1,336 @@
+// Query-result cache: the level-1 half of the caching tier (DESIGN.md §10).
+//
+// The cluster client already knows, at commit time, exactly which tables a
+// write touched — that is what the per-DSN write-order lock registry keys
+// on. This file reuses that scope as a table-version mirror: every
+// committed write bumps the counters of the tables it named (route.go,
+// writeLocks.versions), and a cached SELECT result is served only while
+// every table it references still carries the version it was read under.
+// Validation is a handful of atomic loads; invalidation is per-entry and
+// lazy (a stale entry is deleted when next looked up, or evicted by LRU).
+//
+// Why this cannot serve stale data (the §4b-style argument, in short):
+//   - A result's version stamp is captured BEFORE the live read that fills
+//     the entry is issued. If a write commits in between, the bump lands on
+//     top of the pre-capture stamp and the entry validates as stale even
+//     though its data may in fact be newer — the error is only ever in the
+//     conservative direction (a needless miss, never a stale hit).
+//   - A table's version is bumped strictly AFTER the commit is acked
+//     server-side, and publication is conservative: any outcome that is not
+//     a deterministic server-side failure bumps (a broadcast that died in
+//     transport may still have applied). An abort publishes nothing —
+//     aborted writes were never visible to any live read, so cache entries
+//     filled concurrently saw pre-txn data that is still correct.
+//   - Inside a transaction that write-holds a referenced table the cache is
+//     bypassed entirely (Session.cacheBypass): read-your-writes stays on
+//     the live path, and uncommitted local writes are never published.
+//
+// Results handed out by the cache are defensive copies in both directions
+// (put copies in, get copies out): callers such as internal/ejb mutate
+// result rows in place, and a shared cached row would corrupt every later
+// reader.
+package cluster
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sqldb"
+)
+
+// versionOf returns the live counter for one table, creating it on first
+// reference. The counter lives on the shared per-DSN registry, so every
+// client of the same cluster observes the same version stream.
+func (w *writeLocks) versionOf(table string) *atomic.Uint64 {
+	if v, ok := w.versions.Load(table); ok {
+		return v.(*atomic.Uint64)
+	}
+	v, _ := w.versions.LoadOrStore(table, new(atomic.Uint64))
+	return v.(*atomic.Uint64)
+}
+
+// bump publishes a committed write: the named tables' versions advance, a
+// write with unknown table set ("" catch-all) advances the wildcard every
+// cache entry also validates against, and the content epoch advances
+// unconditionally (the page cache's invalidation signal, Client.ContentEpoch).
+// Called only after the write is known — or cannot be proven not — to have
+// committed server-side.
+func (w *writeLocks) bump(tables []string) {
+	for _, t := range tables {
+		if t == "" {
+			w.wild.Add(1)
+		} else {
+			w.versionOf(t).Add(1)
+		}
+	}
+	w.epoch.Add(1)
+}
+
+// stampFor captures the current versions a cached result for readTables
+// must be validated against: the wildcard first, then one slot per table.
+// Capture happens before the filling read is issued (see package comment).
+func (w *writeLocks) stampFor(readTables []string) []uint64 {
+	stamp := make([]uint64, 1+len(readTables))
+	stamp[0] = w.wild.Load()
+	for i, t := range readTables {
+		stamp[i+1] = w.versionOf(t).Load()
+	}
+	return stamp
+}
+
+// ContentEpoch reports the cluster-wide write epoch: it advances on every
+// committed write through any client sharing this DSN. The HTTP page cache
+// keys freshness on it (internal/lb.PageCache); the app tier republishes it
+// per response as the X-Content-Epoch header.
+func (c *Client) ContentEpoch() uint64 { return c.locks.epoch.Load() }
+
+// cacheKey builds the lookup key for (statement, args). The statement text
+// is used verbatim — routes already memoizes per distinct text, and two
+// spellings of the same query simply occupy two entries. Args are appended
+// with a kind tag so Int(1) and String("1") cannot collide.
+func cacheKey(query string, args []sqldb.Value) string {
+	if len(args) == 0 {
+		return query
+	}
+	var b strings.Builder
+	b.Grow(len(query) + 16*len(args))
+	b.WriteString(query)
+	for _, a := range args {
+		b.WriteByte(0)
+		switch a.Kind() {
+		case sqldb.KindNull:
+			b.WriteByte('n')
+		case sqldb.KindInt:
+			b.WriteByte('i')
+			b.WriteString(strconv.FormatInt(a.AsInt(), 10))
+		case sqldb.KindFloat:
+			b.WriteByte('f')
+			b.WriteString(strconv.FormatFloat(a.AsFloat(), 'g', -1, 64))
+		default:
+			b.WriteByte('s')
+			b.WriteString(a.AsString())
+		}
+	}
+	return b.String()
+}
+
+// copyResult deep-copies rows (one flat backing array, two allocations)
+// so cache storage and caller never share mutable state. Column names are
+// shared: they are never mutated by any consumer.
+func copyResult(r *sqldb.Result) *sqldb.Result {
+	out := &sqldb.Result{
+		Columns:      r.Columns,
+		RowsAffected: r.RowsAffected,
+		LastInsertID: r.LastInsertID,
+	}
+	if len(r.Rows) == 0 {
+		return out
+	}
+	n := 0
+	for _, row := range r.Rows {
+		n += len(row)
+	}
+	flat := make(sqldb.Row, n)
+	out.Rows = make([]sqldb.Row, len(r.Rows))
+	i := 0
+	for ri, row := range r.Rows {
+		copy(flat[i:i+len(row)], row)
+		out.Rows[ri] = flat[i : i+len(row) : i+len(row)]
+		i += len(row)
+	}
+	return out
+}
+
+type cacheEntry struct {
+	key   string
+	res   *sqldb.Result
+	stamp []uint64 // wildcard + per-readTable versions at fill time
+	reads []string // the readTables the stamp covers, in stamp order
+}
+
+// queryCache is a bounded LRU of validated query results. All methods are
+// safe for concurrent use; counters are atomic so Stats never takes the lock.
+type queryCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+	bypasses      atomic.Int64
+}
+
+func newQueryCache(max int) *queryCache {
+	if max <= 0 {
+		return nil
+	}
+	return &queryCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns a copy of the entry for key if its stamp still matches the
+// live table versions. A version mismatch deletes the entry (per-entry
+// invalidation, never a wholesale flush) and counts as an invalidation
+// plus the miss the caller is about to take.
+func (q *queryCache) get(key string, locks *writeLocks) (*sqldb.Result, bool) {
+	q.mu.Lock()
+	el, ok := q.byKey[key]
+	if !ok {
+		q.mu.Unlock()
+		q.misses.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if !q.validLocked(e, locks) {
+		q.ll.Remove(el)
+		delete(q.byKey, key)
+		q.mu.Unlock()
+		q.invalidations.Add(1)
+		q.misses.Add(1)
+		return nil, false
+	}
+	q.ll.MoveToFront(el)
+	res := copyResult(e.res)
+	q.mu.Unlock()
+	q.hits.Add(1)
+	return res, true
+}
+
+// validLocked re-reads the live versions for the entry's table set and
+// compares against the fill-time stamp. Equality — not ordering — is the
+// test: counters only advance, so any difference means a commit landed
+// after the stamp was captured.
+func (q *queryCache) validLocked(e *cacheEntry, locks *writeLocks) bool {
+	if e.stamp[0] != locks.wild.Load() {
+		return false
+	}
+	for i, t := range e.reads {
+		if e.stamp[i+1] != locks.versionOf(t).Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// put stores a private copy of res under key with the stamp captured
+// before the filling read was issued, evicting the LRU entry at capacity.
+func (q *queryCache) put(key string, res *sqldb.Result, stamp []uint64, reads []string) {
+	e := &cacheEntry{key: key, res: copyResult(res), stamp: stamp, reads: reads}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if el, ok := q.byKey[key]; ok {
+		el.Value = e
+		q.ll.MoveToFront(el)
+		return
+	}
+	for q.ll.Len() >= q.max {
+		back := q.ll.Back()
+		q.ll.Remove(back)
+		delete(q.byKey, back.Value.(*cacheEntry).key)
+	}
+	q.byKey[key] = q.ll.PushFront(e)
+}
+
+// len reports the current entry count (tests).
+func (q *queryCache) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ll.Len()
+}
+
+// notePublish records a write's table set for version publication: outside
+// a transaction the bump is immediate (the write is committed once acked);
+// inside one it is deferred into the session's writeSet until COMMIT
+// flushes it — an abort must publish nothing, because aborted writes were
+// never visible to any read that could have filled a cache entry.
+func (s *Session) notePublish(tables []string) {
+	if !s.inTxn {
+		s.c.locks.bump(tables)
+		return
+	}
+	if s.writeSet == nil {
+		s.writeSet = make(map[string]bool)
+	}
+	for _, t := range tables {
+		s.writeSet[t] = true
+	}
+}
+
+// flushWrites publishes the transaction's accumulated write set (COMMIT,
+// or any path that may have committed server-side).
+func (s *Session) flushWrites() {
+	if len(s.writeSet) == 0 {
+		return
+	}
+	tables := make([]string, 0, len(s.writeSet))
+	for t := range s.writeSet {
+		tables = append(tables, t)
+	}
+	s.c.locks.bump(tables)
+	s.writeSet = nil
+}
+
+// discardWrites drops the pending write set without publishing (ROLLBACK).
+func (s *Session) discardWrites() { s.writeSet = nil }
+
+// cacheBypass reports whether a read must skip the cache: inside an open
+// transaction whose declared (held) or observed (writeSet) write set
+// intersects the read's tables — including the catch-all "" of an
+// undeclared transaction — the read must run live to see the session's own
+// uncommitted writes, and its result must not be published as what other
+// clients should see.
+func (s *Session) cacheBypass(rt route) bool {
+	if !s.inTxn {
+		return false
+	}
+	if s.writeSet[""] {
+		return true
+	}
+	for _, h := range s.held {
+		if h == "" {
+			return true
+		}
+	}
+	for _, t := range rt.readTables {
+		if s.writeSet[t] {
+			return true
+		}
+		for _, h := range s.held {
+			if h == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cachedRead wraps one live read with the cache protocol: serve a validated
+// entry, or capture the stamp, run the read, and fill. bypass is set by
+// sessions whose open transaction write-holds a referenced table — the
+// read must see the session's own uncommitted writes, so it stays live and
+// fills nothing (the txn's result is not what other clients should see).
+func (c *Client) cachedRead(rt route, query string, args []sqldb.Value, bypass bool, run func() (*sqldb.Result, error)) (*sqldb.Result, error) {
+	q := c.qcache
+	if q == nil || rt.readTables == nil {
+		return run()
+	}
+	if bypass {
+		q.bypasses.Add(1)
+		return run()
+	}
+	key := cacheKey(query, args)
+	if res, ok := q.get(key, c.locks); ok {
+		return res, nil
+	}
+	stamp := c.locks.stampFor(rt.readTables)
+	res, err := run()
+	if err != nil {
+		return nil, err
+	}
+	q.put(key, res, stamp, rt.readTables)
+	return res, nil
+}

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// cacheStats pulls just the query-cache counters out of ClientStats.
+func cacheStats(c *Client) (hits, misses, invalidations, bypasses int64) {
+	cs := c.ClientStats()
+	return cs.QueryCacheHits, cs.QueryCacheMisses, cs.QueryCacheInvalidations, cs.QueryCacheBypasses
+}
+
+func queryQty(t *testing.T, ex Execer, id int) int64 {
+	t.Helper()
+	res, err := ex.Exec("SELECT qty FROM items WHERE id = ?", sqldb.Int(int64(id)))
+	if err != nil {
+		t.Fatalf("SELECT qty id=%d: %v", id, err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("SELECT qty id=%d: %d rows", id, len(res.Rows))
+	}
+	return res.Rows[0][0].AsInt()
+}
+
+// TestQueryCacheHitAndInvalidate: the second identical read must be served
+// from the cache; a write to the referenced table must invalidate exactly
+// that entry and the next read must see the new data.
+func TestQueryCacheHitAndInvalidate(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{QueryCache: 32})
+
+	if got := queryQty(t, c, 1); got != 100 {
+		t.Fatalf("qty = %d, want 100", got)
+	}
+	if got := queryQty(t, c, 1); got != 100 {
+		t.Fatalf("qty = %d, want 100", got)
+	}
+	hits, misses, _, _ := cacheStats(c)
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	mustExec(t, c, "UPDATE items SET qty = 42 WHERE id = 1")
+	if got := queryQty(t, c, 1); got != 42 {
+		t.Fatalf("qty after write = %d, want 42 (stale cache hit?)", got)
+	}
+	hits, misses, invals, _ := cacheStats(c)
+	if hits != 1 || misses != 2 || invals != 1 {
+		t.Fatalf("hits=%d misses=%d invalidations=%d, want 1/2/1", hits, misses, invals)
+	}
+
+	// Distinct args are distinct entries: id=2 was never written, but its
+	// entry shares the items stamp, so it too revalidates (miss), then hits.
+	if got := queryQty(t, c, 2); got != 100 {
+		t.Fatalf("qty id=2 = %d, want 100", got)
+	}
+	if got := queryQty(t, c, 2); got != 100 {
+		t.Fatalf("qty id=2 = %d, want 100", got)
+	}
+	hits, _, _, _ = cacheStats(c)
+	if hits != 2 {
+		t.Fatalf("hits=%d, want 2", hits)
+	}
+}
+
+// TestQueryCacheWriteOtherTableKeepsEntry: writes to an unrelated table
+// must not invalidate cached reads of this one — invalidation is
+// per-table, not a wholesale flush.
+func TestQueryCacheWriteOtherTableKeepsEntry(t *testing.T) {
+	reps := startReplicas(t, 1)
+	c := newTestClient(t, reps, Config{QueryCache: 32})
+
+	queryQty(t, c, 1) // fill
+	mustExec(t, c, "INSERT INTO audit (item, delta) VALUES (?, ?)", sqldb.Int(1), sqldb.Int(-1))
+	queryQty(t, c, 1) // must still hit
+	hits, misses, invals, _ := cacheStats(c)
+	if hits != 1 || misses != 1 || invals != 0 {
+		t.Fatalf("hits=%d misses=%d invalidations=%d, want 1/1/0", hits, misses, invals)
+	}
+}
+
+// TestQueryCacheAbortPublishesNothing: a rolled-back transaction must not
+// invalidate cache entries or advance the page-cache content epoch —
+// nothing committed, so nothing changed.
+func TestQueryCacheAbortPublishesNothing(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{QueryCache: 32})
+
+	queryQty(t, c, 1) // fill
+	epoch0 := c.ContentEpoch()
+
+	s, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("items"); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, "UPDATE items SET qty = -999 WHERE id = 1")
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(s, false)
+
+	if got := c.ContentEpoch(); got != epoch0 {
+		t.Fatalf("ContentEpoch advanced %d -> %d across an aborted txn", epoch0, got)
+	}
+	if got := queryQty(t, c, 1); got != 100 {
+		t.Fatalf("qty after abort = %d, want 100", got)
+	}
+	hits, _, invals, _ := cacheStats(c)
+	if hits != 1 || invals != 0 {
+		t.Fatalf("hits=%d invalidations=%d after abort, want 1/0", hits, invals)
+	}
+}
+
+// TestQueryCacheCommitAdvancesEpoch: the same transaction, committed, must
+// invalidate and advance the epoch.
+func TestQueryCacheCommitAdvancesEpoch(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{QueryCache: 32})
+
+	queryQty(t, c, 1)
+	epoch0 := c.ContentEpoch()
+	err := c.WithTx([]string{"items"}, func(tx *Session) error {
+		_, err := tx.Exec("UPDATE items SET qty = 7 WHERE id = 1")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ContentEpoch(); got <= epoch0 {
+		t.Fatalf("ContentEpoch %d not advanced past %d by committed txn", got, epoch0)
+	}
+	if got := queryQty(t, c, 1); got != 7 {
+		t.Fatalf("qty after commit = %d, want 7", got)
+	}
+}
+
+// TestQueryCacheTxnBypass: inside a transaction that write-holds a table,
+// reads of that table must bypass the cache (read-your-writes stays live),
+// while the outside world keeps its cached view until commit.
+func TestQueryCacheTxnBypass(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{QueryCache: 32})
+
+	queryQty(t, c, 3) // fill: 100
+
+	s, err := c.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("items"); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, "UPDATE items SET qty = 55 WHERE id = 3")
+	if got := queryQty(t, s, 3); got != 55 {
+		t.Fatalf("read-your-writes inside txn = %d, want 55", got)
+	}
+	_, _, _, bypasses := cacheStats(c)
+	if bypasses == 0 {
+		t.Fatal("in-txn read of a write-held table did not bypass the cache")
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(s, false)
+
+	if got := queryQty(t, c, 3); got != 55 {
+		t.Fatalf("qty after commit = %d, want 55", got)
+	}
+}
+
+// TestQueryCacheReadOnlyTxn: reads inside a read-only cluster transaction
+// hold no write locks, so they remain cacheable.
+func TestQueryCacheReadOnlyTxn(t *testing.T) {
+	reps := startReplicas(t, 2)
+	c := newTestClient(t, reps, Config{QueryCache: 32})
+
+	queryQty(t, c, 4) // fill
+	err := c.WithReadTx(func(tx *Session) error {
+		if got := queryQty(t, tx, 4); got != 100 {
+			t.Fatalf("read-only txn qty = %d, want 100", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _, _ := cacheStats(c)
+	if hits == 0 {
+		t.Fatal("read inside read-only txn did not use the cache")
+	}
+}
+
+// TestQueryCacheTorture is the -race stress test: concurrent cached
+// readers against committing and aborting writers. Invariants checked on
+// every read, through the cache:
+//
+//   - a session's own committed write is visible to its very next read
+//     (bump-after-ack means the stale entry cannot revalidate);
+//   - the qty sum of the transfer pair rows 5+6 is always 200 — a single
+//     SELECT never observes a half-applied transaction;
+//   - the poison value written by always-aborting transactions never
+//     escapes its session (abort publishes nothing, MVCC hides it).
+func TestQueryCacheTorture(t *testing.T) {
+	for _, n := range []int{1, 2} {
+		t.Run(fmt.Sprintf("replicas=%d", n), func(t *testing.T) {
+			reps := startReplicas(t, n)
+			c := newTestClient(t, reps, Config{QueryCache: 64, PoolSize: 16})
+			const iters = 60
+
+			var wg sync.WaitGroup
+			fail := func(format string, args ...any) {
+				t.Helper()
+				t.Errorf(format, args...)
+			}
+
+			// Freshness writers: each owns one row, writes a unique name,
+			// reads it straight back through the cache.
+			for g := 1; g <= 2; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						want := fmt.Sprintf("g%d-%d", g, i)
+						if _, err := c.Exec("UPDATE items SET name = ? WHERE id = ?",
+							sqldb.String(want), sqldb.Int(int64(g))); err != nil {
+							fail("freshness write: %v", err)
+							return
+						}
+						res, err := c.Exec("SELECT name FROM items WHERE id = ?", sqldb.Int(int64(g)))
+						if err != nil || len(res.Rows) != 1 {
+							fail("freshness read: %v", err)
+							return
+						}
+						if got := res.Rows[0][0].AsString(); got != want {
+							fail("stale read: got %q after committing %q", got, want)
+							return
+						}
+					}
+				}(g)
+			}
+
+			// Transfer writer: moves qty between rows 5 and 6 inside a
+			// transaction; the pair sum stays 200.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					err := c.WithTx([]string{"items"}, func(tx *Session) error {
+						if _, err := tx.Exec("UPDATE items SET qty = qty - 1 WHERE id = 5"); err != nil {
+							return err
+						}
+						_, err := tx.Exec("UPDATE items SET qty = qty + 1 WHERE id = 6")
+						return err
+					})
+					if err != nil {
+						fail("transfer txn: %v", err)
+						return
+					}
+				}
+			}()
+
+			// Aborter: poisons row 7 inside a txn, always rolls back.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					s, err := c.Get()
+					if err != nil {
+						fail("aborter get: %v", err)
+						return
+					}
+					if err := s.Begin("items"); err != nil {
+						c.Put(s, true)
+						fail("aborter begin: %v", err)
+						return
+					}
+					if _, err := s.Exec("UPDATE items SET qty = -999 WHERE id = 7"); err != nil {
+						fail("aborter write: %v", err)
+					}
+					if err := s.Rollback(); err != nil {
+						fail("aborter rollback: %v", err)
+					}
+					c.Put(s, false)
+				}
+			}()
+
+			// Readers: full-table scans through the cache, checking the
+			// invariants on every result.
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters*2; i++ {
+						res, err := c.Exec("SELECT id, qty FROM items")
+						if err != nil {
+							fail("scan: %v", err)
+							return
+						}
+						var pair int64
+						for _, row := range res.Rows {
+							id, qty := row[0].AsInt(), row[1].AsInt()
+							if qty < 0 {
+								fail("poison escaped: id=%d qty=%d", id, qty)
+								return
+							}
+							if id == 5 || id == 6 {
+								pair += qty
+							}
+						}
+						if pair != 200 {
+							fail("transfer pair sum = %d, want 200 (torn read)", pair)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			// The caches did real work: some hits, and the aborter's
+			// rollbacks produced bypasses but no spurious invalidations
+			// beyond what the committers caused.
+			hits, misses, _, _ := cacheStats(c)
+			if hits == 0 {
+				t.Errorf("torture run produced no cache hits (misses=%d)", misses)
+			}
+		})
+	}
+}

@@ -88,6 +88,12 @@ type Config struct {
 	// negative: unbounded). On expiry the replica is left cleanly ejected
 	// and marked half-synced rather than promoted.
 	SyncTimeout time.Duration
+	// QueryCache bounds the client's query-result cache (cache.go): cached
+	// SELECT results are served while every referenced table's commit-time
+	// version is unchanged. 0 (the default) disables the cache; version
+	// publication still runs so other clients' caches — and the page-cache
+	// content epoch — stay coherent.
+	QueryCache int
 }
 
 // ParseDSN splits a multi-backend DSN into its replica addresses.
@@ -123,6 +129,7 @@ type Client struct {
 	rr       atomic.Uint64
 	locks    *writeLocks
 	routes   routes
+	qcache   *queryCache // nil when Config.QueryCache == 0
 	strict   bool
 	slow     time.Duration // SlowThreshold; 0 = disabled
 	syncTO   time.Duration // resolved SyncTimeout; 0 = unbounded
@@ -165,11 +172,20 @@ type ClientStats struct {
 	DegradedExits   int64 `json:"degraded_exits,omitempty"`
 	DegradedRejects int64 `json:"degraded_rejects,omitempty"`
 	Degraded        bool  `json:"degraded,omitempty"`
+	// Query-result cache counters (zero when the cache is disabled):
+	// hits served from a validated entry, misses that went to a replica,
+	// invalidations of entries whose table versions moved, and bypasses —
+	// reads forced live because the session's transaction write-held a
+	// referenced table.
+	QueryCacheHits          int64 `json:"query_cache_hits,omitempty"`
+	QueryCacheMisses        int64 `json:"query_cache_misses,omitempty"`
+	QueryCacheInvalidations int64 `json:"query_cache_invalidations,omitempty"`
+	QueryCacheBypasses      int64 `json:"query_cache_bypasses,omitempty"`
 }
 
 // ClientStats snapshots the counters.
 func (c *Client) ClientStats() ClientStats {
-	return ClientStats{
+	s := ClientStats{
 		Broadcasts:      c.broadcasts.Load(),
 		BroadcastAcks:   c.broadcastAcks.Load(),
 		ReadOnlyTxns:    c.roTxns.Load(),
@@ -179,6 +195,13 @@ func (c *Client) ClientStats() ClientStats {
 		DegradedRejects: c.degradedRejects.Load(),
 		Degraded:        c.degraded.Load(),
 	}
+	if q := c.qcache; q != nil {
+		s.QueryCacheHits = q.hits.Load()
+		s.QueryCacheMisses = q.misses.Load()
+		s.QueryCacheInvalidations = q.invalidations.Load()
+		s.QueryCacheBypasses = q.bypasses.Load()
+	}
+	return s
 }
 
 // Degraded reports whether the strict-policy read-only latch is set.
@@ -210,6 +233,7 @@ func NewWithConfig(cfg Config) *Client {
 	// in one process-wide global order — see lockRegistry.
 	c := &Client{
 		locks:  acquireWriteLocks(addrs),
+		qcache: newQueryCache(cfg.QueryCache),
 		strict: cfg.StrictWrites,
 		slow:   cfg.SlowThreshold,
 		syncTO: syncTO,
@@ -380,14 +404,30 @@ func (c *Client) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, e
 }
 
 func (c *Client) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
-	// One replica: no routing decision exists — skip classification,
-	// counters and write ordering entirely and behave like a plain pool.
-	if len(c.replicas) == 1 {
-		return c.poolExec(c.replicas[0], query, args, cached)
-	}
 	rt := c.routes.of(query)
+	// One replica: no routing decision exists — skip counters and write
+	// ordering and behave like a plain pool. Classification still happens
+	// (one memoized map load): reads consult the query cache, and writes
+	// publish their table versions so caches and the content epoch stay
+	// coherent even on a degenerate single-backend cluster.
+	if len(c.replicas) == 1 {
+		if rt.kind == kindRead {
+			return c.cachedRead(rt, query, args, false, func() (*sqldb.Result, error) {
+				return c.poolExec(c.replicas[0], query, args, cached)
+			})
+		}
+		res, err := c.poolExec(c.replicas[0], query, args, cached)
+		// Publish unless the statement deterministically failed database-side;
+		// a transport failure may have applied before the connection died.
+		if rt.kind == kindWrite && (err == nil || isTransport(err)) {
+			c.locks.bump(rt.tables)
+		}
+		return res, err
+	}
 	if rt.kind == kindRead {
-		return c.execRead(query, args, cached)
+		return c.cachedRead(rt, query, args, false, func() (*sqldb.Result, error) {
+			return c.execRead(query, args, cached)
+		})
 	}
 	// LOCK/UNLOCK and transaction control arriving outside a Get/Put
 	// session would strand lock or transaction state on pooled connections;
@@ -611,6 +651,15 @@ func (c *Client) writeWith(rt route, run func(*replica) (*sqldb.Result, error)) 
 	})
 	c.noteSlow(outs)
 	c.noteBroadcast(outs)
+	// Publish the write's table versions (cache invalidation + content
+	// epoch) unless it deterministically failed database-side: an answered
+	// broadcast with a nil canonical error committed, and an all-transport-
+	// failure broadcast may have applied before the connections died —
+	// conservative publication can only cost a cache miss, never staleness.
+	// Still inside the write-order locks, so the bump lands in write order.
+	if b.first == nil && (b.answered || b.failed) {
+		c.locks.bump(rt.tables)
+	}
 	return b.result(c)
 }
 
@@ -651,11 +700,22 @@ func (s *Stmt) Query() string { return s.query }
 // through the pre-resolved per-replica handles.
 func (s *Stmt) Exec(args ...sqldb.Value) (*sqldb.Result, error) {
 	if len(s.c.replicas) == 1 {
-		return s.per[0].Exec(args...)
+		if s.rt.kind == kindRead {
+			return s.c.cachedRead(s.rt, s.query, args, false, func() (*sqldb.Result, error) {
+				return s.per[0].Exec(args...)
+			})
+		}
+		res, err := s.per[0].Exec(args...)
+		if s.rt.kind == kindWrite && (err == nil || isTransport(err)) {
+			s.c.locks.bump(s.rt.tables)
+		}
+		return res, err
 	}
 	run := func(r *replica) (*sqldb.Result, error) { return s.per[r.id].Exec(args...) }
 	if s.rt.kind == kindRead {
-		return s.c.readWith(run)
+		return s.c.cachedRead(s.rt, s.query, args, false, func() (*sqldb.Result, error) {
+			return s.c.readWith(run)
+		})
 	}
 	return s.c.writeWith(s.rt, run)
 }
@@ -706,6 +766,15 @@ type Session struct {
 	release    func() // bracket's write-order locks
 	topoHeld   bool
 	failed     bool
+
+	// Query-cache bookkeeping (cache.go). writeSet accumulates the tables
+	// this transaction has written — version bumps pending until COMMIT
+	// (ROLLBACK discards them: an abort publishes nothing). held is the
+	// write set Begin declared up front. A read referencing any table in
+	// either set bypasses the cache, keeping read-your-writes on the live
+	// path; outside a transaction writes publish immediately.
+	writeSet map[string]bool
+	held     []string
 }
 
 // conn lazily borrows this session's connection to r.
@@ -778,32 +847,21 @@ func (s *Session) execDispatch(query string, args []sqldb.Value, cached bool) (*
 	if s.failed {
 		return nil, errors.New("cluster: session failed, discard it")
 	}
-	// One replica: the session is an ordinary borrowed connection. Only the
-	// transaction flag is tracked, so an unmatched BEGIN still discards the
+	// One replica: the session is an ordinary borrowed connection. The
+	// transaction flag is tracked — so an unmatched BEGIN still discards the
 	// connection at session end instead of returning it to the pool with an
-	// open transaction.
+	// open transaction — along with the cache's version-publication state.
 	if len(s.c.replicas) == 1 {
 		if err := s.rejectInReadOnly(query); err != nil {
 			return nil, err
 		}
-		cn, err := s.conn(s.pinned)
-		if err != nil {
-			s.failed = true
-			return nil, err
+		rt := s.c.routes.of(query)
+		if rt.kind == kindRead {
+			return s.c.cachedRead(rt, query, args, s.cacheBypass(rt), func() (*sqldb.Result, error) {
+				return s.singleExec(query, args, cached, rt)
+			})
 		}
-		res, err := s.connExec(cn, query, args, cached)
-		if isTransport(err) {
-			s.broken[s.pinned.id] = true
-			s.failed = true
-		} else if err == nil {
-			switch s.c.routes.of(query).kind {
-			case kindBegin:
-				s.inTxn, s.readOnly = true, false
-			case kindTxnEnd:
-				s.inTxn, s.readOnly = false, false
-			}
-		}
-		return res, err
+		return s.singleExec(query, args, cached, rt)
 	}
 	if err := s.rejectInReadOnly(query); err != nil {
 		return nil, err
@@ -811,7 +869,9 @@ func (s *Session) execDispatch(query string, args []sqldb.Value, cached bool) (*
 	rt := s.c.routes.of(query)
 	switch rt.kind {
 	case kindRead:
-		return s.execRead(query, args, cached)
+		return s.c.cachedRead(rt, query, args, s.cacheBypass(rt), func() (*sqldb.Result, error) {
+			return s.execRead(query, args, cached)
+		})
 	case kindLock:
 		return s.execLock(query, args, cached, rt)
 	case kindUnlock:
@@ -826,6 +886,52 @@ func (s *Session) execDispatch(query string, args []sqldb.Value, cached bool) (*
 	default:
 		return s.execWrite(query, args, cached, rt)
 	}
+}
+
+// singleExec runs one statement on a single-replica session's borrowed
+// connection, tracking the transaction flags and the cache's
+// version-publication bookkeeping that the routing paths handle on a
+// replicated cluster.
+func (s *Session) singleExec(query string, args []sqldb.Value, cached bool, rt route) (*sqldb.Result, error) {
+	cn, err := s.conn(s.pinned)
+	if err != nil {
+		s.failed = true
+		return nil, err
+	}
+	res, err := s.connExec(cn, query, args, cached)
+	if isTransport(err) {
+		s.broken[s.pinned.id] = true
+		s.failed = true
+		// A non-transactional write may have applied before the connection
+		// died: publish conservatively. An open transaction rolls back
+		// server-side as the dead connection closes, so its pending bumps
+		// are discarded — the abort published nothing.
+		if rt.kind == kindWrite && !s.inTxn {
+			s.c.locks.bump(rt.tables)
+		}
+		s.discardWrites()
+		return res, err
+	}
+	if err != nil {
+		return res, err
+	}
+	switch rt.kind {
+	case kindBegin:
+		if s.inTxn {
+			s.flushWrites() // BEGIN implicitly commits the open transaction
+		}
+		s.inTxn, s.readOnly = true, false
+	case kindTxnEnd:
+		if toks := tokens(query); len(toks) > 0 && toks[0] == "ROLLBACK" {
+			s.discardWrites()
+		} else {
+			s.flushWrites()
+		}
+		s.inTxn, s.readOnly = false, false
+	case kindWrite:
+		s.notePublish(rt.tables)
+	}
+	return res, err
 }
 
 // execRead runs a read on the pinned replica's connection. Inside a
@@ -952,6 +1058,7 @@ func (s *Session) Begin(tables ...string) error {
 			return err
 		}
 		s.inTxn = true
+		s.held = ordered
 		return nil
 	}
 	if s.inBracket {
@@ -987,6 +1094,7 @@ func (s *Session) Begin(tables ...string) error {
 		return ErrNoReplicas
 	}
 	s.inTxn, s.inBracket, s.bracketAll = true, true, true
+	s.held = ordered
 	return nil
 }
 
@@ -1035,23 +1143,33 @@ func (s *Session) BeginReadOnly() error {
 // Commit commits the open transaction on every replica it was opened on
 // and releases its write-order locks. Without an open transaction it is a
 // no-op, like the database's own COMMIT.
-func (s *Session) Commit() error { return s.endTxn((*wire.Conn).Commit) }
+func (s *Session) Commit() error { return s.endTxn((*wire.Conn).Commit, true) }
 
 // Rollback rolls the open transaction back everywhere. The database's undo
 // logs restore each replica to its pre-transaction state, so the replicas
 // stay bit-identical across the abort.
-func (s *Session) Rollback() error { return s.endTxn((*wire.Conn).Rollback) }
+func (s *Session) Rollback() error { return s.endTxn((*wire.Conn).Rollback, false) }
 
 // endTxn runs op (COMMIT or ROLLBACK) on every connection participating in
 // the transaction — concurrently, like the statement broadcasts; the
 // bracket's write-order locks are still held until closeBracket below, so
 // the commit itself stays inside the transaction's serialized window — then
 // releases the bracket state.
-func (s *Session) endTxn(op func(*wire.Conn) error) error {
+func (s *Session) endTxn(op func(*wire.Conn) error, commit bool) error {
 	if !s.inTxn {
 		return nil
 	}
 	defer func() {
+		// Version publication resolves with the transaction: a COMMIT
+		// flushes the pending table bumps — even a transport-failed one,
+		// which may have committed server-side before the connection died —
+		// and a ROLLBACK discards them, because an abort was never visible
+		// to any read and must invalidate nothing.
+		if commit {
+			s.flushWrites()
+		} else {
+			s.discardWrites()
+		}
 		s.inTxn = false
 		s.closeBracket()
 	}()
@@ -1113,11 +1231,11 @@ func (s *Session) execTxnEndText(query string, args []sqldb.Value, cached bool) 
 		// (no-op) statement deterministically.
 		return s.execRead(query, args, cached)
 	}
-	op := (*wire.Conn).Commit
+	op, commit := (*wire.Conn).Commit, true
 	if toks := tokens(query); len(toks) > 0 && toks[0] == "ROLLBACK" {
-		op = (*wire.Conn).Rollback
+		op, commit = (*wire.Conn).Rollback, false
 	}
-	if err := s.endTxn(op); err != nil {
+	if err := s.endTxn(op, commit); err != nil {
 		return nil, err
 	}
 	return &sqldb.Result{}, nil
@@ -1128,7 +1246,13 @@ func (s *Session) execTxnEndText(query string, args []sqldb.Value, cached bool) 
 // bracket's locks; outside, the statement takes its own.
 func (s *Session) execWrite(query string, args []sqldb.Value, cached bool, rt route) (*sqldb.Result, error) {
 	if s.bracketAll {
-		return s.broadcast(query, args, cached, true)
+		res, err := s.broadcast(query, args, cached, true)
+		// Publish unless the failure was deterministic database-side: a
+		// transport-failed broadcast may have applied on some replica.
+		if err == nil || !wire.IsServerError(err) {
+			s.notePublish(rt.tables)
+		}
+		return res, err
 	}
 	if s.inBracket {
 		// Write inside a read-only bracket: the database will reject it
@@ -1142,7 +1266,11 @@ func (s *Session) execWrite(query string, args []sqldb.Value, cached bool, rt ro
 	s.c.topo.RLock()
 	release := s.c.locks.acquire(rt.tables)
 	defer func() { release(); s.c.topo.RUnlock() }()
-	return s.broadcast(query, args, cached, true)
+	res, err := s.broadcast(query, args, cached, true)
+	if err == nil || !wire.IsServerError(err) {
+		s.notePublish(rt.tables)
+	}
+	return res, err
 }
 
 // broadcast sends one statement to every participating replica over the
@@ -1221,6 +1349,15 @@ func (s *Session) fail(r *replica, err error) {
 }
 
 func (s *Session) closeBracket() {
+	if s.inTxn {
+		// Reached with the transaction still open only on an implicit
+		// commit (a LOCK TABLES arriving inside it) or an abandoned
+		// session. The server may have committed the pending writes, so
+		// they are published conservatively — a spurious bump only costs
+		// cache misses, never correctness.
+		s.flushWrites()
+	}
+	s.held = nil
 	if s.release != nil {
 		s.release()
 		s.release = nil

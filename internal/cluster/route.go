@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/sqldb/sqlparse"
 )
 
 // stmtKind classifies a statement for routing: reads go to one replica,
@@ -29,6 +31,11 @@ type route struct {
 	// tables lists the write-ordered tables (lower-cased, sorted, deduped).
 	// Empty for reads; for an unparsable write it holds the catch-all "".
 	tables []string
+	// readTables lists the tables a SELECT references (FROM plus JOINs,
+	// lower-cased, sorted) — the set a cached result for this statement is
+	// validated against. nil for non-SELECT reads and for statements the
+	// parser rejects, which makes them uncacheable (see cache.go).
+	readTables []string
 	// writeBracket marks a LOCK TABLES set containing at least one WRITE
 	// intent: the whole bracketed section must broadcast.
 	writeBracket bool
@@ -56,7 +63,9 @@ func analyze(query string) route {
 		return route{kind: kindRead}
 	}
 	switch toks[0] {
-	case "SELECT", "SHOW":
+	case "SELECT":
+		return route{kind: kindRead, readTables: selectTables(query)}
+	case "SHOW":
 		return route{kind: kindRead}
 	case "UNLOCK":
 		return route{kind: kindUnlock}
@@ -84,6 +93,30 @@ func analyze(query string) route {
 		// table key, so replicas still apply it in one order.
 		return writeRoute("")
 	}
+}
+
+// selectTables extracts the table set a SELECT references via the real SQL
+// parser — routing's first-token dispatch cannot see past the header, but
+// the query cache must know every table whose change invalidates the
+// result. The dialect has no subqueries, so FROM plus the JOIN list is the
+// complete reference set. A parse failure returns nil: the statement stays
+// routable (it is still a read) but uncacheable. The cost is paid once per
+// distinct statement text (routes memoizes).
+func selectTables(query string) []string {
+	st, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil
+	}
+	sel, ok := st.(*sqlparse.Select)
+	if !ok || sel.From.Table == "" {
+		return nil
+	}
+	tables := make([]string, 0, 1+len(sel.Joins))
+	tables = append(tables, sel.From.Table)
+	for _, j := range sel.Joins {
+		tables = append(tables, j.Table.Table)
+	}
+	return normalize(tables)
 }
 
 // analyzeLock parses "LOCK TABLES a READ, b WRITE, ...": the write-intent
@@ -242,6 +275,18 @@ type writeLocks struct {
 	// half-copied data set no read may touch, so the mark outlives the
 	// sync itself and only a later successful sync clears it.
 	tainted map[string]bool
+
+	// Commit-time table-version mirror (cache.go). Every cluster client
+	// sharing this registry — the same per-DSN scope as the write-order
+	// locks — bumps a written table's counter at the moment the write is
+	// known committed server-side, so any client's cached query results
+	// validate against the whole process's write traffic. wild is the
+	// catch-all version for writes whose table set is unknown (every cache
+	// entry validates against it too); epoch advances on every publication
+	// and is the page cache's cross-tier content epoch (Client.ContentEpoch).
+	versions sync.Map // table name -> *atomic.Uint64
+	wild     atomic.Uint64
+	epoch    atomic.Uint64
 }
 
 func newWriteLocks() *writeLocks {

@@ -82,6 +82,18 @@ type Config struct {
 	DBSlowThreshold time.Duration
 	// DBSyncTimeout bounds a rejoining replica's data copy.
 	DBSyncTimeout time.Duration
+	// DBQueryCache bounds each app-tier cluster client's query-result
+	// cache in entries (0, the default, disables it — the paper's measured
+	// system regenerates every result).
+	DBQueryCache int
+	// PageCache bounds the front-end HTTP page cache in entries (0, the
+	// default, disables it). When enabled it wraps the application handler
+	// — balancer, single connector, or in-process scripting module alike —
+	// and serves anonymous browse GETs without touching the app tier.
+	PageCache int
+	// PageCacheTTL is the page cache's freshness backstop (default
+	// lb.DefaultPageTTL).
+	PageCacheTTL time.Duration
 	// AppTimeouts bounds the web→app AJP transport and, in the EJB
 	// architecture, the presentation→EJB RMI transport.
 	AppTimeouts pool.Timeouts
@@ -150,6 +162,7 @@ type Lab struct {
 	ejbCs      []*ejb.Container
 	rmiClients []*rmi.Client
 	balancer   *lb.Balancer
+	pageCache  *lb.PageCache
 	sessions   *servlet.MemStore
 
 	profile *workload.Profile
@@ -226,6 +239,21 @@ func Start(cfg Config) (lab *Lab, err error) {
 
 	// --- web tier ---
 	mux := httpd.NewMux()
+	// The page cache mounts between the web server and whatever generates
+	// dynamic content — balancer, single connector, or in-process module —
+	// so every architecture gets the same edge. The content epoch is read
+	// directly off an app-tier cluster client when one exists (all clients
+	// share the per-DSN version registry, so any one of them sees every
+	// committed write); the X-Content-Epoch response header covers the
+	// cross-process deployments (cmd/webserver).
+	if cfg.PageCache > 0 {
+		pcfg := lb.PageCacheConfig{MaxEntries: cfg.PageCache, TTL: cfg.PageCacheTTL}
+		if clients := l.clusterClients(); len(clients) > 0 {
+			pcfg.Epoch = clients[0].ContentEpoch
+		}
+		l.pageCache = lb.NewPageCache(appHandler, pcfg)
+		appHandler = l.pageCache
+	}
 	mux.Handle(l.basePath(), appHandler)
 	mux.Handle("/img/", staticImages(cfg.ImageBytes))
 	mux.HandleFunc("/status", func(*httpd.Request) (*httpd.Response, error) {
@@ -294,7 +322,8 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 			DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize,
 			DBStrictWrites: cfg.DBStrictWrites, DBTimeouts: cfg.DBTimeouts,
 			DBSlowThreshold: cfg.DBSlowThreshold, DBSyncTimeout: cfg.DBSyncTimeout,
-			Route: route, SessionStore: store(), Locks: sharedLocks,
+			DBQueryCache: cfg.DBQueryCache,
+			Route:        route, SessionStore: store(), Locks: sharedLocks,
 		})
 		switch cfg.Benchmark {
 		case perfsim.Bookstore:
@@ -357,6 +386,7 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 				DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize,
 				DBStrictWrites: cfg.DBStrictWrites, DBTimeouts: cfg.DBTimeouts,
 				DBSlowThreshold: cfg.DBSlowThreshold, DBSyncTimeout: cfg.DBSyncTimeout,
+				DBQueryCache: cfg.DBQueryCache,
 			})
 			if err != nil {
 				return nil, err
@@ -633,6 +663,13 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 		web.Requests = l.web.RequestCount()
 		web.Bytes = l.web.ResponseBytes()
 	}
+	if l.pageCache != nil {
+		pcs := l.pageCache.Stats()
+		web.PageCacheHits = pcs.Hits
+		web.PageCacheMisses = pcs.Misses
+		web.PageCacheInvalidations = pcs.Invalidations
+		web.PageCacheBypasses = pcs.Bypasses
+	}
 	if len(l.connectors) > 0 {
 		var pools []pool.Stats
 		for _, conn := range l.connectors {
@@ -670,6 +707,10 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 				t.DegradedExits += ccs.DegradedExits
 				t.DegradedRejects += ccs.DegradedRejects
 				t.Degraded = t.Degraded || ccs.Degraded
+				t.QueryCacheHits += ccs.QueryCacheHits
+				t.QueryCacheMisses += ccs.QueryCacheMisses
+				t.QueryCacheInvalidations += ccs.QueryCacheInvalidations
+				t.QueryCacheBypasses += ccs.QueryCacheBypasses
 			}
 		}
 		if len(dbPools) > 0 {
@@ -711,6 +752,10 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			t.DegradedExits += ccs.DegradedExits
 			t.DegradedRejects += ccs.DegradedRejects
 			t.Degraded = t.Degraded || ccs.Degraded
+			t.QueryCacheHits += ccs.QueryCacheHits
+			t.QueryCacheMisses += ccs.QueryCacheMisses
+			t.QueryCacheInvalidations += ccs.QueryCacheInvalidations
+			t.QueryCacheBypasses += ccs.QueryCacheBypasses
 			dbPools = append(dbPools, es.DB)
 		}
 		ps := sumPools("db-cluster", dbPools)

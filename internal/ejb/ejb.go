@@ -73,6 +73,9 @@ type Config struct {
 	// DBSyncTimeout bounds a rejoining replica's data copy (cluster.Config
 	// semantics: 0 is the cluster default, negative is unbounded).
 	DBSyncTimeout time.Duration
+	// DBQueryCache bounds the cluster client's query-result cache in
+	// entries (0 disables; cluster.Config.QueryCache semantics).
+	DBQueryCache int
 }
 
 // Container manages entity beans and hosts session beans over RMI.
@@ -106,6 +109,7 @@ func NewContainer(cfg Config) (*Container, error) {
 			Timeouts:      cfg.DBTimeouts,
 			SlowThreshold: cfg.DBSlowThreshold,
 			SyncTimeout:   cfg.DBSyncTimeout,
+			QueryCache:    cfg.DBQueryCache,
 		}),
 		writeBehind: cfg.WriteBehind,
 		entities:    make(map[string]*entityMeta),
@@ -443,7 +447,11 @@ func (t *Tx) Load(entity string, pk sqldb.Value) (*Entity, error) {
 	if len(res.Rows) == 0 {
 		return nil, fmt.Errorf("ejb: %s[%v] not found", entity, pk)
 	}
-	return &Entity{meta: m, c: t.c, tx: t, pk: res.Rows[0][0], fields: res.Rows[0]}, nil
+	// The entity's field slice is a private copy: SetField mutates it in
+	// place, and the loaded row may be shared — the cluster's query cache
+	// serves result rows to many callers.
+	return &Entity{meta: m, c: t.c, tx: t, pk: res.Rows[0][0],
+		fields: append(sqldb.Row(nil), res.Rows[0]...)}, nil
 }
 
 // FindBy runs a CMP finder: SELECT key FROM table WHERE col = ? [LIMIT n],

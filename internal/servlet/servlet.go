@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,6 +118,9 @@ type Config struct {
 	// DBSyncTimeout bounds a rejoining replica's data copy (cluster.Config
 	// semantics: 0 is the cluster default, negative is unbounded).
 	DBSyncTimeout time.Duration
+	// DBQueryCache bounds the cluster client's query-result cache in
+	// entries (0 disables; cluster.Config.QueryCache semantics).
+	DBQueryCache int
 	// Route names this container in a load-balanced application tier (the
 	// jvmRoute of the paper's sticky-session setups): session ids carry it
 	// as a ".route" suffix, and the front-end balancer (internal/lb) pins a
@@ -203,6 +207,7 @@ func NewContainer(cfg Config) *Container {
 			Timeouts:      cfg.DBTimeouts,
 			SlowThreshold: cfg.DBSlowThreshold,
 			SyncTimeout:   cfg.DBSyncTimeout,
+			QueryCache:    cfg.DBQueryCache,
 		})
 	}
 	return &Container{ctx: ctx, mux: httpd.NewMux()}
@@ -222,7 +227,20 @@ func (c *Container) Register(pattern string, s Servlet) {
 	c.servlets = append(c.servlets, registered{pattern, s})
 	c.mux.Handle(pattern, httpd.HandlerFunc(func(req *httpd.Request) (*httpd.Response, error) {
 		c.requests.Add(1)
-		return s.Service(c.ctx, req)
+		// The content epoch is captured BEFORE the servlet renders: if a
+		// commit lands mid-render the page's tag understates its freshness
+		// and an edge page cache (internal/lb.PageCache) discards it — the
+		// conservative direction. An HTTP response header, not a database
+		// wire frame: the caching tier adds nothing to protocol v3.
+		var epoch uint64
+		if c.ctx.DB != nil {
+			epoch = c.ctx.DB.ContentEpoch()
+		}
+		resp, err := s.Service(c.ctx, req)
+		if resp != nil && c.ctx.DB != nil {
+			resp.Header.Set("X-Content-Epoch", strconv.FormatUint(epoch, 10))
+		}
+		return resp, err
 	}))
 }
 

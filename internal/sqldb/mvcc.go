@@ -92,6 +92,21 @@ func (db *DB) MVCCStats() MVCCStats {
 // cannot copy a half-published state.
 func (t *Table) publish() { t.version.Add(1) }
 
+// TableVersion reports a table's commit-time version counter: it advances
+// once per committed publication of the table's state (write commits and
+// DDL), never on aborted transactions — the rolled-back writes were never
+// published. This is the engine-side ground truth the caching tier's
+// client-side version mirror approximates (internal/cluster, cache.go);
+// tests assert the two agree on the publish/no-publish decision. Unknown
+// tables report 0.
+func (db *DB) TableVersion(name string) uint64 {
+	t, err := db.table(name)
+	if err != nil {
+		return 0
+	}
+	return t.version.Load()
+}
+
 // view returns the installed snapshot when it is still current, lock-free.
 func (t *Table) view() (*Table, bool) {
 	sp := t.snap.Load()

@@ -1,0 +1,53 @@
+package sqldb
+
+import "testing"
+
+// TestTableVersionPublish: the engine-side per-table version — the ground
+// truth the cluster client's commit-time mirror approximates — advances
+// exactly when a write publishes, and only for the written table.
+func TestTableVersionPublish(t *testing.T) {
+	db := txnDB(t)
+	s := db.NewSession()
+	defer s.Close()
+
+	items0, audit0 := db.TableVersion("items"), db.TableVersion("audit")
+
+	// Auto-commit write publishes immediately.
+	mustTx(t, s, "UPDATE items SET qty = 11 WHERE id = 1")
+	if got := db.TableVersion("items"); got <= items0 {
+		t.Fatalf("items version %d not advanced past %d by auto-commit write", got, items0)
+	}
+	if got := db.TableVersion("audit"); got != audit0 {
+		t.Fatalf("audit version moved %d -> %d without a write", audit0, got)
+	}
+
+	// In-txn writes publish at COMMIT, not before.
+	items1 := db.TableVersion("items")
+	mustTx(t, s, "BEGIN")
+	mustTx(t, s, "UPDATE items SET qty = 12 WHERE id = 1")
+	if got := db.TableVersion("items"); got != items1 {
+		t.Fatalf("items version moved %d -> %d before commit", items1, got)
+	}
+	mustTx(t, s, "COMMIT")
+	if got := db.TableVersion("items"); got <= items1 {
+		t.Fatalf("items version %d not advanced past %d by commit", got, items1)
+	}
+
+	// ROLLBACK publishes nothing.
+	items2 := db.TableVersion("items")
+	mustTx(t, s, "BEGIN")
+	mustTx(t, s, "UPDATE items SET qty = 13 WHERE id = 1")
+	mustTx(t, s, "ROLLBACK")
+	if got := db.TableVersion("items"); got != items2 {
+		t.Fatalf("items version moved %d -> %d across a rollback", items2, got)
+	}
+
+	// Reads never publish; unknown tables report zero.
+	mustTx(t, s, "SELECT qty FROM items WHERE id = 1")
+	if got := db.TableVersion("items"); got != items2 {
+		t.Fatalf("items version moved %d -> %d on a read", items2, got)
+	}
+	if got := db.TableVersion("nope"); got != 0 {
+		t.Fatalf("TableVersion of missing table = %d, want 0", got)
+	}
+}

@@ -79,6 +79,23 @@ type Tier struct {
 	DegradedExits   int64 `json:"degraded_exits,omitempty"`
 	DegradedRejects int64 `json:"degraded_rejects,omitempty"`
 	Degraded        bool  `json:"degraded,omitempty"`
+	// Caching-tier counters (DESIGN.md §10). The query-result cache lives
+	// in the tier that owns the cluster client (servlet or ejb): hits were
+	// served without touching the database tier, invalidations are entries
+	// dropped because a referenced table's commit-time version moved, and
+	// bypasses are reads forced live because the session's transaction
+	// write-held a referenced table. The page cache lives in the web tier:
+	// hits were served without touching the app tier at all. A tier below
+	// a hot cache sees only the miss traffic — the Format verdict annotates
+	// the bottleneck line so the shrunken load is not misread.
+	QueryCacheHits          int64 `json:"query_cache_hits,omitempty"`
+	QueryCacheMisses        int64 `json:"query_cache_misses,omitempty"`
+	QueryCacheInvalidations int64 `json:"query_cache_invalidations,omitempty"`
+	QueryCacheBypasses      int64 `json:"query_cache_bypasses,omitempty"`
+	PageCacheHits           int64 `json:"page_cache_hits,omitempty"`
+	PageCacheMisses         int64 `json:"page_cache_misses,omitempty"`
+	PageCacheInvalidations  int64 `json:"page_cache_invalidations,omitempty"`
+	PageCacheBypasses       int64 `json:"page_cache_bypasses,omitempty"`
 	// Downstream names the tier Pool dials into. Pool wait time is
 	// evidence that *that* tier's connections are all busy, so
 	// Bottleneck charges the wait there, not to the pool's holder.
@@ -187,6 +204,14 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 				t.DegradedEntries -= pt.DegradedEntries
 				t.DegradedExits -= pt.DegradedExits
 				t.DegradedRejects -= pt.DegradedRejects
+				t.QueryCacheHits -= pt.QueryCacheHits
+				t.QueryCacheMisses -= pt.QueryCacheMisses
+				t.QueryCacheInvalidations -= pt.QueryCacheInvalidations
+				t.QueryCacheBypasses -= pt.QueryCacheBypasses
+				t.PageCacheHits -= pt.PageCacheHits
+				t.PageCacheMisses -= pt.PageCacheMisses
+				t.PageCacheInvalidations -= pt.PageCacheInvalidations
+				t.PageCacheBypasses -= pt.PageCacheBypasses
 				if t.Pool != nil && pt.Pool != nil {
 					d := t.Pool.Sub(*pt.Pool)
 					t.Pool = &d
@@ -388,6 +413,23 @@ func (s *Snapshot) Format() string {
 			t.Name, t.Broadcasts, acksPer, t.ReadOnlyTxns)
 	}
 	for _, t := range s.Tiers {
+		qn := t.QueryCacheHits + t.QueryCacheMisses
+		pn := t.PageCacheHits + t.PageCacheMisses
+		if qn == 0 && t.QueryCacheBypasses == 0 && pn == 0 && t.PageCacheBypasses == 0 {
+			continue
+		}
+		if qn > 0 || t.QueryCacheBypasses > 0 {
+			fmt.Fprintf(&b, "%s query cache: %d hits / %d misses (%.1f%%), %d invalidations, %d txn bypasses\n",
+				t.Name, t.QueryCacheHits, t.QueryCacheMisses, hitPct(t.QueryCacheHits, qn),
+				t.QueryCacheInvalidations, t.QueryCacheBypasses)
+		}
+		if pn > 0 || t.PageCacheBypasses > 0 {
+			fmt.Fprintf(&b, "%s page cache: %d hits / %d misses (%.1f%%), %d invalidations, %d session bypasses\n",
+				t.Name, t.PageCacheHits, t.PageCacheMisses, hitPct(t.PageCacheHits, pn),
+				t.PageCacheInvalidations, t.PageCacheBypasses)
+		}
+	}
+	for _, t := range s.Tiers {
 		p := t.Pool
 		if p == nil || (p.OpTimeouts == 0 && p.WaitTimeouts == 0 && p.Backoffs == 0) {
 			continue
@@ -452,6 +494,24 @@ func (s *Snapshot) Format() string {
 			break
 		}
 	}
+	// A hot cache serves most traffic before it reaches the tiers below:
+	// the verdict then describes only the post-cache residue, and reading
+	// it as the uncached stack's bottleneck would misdiagnose. Annotate
+	// whenever any cache served more than it missed.
+	for _, t := range s.Tiers {
+		if t.QueryCacheHits > t.QueryCacheMisses || t.PageCacheHits > t.PageCacheMisses {
+			verdict += " (caches hot: tier load is post-cache)"
+			break
+		}
+	}
 	fmt.Fprintf(&b, "bottleneck: %s\n", verdict)
 	return b.String()
+}
+
+// hitPct is the hit percentage of a hits+misses total (0 when idle).
+func hitPct(hits, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(total)
 }
