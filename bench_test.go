@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/httpd/httpclient"
 	"repro/internal/perfsim"
+	"repro/internal/pool"
 	"repro/internal/sqldb"
 	"repro/internal/workload"
 
@@ -262,6 +263,72 @@ func BenchmarkClusterReplicaSweep(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(rep.ThroughputIPM, "ipm")
+		})
+	}
+}
+
+// BenchmarkShardSweep opens the partition-the-data axis (DESIGN.md §11):
+// the write-heavy bidding mix over one and two shard groups, one replica
+// each. Replication (BenchmarkClusterReplicaSweep) scales reads but makes
+// writes *more* expensive — every replica applies them; sharding is the
+// axis that scales writes, because a pinned write costs one shard group
+// and the groups take them in parallel. The reported write_ipm counts
+// only the mix's write-bearing interactions.
+//
+// The sweep injects a fixed wire latency on every app→db link (the chaos
+// proxy's Latency fault) and pins each shard group to one connection, so
+// a shard group's capacity is its serial statement pipeline — round trips
+// over a link with real latency, the paper's testbed. That is the resource
+// sharding multiplies, and it is timer-bound rather than scheduler-bound,
+// which keeps the sweep reproducible on small (even single-core) runners
+// where a CPU-bound stack cannot show horizontal scaling at all.
+func BenchmarkShardSweep(b *testing.B) {
+	writeInteractions := []string{"storebid", "storebuynow", "storecomment", "registeritem", "registeruser"}
+	for _, shards := range []int{1, 2} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			lab, err := core.Start(core.Config{
+				// The non-sync servlet arch is the transactional one: its
+				// write sections run inside database transactions, so write
+				// contention lives in the database tier — the tier this
+				// sweep partitions. (The sync archs serialize writes in the
+				// container lock manager, which no amount of DB capacity
+				// relieves.)
+				Arch: perfsim.ArchServlet, Benchmark: perfsim.Auction,
+				// A wide app tier over a one-connection DB pool per shard
+				// group: the serial app→db statement pipeline is the
+				// bottleneck, and it is what sharding multiplies.
+				DBShards: shards, DBReplicas: 1, DBPoolSize: 1, AppPoolSize: 24,
+				// Saturation must queue, not time out: the 1-shard arm is
+				// meant to be a steady floor, not error-retry noise.
+				DBTimeouts: pool.Timeouts{Dial: 2 * time.Second, Op: 2 * time.Second, Wait: 2 * time.Second},
+				Chaos:      true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lab.Close()
+			for i := 0; lab.DBProxy(i) != nil; i++ {
+				lab.SlowReplica(i, 200*time.Microsecond)
+			}
+			var rep *workload.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = lab.Run(workload.Config{
+					Clients: 24, Mix: "bidding",
+					ThinkMean: time.Millisecond, SessionMean: time.Second,
+					RampUp: 100 * time.Millisecond, Measure: 1200 * time.Millisecond,
+					Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var writes int64
+			for _, name := range writeInteractions {
+				writes += rep.ByInteraction[name]
+			}
+			b.ReportMetric(float64(writes)/rep.MeasureDuration.Seconds()*60, "write_ipm")
 			b.ReportMetric(rep.ThroughputIPM, "ipm")
 		})
 	}

@@ -39,7 +39,7 @@ import (
 // perf PRs track.
 const defaultBench = "BenchmarkIPCPerCharCost|BenchmarkEJBQueryTraffic|" +
 	"BenchmarkRealStackWorkload|BenchmarkExecText|BenchmarkExecPrepared|" +
-	"BenchmarkPoolExecPrepared|BenchmarkCacheSweep"
+	"BenchmarkPoolExecPrepared|BenchmarkCacheSweep|BenchmarkShardSweep"
 
 // Result is one benchmark line.
 type Result struct {
@@ -87,13 +87,22 @@ Perf-regression gate (-compare):
   past -bop-threshold prints an ALLOC WARNING without failing the gate.
   CI runs this: advisory on pull requests, enforced on pushes to main.
 
-Noise robustness (-rounds / -count):
+Noise robustness (-rounds / -count / -noise-floor / -retries):
   -count N reruns each benchmark within one 'go test' invocation;
   -rounds M spreads M separate invocations across time. Scheduler noise
   on a busy machine arrives in bursts that can swallow one whole
   invocation, so the gate keeps the best observation (minimum ns/op,
   maximum ipm) across all rounds — a single quiet run beats three noisy
   averages.
+  -noise-floor F (ns) is the absolute floor under the percentage gate:
+  an ns/op rise smaller than F never fails, whatever the percentage.
+  Sub-microsecond benchmarks swing tens of percent on cache and
+  scheduler jitter alone; a delta that small is measurement noise, not
+  a regression this repo could own.
+  -retries R re-measures instead of trusting one bad reading: when the
+  gate fails, up to R extra rounds are run and folded into the best-of
+  merge, and only a regression that survives every re-measurement
+  fails the process. A real slowdown reproduces; a noise burst does not.
 
 Examples:
   benchjson                                     # record BENCH_<n>.json
@@ -112,6 +121,8 @@ func main() {
 		threshold    = flag.Float64("threshold", 10, "max tolerated regression, percent (ns/op up, or ipm down); used with -compare")
 		bopThreshold = flag.Float64("bop-threshold", 10, "advisory allocation threshold, percent (B/op up); flagged with -compare but never fails the gate")
 		rounds       = flag.Int("rounds", 1, "separate go-test invocations whose results merge best-of (noise robustness)")
+		noiseFloor   = flag.Float64("noise-floor", 500, "absolute ns/op rise below which the gate never fails, whatever the percentage; used with -compare")
+		retries      = flag.Int("retries", 2, "extra measurement rounds run after a gate failure before the failure counts; used with -compare")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -128,8 +139,7 @@ func main() {
 	// sequence; spreading rounds across separate invocations gives every
 	// benchmark samples from different time windows, and mergeBest keeps
 	// the quietest one.
-	var all []Result
-	for round := 0; round < *rounds; round++ {
+	runRound := func() []Result {
 		cmd := exec.Command("go", args...)
 		cmd.Stderr = os.Stderr
 		raw, err := cmd.Output()
@@ -140,9 +150,30 @@ func main() {
 		if len(rs) == 0 {
 			log.Fatalf("benchjson: no benchmark lines in output:\n%s", raw)
 		}
-		all = append(all, rs...)
+		return rs
+	}
+	var all []Result
+	for round := 0; round < *rounds; round++ {
+		all = append(all, runRound()...)
 	}
 	results := mergeBest(all)
+
+	// The gate runs before the snapshot is written so that a retried
+	// failure's extra rounds land in the recorded file too: the JSON must
+	// describe the same observations the verdict was reached on.
+	gatePass := true
+	if *compare != "" {
+		gatePass = gate(results, *compare, *threshold, *bopThreshold, *noiseFloor)
+		// A regression that is really scheduler noise will not reproduce:
+		// fold extra rounds into the best-of merge and re-judge. Only a
+		// slowdown that survives every re-measurement fails the process.
+		for attempt := 1; !gatePass && attempt <= *retries; attempt++ {
+			fmt.Printf("\nperf gate failed — re-measuring (retry %d/%d)\n", attempt, *retries)
+			all = append(all, runRound()...)
+			results = mergeBest(all)
+			gatePass = gate(results, *compare, *threshold, *bopThreshold, *noiseFloor)
+		}
+	}
 
 	path := *out
 	if path == "" {
@@ -177,10 +208,8 @@ func main() {
 		fmt.Println()
 	}
 
-	if *compare != "" {
-		if !gate(results, *compare, *threshold, *bopThreshold) {
-			os.Exit(1)
-		}
+	if !gatePass {
+		os.Exit(1)
 	}
 }
 
@@ -193,7 +222,11 @@ func main() {
 // Allocation volume gates only advisorily: B/op moves with Go runtime
 // internals and map layouts that are not this repo's regressions to own,
 // so a rise past bopThreshold is flagged loudly but never fails the gate.
-func gate(results []Result, baselinePath string, threshold, bopThreshold float64) bool {
+// noiseFloor is the absolute arm of the ns/op gate: a rise below that many
+// nanoseconds never fails regardless of percentage, because sub-floor
+// deltas on fast benchmarks are indistinguishable from cache and
+// scheduler jitter.
+func gate(results []Result, baselinePath string, threshold, bopThreshold, noiseFloor float64) bool {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		log.Fatalf("benchjson: baseline: %v", err)
@@ -225,8 +258,21 @@ func gate(results []Result, baselinePath string, threshold, bopThreshold float64
 			return ""
 		}
 		slow := pctChange(b.NsPerOp, r.NsPerOp)
+		nsVerdict := ""
+		if slow > threshold {
+			// Two-armed gate: the percentage must be exceeded AND the
+			// absolute rise must clear the noise floor. A 30% swing on a
+			// 200ns benchmark is jitter; the same percentage on a
+			// millisecond-scale interaction is a real regression.
+			if r.NsPerOp-b.NsPerOp > noiseFloor {
+				pass = false
+				nsVerdict = "  REGRESSION"
+			} else {
+				nsVerdict = "  (within noise floor)"
+			}
+		}
 		fmt.Printf("  %-55s %10.0f %10.0f %+7.1f%%%s\n",
-			r.Name+" ns/op", b.NsPerOp, r.NsPerOp, slow, verdict(slow))
+			r.Name+" ns/op", b.NsPerOp, r.NsPerOp, slow, nsVerdict)
 		if bi, ok := b.Metrics["ipm"]; ok {
 			if ni, ok := r.Metrics["ipm"]; ok {
 				// Throughput: the regression is the decline relative to

@@ -1,0 +1,104 @@
+// Command dbinit seeds a database tier through a cluster client: it
+// creates the benchmark schema and populates the data over the wire, so a
+// sharded tier (-db with semicolon-separated shard groups) gets each row
+// on its owning shard only, with strided AUTO_INCREMENT counters. Run it
+// once against empty backends (dbserver -scale empty) before starting the
+// application tier:
+//
+//	dbserver -addr :7306 -scale empty &
+//	dbserver -addr :7307 -scale empty &
+//	dbinit -db "127.0.0.1:7306;127.0.0.1:7307" -benchmark auction
+//
+// Unsharded DSNs work too — then it is just remote schema + population,
+// equivalent to the backends' own -seed path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/bookstore"
+	"repro/internal/cluster"
+	"repro/internal/pool"
+)
+
+func main() {
+	var (
+		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: shard groups separated by ';', replicas within a group by ','")
+		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
+		scale     = flag.String("scale", "default", "tiny, default or paper")
+		seed      = flag.Int64("seed", 1, "population seed")
+		poolSize  = flag.Int("pool", 8, "connection pool size, per replica")
+		opTO      = flag.Duration("op", time.Minute, "per-statement deadline (0: transport default, negative: none)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "dbinit ", log.LstdFlags)
+
+	shardBy := bookstore.ShardBy()
+	if *benchmark == "auction" {
+		shardBy = auction.ShardBy()
+	}
+	cl := cluster.NewWithConfig(cluster.Config{
+		DSN:      *dbAddr,
+		ShardBy:  shardBy,
+		PoolSize: *poolSize,
+		Timeouts: pool.Timeouts{Op: *opTO},
+	})
+	defer cl.Close()
+
+	start := time.Now()
+	var err error
+	switch *benchmark {
+	case "bookstore":
+		sc, ok := bookScale(*scale)
+		if !ok {
+			logger.Fatalf("unknown scale %q", *scale)
+		}
+		if err = bookstore.CreateSchema(cl); err == nil {
+			err = bookstore.Populate(cl, sc, *seed)
+		}
+	case "auction":
+		sc, ok := auctionScale(*scale)
+		if !ok {
+			logger.Fatalf("unknown scale %q", *scale)
+		}
+		if err = auction.CreateSchema(cl); err == nil {
+			err = auction.Populate(cl, sc, *seed)
+		}
+	default:
+		logger.Fatalf("unknown benchmark %q", *benchmark)
+	}
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("dbinit: %s (%s scale) seeded via %s in %v\n",
+		*benchmark, *scale, *dbAddr, time.Since(start).Round(time.Millisecond))
+}
+
+func bookScale(name string) (bookstore.Scale, bool) {
+	switch name {
+	case "tiny":
+		return bookstore.TinyScale(), true
+	case "default":
+		return bookstore.DefaultScale(), true
+	case "paper":
+		return bookstore.PaperScale(), true
+	}
+	return bookstore.Scale{}, false
+}
+
+func auctionScale(name string) (auction.Scale, bool) {
+	switch name {
+	case "tiny":
+		return auction.TinyScale(), true
+	case "default":
+		return auction.DefaultScale(), true
+	case "paper":
+		return auction.PaperScale(), true
+	}
+	return auction.Scale{}, false
+}

@@ -35,7 +35,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7306", "listen address")
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
-		scale     = flag.String("scale", "default", "tiny, default or paper")
+		scale     = flag.String("scale", "default", "tiny, default, paper, or empty (no schema or data: a shard backend, to be seeded through a sharded client — see cmd/dbinit)")
 		seed      = flag.Int64("seed", 1, "population seed")
 		replica   = flag.Int("replica", 0, "replica id, for logs and telemetry")
 		peers     = flag.String("peers", "", "comma-separated peer replicas to sync initial data from (skips -seed population)")
@@ -49,17 +49,23 @@ func main() {
 	db := sqldb.New()
 	sess := db.NewSession()
 	local := sqldb.SessionExecer{S: sess}
-	switch *benchmark {
-	case "bookstore":
-		if err := bookstore.CreateSchema(local); err != nil {
-			logger.Fatal(err)
+	// -scale empty serves a bare engine: a shard group's backend must not
+	// self-populate (every backend would hold every row, and its ids would
+	// not be strided) — schema and data arrive over the wire from a sharded
+	// client instead (cmd/dbinit, or any app tier's population path).
+	if *scale != "empty" {
+		switch *benchmark {
+		case "bookstore":
+			if err := bookstore.CreateSchema(local); err != nil {
+				logger.Fatal(err)
+			}
+		case "auction":
+			if err := auction.CreateSchema(local); err != nil {
+				logger.Fatal(err)
+			}
+		default:
+			logger.Fatalf("unknown benchmark %q", *benchmark)
 		}
-	case "auction":
-		if err := auction.CreateSchema(local); err != nil {
-			logger.Fatal(err)
-		}
-	default:
-		logger.Fatalf("unknown benchmark %q", *benchmark)
 	}
 
 	// Initial data: replay a live peer when joining an existing cluster,
@@ -71,7 +77,7 @@ func main() {
 		if !syncFromPeers(logger, local, peerList, *peerOp, *syncTO) {
 			logger.Fatalf("no peer in %q reachable; refusing to start from seed data", *peers)
 		}
-	} else {
+	} else if *scale != "empty" {
 		populate(logger, local, *benchmark, *scale, *seed)
 	}
 	sess.Close()

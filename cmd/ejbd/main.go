@@ -34,7 +34,7 @@ func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7099", "RMI listen address")
 		ajpAddr   = flag.String("ajp", "", "also serve presentation servlets on this AJP address")
-		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address or a comma-separated replica list")
+		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address, a comma-separated replica list, or semicolon-separated shard groups of replica lists (\"s0r0,s0r1;s1r0,s1r1\" — sharded tiers partition by the benchmark's ShardBy map)")
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
 		poolSize  = flag.Int("pool", 12, "database connection pool size, per replica")
 		route     = flag.String("route", "", "session-affinity route id for the presentation servlets in a load-balanced tier (requires -ajp)")
@@ -50,8 +50,14 @@ func main() {
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
 	dbTimeouts := pool.Timeouts{Dial: *dbDial, Op: *dbOp, Wait: *dbWait}
+	// A sharded -db DSN (semicolon-separated groups) partitions by the
+	// benchmark's own table->column map; tables outside it are global.
+	shardBy := bookstore.ShardBy()
+	if *benchmark == "auction" {
+		shardBy = auction.ShardBy()
+	}
 	ec, err := ejb.NewContainer(ejb.Config{
-		DBAddr: *dbAddr, DBPoolSize: *poolSize,
+		DBAddr: *dbAddr, DBShardBy: shardBy, DBPoolSize: *poolSize,
 		DBStrictWrites:  *dbStrict,
 		DBTimeouts:      dbTimeouts,
 		DBSlowThreshold: *dbSlow,

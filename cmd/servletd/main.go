@@ -29,7 +29,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7009", "AJP listen address")
-		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address or a comma-separated replica list")
+		dbAddr    = flag.String("db", "127.0.0.1:7306", "database DSN: one wire address, a comma-separated replica list, or semicolon-separated shard groups of replica lists (\"s0r0,s0r1;s1r0,s1r1\" — sharded tiers partition by the benchmark's ShardBy map)")
 		benchmark = flag.String("benchmark", "bookstore", "bookstore or auction")
 		sync      = flag.Bool("sync", false, "engine-side locking (the paper's sync variants)")
 		poolSize  = flag.Int("pool", 12, "database connection pool size, per replica")
@@ -44,8 +44,14 @@ func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 
+	// A sharded -db DSN (semicolon-separated groups) partitions by the
+	// benchmark's own table->column map; tables outside it are global.
+	shardBy := bookstore.ShardBy()
+	if *benchmark == "auction" {
+		shardBy = auction.ShardBy()
+	}
 	c := servlet.NewContainer(servlet.Config{
-		DBAddr: *dbAddr, DBPoolSize: *poolSize, Route: *route,
+		DBAddr: *dbAddr, DBShardBy: shardBy, DBPoolSize: *poolSize, Route: *route,
 		DBTimeouts:      pool.Timeouts{Dial: *dbDial, Op: *dbOp, Wait: *dbWait},
 		DBSlowThreshold: *dbSlow,
 		DBSyncTimeout:   *dbSync,

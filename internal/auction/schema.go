@@ -139,6 +139,23 @@ var _ Execer = (*wire.Conn)(nil)
 var _ Execer = (*cluster.Client)(nil)
 var _ Execer = (*cluster.Session)(nil)
 
+// ShardBy is the benchmark's horizontal partitioning map
+// (cluster.Config.ShardBy): the write-heavy auction tables partition by
+// the key their hot queries pin on — an item's bids and buy-now
+// purchases colocate with the item (strided AUTO_INCREMENT makes an
+// item's id congruent to its shard, and bids/buy_now carry that id), and
+// a user's feedback colocates by recipient. Everything else (users,
+// categories, regions, old_items, the ids counter) replicates to every
+// shard as global tables.
+func ShardBy() map[string]string {
+	return map[string]string{
+		"items":    "id",
+		"bids":     "item_id",
+		"buy_now":  "item_id",
+		"comments": "to_user",
+	}
+}
+
 // CreateSchema applies the DDL.
 func CreateSchema(db Execer) error {
 	for _, q := range SchemaSQL() {

@@ -130,6 +130,22 @@ var _ Execer = (*wire.Conn)(nil)
 var _ Execer = (*cluster.Client)(nil)
 var _ Execer = (*cluster.Session)(nil)
 
+// ShardBy is the benchmark's horizontal partitioning map
+// (cluster.Config.ShardBy): the order-path tables — the only tables TPC-W
+// writes during the run — partition by customer. Strided AUTO_INCREMENT
+// makes an order's id congruent to its shard, so order lines and credit
+// info keyed by order_id colocate with their order. The catalog
+// (items, authors, countries) and the customer roster replicate to every
+// shard as global tables — they are read-mostly and every shard's local
+// joins need them.
+func ShardBy() map[string]string {
+	return map[string]string{
+		"orders":      "customer_id",
+		"order_line":  "order_id",
+		"credit_info": "order_id",
+	}
+}
+
 // CreateSchema applies the DDL.
 func CreateSchema(db Execer) error {
 	for _, q := range SchemaSQL() {

@@ -85,7 +85,22 @@ func (w *writeLocks) stampFor(readTables []string) []uint64 {
 // committed write through any client sharing this DSN. The HTTP page cache
 // keys freshness on it (internal/lb.PageCache); the app tier republishes it
 // per response as the X-Content-Epoch header.
-func (c *Client) ContentEpoch() uint64 { return c.locks.epoch.Load() }
+//
+// On a sharded client the epoch is the SUM of the per-shard epochs — every
+// shard's committed writes advance it, so a page cached under the combined
+// epoch is invalidated by a write through any shard. (A max would not be
+// safe: two shards advancing in lockstep could leave the max unchanged
+// while content moved.)
+func (c *Client) ContentEpoch() uint64 {
+	if c.sh != nil {
+		var e uint64
+		for _, in := range c.sh.shards {
+			e += in.ContentEpoch()
+		}
+		return e
+	}
+	return c.locks.epoch.Load()
+}
 
 // cacheKey builds the lookup key for (statement, args). The statement text
 // is used verbatim — routes already memoizes per distinct text, and two
@@ -313,21 +328,33 @@ func (s *Session) cacheBypass(rt route) bool {
 // sessions whose open transaction write-holds a referenced table — the
 // read must see the session's own uncommitted writes, so it stays live and
 // fills nothing (the txn's result is not what other clients should see).
-func (c *Client) cachedRead(rt route, query string, args []sqldb.Value, bypass bool, run func() (*sqldb.Result, error)) (*sqldb.Result, error) {
+//
+// run receives a restamp hook it must invoke immediately before every
+// attempt that could produce the rows — the pool's stale-connection retry,
+// the read router's failover to the next replica. The stamp that fills the
+// entry must belong to the attempt that actually read: a stamp captured
+// before a failed first attempt predates any write that committed during
+// the retry window, so the fill would be born stale and every lookup a
+// spurious miss (monotone versions keep the error conservative, but the
+// cache stops caching). Paths with no retry may ignore the hook — the
+// pre-run capture below still covers them.
+func (c *Client) cachedRead(rt route, query string, args []sqldb.Value, bypass bool, run func(restamp func()) (*sqldb.Result, error)) (*sqldb.Result, error) {
 	q := c.qcache
 	if q == nil || rt.readTables == nil {
-		return run()
+		return run(func() {})
 	}
 	if bypass {
 		q.bypasses.Add(1)
-		return run()
+		return run(func() {})
 	}
 	key := cacheKey(query, args)
 	if res, ok := q.get(key, c.locks); ok {
 		return res, nil
 	}
-	stamp := c.locks.stampFor(rt.readTables)
-	res, err := run()
+	var stamp []uint64
+	restamp := func() { stamp = c.locks.stampFor(rt.readTables) }
+	restamp()
+	res, err := run(restamp)
 	if err != nil {
 		return nil, err
 	}

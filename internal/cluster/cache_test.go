@@ -333,3 +333,40 @@ func TestQueryCacheTorture(t *testing.T) {
 		})
 	}
 }
+
+// TestQueryCacheRestampOnRetry: when the read that fills a cache entry is
+// retried (stale pooled connection, replica failover), the version stamp
+// must be re-captured for the attempt that actually produced the rows. A
+// stamp captured before a failed first attempt predates any write that
+// commits in the retry window, so the fill would be born stale — every
+// later lookup a spurious miss. The run closure below replays exactly the
+// sequence the wire notify path produces: attempt 0 dies in transport, a
+// write commits, attempt 1 restamps and reads.
+func TestQueryCacheRestampOnRetry(t *testing.T) {
+	reps := startReplicas(t, 1)
+	c := newTestClient(t, reps, Config{QueryCache: 8})
+	const q = "SELECT qty FROM items WHERE id = ?"
+	args := []sqldb.Value{sqldb.Int(1)}
+	rt := c.routes.of(q)
+
+	res, err := c.cachedRead(rt, q, args, false, func(restamp func()) (*sqldb.Result, error) {
+		// Attempt 0 failed in transport after the pre-run stamp was taken;
+		// a concurrent client's write commits before the retry.
+		c.locks.bump([]string{"items"})
+		restamp() // attempt 1 (the wire layer fires onAttempt before each try)
+		return c.poolExec(c.replicas[0], q, args, false)
+	})
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("filling read: %v %v", err, res)
+	}
+
+	// The entry was filled under the retry's stamp, so it is valid: the
+	// next identical read must hit, not invalidate.
+	if got := queryQty(t, c, 1); got != 100 {
+		t.Fatalf("qty = %d, want 100", got)
+	}
+	hits, _, invals, _ := cacheStats(c)
+	if hits != 1 || invals != 0 {
+		t.Fatalf("hits=%d invalidations=%d, want 1/0 (entry born stale: stamp not re-captured on retry)", hits, invals)
+	}
+}

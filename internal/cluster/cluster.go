@@ -94,6 +94,11 @@ type Config struct {
 	// publication still runs so other clients' caches — and the page-cache
 	// content epoch — stay coherent.
 	QueryCache int
+	// ShardBy maps table name -> shard-key column for horizontal
+	// partitioning (shard.go). Consulted only when DSN names more than one
+	// shard group (';'-separated); tables absent from the map are global —
+	// replicated on every shard. Names are case-insensitive.
+	ShardBy map[string]string
 }
 
 // ParseDSN splits a multi-backend DSN into its replica addresses.
@@ -125,6 +130,11 @@ type replica struct {
 // pool-routed statements, Get/Put for LOCK-bracketed logical sessions, and
 // Prepare for shared statement handles.
 type Client struct {
+	// sh, when non-nil, makes this client a sharded facade (shard.go):
+	// public methods route through the shard set's per-shard inner clients
+	// and the flat replica machinery below goes unused.
+	sh *shardSet
+
 	replicas []*replica
 	rr       atomic.Uint64
 	locks    *writeLocks
@@ -181,10 +191,44 @@ type ClientStats struct {
 	QueryCacheMisses        int64 `json:"query_cache_misses,omitempty"`
 	QueryCacheInvalidations int64 `json:"query_cache_invalidations,omitempty"`
 	QueryCacheBypasses      int64 `json:"query_cache_bypasses,omitempty"`
+	// Shard routing counters (set only on a sharded client, shard.go):
+	// statements pinned to one owning shard, scatter-gather SELECT
+	// fan-outs, cross-shard broadcast writes/DDL, and transactions
+	// committed via two-phase commit.
+	Shards         int   `json:"shards,omitempty"`
+	ShardSingle    int64 `json:"shard_single,omitempty"`
+	ShardScatter   int64 `json:"shard_scatter,omitempty"`
+	ShardBroadcast int64 `json:"shard_broadcast,omitempty"`
+	Shard2PCTxns   int64 `json:"shard_2pc_txns,omitempty"`
 }
 
-// ClientStats snapshots the counters.
+// ClientStats snapshots the counters. A sharded client sums its inner
+// clients' counters and adds the shard routing view.
 func (c *Client) ClientStats() ClientStats {
+	if c.sh != nil {
+		var s ClientStats
+		for _, in := range c.sh.shards {
+			is := in.ClientStats()
+			s.Broadcasts += is.Broadcasts
+			s.BroadcastAcks += is.BroadcastAcks
+			s.ReadOnlyTxns += is.ReadOnlyTxns
+			s.SlowEjections += is.SlowEjections
+			s.DegradedEntries += is.DegradedEntries
+			s.DegradedExits += is.DegradedExits
+			s.DegradedRejects += is.DegradedRejects
+			s.Degraded = s.Degraded || is.Degraded
+			s.QueryCacheHits += is.QueryCacheHits
+			s.QueryCacheMisses += is.QueryCacheMisses
+			s.QueryCacheInvalidations += is.QueryCacheInvalidations
+			s.QueryCacheBypasses += is.QueryCacheBypasses
+		}
+		s.Shards = len(c.sh.shards)
+		s.ShardSingle = c.sh.single.Load()
+		s.ShardScatter = c.sh.scatter.Load()
+		s.ShardBroadcast = c.sh.broadcast.Load()
+		s.Shard2PCTxns = c.sh.txns2pc.Load()
+		return s
+	}
 	s := ClientStats{
 		Broadcasts:      c.broadcasts.Load(),
 		BroadcastAcks:   c.broadcastAcks.Load(),
@@ -204,16 +248,32 @@ func (c *Client) ClientStats() ClientStats {
 	return s
 }
 
-// Degraded reports whether the strict-policy read-only latch is set.
-func (c *Client) Degraded() bool { return c.degraded.Load() }
+// Degraded reports whether the strict-policy read-only latch is set (on
+// any shard, for a sharded client).
+func (c *Client) Degraded() bool {
+	if c.sh != nil {
+		for _, in := range c.sh.shards {
+			if in.Degraded() {
+				return true
+			}
+		}
+		return false
+	}
+	return c.degraded.Load()
+}
 
 // New creates a client over the DSN's replicas with default policy.
 func New(dsn string, poolSize int) *Client {
 	return NewWithConfig(Config{DSN: dsn, PoolSize: poolSize})
 }
 
-// NewWithConfig creates a client.
+// NewWithConfig creates a client. A DSN naming more than one ';'-separated
+// shard group builds a sharded client (shard.go) whose inner per-shard
+// clients each get this same configuration over their own replica subset.
 func NewWithConfig(cfg Config) *Client {
+	if groups := ParseShardDSN(cfg.DSN); len(groups) > 1 {
+		return newSharded(cfg, groups)
+	}
 	addrs := ParseDSN(cfg.DSN)
 	if len(addrs) == 0 {
 		addrs = []string{""}
@@ -246,11 +306,28 @@ func NewWithConfig(cfg Config) *Client {
 	return c
 }
 
-// Replicas returns the number of configured replicas.
-func (c *Client) Replicas() int { return len(c.replicas) }
+// Replicas returns the number of configured replicas (summed over shards
+// on a sharded client).
+func (c *Client) Replicas() int {
+	if c.sh != nil {
+		n := 0
+		for _, in := range c.sh.shards {
+			n += in.Replicas()
+		}
+		return n
+	}
+	return len(c.replicas)
+}
 
 // Healthy returns the number of replicas currently accepting traffic.
 func (c *Client) Healthy() int {
+	if c.sh != nil {
+		n := 0
+		for _, in := range c.sh.shards {
+			n += in.Healthy()
+		}
+		return n
+	}
 	n := 0
 	for _, r := range c.replicas {
 		if r.healthy.Load() {
@@ -258,6 +335,14 @@ func (c *Client) Healthy() int {
 		}
 	}
 	return n
+}
+
+// Shards returns the number of shard groups (1 for an unsharded client).
+func (c *Client) Shards() int {
+	if c.sh != nil {
+		return len(c.sh.shards)
+	}
+	return 1
 }
 
 // pickRead selects the read replica: the healthy replica with the fewest
@@ -404,17 +489,26 @@ func (c *Client) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, e
 }
 
 func (c *Client) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	if c.sh != nil {
+		return c.sh.exec(c, query, args, cached)
+	}
 	rt := c.routes.of(query)
-	// One replica: no routing decision exists — skip counters and write
-	// ordering and behave like a plain pool. Classification still happens
-	// (one memoized map load): reads consult the query cache, and writes
-	// publish their table versions so caches and the content epoch stay
-	// coherent even on a degenerate single-backend cluster.
+	// One replica: no routing decision exists — skip write ordering and
+	// behave like a plain pool. Classification still happens (one memoized
+	// map load): reads consult the query cache, and writes publish their
+	// table versions so caches and the content epoch stay coherent even on
+	// a degenerate single-backend cluster. The read/write counters still
+	// tick — a sharded tier of single-replica groups reports its per-shard
+	// routing split through them.
 	if len(c.replicas) == 1 {
 		if rt.kind == kindRead {
-			return c.cachedRead(rt, query, args, false, func() (*sqldb.Result, error) {
-				return c.poolExec(c.replicas[0], query, args, cached)
+			c.replicas[0].reads.Add(1)
+			return c.cachedRead(rt, query, args, false, func(restamp func()) (*sqldb.Result, error) {
+				return c.poolExecN(c.replicas[0], query, args, cached, func(int) { restamp() })
 			})
+		}
+		if rt.kind == kindWrite {
+			c.replicas[0].writes.Add(1)
 		}
 		res, err := c.poolExec(c.replicas[0], query, args, cached)
 		// Publish unless the statement deterministically failed database-side;
@@ -425,8 +519,8 @@ func (c *Client) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Res
 		return res, err
 	}
 	if rt.kind == kindRead {
-		return c.cachedRead(rt, query, args, false, func() (*sqldb.Result, error) {
-			return c.execRead(query, args, cached)
+		return c.cachedRead(rt, query, args, false, func(restamp func()) (*sqldb.Result, error) {
+			return c.execReadN(query, args, cached, restamp)
 		})
 	}
 	// LOCK/UNLOCK and transaction control arriving outside a Get/Put
@@ -443,8 +537,19 @@ func (c *Client) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Res
 // execRead runs a read on one replica, failing over (and ejecting) on
 // transport errors until a healthy replica answers.
 func (c *Client) execRead(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	return c.execReadN(query, args, cached, nil)
+}
+
+// execReadN is execRead with a cache restamp hook, fired before every
+// attempt: each pool retry (via the wire notify path) and each failover
+// replica (readWith re-invokes run, whose first onAttempt is attempt 0).
+func (c *Client) execReadN(query string, args []sqldb.Value, cached bool, restamp func()) (*sqldb.Result, error) {
+	var onAttempt func(int)
+	if restamp != nil {
+		onAttempt = func(int) { restamp() }
+	}
 	return c.readWith(func(r *replica) (*sqldb.Result, error) {
-		return c.poolExec(r, query, args, cached)
+		return c.poolExecN(r, query, args, cached, onAttempt)
 	})
 }
 
@@ -664,10 +769,17 @@ func (c *Client) writeWith(rt route, run func(*replica) (*sqldb.Result, error)) 
 }
 
 func (c *Client) poolExec(r *replica, query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	return c.poolExecN(r, query, args, cached, nil)
+}
+
+// poolExecN is poolExec with the pool's per-attempt hook threaded through,
+// so the cache's version stamp can be re-captured for the attempt that
+// actually produces the rows.
+func (c *Client) poolExecN(r *replica, query string, args []sqldb.Value, cached bool, onAttempt func(int)) (*sqldb.Result, error) {
 	if cached {
-		return r.pool.ExecCached(query, args...)
+		return r.pool.ExecCachedNotify(onAttempt, query, args...)
 	}
-	return r.pool.Exec(query, args...)
+	return r.pool.ExecNotify(onAttempt, query, args...)
 }
 
 // Prepare returns a shared statement handle, with each replica's pool
@@ -676,6 +788,12 @@ func (c *Client) poolExec(r *replica, query string, args []sqldb.Value, cached b
 // fresh or recycled connections transparently re-prepare — including
 // after ejection and rejoin.
 func (c *Client) Prepare(query string) *Stmt {
+	if c.sh != nil {
+		// Sharded: routing is per-call (the shard depends on the args), so
+		// the handle defers to the shard router; each shard's inner pools
+		// still cache the prepared statement by text.
+		return &Stmt{c: c, query: query, rt: c.routes.of(query)}
+	}
 	per := make([]*wire.Stmt, len(c.replicas))
 	for i, r := range c.replicas {
 		per[i] = r.pool.Prepare(query)
@@ -699,10 +817,13 @@ func (s *Stmt) Query() string { return s.query }
 // Exec routes the prepared statement like Client.ExecCached, executing
 // through the pre-resolved per-replica handles.
 func (s *Stmt) Exec(args ...sqldb.Value) (*sqldb.Result, error) {
+	if s.c.sh != nil {
+		return s.c.sh.exec(s.c, s.query, args, true)
+	}
 	if len(s.c.replicas) == 1 {
 		if s.rt.kind == kindRead {
-			return s.c.cachedRead(s.rt, s.query, args, false, func() (*sqldb.Result, error) {
-				return s.per[0].Exec(args...)
+			return s.c.cachedRead(s.rt, s.query, args, false, func(restamp func()) (*sqldb.Result, error) {
+				return s.per[0].ExecNotify(func(int) { restamp() }, args...)
 			})
 		}
 		res, err := s.per[0].Exec(args...)
@@ -713,8 +834,10 @@ func (s *Stmt) Exec(args ...sqldb.Value) (*sqldb.Result, error) {
 	}
 	run := func(r *replica) (*sqldb.Result, error) { return s.per[r.id].Exec(args...) }
 	if s.rt.kind == kindRead {
-		return s.c.cachedRead(s.rt, s.query, args, false, func() (*sqldb.Result, error) {
-			return s.c.readWith(run)
+		return s.c.cachedRead(s.rt, s.query, args, false, func(restamp func()) (*sqldb.Result, error) {
+			return s.c.readWith(func(r *replica) (*sqldb.Result, error) {
+				return s.per[r.id].ExecNotify(func(int) { restamp() }, args...)
+			})
 		})
 	}
 	return s.c.writeWith(s.rt, run)
@@ -726,6 +849,9 @@ func (s *Stmt) Exec(args ...sqldb.Value) (*sqldb.Result, error) {
 func (c *Client) Get() (*Session, error) {
 	if c.closed.Load() {
 		return nil, errors.New("cluster: client closed")
+	}
+	if c.sh != nil {
+		return &Session{c: c, subs: make([]*Session, len(c.sh.shards)), maxSub: -1}, nil
 	}
 	pinned := c.pickRead()
 	if pinned == nil {
@@ -775,6 +901,17 @@ type Session struct {
 	// path; outside a transaction writes publish immediately.
 	writeSet map[string]bool
 	held     []string
+
+	// Sharded-coordinator state (shard.go; only when c.sh != nil — the
+	// flat fields above go unused). subs holds one lazily-opened
+	// sub-session per shard; declared is Begin's write set, replayed into
+	// each shard-local BEGIN; allShard marks a transaction opened on every
+	// shard; maxSub is the highest shard a lazy write transaction has
+	// opened (the ascending-order deadlock discipline).
+	subs     []*Session
+	declared []string
+	allShard bool
+	maxSub   int
 }
 
 // conn lazily borrows this session's connection to r.
@@ -801,6 +938,9 @@ func (s *Session) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, 
 }
 
 func (s *Session) exec(query string, args []sqldb.Value, cached bool) (*sqldb.Result, error) {
+	if s.c.sh != nil {
+		return s.shExec(query, args, cached)
+	}
 	res, err := s.execDispatch(query, args, cached)
 	// A lock-wait-timeout abort rolled the WHOLE transaction back on the
 	// replica that reported it, while the others still hold theirs open.
@@ -857,7 +997,9 @@ func (s *Session) execDispatch(query string, args []sqldb.Value, cached bool) (*
 		}
 		rt := s.c.routes.of(query)
 		if rt.kind == kindRead {
-			return s.c.cachedRead(rt, query, args, s.cacheBypass(rt), func() (*sqldb.Result, error) {
+			// Session reads run on the session's own borrowed connection with
+			// no retry, so the pre-run stamp is the attempt's stamp.
+			return s.c.cachedRead(rt, query, args, s.cacheBypass(rt), func(func()) (*sqldb.Result, error) {
 				return s.singleExec(query, args, cached, rt)
 			})
 		}
@@ -869,7 +1011,7 @@ func (s *Session) execDispatch(query string, args []sqldb.Value, cached bool) (*
 	rt := s.c.routes.of(query)
 	switch rt.kind {
 	case kindRead:
-		return s.c.cachedRead(rt, query, args, s.cacheBypass(rt), func() (*sqldb.Result, error) {
+		return s.c.cachedRead(rt, query, args, s.cacheBypass(rt), func(func()) (*sqldb.Result, error) {
 			return s.execRead(query, args, cached)
 		})
 	case kindLock:
@@ -1027,6 +1169,9 @@ func (s *Session) execUnlock(query string, args []sqldb.Value, cached bool) (*sq
 // transaction already open is committed first, as the database itself would
 // on BEGIN.
 func (s *Session) Begin(tables ...string) error {
+	if s.c.sh != nil {
+		return s.shBegin(false, tables)
+	}
 	if s.failed {
 		return errors.New("cluster: session failed, discard it")
 	}
@@ -1107,6 +1252,9 @@ func (s *Session) Begin(tables ...string) error {
 // touching the wire. A transaction already open is committed first, as
 // Begin does.
 func (s *Session) BeginReadOnly() error {
+	if s.c.sh != nil {
+		return s.shBegin(true, nil)
+	}
 	if s.failed {
 		return errors.New("cluster: session failed, discard it")
 	}
@@ -1142,13 +1290,24 @@ func (s *Session) BeginReadOnly() error {
 
 // Commit commits the open transaction on every replica it was opened on
 // and releases its write-order locks. Without an open transaction it is a
-// no-op, like the database's own COMMIT.
-func (s *Session) Commit() error { return s.endTxn((*wire.Conn).Commit, true) }
+// no-op, like the database's own COMMIT. On a sharded session with more
+// than one participating shard this runs two-phase commit (shard.go).
+func (s *Session) Commit() error {
+	if s.c.sh != nil {
+		return s.shCommit()
+	}
+	return s.endTxn((*wire.Conn).Commit, true)
+}
 
 // Rollback rolls the open transaction back everywhere. The database's undo
 // logs restore each replica to its pre-transaction state, so the replicas
 // stay bit-identical across the abort.
-func (s *Session) Rollback() error { return s.endTxn((*wire.Conn).Rollback, false) }
+func (s *Session) Rollback() error {
+	if s.c.sh != nil {
+		return s.shRollback()
+	}
+	return s.endTxn((*wire.Conn).Rollback, false)
+}
 
 // endTxn runs op (COMMIT or ROLLBACK) on every connection participating in
 // the transaction — concurrently, like the statement broadcasts; the
@@ -1375,6 +1534,10 @@ func (s *Session) closeBracket() {
 // connection closes, so no pooled connection ever carries open transaction
 // state to its next borrower.
 func (s *Session) end(broken bool) {
+	if s.c.sh != nil {
+		s.shEnd(broken)
+		return
+	}
 	broken = broken || s.inTxn
 	s.closeBracket()
 	for i, cn := range s.conns {
@@ -1475,6 +1638,18 @@ func (c *Client) WithReadTx(fn func(tx *Session) error) (err error) {
 // it first (the replica-sync path). Rejoin blocks new broadcasts until the
 // copy completes, so the joiner comes back consistent.
 func (c *Client) Rejoin(id int, syncData bool) error {
+	if c.sh != nil {
+		// Global replica ids number shard 0's replicas first, then shard
+		// 1's, and so on — the same order ReplicaStats reports.
+		rest := id
+		for _, in := range c.sh.shards {
+			if rest < len(in.replicas) {
+				return in.Rejoin(rest, syncData)
+			}
+			rest -= len(in.replicas)
+		}
+		return fmt.Errorf("cluster: no replica %d", id)
+	}
 	if id < 0 || id >= len(c.replicas) {
 		return fmt.Errorf("cluster: no replica %d", id)
 	}
@@ -1518,6 +1693,13 @@ func (c *Client) Rejoin(id int, syncData bool) error {
 // "connections into the database tier" figure the cross-tier bottleneck
 // heuristic consumes. Counters sum; latency figures take the worst replica.
 func (c *Client) Stats() pool.Stats {
+	if c.sh != nil {
+		pools := make([]pool.Stats, len(c.sh.shards))
+		for i, in := range c.sh.shards {
+			pools[i] = in.Stats()
+		}
+		return pool.Sum("db-shards", pools)
+	}
 	pools := make([]pool.Stats, len(c.replicas))
 	for i, r := range c.replicas {
 		pools[i] = r.pool.Stats()
@@ -1529,8 +1711,22 @@ func (c *Client) Stats() pool.Stats {
 	return pool.Sum(name, pools)
 }
 
-// ReplicaStats reports the per-replica routing view for telemetry.
+// ReplicaStats reports the per-replica routing view for telemetry. On a
+// sharded client the replicas of every shard are concatenated in shard
+// order with globally renumbered ids (matching Rejoin's addressing) and
+// each entry's Shard field set.
 func (c *Client) ReplicaStats() []telemetry.Replica {
+	if c.sh != nil {
+		var out []telemetry.Replica
+		for si, in := range c.sh.shards {
+			for _, rs := range in.ReplicaStats() {
+				rs.ID = len(out)
+				rs.Shard = si
+				out = append(out, rs)
+			}
+		}
+		return out
+	}
 	out := make([]telemetry.Replica, 0, len(c.replicas))
 	for _, r := range c.replicas {
 		ps := r.pool.Stats()
@@ -1552,6 +1748,13 @@ func (c *Client) ReplicaStats() []telemetry.Replica {
 // shared write-order lock registry.
 func (c *Client) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if c.sh != nil {
+		for _, in := range c.sh.shards {
+			in.Close()
+		}
+		releaseWriteLocks(c.sh.addrs)
 		return
 	}
 	for _, r := range c.replicas {

@@ -25,13 +25,15 @@ const syncBatch = 64
 // client sharing the DSN) rather than promoting it.
 var ErrSyncTimeout = errors.New("cluster: sync deadline exceeded")
 
-// Sync replays src's data onto dst, table by table: SHOW TABLES to
+// Sync replays src's data onto dst, table by table: SHOW TABLE STATUS to
 // enumerate the catalog, SELECT * to read each table, DELETE FROM plus
-// batched INSERTs to rewrite it. dst must already have the schema (a fresh
-// dbserver creates it before syncing; a rejoining replica kept its own).
-// Explicit primary keys keep AUTO_INCREMENT counters aligned, so a synced
-// replica assigns the same ids as its source on the next broadcast insert.
-// It returns the tables and rows copied.
+// batched INSERTs to rewrite it, and ALTER TABLE ... AUTO_INCREMENT to copy
+// the source's id-assignment state exactly. dst must already have the
+// schema (a fresh dbserver creates it before syncing; a rejoining replica
+// kept its own). Row data alone cannot carry the counters: a strided shard
+// counter (offset/stride) or a counter advanced past a deleted row would
+// diverge on the next insert, so the status row's next/offset/stride are
+// replayed verbatim. It returns the tables and rows copied.
 func Sync(src, dst Execer) (tables, rows int, err error) {
 	return SyncWithin(src, dst, 0)
 }
@@ -46,7 +48,7 @@ func SyncWithin(src, dst Execer, budget time.Duration) (tables, rows int, err er
 	if budget > 0 {
 		deadline = time.Now().Add(budget)
 	}
-	cat, err := src.Exec("SHOW TABLES")
+	cat, err := src.Exec("SHOW TABLE STATUS")
 	if err != nil {
 		return 0, 0, fmt.Errorf("cluster: sync: catalog: %w", err)
 	}
@@ -59,10 +61,30 @@ func SyncWithin(src, dst Execer, budget time.Duration) (tables, rows int, err er
 		if err != nil {
 			return tables, rows, fmt.Errorf("cluster: sync %s: %w", table, err)
 		}
+		// Columns: table, rows, auto_increment, ai_offset, ai_stride.
+		if err := syncAutoInc(dst, table, row[2].AsInt(), row[3].AsInt(), row[4].AsInt()); err != nil {
+			return tables, rows, fmt.Errorf("cluster: sync %s: counters: %w", table, err)
+		}
 		tables++
 		rows += n
 	}
 	return tables, rows, nil
+}
+
+// syncAutoInc replays one table's id-assignment state onto dst. OFFSET and
+// STRIDE are included only when set on the source — ALTER treats zero as
+// "leave alone", and an unstrided source must not disturb defaults.
+func syncAutoInc(dst Execer, table string, next, offset, stride int64) error {
+	q := fmt.Sprintf("ALTER TABLE %s AUTO_INCREMENT", table)
+	if offset > 0 {
+		q += fmt.Sprintf(" OFFSET %d", offset)
+	}
+	if stride > 0 {
+		q += fmt.Sprintf(" STRIDE %d", stride)
+	}
+	q += fmt.Sprintf(" NEXT %d", next)
+	_, err := dst.Exec(q)
+	return err
 }
 
 func syncTable(src, dst Execer, table string, deadline time.Time) (int, error) {

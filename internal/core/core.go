@@ -51,10 +51,26 @@ type Config struct {
 	// DBPoolSize bounds engine->database connections (default 12, per
 	// replica).
 	DBPoolSize int
+	// AppPoolSize bounds the web→app connection pools (the AJP connector
+	// per servlet backend, and the presentation→EJB RMI client pool in
+	// the EJB architecture). Default 0 follows DBPoolSize, the historical
+	// wiring; set it to size the tiers' pools independently — e.g. a
+	// database-bottleneck experiment wants a tiny DB pool behind a wide
+	// app tier.
+	AppPoolSize int
 	// DBReplicas runs the database tier as that many identically seeded
 	// backends behind the read-one-write-all cluster client (default 1 —
-	// the paper's single-database testbed).
+	// the paper's single-database testbed). With DBShards > 1 it is the
+	// replica count per shard.
 	DBReplicas int
+	// DBShards horizontally partitions the database tier into that many
+	// shard groups of DBReplicas backends each (default 1 — unsharded).
+	// The benchmark's write-heavy tables partition by the application's
+	// ShardBy map (bookstore.ShardBy / auction.ShardBy); everything else
+	// replicates to every shard as global tables. The population is
+	// routed through a sharded cluster client so each row lives only on
+	// its owning shard.
+	DBShards int
 	// AppReplicas runs the application tier as that many container
 	// backends behind the front-end load balancer (internal/lb): N servlet
 	// containers, or N EJB container + presentation pairs in the EJB
@@ -123,8 +139,14 @@ func (c Config) withDefaults() Config {
 	if c.DBPoolSize <= 0 {
 		c.DBPoolSize = 12
 	}
+	if c.AppPoolSize <= 0 {
+		c.AppPoolSize = c.DBPoolSize
+	}
 	if c.DBReplicas <= 0 {
 		c.DBReplicas = 1
+	}
+	if c.DBShards <= 0 {
+		c.DBShards = 1
 	}
 	if c.AppReplicas <= 0 {
 		c.AppReplicas = 1
@@ -178,33 +200,41 @@ func Start(cfg Config) (lab *Lab, err error) {
 		}
 	}()
 
-	// --- database tier: N identically seeded replicas (the startup
+	// --- database tier: DBShards × DBReplicas backends. Unsharded, every
+	// backend is populated in-process from the seed (the startup
 	// replica-sync path of a single-process lab — deterministic population
-	// from one seed is equivalent to copying, and much faster) ---
-	for i := 0; i < cfg.DBReplicas; i++ {
+	// from one seed is equivalent to copying, and much faster). Sharded,
+	// the backends start empty and schema + population are routed through
+	// a sharded cluster client below, so each row lands only on its
+	// owning shard (and global tables on all of them). ---
+	switch cfg.Benchmark {
+	case perfsim.Bookstore:
+		l.profile = bookstore.Profile(cfg.BookScale)
+	case perfsim.Auction:
+		l.profile = auction.Profile(cfg.AuctionScale)
+	default:
+		return nil, fmt.Errorf("core: unknown benchmark %v", cfg.Benchmark)
+	}
+	for i := 0; i < cfg.DBShards*cfg.DBReplicas; i++ {
 		db := sqldb.New()
-		sess := db.NewSession()
-		switch cfg.Benchmark {
-		case perfsim.Bookstore:
-			if err := bookstore.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
+		if cfg.DBShards == 1 {
+			sess := db.NewSession()
+			var err error
+			switch cfg.Benchmark {
+			case perfsim.Bookstore:
+				if err = bookstore.CreateSchema(sqldb.SessionExecer{S: sess}); err == nil {
+					err = bookstore.Populate(sqldb.SessionExecer{S: sess}, cfg.BookScale, cfg.Seed)
+				}
+			default:
+				if err = auction.CreateSchema(sqldb.SessionExecer{S: sess}); err == nil {
+					err = auction.Populate(sqldb.SessionExecer{S: sess}, cfg.AuctionScale, cfg.Seed)
+				}
+			}
+			sess.Close()
+			if err != nil {
 				return nil, err
 			}
-			if err := bookstore.Populate(sqldb.SessionExecer{S: sess}, cfg.BookScale, cfg.Seed); err != nil {
-				return nil, err
-			}
-			l.profile = bookstore.Profile(cfg.BookScale)
-		case perfsim.Auction:
-			if err := auction.CreateSchema(sqldb.SessionExecer{S: sess}); err != nil {
-				return nil, err
-			}
-			if err := auction.Populate(sqldb.SessionExecer{S: sess}, cfg.AuctionScale, cfg.Seed); err != nil {
-				return nil, err
-			}
-			l.profile = auction.Profile(cfg.AuctionScale)
-		default:
-			return nil, fmt.Errorf("core: unknown benchmark %v", cfg.Benchmark)
 		}
-		sess.Close()
 		srv := wire.NewServer(db, cfg.Logger)
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
@@ -213,6 +243,11 @@ func Start(cfg Config) (lab *Lab, err error) {
 		l.dbs = append(l.dbs, db)
 		l.dbSrvs = append(l.dbSrvs, srv)
 		l.dbAddrs = append(l.dbAddrs, addr.String())
+	}
+	if cfg.DBShards > 1 {
+		if err := l.seedShards(); err != nil {
+			return nil, err
+		}
 	}
 
 	// --- chaos interposition: the app tier dials fault-injecting proxies
@@ -232,7 +267,7 @@ func Start(cfg Config) (lab *Lab, err error) {
 	}
 
 	// --- application tier ---
-	appHandler, err := l.startAppTier(strings.Join(dialAddrs, ","))
+	appHandler, err := l.startAppTier(l.shardDSN(dialAddrs))
 	if err != nil {
 		return nil, err
 	}
@@ -278,6 +313,54 @@ func (l *Lab) basePath() string {
 	return auction.BasePath
 }
 
+// shardDSN groups the given backend addresses into the cluster DSN:
+// DBShards semicolon-separated shard groups of DBReplicas comma-separated
+// replicas each, in backend order. Unsharded it degenerates to the plain
+// replica list.
+func (l *Lab) shardDSN(addrs []string) string {
+	r := l.cfg.DBReplicas
+	groups := make([]string, 0, l.cfg.DBShards)
+	for i := 0; i < len(addrs); i += r {
+		groups = append(groups, strings.Join(addrs[i:i+r], ","))
+	}
+	return strings.Join(groups, ";")
+}
+
+// shardBy returns the benchmark's table->column partitioning map, nil
+// when the tier is unsharded.
+func (l *Lab) shardBy() map[string]string {
+	if l.cfg.DBShards <= 1 {
+		return nil
+	}
+	if l.cfg.Benchmark == perfsim.Bookstore {
+		return bookstore.ShardBy()
+	}
+	return auction.ShardBy()
+}
+
+// seedShards creates the schema and populates the benchmark data through
+// a sharded cluster client over the wire, so every row lands only on its
+// owning shard. It dials the replica servers directly, never the chaos
+// proxies — an injected fault must not corrupt the population.
+func (l *Lab) seedShards() error {
+	cl := cluster.NewWithConfig(cluster.Config{
+		DSN:      l.shardDSN(l.dbAddrs),
+		ShardBy:  l.shardBy(),
+		PoolSize: l.cfg.DBPoolSize,
+	})
+	defer cl.Close()
+	if l.cfg.Benchmark == perfsim.Bookstore {
+		if err := bookstore.CreateSchema(cl); err != nil {
+			return err
+		}
+		return bookstore.Populate(cl, l.cfg.BookScale, l.cfg.Seed)
+	}
+	if err := auction.CreateSchema(cl); err != nil {
+		return err
+	}
+	return auction.Populate(cl, l.cfg.AuctionScale, l.cfg.Seed)
+}
+
 // startAppTier builds the dynamic-content generator for the configured
 // architecture and returns the handler the web server dispatches to: the
 // in-process module, a single AJP connector, or — with AppReplicas > 1 —
@@ -319,7 +402,7 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 	}
 	newAppContainer := func(route string) *servlet.Container {
 		c := servlet.NewContainer(servlet.Config{
-			DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize,
+			DBAddr: dbAddr, DBShardBy: l.shardBy(), DBPoolSize: cfg.DBPoolSize,
 			DBStrictWrites: cfg.DBStrictWrites, DBTimeouts: cfg.DBTimeouts,
 			DBSlowThreshold: cfg.DBSlowThreshold, DBSyncTimeout: cfg.DBSyncTimeout,
 			DBQueryCache: cfg.DBQueryCache,
@@ -350,7 +433,7 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 			dial = px.Addr()
 		}
 		l.containers = append(l.containers, c)
-		l.connectors = append(l.connectors, ajp.NewConnectorT(dial, cfg.DBPoolSize, cfg.AppTimeouts))
+		l.connectors = append(l.connectors, ajp.NewConnectorT(dial, cfg.AppPoolSize, cfg.AppTimeouts))
 		return nil
 	}
 
@@ -383,7 +466,7 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 		// presentation + EJB container pair, as a JOnAS farm would deploy.
 		for i := 0; i < replicas; i++ {
 			ec, err := ejb.NewContainer(ejb.Config{
-				DBAddr: dbAddr, DBPoolSize: cfg.DBPoolSize,
+				DBAddr: dbAddr, DBShardBy: l.shardBy(), DBPoolSize: cfg.DBPoolSize,
 				DBStrictWrites: cfg.DBStrictWrites, DBTimeouts: cfg.DBTimeouts,
 				DBSlowThreshold: cfg.DBSlowThreshold, DBSyncTimeout: cfg.DBSyncTimeout,
 				DBQueryCache: cfg.DBQueryCache,
@@ -413,7 +496,7 @@ func (l *Lab) startAppTier(dbAddr string) (httpd.Handler, error) {
 			if err != nil {
 				return nil, err
 			}
-			rc := rmi.NewClientT(rmiAddr.String(), cfg.DBPoolSize, cfg.AppTimeouts)
+			rc := rmi.NewClientT(rmiAddr.String(), cfg.AppPoolSize, cfg.AppTimeouts)
 			l.rmiClients = append(l.rmiClients, rc)
 			switch cfg.Benchmark {
 			case perfsim.Bookstore:
@@ -707,6 +790,11 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 				t.DegradedExits += ccs.DegradedExits
 				t.DegradedRejects += ccs.DegradedRejects
 				t.Degraded = t.Degraded || ccs.Degraded
+				t.Shards = ccs.Shards
+				t.ShardSingle += ccs.ShardSingle
+				t.ShardScatter += ccs.ShardScatter
+				t.ShardBroadcast += ccs.ShardBroadcast
+				t.Shard2PCTxns += ccs.Shard2PCTxns
 				t.QueryCacheHits += ccs.QueryCacheHits
 				t.QueryCacheMisses += ccs.QueryCacheMisses
 				t.QueryCacheInvalidations += ccs.QueryCacheInvalidations
@@ -752,6 +840,11 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			t.DegradedExits += ccs.DegradedExits
 			t.DegradedRejects += ccs.DegradedRejects
 			t.Degraded = t.Degraded || ccs.Degraded
+			t.Shards = ccs.Shards
+			t.ShardSingle += ccs.ShardSingle
+			t.ShardScatter += ccs.ShardScatter
+			t.ShardBroadcast += ccs.ShardBroadcast
+			t.Shard2PCTxns += ccs.Shard2PCTxns
 			t.QueryCacheHits += ccs.QueryCacheHits
 			t.QueryCacheMisses += ccs.QueryCacheMisses
 			t.QueryCacheInvalidations += ccs.QueryCacheInvalidations

@@ -50,9 +50,14 @@ type entityMeta struct {
 
 // Config configures a container.
 type Config struct {
-	// DBAddr is the database DSN (required): one wire address, or a
-	// comma-separated replica list for a read-one-write-all cluster.
+	// DBAddr is the database DSN (required): one wire address, a
+	// comma-separated replica list for a read-one-write-all cluster, or
+	// semicolon-separated shard groups of replica lists for a
+	// horizontally partitioned tier.
 	DBAddr string
+	// DBShardBy maps table name -> partitioning column for a sharded
+	// DSN (cluster.Config.ShardBy semantics; ignored without shards).
+	DBShardBy map[string]string
 	// DBPoolSize bounds concurrent database connections per replica
 	// (default 12).
 	DBPoolSize int
@@ -104,6 +109,7 @@ func NewContainer(cfg Config) (*Container, error) {
 	return &Container{
 		pool: cluster.NewWithConfig(cluster.Config{
 			DSN:           cfg.DBAddr,
+			ShardBy:       cfg.DBShardBy,
 			PoolSize:      cfg.DBPoolSize,
 			StrictWrites:  cfg.DBStrictWrites,
 			Timeouts:      cfg.DBTimeouts,

@@ -140,15 +140,16 @@ func (p *PageCache) Stats() PageCacheStats {
 	}
 }
 
-// pageKey identifies a cacheable page: method plus the request line's path
-// and query exactly as received.
+// pageKey identifies a cacheable page: method plus the parsed path and the
+// query re-encoded in sorted-key order. The request line's raw target is
+// deliberately NOT used — "/s?a=1&b=2" and "/s?b=2&a=1" (and two
+// percent-encodings of the same value) are the same page, and keying on the
+// raw bytes would both fragment the cache and let an attacker mint
+// unbounded distinct keys for one page by shuffling parameters.
 func pageKey(req *httpd.Request) string {
-	target := req.RawPath
-	if target == "" {
-		target = req.Path
-		if len(req.Query) > 0 {
-			target += "?" + req.Query.Encode()
-		}
+	target := req.Path
+	if len(req.Query) > 0 {
+		target += "?" + req.Query.Encode()
 	}
 	return req.Method + " " + target
 }

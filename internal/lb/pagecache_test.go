@@ -2,6 +2,7 @@ package lb
 
 import (
 	"fmt"
+	"net/url"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -242,5 +243,32 @@ func TestPageCacheLRUEviction(t *testing.T) {
 	getPage(t, p, "/b", nil)
 	if app.renders.Load() != renders+1 {
 		t.Fatal("/b survived eviction")
+	}
+}
+
+// TestPageCacheKeyCanonicalization: the cache key is the parsed path plus
+// the query re-encoded in sorted order, never the raw request target —
+// "?b=2&a=1" and "?a=1&b=2" are the same page and must share one entry.
+func TestPageCacheKeyCanonicalization(t *testing.T) {
+	app := &countingApp{}
+	p := NewPageCache(app, PageCacheConfig{MaxEntries: 8, TTL: time.Minute})
+	q := url.Values{"a": {"1"}, "b": {"2"}}
+	for i, raw := range []string{"/tpcw/search?b=2&a=1", "/tpcw/search?a=1&b=2", "/tpcw/search?b=%32&a=1"} {
+		resp, err := p.ServeHTTP(&httpd.Request{
+			Method:  "GET",
+			Path:    "/tpcw/search",
+			RawPath: raw,
+			Query:   q,
+			Header:  httpd.Header{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && resp.Header.Get("X-Cache") != "HIT" {
+			t.Fatalf("request %d (%s) missed the cache", i, raw)
+		}
+	}
+	if n := app.renders.Load(); n != 1 {
+		t.Fatalf("app rendered %d times, want 1 (cache fragmented by raw target)", n)
 	}
 }

@@ -97,10 +97,15 @@ func (Func) Destroy() {}
 
 // Config configures a container.
 type Config struct {
-	// DBAddr is the database DSN: one wire address, or a comma-separated
-	// replica list ("host:p1,host:p2") for a read-one-write-all cluster.
+	// DBAddr is the database DSN: one wire address, a comma-separated
+	// replica list ("host:p1,host:p2") for a read-one-write-all cluster,
+	// or semicolon-separated shard groups of replica lists
+	// ("s0r0,s0r1;s1r0,s1r1") for a horizontally partitioned tier.
 	// Empty means the container's servlets do not use a database (tests).
 	DBAddr string
+	// DBShardBy maps table name -> partitioning column for a sharded
+	// DSN (cluster.Config.ShardBy semantics; ignored without shards).
+	DBShardBy map[string]string
 	// DBPoolSize bounds concurrent database connections per replica
 	// (default 12, the value the perfsim calibration uses).
 	DBPoolSize int
@@ -202,6 +207,7 @@ func NewContainer(cfg Config) *Container {
 	if cfg.DBAddr != "" {
 		ctx.DB = cluster.NewWithConfig(cluster.Config{
 			DSN:           cfg.DBAddr,
+			ShardBy:       cfg.DBShardBy,
 			PoolSize:      cfg.DBPoolSize,
 			StrictWrites:  cfg.DBStrictWrites,
 			Timeouts:      cfg.DBTimeouts,

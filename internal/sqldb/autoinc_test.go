@@ -1,0 +1,107 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStridedAutoIncrement(t *testing.T) {
+	db := New()
+	s := db.NewSession()
+	mustExecT(t, s, "CREATE TABLE w (id INT PRIMARY KEY AUTO_INCREMENT, v INT)")
+	mustExecT(t, s, "ALTER TABLE w AUTO_INCREMENT OFFSET 2 STRIDE 3")
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		res := mustExecT(t, s, "INSERT INTO w (v) VALUES (?)", Int(int64(i)))
+		ids = append(ids, res.LastInsertID)
+	}
+	if ids[0] != 2 || ids[1] != 5 || ids[2] != 8 {
+		t.Fatalf("strided ids = %v, want [2 5 8]", ids)
+	}
+	// An explicit id advances the counter to the next value in class.
+	mustExecT(t, s, "INSERT INTO w (id, v) VALUES (9, 0)")
+	res := mustExecT(t, s, "INSERT INTO w (v) VALUES (0)")
+	if res.LastInsertID != 11 {
+		t.Fatalf("after explicit id 9, next strided id = %d, want 11", res.LastInsertID)
+	}
+	// SHOW TABLE STATUS reports the assignment state.
+	st := mustExecT(t, s, "SHOW TABLE STATUS")
+	found := false
+	for _, r := range st.Rows {
+		if r[0].AsString() == "w" {
+			found = true
+			if r[2].AsInt() != 14 || r[3].AsInt() != 2 || r[4].AsInt() != 3 {
+				t.Fatalf("status row = %v, want next=14 offset=2 stride=3", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("SHOW TABLE STATUS missing table w")
+	}
+	// NEXT pins the counter exactly.
+	mustExecT(t, s, "ALTER TABLE w AUTO_INCREMENT NEXT 20")
+	if res := mustExecT(t, s, "INSERT INTO w (v) VALUES (0)"); res.LastInsertID != 20 {
+		t.Fatalf("after NEXT 20, id = %d", res.LastInsertID)
+	}
+}
+
+func TestStridedAutoIncrementRollback(t *testing.T) {
+	db := New()
+	s := db.NewSession()
+	mustExecT(t, s, "CREATE TABLE w (id INT PRIMARY KEY AUTO_INCREMENT, v INT)")
+	mustExecT(t, s, "ALTER TABLE w AUTO_INCREMENT OFFSET 1 STRIDE 2")
+	mustExecT(t, s, "BEGIN")
+	mustExecT(t, s, "INSERT INTO w (v) VALUES (1)")
+	mustExecT(t, s, "ROLLBACK")
+	if res := mustExecT(t, s, "INSERT INTO w (v) VALUES (2)"); res.LastInsertID != 1 {
+		t.Fatalf("rollback must restore the strided counter, got id %d", res.LastInsertID)
+	}
+}
+
+func TestPrepareTransaction(t *testing.T) {
+	db := New()
+	s := db.NewSession()
+	mustExecT(t, s, "CREATE TABLE w (id INT PRIMARY KEY AUTO_INCREMENT, v INT)")
+	if _, err := s.Exec("PREPARE TRANSACTION"); err == nil {
+		t.Fatal("PREPARE TRANSACTION outside a transaction should fail")
+	}
+	mustExecT(t, s, "BEGIN")
+	mustExecT(t, s, "INSERT INTO w (v) VALUES (1)")
+	mustExecT(t, s, "PREPARE TRANSACTION")
+	if _, err := s.Exec("INSERT INTO w (v) VALUES (2)"); err == nil ||
+		!strings.Contains(err.Error(), "prepared") {
+		t.Fatalf("statement on a prepared transaction: err = %v", err)
+	}
+	mustExecT(t, s, "COMMIT")
+	if res := mustExecT(t, s, "SELECT COUNT(*) FROM w"); res.Rows[0][0].AsInt() != 1 {
+		t.Fatal("prepared transaction did not commit")
+	}
+
+	// Phase one followed by ROLLBACK undoes everything.
+	mustExecT(t, s, "BEGIN")
+	mustExecT(t, s, "INSERT INTO w (v) VALUES (3)")
+	mustExecT(t, s, "PREPARE TRANSACTION")
+	mustExecT(t, s, "ROLLBACK")
+	if res := mustExecT(t, s, "SELECT COUNT(*) FROM w"); res.Rows[0][0].AsInt() != 1 {
+		t.Fatal("prepared transaction did not roll back")
+	}
+
+	// A session closing with a prepared transaction still rolls back.
+	s2 := db.NewSession()
+	mustExecT(t, s2, "BEGIN")
+	mustExecT(t, s2, "INSERT INTO w (v) VALUES (4)")
+	mustExecT(t, s2, "PREPARE TRANSACTION")
+	s2.Close()
+	if res := mustExecT(t, s, "SELECT COUNT(*) FROM w"); res.Rows[0][0].AsInt() != 1 {
+		t.Fatal("session close must abort a prepared transaction")
+	}
+}
+
+func mustExecT(t *testing.T, s *Session, q string, args ...Value) *Result {
+	t.Helper()
+	res, err := s.Exec(q, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res
+}

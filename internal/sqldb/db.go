@@ -149,6 +149,15 @@ func (e SessionExecer) ExecCached(q string, args ...Value) (*Result, error) {
 // query repeatedly (the application tiers) parse once and reuse the AST, as
 // a prepared statement would.
 func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, error) {
+	if s.tx != nil && s.tx.prepared {
+		// Between PREPARE TRANSACTION and its resolution only the second
+		// phase is legal.
+		switch stmt.(type) {
+		case *sqlparse.Commit, *sqlparse.Rollback:
+		default:
+			return nil, errors.New("sqldb: transaction is prepared; only COMMIT or ROLLBACK allowed")
+		}
+	}
 	switch st := stmt.(type) {
 	case *sqlparse.CreateTable:
 		s.implicitCommit()
@@ -165,6 +174,13 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, err
 		return s.execUnlockTables()
 	case *sqlparse.ShowTables:
 		return s.db.execShowTables()
+	case *sqlparse.ShowTableStatus:
+		return s.db.execShowTableStatus()
+	case *sqlparse.AlterAutoInc:
+		s.implicitCommit()
+		return s.db.execAlterAutoInc(st)
+	case *sqlparse.PrepareTxn:
+		return s.execPrepareTxn()
 	case *sqlparse.Begin:
 		return s.execBegin()
 	case *sqlparse.Commit:
@@ -319,6 +335,42 @@ func (db *DB) execShowTables() (*Result, error) {
 		res.Rows = append(res.Rows, Row{String(n)})
 	}
 	return res, nil
+}
+
+// execShowTableStatus reports each table's row count and AUTO_INCREMENT
+// state. The replica-sync path reads it to reproduce id assignment exactly
+// on the destination — row data alone cannot carry the counter's stride.
+func (db *DB) execShowTableStatus() (*Result, error) {
+	res := &Result{Columns: []string{"table", "rows", "auto_increment", "ai_offset", "ai_stride"}}
+	for _, n := range db.TableNames() {
+		t, err := db.table(n)
+		if err != nil {
+			continue // dropped between catalog read and lookup
+		}
+		tl := db.tableLockOf(t)
+		tl.lock(false)
+		res.Rows = append(res.Rows, Row{
+			String(n), Int(int64(len(t.rows))), Int(t.nextAI),
+			Int(t.aiOffset), Int(t.aiStride),
+		})
+		tl.unlock(false)
+	}
+	return res, nil
+}
+
+// execAlterAutoInc applies ALTER TABLE ... AUTO_INCREMENT under the table's
+// write lock. Only the id-assignment counters change, so snapshot versions
+// are left alone: readers never observe the counter.
+func (db *DB) execAlterAutoInc(st *sqlparse.AlterAutoInc) (*Result, error) {
+	t, err := db.table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	tl := db.tableLockOf(t)
+	tl.lock(true)
+	t.setAutoInc(st.Offset, st.Stride, st.Next)
+	tl.unlock(true)
+	return &Result{}, nil
 }
 
 func (db *DB) execCreateIndex(st *sqlparse.CreateIndex) (*Result, error) {

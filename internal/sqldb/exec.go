@@ -309,13 +309,10 @@ func execInsert(t *Table, st *sqlparse.Insert, args []Value, tx *txn) (*Result, 
 		}
 		for i, c := range t.columns {
 			if c.AutoIncrement && (!provided[i] || row[i].IsNull()) {
-				row[i] = Int(t.nextAI)
-				t.nextAI++
+				row[i] = Int(t.assignAI())
 				res.LastInsertID = row[i].AsInt()
 			} else if c.AutoIncrement && provided[i] {
-				if v := row[i].AsInt(); v >= t.nextAI {
-					t.nextAI = v + 1
-				}
+				t.noteExplicitAI(row[i].AsInt())
 				res.LastInsertID = row[i].AsInt()
 			}
 		}

@@ -146,6 +146,28 @@ type UnlockTables struct{}
 // path uses to enumerate what to copy.
 type ShowTables struct{}
 
+// ShowTableStatus is SHOW TABLE STATUS: one row per table with its row count
+// and AUTO_INCREMENT state (next value, offset, stride). The replica-sync
+// path uses it to carry id-assignment state to the destination exactly.
+type ShowTableStatus struct{}
+
+// AlterAutoInc is ALTER TABLE t AUTO_INCREMENT [OFFSET o] [STRIDE s] [NEXT n]:
+// it configures strided id assignment (MySQL's auto_increment_offset /
+// auto_increment_increment) so each shard of a partitioned table draws ids
+// from a disjoint congruence class. A zero field leaves that setting
+// unchanged; NEXT pins the counter exactly (the sync path's use).
+type AlterAutoInc struct {
+	Table  string
+	Offset int64
+	Stride int64
+	Next   int64
+}
+
+// PrepareTxn is PREPARE TRANSACTION — phase one of two-phase commit. The
+// open transaction keeps its locks and undo log but accepts no further
+// statements until COMMIT or ROLLBACK.
+type PrepareTxn struct{}
+
 // Begin is BEGIN [WORK] / START TRANSACTION: it opens a multi-statement
 // transaction on the session.
 type Begin struct{}
@@ -156,19 +178,22 @@ type Commit struct{}
 // Rollback is ROLLBACK [WORK].
 type Rollback struct{}
 
-func (*CreateTable) stmt()  {}
-func (*CreateIndex) stmt()  {}
-func (*DropTable) stmt()    {}
-func (*Insert) stmt()       {}
-func (*Update) stmt()       {}
-func (*Delete) stmt()       {}
-func (*Select) stmt()       {}
-func (*LockTables) stmt()   {}
-func (*UnlockTables) stmt() {}
-func (*ShowTables) stmt()   {}
-func (*Begin) stmt()        {}
-func (*Commit) stmt()       {}
-func (*Rollback) stmt()     {}
+func (*CreateTable) stmt()     {}
+func (*CreateIndex) stmt()     {}
+func (*DropTable) stmt()       {}
+func (*Insert) stmt()          {}
+func (*Update) stmt()          {}
+func (*Delete) stmt()          {}
+func (*Select) stmt()          {}
+func (*LockTables) stmt()      {}
+func (*UnlockTables) stmt()    {}
+func (*ShowTables) stmt()      {}
+func (*ShowTableStatus) stmt() {}
+func (*AlterAutoInc) stmt()    {}
+func (*PrepareTxn) stmt()      {}
+func (*Begin) stmt()           {}
+func (*Commit) stmt()          {}
+func (*Rollback) stmt()        {}
 
 // Expr is an expression node.
 type Expr interface{ expr() }

@@ -45,7 +45,7 @@ var keywords = map[string]bool{
 	"TABLES": true, "READ": true, "WRITE": true, "COUNT": true, "SUM": true,
 	"MIN": true, "MAX": true, "AVG": true, "DISTINCT": true, "DROP": true,
 	"IF": true, "EXISTS": true, "DEFAULT": true, "AUTO_INCREMENT": true,
-	"DATETIME": true, "TRUE": true, "FALSE": true, "SHOW": true,
+	"DATETIME": true, "TRUE": true, "FALSE": true, "SHOW": true, "ALTER": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "START": true,
 	"TRANSACTION": true, "WORK": true,
 }

@@ -95,10 +95,20 @@ func (p *parser) parseStatement() (Statement, error) {
 		return &UnlockTables{}, nil
 	case p.at(tokKeyword, "SHOW"):
 		p.next()
+		if p.accept(tokKeyword, "TABLE") {
+			// STATUS is contextual, not reserved: it is a live column name
+			// (orders.status) in the benchmark schemas.
+			if !p.acceptIdent("STATUS") {
+				return nil, p.errf("expected STATUS after SHOW TABLE")
+			}
+			return &ShowTableStatus{}, nil
+		}
 		if _, err := p.expect(tokKeyword, "TABLES"); err != nil {
 			return nil, err
 		}
 		return &ShowTables{}, nil
+	case p.at(tokKeyword, "ALTER"):
+		return p.parseAlter()
 	case p.at(tokKeyword, "BEGIN"):
 		p.next()
 		p.accept(tokKeyword, "WORK")
@@ -118,7 +128,65 @@ func (p *parser) parseStatement() (Statement, error) {
 		p.accept(tokKeyword, "WORK")
 		return &Rollback{}, nil
 	default:
+		// PREPARE is contextual (tokIdent) so columns named "prepare" would
+		// still lex as identifiers elsewhere.
+		if p.acceptIdent("PREPARE") {
+			if _, err := p.expect(tokKeyword, "TRANSACTION"); err != nil {
+				return nil, err
+			}
+			return &PrepareTxn{}, nil
+		}
 		return nil, p.errf("unsupported statement beginning with %q", p.cur().text)
+	}
+}
+
+// acceptIdent consumes an identifier matching text case-insensitively —
+// contextual keywords (STATUS, STRIDE, NEXT, PREPARE) that must stay usable
+// as column names.
+func (p *parser) acceptIdent(text string) bool {
+	if p.at(tokIdent, "") && strings.EqualFold(p.cur().text, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// parseAlter parses ALTER TABLE t AUTO_INCREMENT [OFFSET o] [STRIDE s] [NEXT n].
+func (p *parser) parseAlter() (Statement, error) {
+	p.next() // ALTER
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "AUTO_INCREMENT"); err != nil {
+		return nil, err
+	}
+	al := &AlterAutoInc{Table: name}
+	seen := false
+	for {
+		var dst *int64
+		switch {
+		case p.accept(tokKeyword, "OFFSET"):
+			dst = &al.Offset
+		case p.acceptIdent("STRIDE"):
+			dst = &al.Stride
+		case p.acceptIdent("NEXT"):
+			dst = &al.Next
+		default:
+			if !seen {
+				return nil, p.errf("ALTER TABLE ... AUTO_INCREMENT needs OFFSET, STRIDE or NEXT")
+			}
+			return al, nil
+		}
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		*dst = int64(n)
+		seen = true
 	}
 }
 

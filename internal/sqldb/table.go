@@ -36,6 +36,14 @@ type Table struct {
 	pkCol   int           // -1 when no primary key
 	indexes map[string]*index
 
+	// aiOffset/aiStride configure strided AUTO_INCREMENT assignment
+	// (MySQL's auto_increment_offset / auto_increment_increment): values are
+	// drawn from the congruence class ≡ aiOffset (mod aiStride), so each
+	// shard of a partitioned table assigns from a disjoint id space. Zero
+	// stride means the classic dense sequence.
+	aiOffset int64
+	aiStride int64
+
 	// rowOrder preserves insertion order for stable full scans.
 	rowOrder []int64
 
@@ -103,6 +111,58 @@ func newTable(name string, cols []Column) (*Table, error) {
 			m: make(map[indexKey][]int64)}
 	}
 	return t, nil
+}
+
+// assignAI returns the next AUTO_INCREMENT value and advances the counter by
+// the configured stride.
+func (t *Table) assignAI() int64 {
+	v := t.nextAI
+	if t.aiStride > 1 {
+		t.nextAI += t.aiStride
+	} else {
+		t.nextAI++
+	}
+	return v
+}
+
+// noteExplicitAI advances the counter past an explicitly supplied value,
+// keeping it in the configured congruence class — so a replica synced with
+// explicit ids assigns the same next id as its source.
+func (t *Table) noteExplicitAI(v int64) {
+	if v < t.nextAI {
+		return
+	}
+	t.nextAI = t.alignAI(v + 1)
+}
+
+// alignAI returns the smallest value >= from in the configured congruence
+// class (from itself when no stride is set).
+func (t *Table) alignAI(from int64) int64 {
+	if t.aiStride <= 1 {
+		return from
+	}
+	r := (t.aiOffset - from) % t.aiStride
+	if r < 0 {
+		r += t.aiStride
+	}
+	return from + r
+}
+
+// setAutoInc applies ALTER TABLE ... AUTO_INCREMENT: zero fields leave their
+// setting unchanged; next pins the counter exactly, otherwise the counter is
+// re-aligned to the (possibly new) congruence class.
+func (t *Table) setAutoInc(offset, stride, next int64) {
+	if offset > 0 {
+		t.aiOffset = offset
+	}
+	if stride > 0 {
+		t.aiStride = stride
+	}
+	if next > 0 {
+		t.nextAI = next
+		return
+	}
+	t.nextAI = t.alignAI(t.nextAI)
 }
 
 // Name returns the table name.
@@ -388,6 +448,8 @@ func (t *Table) freeze() *Table {
 		nextID:   t.nextID,
 		nextAI:   t.nextAI,
 		pkCol:    t.pkCol,
+		aiOffset: t.aiOffset,
+		aiStride: t.aiStride,
 		indexes:  make(map[string]*index, len(t.indexes)),
 		rowOrder: make([]int64, 0, len(t.rows)),
 		frozen:   true,

@@ -128,6 +128,12 @@ type txn struct {
 	undo   []undoRec
 	held   []heldLock
 	tables []*Table // write-locked tables, same order as held
+	// prepared marks phase one of two-phase commit: the transaction holds
+	// its locks and undo log but accepts no further statements until COMMIT
+	// or ROLLBACK. The in-memory engine's commit of a prepared transaction
+	// cannot fail — undo is discarded, publications are lock-protected —
+	// which is the property the cluster's 2PC coordinator relies on.
+	prepared bool
 }
 
 // add appends an undo record.
@@ -190,6 +196,20 @@ func (s *Session) execCommit() (*Result, error) {
 	if s.tx != nil {
 		s.commitTxn()
 	}
+	return &Result{}, nil
+}
+
+// execPrepareTxn is PREPARE TRANSACTION: phase one of two-phase commit.
+// Every lock the transaction will ever need is already held and every
+// statement has been applied, so a prepared transaction can always commit;
+// the session merely latches out further statements. A session that closes
+// (connection drop) still rolls back — the in-memory engine has no durable
+// prepared state, a limitation PROTOCOL.md documents.
+func (s *Session) execPrepareTxn() (*Result, error) {
+	if s.tx == nil {
+		return nil, fmt.Errorf("sqldb: PREPARE TRANSACTION outside a transaction")
+	}
+	s.tx.prepared = true
 	return &Result{}, nil
 }
 

@@ -174,6 +174,13 @@ func (c *Conn) Commit() error { return c.txnEnd(msgCommit) }
 // Rollback rolls the open transaction back (a no-op without one).
 func (c *Conn) Rollback() error { return c.txnEnd(msgRollback) }
 
+// PrepareTxn brings the open transaction to the prepared state (phase one
+// of two-phase commit, protocol v4): the server keeps every lock and
+// refuses further statements until Commit or Rollback. An error means the
+// transaction could not prepare and the coordinator must roll back
+// everywhere.
+func (c *Conn) PrepareTxn() error { return c.txnEnd(msgPrepareTxn) }
+
 func (c *Conn) txnEnd(typ byte) error {
 	c.arm()
 	if err := writeFrame(c.w, typ, nil); err != nil {
@@ -380,8 +387,14 @@ func (p *Pool) Put(c *Conn, broken bool) { p.p.Put(c, broken) }
 // it. A server-side error (IsServerError) keeps the connection; a
 // transport error discards it.
 func (p *Pool) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return p.ExecNotify(nil, query, args...)
+}
+
+// ExecNotify is Exec with a per-attempt hook (see Stmt.ExecNotify).
+func (p *Pool) ExecNotify(onAttempt func(int), query string, args ...sqldb.Value) (*sqldb.Result, error) {
 	var res *sqldb.Result
-	err := p.p.Do(false, func(err error) bool { return !IsServerError(err) },
+	err := p.p.DoNotify(false, func(err error) bool { return !IsServerError(err) },
+		onAttempt,
 		func(c *Conn) error {
 			var err error
 			res, err = c.Exec(query, args...)
@@ -394,6 +407,12 @@ func (p *Pool) Exec(query string, args ...sqldb.Value) (*sqldb.Result, error) {
 // per-connection statement ids transparently (see Stmt.Exec).
 func (p *Pool) ExecCached(query string, args ...sqldb.Value) (*sqldb.Result, error) {
 	return p.Prepare(query).Exec(args...)
+}
+
+// ExecCachedNotify is ExecCached with a per-attempt hook (see
+// Stmt.ExecNotify).
+func (p *Pool) ExecCachedNotify(onAttempt func(int), query string, args ...sqldb.Value) (*sqldb.Result, error) {
+	return p.Prepare(query).ExecNotify(onAttempt, args...)
 }
 
 // Prepare returns the pool's shared handle for query. No network traffic
@@ -455,8 +474,17 @@ func retryableStmt(query string) bool {
 // id. Writes are never retried (the text path never did either): the
 // server may have applied the statement before the connection died.
 func (s *Stmt) Exec(args ...sqldb.Value) (*sqldb.Result, error) {
+	return s.ExecNotify(nil, args...)
+}
+
+// ExecNotify is Exec with a per-attempt hook: onAttempt (when non-nil) runs
+// just before every try, including the retry a stale connection triggers.
+// The cluster's cached-read path uses it to re-capture its cache-version
+// stamp for the attempt that actually produces the rows.
+func (s *Stmt) ExecNotify(onAttempt func(int), args ...sqldb.Value) (*sqldb.Result, error) {
 	var res *sqldb.Result
-	err := s.p.p.Do(s.retry, func(err error) bool { return !IsServerError(err) },
+	err := s.p.p.DoNotify(s.retry, func(err error) bool { return !IsServerError(err) },
+		onAttempt,
 		func(c *Conn) error {
 			var err error
 			res, err = c.ExecCached(s.query, args...)

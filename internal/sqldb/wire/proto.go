@@ -20,6 +20,13 @@
 // never publish half a transaction. v1/v2 clients remain wire-compatible,
 // and the statements also parse as SQL text for clients that prefer the
 // query frame.
+//
+// Protocol v4 adds PREPARE-TXN, phase one of two-phase commit for the
+// sharded cluster: an empty-payload frame that brings the connection's open
+// transaction to the prepared state (every statement applied, every lock
+// held) and latches out further statements until COMMIT or ROLLBACK. The
+// reply is msgTxnOK, like the other transaction-control frames. v3 and
+// older clients never send it and remain fully compatible.
 package wire
 
 import (
@@ -40,26 +47,28 @@ import (
 //	msgPrepare   u32 stmt id, query string          -> msgPrepOK | msgError
 //	msgExecStmt  u32 stmt id, arg count, args       -> msgResult | msgError
 //	msgCloseStmt u32 stmt id                        -> msgPrepOK | msgError
-//	msgBegin     (empty)                            -> msgTxnOK | msgError
-//	msgCommit    (empty)                            -> msgTxnOK | msgError
-//	msgRollback  (empty)                            -> msgTxnOK | msgError
+//	msgBegin      (empty)                           -> msgTxnOK | msgError
+//	msgCommit     (empty)                           -> msgTxnOK | msgError
+//	msgRollback   (empty)                           -> msgTxnOK | msgError
+//	msgPrepareTxn (empty)                           -> msgTxnOK | msgError
 //
 // Statement ids are assigned by the client and scoped to the connection, so
 // a PREPARE and its first EXECUTE pipeline into a single round trip — and
 // so does a BEGIN with its transaction's first statement.
 const (
-	msgQuery     = 0x01
-	msgPrepare   = 0x02
-	msgExecStmt  = 0x03
-	msgCloseStmt = 0x04
-	msgBegin     = 0x05
-	msgCommit    = 0x06
-	msgRollback  = 0x07
-	msgResult    = 0x81
-	msgError     = 0x82
-	msgPrepOK    = 0x83
-	msgTxnOK     = 0x84
-	maxFrameLen  = 16 << 20
+	msgQuery      = 0x01
+	msgPrepare    = 0x02
+	msgExecStmt   = 0x03
+	msgCloseStmt  = 0x04
+	msgBegin      = 0x05
+	msgCommit     = 0x06
+	msgRollback   = 0x07
+	msgPrepareTxn = 0x08
+	msgResult     = 0x81
+	msgError      = 0x82
+	msgPrepOK     = 0x83
+	msgTxnOK      = 0x84
+	maxFrameLen   = 16 << 20
 
 	// maxStmtsPerConn bounds one connection's prepared-statement table —
 	// both benchmarks together need a few dozen; the cap only stops a

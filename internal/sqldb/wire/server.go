@@ -132,12 +132,13 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// txnStmts maps the v3 transaction-control frames to their shared,
+// txnStmts maps the v3/v4 transaction-control frames to their shared,
 // stateless ASTs.
 var txnStmts = map[byte]sqlparse.Statement{
-	msgBegin:    &sqlparse.Begin{},
-	msgCommit:   &sqlparse.Commit{},
-	msgRollback: &sqlparse.Rollback{},
+	msgBegin:      &sqlparse.Begin{},
+	msgCommit:     &sqlparse.Commit{},
+	msgRollback:   &sqlparse.Rollback{},
+	msgPrepareTxn: &sqlparse.PrepareTxn{},
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -217,7 +218,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				delete(stmts, id)
 				outTyp = msgPrepOK
 			}
-		case msgBegin, msgCommit, msgRollback:
+		case msgBegin, msgCommit, msgRollback, msgPrepareTxn:
 			// Transaction control frames carry no payload; they run the
 			// corresponding statement on the session. queries counts them:
 			// they are statements the tier served, arriving framed.

@@ -705,3 +705,88 @@ func valuesString(rows []sqldb.Row) string {
 	b.WriteByte(']')
 	return b.String()
 }
+
+// TestPrepareTxnFrame: the v4 PREPARE-TXN frame must bring the open
+// transaction to the prepared state (further statements rejected) and
+// COMMIT must then publish it; outside a transaction it is a server error.
+func TestPrepareTxnFrame(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.PrepareTxn(); err == nil || !IsServerError(err) {
+		t.Fatalf("PREPARE-TXN outside a transaction: err = %v, want server error", err)
+	}
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO kv VALUES (3, 'three')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PrepareTxn(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO kv VALUES (4, 'four')"); err == nil ||
+		!strings.Contains(err.Error(), "prepared") {
+		t.Fatalf("statement on a prepared transaction: err = %v", err)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec("SELECT v FROM kv WHERE k = 3")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].AsString() != "three" {
+		t.Fatalf("prepared transaction did not commit: %v %v", err, res)
+	}
+}
+
+// TestExecNotifyFiresPerAttempt: the per-attempt hook must fire before
+// every try, including the retry a stale pooled connection triggers — the
+// contract the cluster's query cache relies on to re-capture its version
+// stamp for the attempt that actually produced the rows.
+func TestExecNotifyFiresPerAttempt(t *testing.T) {
+	db := sqldb.New()
+	s := db.NewSession()
+	if _, err := s.Exec("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(50))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO kv VALUES (1, 'one')"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	srv := NewServer(db, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPool(addr.String(), 1)
+	defer p.Close()
+	stmt := p.Prepare("SELECT v FROM kv WHERE k = ?")
+	if _, err := stmt.Exec(sqldb.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server: the pool's idle connection is now stale. Rebind the
+	// same address over the same database, so the retry's fresh dial lands.
+	srv.Close()
+	srv2 := NewServer(db, nil)
+	if _, err := srv2.Listen(addr.String()); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	var attempts []int
+	res, err := stmt.ExecNotify(func(n int) { attempts = append(attempts, n) }, sqldb.Int(1))
+	if err != nil {
+		t.Fatalf("retried exec: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "one" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if len(attempts) != 2 || attempts[0] != 0 || attempts[1] != 1 {
+		t.Fatalf("onAttempt calls = %v, want [0 1] (hook must fire before the retry too)", attempts)
+	}
+}

@@ -79,6 +79,18 @@ type Tier struct {
 	DegradedExits   int64 `json:"degraded_exits,omitempty"`
 	DegradedRejects int64 `json:"degraded_rejects,omitempty"`
 	Degraded        bool  `json:"degraded,omitempty"`
+	// Sharding counters (tiers whose cluster client fronts a horizontally
+	// partitioned database tier): Shards is the shard-group count,
+	// ShardSingle the statements routed to exactly one owning shard,
+	// ShardScatter the reads fanned to every shard and merged client-side,
+	// ShardBroadcast the keyless writes/DDL sent everywhere, and
+	// Shard2PCTxns the transactions that touched several shards and
+	// committed through two-phase commit.
+	Shards         int   `json:"shards,omitempty"`
+	ShardSingle    int64 `json:"shard_single,omitempty"`
+	ShardScatter   int64 `json:"shard_scatter,omitempty"`
+	ShardBroadcast int64 `json:"shard_broadcast,omitempty"`
+	Shard2PCTxns   int64 `json:"shard_2pc_txns,omitempty"`
 	// Caching-tier counters (DESIGN.md §10). The query-result cache lives
 	// in the tier that owns the cluster client (servlet or ejb): hits were
 	// served without touching the database tier, invalidations are entries
@@ -109,7 +121,10 @@ type Tier struct {
 // the fastest acknowledgement of each (concurrent) broadcast — zero on
 // whichever replica answered first.
 type Replica struct {
-	ID      int    `json:"id"`
+	ID int `json:"id"`
+	// Shard is the owning shard group's index on a sharded cluster
+	// (always 0 when the database tier is unsharded).
+	Shard   int    `json:"shard"`
 	Addr    string `json:"addr,omitempty"`
 	Healthy bool   `json:"healthy"`
 	// Reads / Writes count statements the cluster client routed here;
@@ -204,6 +219,10 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 				t.DegradedEntries -= pt.DegradedEntries
 				t.DegradedExits -= pt.DegradedExits
 				t.DegradedRejects -= pt.DegradedRejects
+				t.ShardSingle -= pt.ShardSingle
+				t.ShardScatter -= pt.ShardScatter
+				t.ShardBroadcast -= pt.ShardBroadcast
+				t.Shard2PCTxns -= pt.Shard2PCTxns
 				t.QueryCacheHits -= pt.QueryCacheHits
 				t.QueryCacheMisses -= pt.QueryCacheMisses
 				t.QueryCacheInvalidations -= pt.QueryCacheInvalidations
