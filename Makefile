@@ -5,7 +5,7 @@
 # perf-regression gate against the committed baseline.
 
 GO ?= go
-BASELINE ?= BENCH_4.json
+BASELINE ?= BENCH_5.json
 THRESHOLD ?= 10
 
 # Per-package statement-coverage floors for `make cover` (pkg:percent).
