@@ -535,6 +535,61 @@ func BenchmarkCacheSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkWALCommitSweep prices durability (DESIGN.md §12): parallel
+// auto-commit INSERTs against one engine, purely in memory versus through
+// the write-ahead log at several group-commit windows. Acks follow fsync,
+// so the wal modes pay real disk latency; the appends/fsync metric is the
+// group-commit amortization — how many commits shared each flush. The
+// window sweep brackets the latency/batching trade: a narrow window holds
+// commits briefly but batches less, a wide one the reverse. No sub-ms
+// window mode: below the scheduler tick its ns/op measures timer jitter
+// on a contended runner, not group commit, and would gate noise.
+func BenchmarkWALCommitSweep(b *testing.B) {
+	for _, mode := range []string{"mem", "wal-1ms", "wal-4ms"} {
+		mode := mode
+		b.Run("mode="+mode, func(b *testing.B) {
+			db := sqldb.New()
+			sess := db.NewSession()
+			if _, err := sess.Exec(
+				"CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v INT)"); err != nil {
+				b.Fatal(err)
+			}
+			sess.Close()
+			if mode != "mem" {
+				opts := sqldb.WALOptions{Dir: b.TempDir(), CheckpointBytes: -1}
+				switch mode {
+				case "wal-1ms":
+					opts.FlushInterval = time.Millisecond
+				case "wal-4ms":
+					opts.FlushInterval = 4 * time.Millisecond
+				}
+				if _, err := db.AttachWAL(opts); err != nil {
+					b.Fatal(err)
+				}
+				defer db.CloseWAL()
+			}
+			// The group-commit wait is I/O-bound, not CPU-bound: oversubscribe
+			// the workers so concurrent commits exist to share an fsync even
+			// on a single-CPU runner.
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				s := db.NewSession()
+				defer s.Close()
+				for pb.Next() {
+					if _, err := s.Exec("INSERT INTO t (v) VALUES (?)", sqldb.Int(1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if ws := db.WALStats(); ws.Fsyncs > 0 {
+				b.ReportMetric(float64(ws.Appends)/float64(ws.Fsyncs), "appends/fsync")
+			}
+		})
+	}
+}
+
 // --- ablation benches (DESIGN.md §7) ---
 
 // BenchmarkAblationSyncLocking isolates the paper's sync delta on the

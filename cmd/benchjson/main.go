@@ -39,7 +39,8 @@ import (
 // perf PRs track.
 const defaultBench = "BenchmarkIPCPerCharCost|BenchmarkEJBQueryTraffic|" +
 	"BenchmarkRealStackWorkload|BenchmarkExecText|BenchmarkExecPrepared|" +
-	"BenchmarkPoolExecPrepared|BenchmarkCacheSweep|BenchmarkShardSweep"
+	"BenchmarkPoolExecPrepared|BenchmarkCacheSweep|BenchmarkShardSweep|" +
+	"BenchmarkWALCommitSweep"
 
 // Result is one benchmark line.
 type Result struct {

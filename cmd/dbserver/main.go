@@ -8,10 +8,21 @@
 // cluster by syncing a peer's data over the wire (-peers). SIGTERM drains:
 // in-flight statements finish before the listeners close.
 //
+// With -data the replica is durable: commits go through a write-ahead log
+// under that directory (group commit bounded by -wal-flush-interval,
+// checkpoint-and-rotate every -checkpoint-every log bytes), and a restart
+// over a non-empty directory recovers — checkpoint load plus log replay,
+// torn tail truncated — instead of repopulating. A recovered replica with
+// -peers catches up through the WAL delta fast path when its history is
+// still a prefix of a peer's log, full copy otherwise (cluster.SyncAuto).
+// $SQLDB_WALFAULT=point:action[:N] arms a crash point for recovery drills
+// (see sqldb/walfault).
+//
 // Usage:
 //
 //	dbserver -addr :7306 -benchmark bookstore|auction [-scale tiny|default|paper]
 //	         [-seed N] [-replica I] [-peers host:7306,host:7307] [-grace 5s]
+//	         [-data DIR] [-wal-flush-interval 1ms] [-checkpoint-every N]
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/pool"
 	"repro/internal/sqldb"
+	"repro/internal/sqldb/walfault"
 	"repro/internal/sqldb/wire"
 )
 
@@ -42,18 +54,44 @@ func main() {
 		peerOp    = flag.Duration("peer-timeout", 0, "dial and per-statement deadline against sync peers (0: transport defaults, negative: none)")
 		syncTO    = flag.Duration("sync-timeout", 2*time.Minute, "wall-clock budget for the whole startup data sync from a peer (0: unbounded)")
 		grace     = flag.Duration("grace", 5*time.Second, "SIGTERM drain grace for in-flight sessions")
+		data      = flag.String("data", "", "data directory for the write-ahead log; non-empty state there recovers instead of repopulating (empty: purely in-memory)")
+		walFlush  = flag.Duration("wal-flush-interval", 0, "group-commit window: the longest a commit waits to share an fsync (0: the engine default, 1ms)")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "checkpoint-and-rotate after this many log bytes (0: the engine default, 8MiB; negative: never)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, fmt.Sprintf("replica[%d] ", *replica), log.LstdFlags)
 
+	fault, err := walfault.FromEnv(os.Exit)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	walOpts := sqldb.WALOptions{
+		Dir:             *data,
+		FlushInterval:   *walFlush,
+		CheckpointBytes: *ckptEvery,
+		Fault:           fault,
+	}
+
 	db := sqldb.New()
+	recovered := false
+	if *data != "" && sqldb.WALDirHasState(*data) {
+		// The directory already holds a checkpoint or log segments: this is
+		// a restart, and the disk — not the seed — is the source of truth.
+		info, err := db.AttachWAL(walOpts)
+		if err != nil {
+			logger.Fatalf("wal recovery from %s: %v", *data, err)
+		}
+		recovered = true
+		logger.Printf("recovered from %s: checkpoint lsn %d, %d statements replayed to lsn %d (torn tail: %v)",
+			*data, info.CheckpointLSN, info.ReplayedStmts, info.ReplayLSN, info.TornTail)
+	}
 	sess := db.NewSession()
 	local := sqldb.SessionExecer{S: sess}
 	// -scale empty serves a bare engine: a shard group's backend must not
 	// self-populate (every backend would hold every row, and its ids would
 	// not be strided) — schema and data arrive over the wire from a sharded
 	// client instead (cmd/dbinit, or any app tier's population path).
-	if *scale != "empty" {
+	if *scale != "empty" && !recovered {
 		switch *benchmark {
 		case "bookstore":
 			if err := bookstore.CreateSchema(local); err != nil {
@@ -72,13 +110,28 @@ func main() {
 	// otherwise populate deterministically from the seed. When -peers was
 	// given, failing to sync is fatal: seeding instead would bring up a
 	// replica that silently diverges from a cluster that has moved past
-	// the seed state.
+	// the seed state. A recovered replica still syncs from its peers — it
+	// was down while they kept committing — but through SyncAuto, which
+	// ships only the missed WAL suffix when the histories still line up.
 	if peerList := cluster.ParseDSN(*peers); len(peerList) > 0 {
 		if !syncFromPeers(logger, local, peerList, *peerOp, *syncTO) {
+			if recovered {
+				logger.Fatalf("no peer in %q reachable; refusing to serve a stale recovered data set", *peers)
+			}
 			logger.Fatalf("no peer in %q reachable; refusing to start from seed data", *peers)
 		}
-	} else if *scale != "empty" {
+	} else if *scale != "empty" && !recovered {
 		populate(logger, local, *benchmark, *scale, *seed)
+	}
+
+	// A fresh durable boot attaches the log only now, so the seed (or peer
+	// copy) lands in the initial checkpoint instead of being replayed
+	// statement by statement on every restart.
+	if *data != "" && !recovered {
+		if _, err := db.AttachWAL(walOpts); err != nil {
+			logger.Fatalf("wal attach at %s: %v", *data, err)
+		}
+		logger.Printf("write-ahead log at %s (flush %s)", *data, walOpts.FlushInterval)
 	}
 	sess.Close()
 
@@ -99,13 +152,21 @@ func main() {
 	if err := srv.Shutdown(*grace); err != nil {
 		logger.Fatal(err)
 	}
+	// Flush and close the log last: every drained session's commit is
+	// already durable (acks follow fsync), this just retires the flusher
+	// and fsyncs any straggling unacked bytes.
+	if err := db.CloseWAL(); err != nil {
+		logger.Fatal(err)
+	}
 	logger.Printf("drained, bye")
 }
 
 // syncFromPeers replays the first reachable peer's data into the local
 // database — the startup replica-sync path, bounded so a stalled peer
-// fails over to the next one instead of wedging startup. It reports
-// whether a peer provided the data.
+// fails over to the next one instead of wedging startup. A durable restart
+// takes the WAL delta fast path when its log is still a prefix of the
+// peer's; everything else gets the full table copy (cluster.SyncAuto). It
+// reports whether a peer provided the data.
 func syncFromPeers(logger *log.Logger, local sqldb.SessionExecer, peers []string, peerOp, budget time.Duration) bool {
 	for _, peer := range peers {
 		conn, err := wire.DialT(peer, pool.Timeouts{Dial: peerOp, Op: peerOp}.WithDefaults())
@@ -114,13 +175,17 @@ func syncFromPeers(logger *log.Logger, local sqldb.SessionExecer, peers []string
 			continue
 		}
 		logger.Printf("syncing initial data from peer %s...", peer)
-		tables, rows, err := cluster.SyncWithin(conn, local, budget)
+		st, err := cluster.SyncAuto(conn, local, budget)
 		conn.Close()
 		if err != nil {
 			logger.Printf("sync from %s failed: %v", peer, err)
 			continue
 		}
-		logger.Printf("synced %d tables / %d rows from %s", tables, rows, peer)
+		if st.Delta {
+			logger.Printf("caught up from %s: %d missed statements shipped off its log", peer, st.Stmts)
+		} else {
+			logger.Printf("synced %d tables / %d rows from %s", st.Tables, st.Rows, peer)
+		}
 		return true
 	}
 	return false

@@ -161,6 +161,13 @@ type Client struct {
 	broadcasts    atomic.Int64
 	broadcastAcks atomic.Int64
 	roTxns        atomic.Int64
+
+	// Rejoin data-copy path counters: how many rejoins the WAL delta fast
+	// path served, how many needed the full table copy, and the statements
+	// the delta path shipped.
+	walDeltaSyncs atomic.Int64
+	walFullSyncs  atomic.Int64
+	walDeltaStmts atomic.Int64
 }
 
 // ClientStats reports the client's broadcast batching and read-only
@@ -200,6 +207,11 @@ type ClientStats struct {
 	ShardScatter   int64 `json:"shard_scatter,omitempty"`
 	ShardBroadcast int64 `json:"shard_broadcast,omitempty"`
 	Shard2PCTxns   int64 `json:"shard_2pc_txns,omitempty"`
+	// Rejoin data-copy counters: delta syncs served by WAL log shipping
+	// (and the statements they replayed) versus full table copies.
+	WALDeltaSyncs int64 `json:"wal_delta_syncs,omitempty"`
+	WALFullSyncs  int64 `json:"wal_full_syncs,omitempty"`
+	WALDeltaStmts int64 `json:"wal_delta_stmts,omitempty"`
 }
 
 // ClientStats snapshots the counters. A sharded client sums its inner
@@ -221,6 +233,9 @@ func (c *Client) ClientStats() ClientStats {
 			s.QueryCacheMisses += is.QueryCacheMisses
 			s.QueryCacheInvalidations += is.QueryCacheInvalidations
 			s.QueryCacheBypasses += is.QueryCacheBypasses
+			s.WALDeltaSyncs += is.WALDeltaSyncs
+			s.WALFullSyncs += is.WALFullSyncs
+			s.WALDeltaStmts += is.WALDeltaStmts
 		}
 		s.Shards = len(c.sh.shards)
 		s.ShardSingle = c.sh.single.Load()
@@ -238,6 +253,9 @@ func (c *Client) ClientStats() ClientStats {
 		DegradedExits:   c.degradedExits.Load(),
 		DegradedRejects: c.degradedRejects.Load(),
 		Degraded:        c.degraded.Load(),
+		WALDeltaSyncs:   c.walDeltaSyncs.Load(),
+		WALFullSyncs:    c.walFullSyncs.Load(),
+		WALDeltaStmts:   c.walDeltaStmts.Load(),
 	}
 	if q := c.qcache; q != nil {
 		s.QueryCacheHits = q.hits.Load()
@@ -1674,8 +1692,16 @@ func (c *Client) Rejoin(id int, syncData bool) error {
 		// clients over the same backends — which never ejected it and still
 		// see it healthy — must not route reads to a half-copied data set.
 		c.locks.beginSync(r.addr)
-		_, _, err := SyncWithin(src.pool, r.pool, c.syncTO)
+		st, err := SyncAuto(src.pool, r.pool, c.syncTO)
 		c.locks.endSync(r.addr, err == nil)
+		if err == nil {
+			if st.Delta {
+				c.walDeltaSyncs.Add(1)
+				c.walDeltaStmts.Add(int64(st.Stmts))
+			} else {
+				c.walFullSyncs.Add(1)
+			}
+		}
 		if err != nil {
 			// The replica stays cleanly ejected: healthy stays false for
 			// this client, and the sync taint keeps every other client's

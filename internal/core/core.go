@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"log"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"repro/internal/scriptmod"
 	"repro/internal/servlet"
 	"repro/internal/sqldb"
+	"repro/internal/sqldb/walfault"
 	"repro/internal/sqldb/wire"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -102,6 +104,23 @@ type Config struct {
 	// cache in entries (0, the default, disables it — the paper's measured
 	// system regenerates every result).
 	DBQueryCache int
+	// DBDataDir enables durability: each database backend gets a
+	// write-ahead log under DBDataDir/r<i>. A backend whose directory
+	// already holds log or checkpoint state recovers from it (replaying
+	// past the last checkpoint) instead of repopulating from the seed.
+	// Empty (the default) runs the backends purely in memory.
+	DBDataDir string
+	// DBWALFlushInterval is the group-commit window: commits wait for the
+	// next flusher tick, sharing one fsync (0: the sqldb default, 1ms).
+	DBWALFlushInterval time.Duration
+	// DBCheckpointEvery triggers an automatic checkpoint-and-rotate after
+	// that many log bytes (0: the sqldb default, 8 MiB; negative
+	// disables automatic checkpoints).
+	DBCheckpointEvery int64
+	// DBWALFaults arms crash-point hooks on individual backends' logs,
+	// keyed by backend index (the kill-and-recover test harness; see
+	// sqldb/walfault). Only meaningful with DBDataDir.
+	DBWALFaults map[int]*walfault.Hook
 	// PageCache bounds the front-end HTTP page cache in entries (0, the
 	// default, disables it). When enabled it wraps the application handler
 	// — balancer, single connector, or in-process scripting module alike —
@@ -166,6 +185,7 @@ type Lab struct {
 	dbs     []*sqldb.DB    // one per replica, identically seeded
 	dbSrvs  []*wire.Server // closed (but kept, for final counters) once stopped
 	dbAddrs []string
+	walDirs []string // per-backend WAL directories; empty without DBDataDir
 	web     *httpd.Server
 	webAddr string
 
@@ -217,7 +237,20 @@ func Start(cfg Config) (lab *Lab, err error) {
 	}
 	for i := 0; i < cfg.DBShards*cfg.DBReplicas; i++ {
 		db := sqldb.New()
-		if cfg.DBShards == 1 {
+		walDir := ""
+		if cfg.DBDataDir != "" {
+			walDir = filepath.Join(cfg.DBDataDir, fmt.Sprintf("r%d", i))
+		}
+		// A backend whose data directory already holds durable state
+		// recovers from it (checkpoint load + log replay) instead of
+		// repopulating; a fresh backend populates in memory first and
+		// attaches after, so the seed data lands in the initial checkpoint
+		// rather than being logged statement by statement.
+		if walDir != "" && sqldb.WALDirHasState(walDir) {
+			if _, err := db.AttachWAL(l.walOpts(i, walDir)); err != nil {
+				return nil, fmt.Errorf("core: recover replica %d: %w", i, err)
+			}
+		} else if cfg.DBShards == 1 {
 			sess := db.NewSession()
 			var err error
 			switch cfg.Benchmark {
@@ -234,6 +267,11 @@ func Start(cfg Config) (lab *Lab, err error) {
 			if err != nil {
 				return nil, err
 			}
+			if walDir != "" {
+				if _, err := db.AttachWAL(l.walOpts(i, walDir)); err != nil {
+					return nil, fmt.Errorf("core: attach wal replica %d: %w", i, err)
+				}
+			}
 		}
 		srv := wire.NewServer(db, cfg.Logger)
 		addr, err := srv.Listen("127.0.0.1:0")
@@ -243,10 +281,35 @@ func Start(cfg Config) (lab *Lab, err error) {
 		l.dbs = append(l.dbs, db)
 		l.dbSrvs = append(l.dbSrvs, srv)
 		l.dbAddrs = append(l.dbAddrs, addr.String())
+		l.walDirs = append(l.walDirs, walDir)
 	}
 	if cfg.DBShards > 1 {
-		if err := l.seedShards(); err != nil {
-			return nil, err
+		recovered := 0
+		for _, db := range l.dbs {
+			if db.WALStats().Attached {
+				recovered++
+			}
+		}
+		switch recovered {
+		case 0:
+			// Sharded backends start empty and are seeded through the
+			// sharded client; the WAL attaches afterwards so the routed
+			// population lands in each shard's initial checkpoint.
+			if err := l.seedShards(); err != nil {
+				return nil, err
+			}
+			for i, db := range l.dbs {
+				if l.walDirs[i] == "" {
+					continue
+				}
+				if _, err := db.AttachWAL(l.walOpts(i, l.walDirs[i])); err != nil {
+					return nil, fmt.Errorf("core: attach wal replica %d: %w", i, err)
+				}
+			}
+		case len(l.dbs):
+			// Every backend recovered its shard's data; nothing to seed.
+		default:
+			return nil, fmt.Errorf("core: %d of %d sharded backends recovered durable state; partial recovery is not supported", recovered, len(l.dbs))
 		}
 	}
 
@@ -592,6 +655,70 @@ func (l *Lab) RestartReplica(i int) error {
 	return nil
 }
 
+// walOpts builds backend i's WAL options from the config.
+func (l *Lab) walOpts(i int, dir string) sqldb.WALOptions {
+	return sqldb.WALOptions{
+		Dir:             dir,
+		FlushInterval:   l.cfg.DBWALFlushInterval,
+		CheckpointBytes: l.cfg.DBCheckpointEvery,
+		Fault:           l.cfg.DBWALFaults[i],
+	}
+}
+
+// ReplicaWALDir returns replica i's data directory ("" without DBDataDir).
+func (l *Lab) ReplicaWALDir(i int) string {
+	if i < 0 || i >= len(l.walDirs) {
+		return ""
+	}
+	return l.walDirs[i]
+}
+
+// CrashReplica power-cuts a durable database backend: its WAL drops
+// everything unsynced (acknowledged commits survive, in-flight ones fail),
+// and its server goes down. The in-memory engine object is dead after
+// this — RestartReplicaFromDisk builds its successor from the data
+// directory. Requires DBDataDir.
+func (l *Lab) CrashReplica(i int) error {
+	if i < 0 || i >= len(l.dbs) {
+		return fmt.Errorf("core: no replica %d", i)
+	}
+	w := l.dbs[i].WAL()
+	if w == nil {
+		return fmt.Errorf("core: replica %d has no wal (set DBDataDir)", i)
+	}
+	w.Crash()
+	l.StopReplica(i)
+	return nil
+}
+
+// RestartReplicaFromDisk replaces a crashed backend with a fresh engine
+// recovered from its data directory (checkpoint load + log replay, torn
+// tail truncated) and re-listens on the original address. The cluster
+// client still considers the replica ejected until Rejoin catches it up on
+// whatever committed after the crash.
+func (l *Lab) RestartReplicaFromDisk(i int) (*sqldb.RecoveryInfo, error) {
+	if i < 0 || i >= len(l.dbs) {
+		return nil, fmt.Errorf("core: no replica %d", i)
+	}
+	if l.walDirs[i] == "" {
+		return nil, fmt.Errorf("core: replica %d has no data directory (set DBDataDir)", i)
+	}
+	db := sqldb.New()
+	info, err := db.AttachWAL(l.walOpts(i, l.walDirs[i]))
+	if err != nil {
+		return nil, fmt.Errorf("core: recover replica %d: %w", i, err)
+	}
+	srv := wire.NewServer(db, l.cfg.Logger)
+	if _, err := srv.Listen(l.dbAddrs[i]); err != nil {
+		db.CloseWAL()
+		return nil, err
+	}
+	l.dbs[i].CloseWAL() // the predecessor's flusher, if still alive
+	l.dbs[i] = db
+	l.dbSrvs[i] = srv
+	return info, nil
+}
+
 // Cluster returns the app tier's replication-aware database client (nil
 // for configurations without one). With a replicated application tier it
 // is backend 0's client — every backend speaks to the same database
@@ -799,6 +926,9 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 				t.QueryCacheMisses += ccs.QueryCacheMisses
 				t.QueryCacheInvalidations += ccs.QueryCacheInvalidations
 				t.QueryCacheBypasses += ccs.QueryCacheBypasses
+				t.WALDeltaSyncs += ccs.WALDeltaSyncs
+				t.WALFullSyncs += ccs.WALFullSyncs
+				t.WALDeltaStmts += ccs.WALDeltaStmts
 			}
 		}
 		if len(dbPools) > 0 {
@@ -849,6 +979,9 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			t.QueryCacheMisses += ccs.QueryCacheMisses
 			t.QueryCacheInvalidations += ccs.QueryCacheInvalidations
 			t.QueryCacheBypasses += ccs.QueryCacheBypasses
+			t.WALDeltaSyncs += ccs.WALDeltaSyncs
+			t.WALFullSyncs += ccs.WALFullSyncs
+			t.WALDeltaStmts += ccs.WALDeltaStmts
 			dbPools = append(dbPools, es.DB)
 		}
 		ps := sumPools("db-cluster", dbPools)
@@ -874,19 +1007,33 @@ func (l *Lab) Telemetry() *telemetry.Snapshot {
 			t.SnapshotReads += ds.MVCC.SnapshotReads
 			t.LockBypasses += ds.MVCC.LockBypasses
 			t.SnapshotRefreshes += ds.MVCC.Refreshes
+			t.WALAppends += ds.WAL.Appends
+			t.WALFsyncs += ds.WAL.Fsyncs
+			t.WALBytes += ds.WAL.Bytes
+			t.WALCheckpoints += ds.WAL.Checkpoints
+			t.WALRecoveries += ds.WAL.Recoveries
 		}
 		s.Tiers = append(s.Tiers, t)
 	}
 
 	// Per-replica breakdown: the cluster clients' routing views (every app
 	// backend routes independently, so their counters sum), joined with
-	// each replica server's own statement counter.
+	// each replica server's own statement counter and its backend's
+	// write-ahead log counters.
 	if cl := l.Cluster(); cl != nil && cl.Replicas() > 1 {
 		s.Replicas = aggregateReplicaStats(l.clusterClients())
 		for i := range s.Replicas {
 			id := s.Replicas[i].ID
 			if id < len(l.dbSrvs) {
 				s.Replicas[i].Queries = l.dbSrvs[id].QueryCount()
+			}
+			if id < len(l.dbs) {
+				ws := l.dbs[id].WALStats()
+				s.Replicas[i].WALAppends = ws.Appends
+				s.Replicas[i].WALFsyncs = ws.Fsyncs
+				s.Replicas[i].WALBytes = ws.Bytes
+				s.Replicas[i].Checkpoints = ws.Checkpoints
+				s.Replicas[i].Recoveries = ws.Recoveries
 			}
 		}
 	}
@@ -1021,5 +1168,8 @@ func (l *Lab) Close() {
 	}
 	for _, srv := range l.dbSrvs {
 		srv.Close()
+	}
+	for _, db := range l.dbs {
+		db.CloseWAL() // flush and seal the log; no-op without one
 	}
 }

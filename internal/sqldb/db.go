@@ -20,6 +20,10 @@ type DB struct {
 	locks  *lockManager
 	plans  *planCache
 
+	// wal is the attached write-ahead log, nil for a purely in-memory
+	// instance. Set once by AttachWAL before the DB serves traffic.
+	wal *WAL
+
 	txns          txnCounters
 	mvcc          mvccCounters
 	lockWaitNanos atomic.Int64 // configured txn lock-wait timeout (0 = default)
@@ -88,6 +92,10 @@ type Session struct {
 	db   *DB
 	held []heldLock // non-nil while a LOCK TABLES set is active
 	tx   *txn       // non-nil while a transaction is open
+	// pendingLSN is the WAL position of the statement's commit unit, set
+	// while engine locks are held and awaited (group commit) by ExecStmt
+	// after they are released.
+	pendingLSN uint64
 }
 
 // NewSession creates a session on db.
@@ -148,7 +156,38 @@ func (e SessionExecer) ExecCached(q string, args ...Value) (*Result, error) {
 // ExecStmt executes an already-parsed statement. Callers that issue the same
 // query repeatedly (the application tiers) parse once and reuse the AST, as
 // a prepared statement would.
+//
+// With a WAL attached, a statement that committed work (auto-commit DML,
+// DDL, or the COMMIT ending a transaction) is acknowledged only after its
+// log record is fsynced — the group-commit wait happens here, after every
+// engine lock has been released, so commits queue behind one fsync instead
+// of serializing on it.
 func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, error) {
+	res, err := s.execStmt(stmt, args)
+	if lsn := s.pendingLSN; lsn != 0 {
+		s.pendingLSN = 0
+		if w := s.db.wal; w != nil {
+			if werr := w.WaitDurable(lsn); werr != nil && err == nil {
+				// Applied in memory but not durably logged: surface the
+				// failure — the cluster treats it like any failed write
+				// (eject and later resync the replica).
+				return nil, werr
+			}
+		}
+	}
+	return res, err
+}
+
+// notePending records the highest WAL LSN this statement is responsible
+// for. LSNs are totally ordered, so waiting on the max covers every unit
+// the statement produced (an implicit commit plus a DDL record, say).
+func (s *Session) notePending(lsn uint64) {
+	if lsn > s.pendingLSN {
+		s.pendingLSN = lsn
+	}
+}
+
+func (s *Session) execStmt(stmt sqlparse.Statement, args []Value) (*Result, error) {
 	if s.tx != nil && s.tx.prepared {
 		// Between PREPARE TRANSACTION and its resolution only the second
 		// phase is legal.
@@ -161,13 +200,13 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, err
 	switch st := stmt.(type) {
 	case *sqlparse.CreateTable:
 		s.implicitCommit()
-		return s.db.execCreateTable(st)
+		return s.db.execCreateTable(s, st)
 	case *sqlparse.CreateIndex:
 		s.implicitCommit()
-		return s.db.execCreateIndex(st)
+		return s.db.execCreateIndex(s, st)
 	case *sqlparse.DropTable:
 		s.implicitCommit()
-		return s.db.execDropTable(st)
+		return s.db.execDropTable(s, st)
 	case *sqlparse.LockTables:
 		return s.execLockTables(st)
 	case *sqlparse.UnlockTables:
@@ -176,9 +215,15 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, err
 		return s.db.execShowTables()
 	case *sqlparse.ShowTableStatus:
 		return s.db.execShowTableStatus()
+	case *sqlparse.ShowWALStatus:
+		return s.db.execShowWALStatus()
+	case *sqlparse.ShowWALChain:
+		return s.db.execShowWALChain(uint64(st.AtLSN))
+	case *sqlparse.ShowWALRecords:
+		return s.db.execShowWALRecords(uint64(st.SinceLSN), st.Limit)
 	case *sqlparse.AlterAutoInc:
 		s.implicitCommit()
-		return s.db.execAlterAutoInc(st)
+		return s.db.execAlterAutoInc(s, st)
 	case *sqlparse.PrepareTxn:
 		return s.execPrepareTxn()
 	case *sqlparse.Begin:
@@ -188,15 +233,15 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement, args ...Value) (*Result, err
 	case *sqlparse.Rollback:
 		return s.execRollback()
 	case *sqlparse.Insert:
-		return s.execDML(st.Table, func(t *Table) (*Result, error) {
+		return s.execDML(st.Table, st.Src, args, func(t *Table) (*Result, error) {
 			return execInsert(t, st, args, s.tx)
 		})
 	case *sqlparse.Update:
-		return s.execDML(st.Table, func(t *Table) (*Result, error) {
+		return s.execDML(st.Table, st.Src, args, func(t *Table) (*Result, error) {
 			return execUpdate(t, st, args, s.tx)
 		})
 	case *sqlparse.Delete:
-		return s.execDML(st.Table, func(t *Table) (*Result, error) {
+		return s.execDML(st.Table, st.Src, args, func(t *Table) (*Result, error) {
 			return execDelete(t, st, args, s.tx)
 		})
 	case *sqlparse.Select:
@@ -217,17 +262,30 @@ func (s *Session) implicitCommit() {
 // execDML routes a write statement: inside a transaction the table's write
 // lock is acquired with the wait timeout and held until commit/rollback,
 // with the statement's effects undone on failure; outside, the statement
-// takes its implicit short MyISAM lock.
-func (s *Session) execDML(table string, fn func(*Table) (*Result, error)) (*Result, error) {
+// takes its implicit short MyISAM lock. src is the statement's source text
+// for WAL logging (empty on hand-built ASTs: such statements execute but
+// cannot be logged).
+func (s *Session) execDML(table, src string, args []Value, fn func(*Table) (*Result, error)) (*Result, error) {
 	if s.tx != nil {
-		return s.withTxnLock(table, fn)
+		return s.withTxnLock(table, src, args, fn)
 	}
-	return s.withLock(table, true, fn)
+	return s.withLock(table, true, src, args, fn)
+}
+
+// logAutoCommit appends an auto-commit statement to the WAL while the
+// caller still holds the table's write lock. It is called even when the
+// statement failed: MyISAM's partial application (a multi-row INSERT that
+// dies on row 3 keeps rows 1-2) is committed state, and replaying the
+// statement reproduces exactly the same partial application and error.
+func (s *Session) logAutoCommit(src string, args []Value) {
+	if w := s.db.wal; w != nil && src != "" {
+		s.notePending(w.appendOne(src, args))
+	}
 }
 
 // withLock brackets a single-table statement with its implicit MyISAM table
 // lock, unless the session already holds the table via LOCK TABLES.
-func (s *Session) withLock(table string, write bool, fn func(*Table) (*Result, error)) (*Result, error) {
+func (s *Session) withLock(table string, write bool, src string, args []Value, fn func(*Table) (*Result, error)) (*Result, error) {
 	t, err := s.db.table(table)
 	if err != nil {
 		return nil, err
@@ -240,6 +298,7 @@ func (s *Session) withLock(table string, write bool, fn func(*Table) (*Result, e
 		if write {
 			// MyISAM writes are committed per statement, even under
 			// LOCK TABLES WRITE: publish while the exclusive hold lasts.
+			s.logAutoCommit(src, args)
 			t.publish()
 		}
 		return res, err
@@ -254,7 +313,10 @@ func (s *Session) withLock(table string, write bool, fn func(*Table) (*Result, e
 	if write {
 		// Publish before releasing the lock: an auto-commit statement's
 		// effects are committed state the moment the lock drops, and a
-		// failed one may still have applied part of its row set.
+		// failed one may still have applied part of its row set. The WAL
+		// append happens under the same lock so log order matches
+		// publication order; the fsync wait comes later, lock-free.
+		s.logAutoCommit(src, args)
 		t.publish()
 	}
 	tl.unlock(write)
@@ -299,7 +361,11 @@ func (s *Session) execUnlockTables() (*Result, error) {
 	return &Result{}, nil
 }
 
-func (db *DB) execCreateTable(st *sqlparse.CreateTable) (*Result, error) {
+// DDL executors log to the WAL inside their exclusive section (catalog or
+// table write lock) so the log's statement order matches apply order, and
+// only on success with an actual state change — a no-op IF EXISTS / IF NOT
+// EXISTS outcome changed nothing and replays as nothing.
+func (db *DB) execCreateTable(s *Session, st *sqlparse.CreateTable) (*Result, error) {
 	cols := make([]Column, 0, len(st.Columns))
 	for _, c := range st.Columns {
 		cols = append(cols, Column{
@@ -324,6 +390,9 @@ func (db *DB) execCreateTable(st *sqlparse.CreateTable) (*Result, error) {
 		return nil, fmt.Errorf("sqldb: table %q already exists", st.Name)
 	}
 	db.tables[t.name] = t
+	if db.wal != nil && st.Src != "" {
+		s.notePending(db.wal.appendOne(st.Src, nil))
+	}
 	return &Result{}, nil
 }
 
@@ -361,7 +430,7 @@ func (db *DB) execShowTableStatus() (*Result, error) {
 // execAlterAutoInc applies ALTER TABLE ... AUTO_INCREMENT under the table's
 // write lock. Only the id-assignment counters change, so snapshot versions
 // are left alone: readers never observe the counter.
-func (db *DB) execAlterAutoInc(st *sqlparse.AlterAutoInc) (*Result, error) {
+func (db *DB) execAlterAutoInc(s *Session, st *sqlparse.AlterAutoInc) (*Result, error) {
 	t, err := db.table(st.Table)
 	if err != nil {
 		return nil, err
@@ -369,11 +438,14 @@ func (db *DB) execAlterAutoInc(st *sqlparse.AlterAutoInc) (*Result, error) {
 	tl := db.tableLockOf(t)
 	tl.lock(true)
 	t.setAutoInc(st.Offset, st.Stride, st.Next)
+	if db.wal != nil && st.Src != "" {
+		s.notePending(db.wal.appendOne(st.Src, nil))
+	}
 	tl.unlock(true)
 	return &Result{}, nil
 }
 
-func (db *DB) execCreateIndex(st *sqlparse.CreateIndex) (*Result, error) {
+func (db *DB) execCreateIndex(s *Session, st *sqlparse.CreateIndex) (*Result, error) {
 	t, err := db.table(st.Table)
 	if err != nil {
 		return nil, err
@@ -389,10 +461,13 @@ func (db *DB) execCreateIndex(st *sqlparse.CreateIndex) (*Result, error) {
 		return nil, err
 	}
 	t.publish() // snapshots copy indexes; a new one must invalidate them
+	if db.wal != nil && st.Src != "" {
+		s.notePending(db.wal.appendOne(st.Src, nil))
+	}
 	return &Result{}, nil
 }
 
-func (db *DB) execDropTable(st *sqlparse.DropTable) (*Result, error) {
+func (db *DB) execDropTable(s *Session, st *sqlparse.DropTable) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	name := strings.ToLower(st.Name)
@@ -403,6 +478,9 @@ func (db *DB) execDropTable(st *sqlparse.DropTable) (*Result, error) {
 		return nil, fmt.Errorf("sqldb: %w: %q", ErrNoTable, st.Name)
 	}
 	delete(db.tables, name)
+	if db.wal != nil && st.Src != "" {
+		s.notePending(db.wal.appendOne(st.Src, nil))
+	}
 	return &Result{}, nil
 }
 

@@ -39,6 +39,7 @@ type CreateTable struct {
 	Name        string
 	IfNotExists bool
 	Columns     []ColumnDef
+	Src         string // original statement text (see Statement Src note below)
 }
 
 // CreateIndex is CREATE [UNIQUE] INDEX name ON table (column).
@@ -47,19 +48,28 @@ type CreateIndex struct {
 	Table  string
 	Column string
 	Unique bool
+	Src    string
 }
 
 // DropTable is DROP TABLE [IF EXISTS] name.
 type DropTable struct {
 	Name     string
 	IfExists bool
+	Src      string
 }
 
 // Insert is INSERT INTO table [(cols)] VALUES (exprs), (exprs)...
+//
+// Mutation statements carry Src, the exact source text Parse consumed: the
+// write-ahead log records mutations logically (statement text + bound args),
+// and prepared statements reach execution as bare ASTs, so the text must
+// travel with the AST. Parse fills it; hand-built ASTs may leave it empty
+// (such statements simply cannot be WAL-logged).
 type Insert struct {
 	Table   string
 	Columns []string
 	Rows    [][]Expr
+	Src     string
 }
 
 // Update is UPDATE table SET col=expr,... [WHERE expr].
@@ -67,6 +77,7 @@ type Update struct {
 	Table string
 	Set   []Assignment
 	Where Expr
+	Src   string
 }
 
 // Assignment is one col=expr pair in UPDATE ... SET.
@@ -79,6 +90,7 @@ type Assignment struct {
 type Delete struct {
 	Table string
 	Where Expr
+	Src   string
 }
 
 // Select is a SELECT statement over one table plus inner joins.
@@ -161,6 +173,30 @@ type AlterAutoInc struct {
 	Offset int64
 	Stride int64
 	Next   int64
+	Src    string
+}
+
+// ShowWALStatus is SHOW WAL STATUS: one row describing the write-ahead log —
+// whether one is attached, the last assigned LSN, the chain hash at that LSN,
+// and the durable checkpoint LSN. The cluster's log-shipping rejoin path uses
+// it to decide between a delta replay and a full copy.
+type ShowWALStatus struct{}
+
+// ShowWALRecords is SHOW WAL RECORDS SINCE n LIMIT m: up to m logged
+// statements with LSN > n, in LSN order — one row per statement carrying
+// (lsn, query text, base64-encoded args). The log-shipping sync path pages
+// through it to replay a peer's tail.
+type ShowWALRecords struct {
+	SinceLSN int64
+	Limit    int64
+}
+
+// ShowWALChain is SHOW WAL CHAIN n: the chain hash as of LSN n, if the log
+// still reaches back that far. The sync path compares it against the
+// joiner's own chain to prove the joiner's state is a prefix of the
+// source's statement stream before shipping a delta.
+type ShowWALChain struct {
+	AtLSN int64
 }
 
 // PrepareTxn is PREPARE TRANSACTION — phase one of two-phase commit. The
@@ -189,6 +225,9 @@ func (*LockTables) stmt()      {}
 func (*UnlockTables) stmt()    {}
 func (*ShowTables) stmt()      {}
 func (*ShowTableStatus) stmt() {}
+func (*ShowWALStatus) stmt()   {}
+func (*ShowWALRecords) stmt()  {}
+func (*ShowWALChain) stmt()    {}
 func (*AlterAutoInc) stmt()    {}
 func (*PrepareTxn) stmt()      {}
 func (*Begin) stmt()           {}

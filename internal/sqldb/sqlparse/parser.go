@@ -21,6 +21,25 @@ func Parse(src string) (Statement, error) {
 	if !p.at(tokEOF, "") {
 		return nil, p.errf("trailing input after statement")
 	}
+	// Mutations keep their source text on the AST: the storage engine's
+	// write-ahead log records them logically (text + args), and prepared
+	// statements execute from the AST alone.
+	switch st := st.(type) {
+	case *Insert:
+		st.Src = src
+	case *Update:
+		st.Src = src
+	case *Delete:
+		st.Src = src
+	case *CreateTable:
+		st.Src = src
+	case *CreateIndex:
+		st.Src = src
+	case *DropTable:
+		st.Src = src
+	case *AlterAutoInc:
+		st.Src = src
+	}
 	return st, nil
 }
 
@@ -95,6 +114,11 @@ func (p *parser) parseStatement() (Statement, error) {
 		return &UnlockTables{}, nil
 	case p.at(tokKeyword, "SHOW"):
 		p.next()
+		// WAL, like STATUS below, is contextual: nothing stops a schema
+		// from having a column named "wal".
+		if p.acceptIdent("WAL") {
+			return p.parseShowWAL()
+		}
 		if p.accept(tokKeyword, "TABLE") {
 			// STATUS is contextual, not reserved: it is a live column name
 			// (orders.status) in the benchmark schemas.
@@ -195,6 +219,40 @@ func (p *parser) parseIdent() (string, error) {
 		return p.next().text, nil
 	}
 	return "", p.errf("expected identifier, found %q", p.cur().text)
+}
+
+// parseShowWAL parses the tail of SHOW WAL: STATUS, CHAIN n, or
+// RECORDS SINCE n [LIMIT m]. SHOW WAL itself was already consumed.
+func (p *parser) parseShowWAL() (Statement, error) {
+	switch {
+	case p.acceptIdent("STATUS"):
+		return &ShowWALStatus{}, nil
+	case p.acceptIdent("CHAIN"):
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		return &ShowWALChain{AtLSN: int64(n)}, nil
+	case p.acceptIdent("RECORDS"):
+		if !p.acceptIdent("SINCE") {
+			return nil, p.errf("expected SINCE after SHOW WAL RECORDS")
+		}
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		rec := &ShowWALRecords{SinceLSN: int64(n), Limit: -1}
+		if p.accept(tokKeyword, "LIMIT") {
+			m, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			rec.Limit = int64(m)
+		}
+		return rec, nil
+	default:
+		return nil, p.errf("expected STATUS, CHAIN or RECORDS after SHOW WAL")
+	}
 }
 
 func (p *parser) parseSelect() (*Select, error) {

@@ -128,6 +128,13 @@ type txn struct {
 	undo   []undoRec
 	held   []heldLock
 	tables []*Table // write-locked tables, same order as held
+	// logged accumulates the transaction's successful write statements for
+	// the WAL: the whole list becomes one record batch at COMMIT. Failed
+	// statements are absent — their effects were reverted (statement
+	// atomicity), so replay must not re-run them. A rolled-back
+	// transaction's list is discarded with the txn: it never touches the
+	// log.
+	logged []walStmt
 	// prepared marks phase one of two-phase commit: the transaction holds
 	// its locks and undo log but accepts no further statements until COMMIT
 	// or ROLLBACK. The in-memory engine's commit of a prepared transaction
@@ -225,8 +232,13 @@ func (s *Session) execRollback() (*Result, error) {
 // commitTxn discards the undo log and releases the held write locks. Each
 // written table is published first — still under its write lock — so the
 // transaction's effects on a table become visible to snapshot readers
-// atomically, and only at commit.
+// atomically, and only at commit. The WAL record — one batch for the whole
+// transaction, so a torn tail drops it atomically — is appended under the
+// same locks; the committer waits for its fsync only after they drop.
 func (s *Session) commitTxn() {
+	if w := s.db.wal; w != nil && len(s.tx.logged) > 0 {
+		s.notePending(w.appendBatch(s.tx.logged))
+	}
 	for _, t := range s.tx.tables {
 		t.publish()
 	}
@@ -305,8 +317,10 @@ func (s *Session) txnReadLocks(tables []*Table) (release func(), err error) {
 
 // withTxnLock brackets a write statement inside the transaction: the table
 // write lock is acquired (and kept), and the statement's effects are undone
-// if it fails partway — statement-level atomicity.
-func (s *Session) withTxnLock(table string, fn func(*Table) (*Result, error)) (*Result, error) {
+// if it fails partway — statement-level atomicity. A successful statement
+// joins the transaction's WAL batch (logged at COMMIT); a failed one was
+// reverted and is not replayable state.
+func (s *Session) withTxnLock(table, src string, args []Value, fn func(*Table) (*Result, error)) (*Result, error) {
 	t, err := s.db.table(table)
 	if err != nil {
 		return nil, err
@@ -319,6 +333,9 @@ func (s *Session) withTxnLock(table string, fn func(*Table) (*Result, error)) (*
 	if err != nil {
 		s.tx.revertTo(mark)
 		return nil, err
+	}
+	if s.db.wal != nil && src != "" {
+		s.tx.logged = append(s.tx.logged, walStmt{q: src, args: args})
 	}
 	return res, nil
 }

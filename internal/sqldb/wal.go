@@ -1,0 +1,1132 @@
+package sqldb
+
+// This file is the write-ahead log: the durability subsystem ROADMAP.md
+// names as the prerequisite for production scale. The engine logs
+// *logically* — each committed mutation's statement text plus its bound
+// arguments — because the replicated cluster already relies on the engine
+// being deterministic under an ordered statement stream (seeded populates,
+// strided AUTO_INCREMENT, reverse undo): replaying the log re-derives the
+// exact pre-crash state the same way a rejoining replica re-derives a
+// peer's.
+//
+// Write path. Appends happen while the committing session still holds its
+// table write locks (or the catalog lock, for DDL), so log order equals
+// publication order per table; the append only copies the encoded record
+// into an in-memory buffer and assigns LSNs — one per statement, so a
+// transaction's record spans [firstLSN, firstLSN+n). Durability is group
+// commit: after releasing its locks the session blocks in WaitDurable until
+// the background flusher has written and fsynced its LSN, which happens on
+// the next flush tick (WALOptions.FlushInterval) or as soon as the buffer
+// exceeds GroupBytes, whichever comes first — concurrent committers share
+// one fsync. Acknowledgement is therefore visible-before-durable within the
+// flush window; the client ack, not the publication, is the durability
+// promise (PROTOCOL.md's commit contract).
+//
+// On-disk format. A segment file (wal-<firstLSN>.log) is a 16-byte header
+// followed by records. Each record is one commit unit:
+//
+//	u32 payload length | u32 CRC32 (IEEE) of payload | payload
+//	payload: u64 firstLSN | u32 nStmts | nStmts × statement
+//	statement: u32 len | query text | u16 nArgs | nArgs × value
+//	value: u8 kind | int64/float64 (8B LE) or u32 len + bytes (strings)
+//
+// Recovery (recover.go) loads the newest valid checkpoint, replays every
+// record past it, and truncates the tail at the first bad checksum — a torn
+// record is a commit that was never acknowledged, so dropping it is correct
+// (torn-tail rule). The chain hash — fnv64a folded over every statement
+// since LSN 0 — rides along so a rejoining replica can prove its state is a
+// prefix of a peer's stream before asking for a delta (cluster.SyncAuto).
+//
+// Checkpoints. Checkpoint freezes every table at a quiesced point (all
+// table read locks + the catalog lock held, so no append is in flight),
+// serializes the frozen copies to ckpt-<LSN>.snap via a temp file + rename,
+// then rotates to a fresh segment and garbage-collects segments and
+// checkpoints wholly superseded. The walfault crash points (pre-append,
+// post-append-pre-fsync, mid-checkpoint, mid-rotate) bracket each of these
+// transitions for the kill-and-recover matrix.
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sqldb/walfault"
+)
+
+// Defaults for WALOptions zero values.
+const (
+	defaultFlushInterval   = time.Millisecond
+	defaultGroupBytes      = 256 << 10
+	defaultCheckpointBytes = 8 << 20
+)
+
+// maxWALRecord bounds a single record's payload: recovery refuses larger
+// length prefixes so a corrupt length field cannot become an allocation
+// bomb.
+const maxWALRecord = 64 << 20
+
+// walSegMagic / walCkptMagic head every segment / checkpoint file.
+var (
+	walSegMagic  = [8]byte{'W', 'A', 'L', 'S', 'E', 'G', '0', '1'}
+	walCkptMagic = [8]byte{'W', 'A', 'L', 'C', 'K', 'P', '0', '1'}
+)
+
+const walSegHeaderSize = 16 // magic + u64 firstLSN
+
+// Errors surfaced by WaitDurable when the log dies under a committer.
+var (
+	// ErrWALCrashed reports a (simulated or real) log failure: the commit
+	// applied in memory but its durability is unknown.
+	ErrWALCrashed = errors.New("sqldb: wal crashed")
+	// ErrWALClosed reports an append raced a clean shutdown.
+	ErrWALClosed = errors.New("sqldb: wal closed")
+)
+
+// WALOptions configures AttachWAL.
+type WALOptions struct {
+	// Dir is the data directory (created if absent). Segments and
+	// checkpoints live directly inside it; one directory per DB.
+	Dir string
+	// FlushInterval is the group-commit tick: the longest a commit waits
+	// for its fsync. Default 1ms.
+	FlushInterval time.Duration
+	// GroupBytes flushes early once the buffer holds this many bytes.
+	// Default 256KiB.
+	GroupBytes int
+	// CheckpointBytes triggers an automatic checkpoint once this many log
+	// bytes accumulate since the last one. Default 8MiB; negative disables
+	// automatic checkpoints (explicit Checkpoint calls still work).
+	CheckpointBytes int64
+	// Fault is the crash-point harness; nil in production.
+	Fault *walfault.Hook
+}
+
+// WALStats is the log's observability surface, reported per replica by the
+// database tier's telemetry.
+type WALStats struct {
+	Attached bool `json:"attached"`
+	// Appends counts record batches (commit units) entering the log;
+	// Stmts counts the statements inside them.
+	Appends int64 `json:"wal_appends"`
+	Stmts   int64 `json:"wal_stmts"`
+	// Fsyncs counts fsync calls on the active segment — Appends/Fsyncs is
+	// the group-commit amortization factor.
+	Fsyncs int64 `json:"wal_fsyncs"`
+	// Bytes counts record bytes appended (log volume, not file size).
+	Bytes       int64 `json:"wal_bytes"`
+	Checkpoints int64 `json:"checkpoints"`
+	// Recoveries is 1 when this process recovered state from disk at
+	// attach; ReplayedStmts counts statements replayed doing so.
+	Recoveries    int64  `json:"recoveries"`
+	ReplayedStmts int64  `json:"replayed_stmts"`
+	LastLSN       uint64 `json:"last_lsn"`
+	DurableLSN    uint64 `json:"durable_lsn"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+}
+
+// walStmt is one logged statement: the source text and its bound arguments.
+type walStmt struct {
+	q    string
+	args []Value
+}
+
+// walSegment is one on-disk log segment.
+type walSegment struct {
+	path     string
+	firstLSN uint64
+}
+
+// WAL is an attached write-ahead log. All fields after construction are
+// guarded as annotated; sessions only touch append/WaitDurable.
+type WAL struct {
+	db    *DB
+	dir   string
+	fault *walfault.Hook
+
+	flushEvery time.Duration
+	groupBytes int
+	ckptBytes  int64
+
+	// mu guards the append state: buffer, LSN/chain counters, the active
+	// segment handle and the segment list. Appenders hold it only long
+	// enough to encode into the buffer. Lock order: engine locks (db.mu /
+	// table locks) → mu; never the reverse.
+	mu             sync.Mutex
+	buf            []byte
+	bufLast        uint64 // last LSN sitting in buf
+	nextLSN        uint64 // LSN the next statement gets
+	chain          uint64 // chain hash through nextLSN-1
+	f              *os.File
+	fSize          int64        // bytes written to f (record boundary)
+	syncedSize     int64        // bytes of f known fsynced
+	segs           []walSegment // ascending firstLSN; last is active
+	ckptLSN        uint64
+	ckptChain      uint64
+	bytesSinceCkpt int64
+	crashed        bool
+	closed         bool
+
+	// flushMu serializes file I/O on the active segment: the flusher's
+	// write+fsync, rotation's segment swap, and external Crash truncation.
+	flushMu sync.Mutex
+
+	// ckptMu serializes checkpoints.
+	ckptMu   sync.Mutex
+	ckptBusy atomic.Bool
+
+	// Durability frontier: WaitDurable blocks on dcond until durableLSN
+	// covers the caller or derr is set (crash/close).
+	dmu        sync.Mutex
+	dcond      *sync.Cond
+	durableLSN uint64
+	derr       error
+
+	kick     chan struct{}
+	quit     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	appends     atomic.Int64
+	stmts       atomic.Int64
+	fsyncs      atomic.Int64
+	bytes       atomic.Int64
+	checkpoints atomic.Int64
+	recoveries  atomic.Int64
+	replayed    atomic.Int64
+}
+
+// WAL returns the attached log, or nil.
+func (db *DB) WAL() *WAL { return db.wal }
+
+// WALStats snapshots the log counters; the zero struct when no log is
+// attached.
+func (db *DB) WALStats() WALStats {
+	w := db.wal
+	if w == nil {
+		return WALStats{}
+	}
+	w.mu.Lock()
+	last, ckpt := w.nextLSN-1, w.ckptLSN
+	w.mu.Unlock()
+	w.dmu.Lock()
+	durable := w.durableLSN
+	w.dmu.Unlock()
+	return WALStats{
+		Attached:      true,
+		Appends:       w.appends.Load(),
+		Stmts:         w.stmts.Load(),
+		Fsyncs:        w.fsyncs.Load(),
+		Bytes:         w.bytes.Load(),
+		Checkpoints:   w.checkpoints.Load(),
+		Recoveries:    w.recoveries.Load(),
+		ReplayedStmts: w.replayed.Load(),
+		LastLSN:       last,
+		DurableLSN:    durable,
+		CheckpointLSN: ckpt,
+	}
+}
+
+// ---- value / statement / record codec ----
+
+// EncodeWALValues encodes bound arguments in the WAL's value format — the
+// representation SHOW WAL RECORDS ships (base64ed) to a rejoining replica.
+func EncodeWALValues(args []Value) []byte {
+	var b []byte
+	for _, v := range args {
+		b = appendWALValue(b, v)
+	}
+	return b
+}
+
+// DecodeWALValues is EncodeWALValues' inverse. Trailing garbage is an error.
+func DecodeWALValues(b []byte) ([]Value, error) {
+	var vals []Value
+	for len(b) > 0 {
+		v, rest, err := decodeWALValue(b)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		b = rest
+	}
+	return vals, nil
+}
+
+func appendWALValue(b []byte, v Value) []byte {
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt:
+		b = binary.LittleEndian.AppendUint64(b, uint64(v.i))
+	case KindFloat:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.f))
+	case KindString:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(v.s)))
+		b = append(b, v.s...)
+	}
+	return b
+}
+
+func decodeWALValue(b []byte) (Value, []byte, error) {
+	if len(b) < 1 {
+		return Value{}, nil, errors.New("sqldb: wal value: short kind")
+	}
+	kind, b := Kind(b[0]), b[1:]
+	switch kind {
+	case KindNull:
+		return Null(), b, nil
+	case KindInt:
+		if len(b) < 8 {
+			return Value{}, nil, errors.New("sqldb: wal value: short int")
+		}
+		return Int(int64(binary.LittleEndian.Uint64(b))), b[8:], nil
+	case KindFloat:
+		if len(b) < 8 {
+			return Value{}, nil, errors.New("sqldb: wal value: short float")
+		}
+		return Float(math.Float64frombits(binary.LittleEndian.Uint64(b))), b[8:], nil
+	case KindString:
+		if len(b) < 4 {
+			return Value{}, nil, errors.New("sqldb: wal value: short string length")
+		}
+		n := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if n < 0 || n > len(b) {
+			return Value{}, nil, errors.New("sqldb: wal value: string length past end")
+		}
+		return String(string(b[:n])), b[n:], nil
+	default:
+		return Value{}, nil, fmt.Errorf("sqldb: wal value: unknown kind %d", kind)
+	}
+}
+
+// chainStep folds one statement into the chain hash. The chain is
+// comparable across replicas because the ROWA cluster delivers every
+// replica the same ordered statement stream.
+func chainStep(prev uint64, q string, encArgs []byte) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], prev)
+	h.Write(b[:])
+	h.Write([]byte(q))
+	h.Write([]byte{0})
+	h.Write(encArgs)
+	return h.Sum64()
+}
+
+// encodeRecord builds one record (length + crc + payload) for a commit
+// unit. Statements were pre-encoded by the caller (it also needs the arg
+// bytes for the chain hash).
+func encodeRecord(firstLSN uint64, stmts []walStmt, encArgs [][]byte) []byte {
+	payload := binary.LittleEndian.AppendUint64(nil, firstLSN)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(stmts)))
+	for i, st := range stmts {
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(len(st.q)))
+		payload = append(payload, st.q...)
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(st.args)))
+		payload = append(payload, encArgs[i]...)
+	}
+	rec := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	return append(rec, payload...)
+}
+
+// walRecStmt is one decoded logged statement.
+type walRecStmt struct {
+	lsn     uint64
+	q       string
+	encArgs []byte
+}
+
+func (s walRecStmt) values() ([]Value, error) { return DecodeWALValues(s.encArgs) }
+
+// decodeRecord parses one record from b. It returns the decoded statements
+// and the remaining bytes. io-style sentinel behavior: (nil, b, errWALNeedMore)
+// when b holds a clean prefix of a record (torn tail), a real error for
+// checksum/shape violations.
+var errWALNeedMore = errors.New("sqldb: wal record: truncated")
+
+func decodeRecord(b []byte) (stmts []walRecStmt, rest []byte, err error) {
+	if len(b) < 8 {
+		return nil, b, errWALNeedMore
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if n < 12 || n > maxWALRecord {
+		return nil, b, fmt.Errorf("sqldb: wal record: implausible length %d", n)
+	}
+	if len(b) < 8+n {
+		return nil, b, errWALNeedMore
+	}
+	payload := b[8 : 8+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, b, errors.New("sqldb: wal record: checksum mismatch")
+	}
+	firstLSN := binary.LittleEndian.Uint64(payload)
+	count := int(binary.LittleEndian.Uint32(payload[8:]))
+	p := payload[12:]
+	if count < 1 || count > n {
+		return nil, b, fmt.Errorf("sqldb: wal record: implausible statement count %d", count)
+	}
+	stmts = make([]walRecStmt, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 4 {
+			return nil, b, errors.New("sqldb: wal record: short statement header")
+		}
+		qn := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if qn < 0 || qn > len(p) {
+			return nil, b, errors.New("sqldb: wal record: query length past end")
+		}
+		q := string(p[:qn])
+		p = p[qn:]
+		if len(p) < 2 {
+			return nil, b, errors.New("sqldb: wal record: short arg count")
+		}
+		nargs := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		// Walk the args to find the statement boundary, validating shape.
+		argStart := p
+		for a := 0; a < nargs; a++ {
+			_, rest, err := decodeWALValue(p)
+			if err != nil {
+				return nil, b, err
+			}
+			p = rest
+		}
+		stmts = append(stmts, walRecStmt{
+			lsn:     firstLSN + uint64(i),
+			q:       q,
+			encArgs: argStart[:len(argStart)-len(p)],
+		})
+	}
+	if len(p) != 0 {
+		return nil, b, errors.New("sqldb: wal record: trailing bytes in payload")
+	}
+	return stmts, b[8+n:], nil
+}
+
+// ---- append path ----
+
+// appendOne logs a single auto-commit statement; see appendBatch.
+func (w *WAL) appendOne(q string, args []Value) uint64 {
+	return w.appendBatch([]walStmt{{q: q, args: args}})
+}
+
+// appendBatch logs one commit unit (a whole transaction, or one auto-commit
+// statement) and returns the unit's last LSN, which the session passes to
+// WaitDurable after releasing its locks. Callers must still hold the engine
+// locks covering the statements, so per-table log order equals publication
+// order.
+func (w *WAL) appendBatch(stmts []walStmt) uint64 {
+	w.fault.Fire(walfault.PreAppend)
+	encArgs := make([][]byte, len(stmts))
+	for i, st := range stmts {
+		encArgs[i] = EncodeWALValues(st.args)
+	}
+	w.mu.Lock()
+	first := w.nextLSN
+	for i, st := range stmts {
+		w.chain = chainStep(w.chain, st.q, encArgs[i])
+	}
+	w.nextLSN = first + uint64(len(stmts))
+	last := w.nextLSN - 1
+	if !w.closed && !w.crashed {
+		rec := encodeRecord(first, stmts, encArgs)
+		w.buf = append(w.buf, rec...)
+		w.bufLast = last
+		w.bytesSinceCkpt += int64(len(rec))
+		w.appends.Add(1)
+		w.stmts.Add(int64(len(stmts)))
+		w.bytes.Add(int64(len(rec)))
+		if len(w.buf) >= w.groupBytes {
+			select {
+			case w.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+	w.mu.Unlock()
+	return last
+}
+
+// WaitDurable blocks until lsn is fsynced — the group-commit wait. It
+// returns ErrWALCrashed/ErrWALClosed if the log died first (the in-memory
+// apply already happened; durability is what failed).
+func (w *WAL) WaitDurable(lsn uint64) error {
+	w.dmu.Lock()
+	defer w.dmu.Unlock()
+	for w.durableLSN < lsn && w.derr == nil {
+		w.dcond.Wait()
+	}
+	if w.durableLSN >= lsn {
+		return nil
+	}
+	return w.derr
+}
+
+func (w *WAL) failDurable(err error) {
+	w.dmu.Lock()
+	if w.derr == nil {
+		w.derr = err
+	}
+	w.dcond.Broadcast()
+	w.dmu.Unlock()
+}
+
+func (w *WAL) advanceDurable(lsn uint64) {
+	w.dmu.Lock()
+	if lsn > w.durableLSN {
+		w.durableLSN = lsn
+	}
+	w.dcond.Broadcast()
+	w.dmu.Unlock()
+}
+
+// ---- flusher ----
+
+func (w *WAL) startFlusher() {
+	w.kick = make(chan struct{}, 1)
+	w.quit = make(chan struct{})
+	w.done = make(chan struct{})
+	w.dcond = sync.NewCond(&w.dmu)
+	go w.flusher()
+}
+
+func (w *WAL) flusher() {
+	defer close(w.done)
+	t := time.NewTicker(w.flushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-w.kick:
+		case <-w.quit:
+			w.flush()
+			return
+		}
+		w.flush()
+		w.maybeCheckpoint()
+	}
+}
+
+// flush writes the buffered records to the active segment and fsyncs,
+// advancing the durability frontier — one fsync for every commit that
+// queued since the last tick.
+func (w *WAL) flush() {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	if w.crashed {
+		w.mu.Unlock()
+		w.truncateToSyncedLocked()
+		w.failDurable(ErrWALCrashed)
+		return
+	}
+	buf, last, f := w.buf, w.bufLast, w.f
+	w.buf = nil
+	w.mu.Unlock()
+	if len(buf) == 0 {
+		return
+	}
+	if _, err := f.Write(buf); err != nil {
+		w.failDurable(fmt.Errorf("sqldb: wal write: %w", err))
+		return
+	}
+	w.mu.Lock()
+	w.fSize += int64(len(buf))
+	w.mu.Unlock()
+	w.fault.Fire(walfault.PostAppendPreFsync)
+	w.mu.Lock()
+	crashed := w.crashed
+	w.mu.Unlock()
+	if crashed {
+		// Power cut between write and fsync: the bytes past the last sync
+		// are gone (worst case), and nothing was acknowledged.
+		w.truncateToSyncedLocked()
+		w.failDurable(ErrWALCrashed)
+		return
+	}
+	if err := f.Sync(); err != nil {
+		w.failDurable(fmt.Errorf("sqldb: wal fsync: %w", err))
+		return
+	}
+	w.fsyncs.Add(1)
+	w.mu.Lock()
+	w.syncedSize = w.fSize
+	w.mu.Unlock()
+	w.advanceDurable(last)
+}
+
+// truncateToSyncedLocked models the post-crash disk state: only fsynced
+// bytes survive. Caller must hold flushMu (or be the sole I/O actor).
+func (w *WAL) truncateToSyncedLocked() {
+	w.mu.Lock()
+	f, synced := w.f, w.syncedSize
+	w.buf = nil
+	if f != nil {
+		w.fSize = synced
+	}
+	w.mu.Unlock()
+	if f != nil {
+		f.Truncate(synced)
+	}
+}
+
+// Crash simulates kill -9 / power loss in-process: the log stops, every
+// byte not yet fsynced is discarded (the pessimal outcome a real crash
+// permits), and pending commits fail with ErrWALCrashed. The DB itself
+// keeps serving from memory — tests then discard it and recover a fresh DB
+// from the directory. Safe to call from a walfault hook on the flusher
+// goroutine: the truncation is deferred to the flusher when a flush is in
+// flight.
+func (w *WAL) Crash() {
+	w.mu.Lock()
+	if w.crashed || w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.crashed = true
+	w.buf = nil
+	w.mu.Unlock()
+	if w.flushMu.TryLock() {
+		w.truncateToSyncedLocked()
+		w.flushMu.Unlock()
+	}
+	w.failDurable(ErrWALCrashed)
+	w.stopFlusher()
+}
+
+func (w *WAL) stopFlusher() {
+	w.stopOnce.Do(func() { close(w.quit) })
+}
+
+// Close flushes, fsyncs and closes the log — the clean-shutdown path
+// dbserver's SIGTERM drain takes after the wire listeners close.
+func (w *WAL) Close() error {
+	w.stopFlusher()
+	<-w.done
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	f, crashed := w.f, w.crashed
+	w.mu.Unlock()
+	var err error
+	if f != nil {
+		if !crashed {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil && !crashed {
+			err = cerr
+		}
+	}
+	w.failDurable(ErrWALClosed)
+	return err
+}
+
+// CloseWAL cleanly closes the attached log, if any.
+func (db *DB) CloseWAL() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Close()
+}
+
+// ---- checkpoint & rotation ----
+
+func (w *WAL) maybeCheckpoint() {
+	w.mu.Lock()
+	due := w.ckptBytes > 0 && w.bytesSinceCkpt >= w.ckptBytes && !w.crashed && !w.closed
+	w.mu.Unlock()
+	if due && w.ckptBusy.CompareAndSwap(false, true) {
+		go func() {
+			defer w.ckptBusy.Store(false)
+			w.Checkpoint()
+		}()
+	}
+}
+
+// Checkpoint snapshots every table to a sidecar file and rotates the log:
+// recovery then starts from the snapshot and replays only the records past
+// it. Concurrent commits are excluded only for the duration of the table
+// freezes (microseconds), not the file write.
+func (w *WAL) Checkpoint() error {
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	db := w.db
+
+	// Quiesce appends: every append happens under a table write lock or the
+	// catalog write lock, so holding the catalog read lock plus every
+	// table's read lock guarantees no record is in flight while we capture
+	// (LSN, chain) and freeze — the snapshot is exactly the state through
+	// that LSN.
+	db.mu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	want := make([]heldLock, 0, len(names))
+	for _, n := range names {
+		want = append(want, heldLock{table: n})
+	}
+	held := db.locks.acquireSet(want)
+	w.mu.Lock()
+	lsn, chain := w.nextLSN-1, w.chain
+	crashed := w.crashed || w.closed
+	w.mu.Unlock()
+	frozen := make([]*Table, 0, len(names))
+	if !crashed {
+		for _, n := range names {
+			frozen = append(frozen, db.tables[n].freeze())
+		}
+	}
+	db.locks.releaseSet(held)
+	db.mu.RUnlock()
+	if crashed {
+		return ErrWALCrashed
+	}
+
+	if err := w.writeCheckpoint(lsn, chain, frozen); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.ckptLSN, w.ckptChain = lsn, chain
+	w.bytesSinceCkpt = 0
+	w.mu.Unlock()
+	w.checkpoints.Add(1)
+	return w.rotate(lsn)
+}
+
+func ckptPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016x.snap", lsn))
+}
+
+func segPath(dir string, firstLSN uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", firstLSN))
+}
+
+// writeCheckpoint serializes the frozen tables to ckpt-<lsn>.snap via a
+// temp file, fsync, rename, directory fsync — the standard atomic-publish
+// dance, so a crash leaves either the old checkpoint set or the new one,
+// never a half-written file under the real name.
+func (w *WAL) writeCheckpoint(lsn, chain uint64, tables []*Table) error {
+	body := binary.LittleEndian.AppendUint64(nil, lsn)
+	body = binary.LittleEndian.AppendUint64(body, chain)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(tables)))
+	for _, t := range tables {
+		body = appendCkptTable(body, t)
+	}
+	tmp := filepath.Join(w.dir, "ckpt.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(walCkptMagic[:])
+	if err == nil {
+		_, err = f.Write(body)
+	}
+	if err == nil {
+		var crcb [4]byte
+		binary.LittleEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(body))
+		_, err = f.Write(crcb[:])
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.fault.Fire(walfault.MidCheckpoint)
+	if w.isCrashed() {
+		// Simulated power cut mid-checkpoint: leave the temp file exactly
+		// as a real crash would; recovery ignores it.
+		f.Close()
+		return ErrWALCrashed
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, ckptPath(w.dir, lsn)); err != nil {
+		return err
+	}
+	return fsyncDir(w.dir)
+}
+
+func appendCkptTable(b []byte, t *Table) []byte {
+	b = appendLenStr(b, t.name)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(t.columns)))
+	for _, c := range t.columns {
+		b = appendLenStr(b, c.Name)
+		b = append(b, byte(c.Type))
+		var flags byte
+		if c.PrimaryKey {
+			flags |= 1
+		}
+		if c.AutoIncrement {
+			flags |= 2
+		}
+		if c.NotNull {
+			flags |= 4
+		}
+		b = append(b, flags)
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.nextID))
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.nextAI))
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.aiOffset))
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.aiStride))
+	// Secondary indexes ("primary" is rebuilt by newTable).
+	names := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		if n != "primary" {
+			names = append(names, n)
+		}
+	}
+	sortStrings(names)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(names)))
+	for _, n := range names {
+		ix := t.indexes[n]
+		b = appendLenStr(b, ix.name)
+		b = binary.LittleEndian.AppendUint32(b, uint32(ix.col))
+		if ix.unique {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(t.rowOrder)))
+	for _, id := range t.rowOrder {
+		b = binary.LittleEndian.AppendUint64(b, uint64(id))
+		for _, v := range t.rows[id] {
+			b = appendWALValue(b, v)
+		}
+	}
+	return b
+}
+
+func appendLenStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func (w *WAL) isCrashed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.crashed
+}
+
+// rotate seals the active segment and opens a fresh one, then deletes
+// segments and checkpoints wholly covered by the checkpoint at upto.
+func (w *WAL) rotate(upto uint64) error {
+	w.flushMu.Lock()
+	w.mu.Lock()
+	if w.crashed || w.closed {
+		w.mu.Unlock()
+		w.flushMu.Unlock()
+		return ErrWALCrashed
+	}
+	buf, last, old := w.buf, w.bufLast, w.f
+	w.buf = nil
+	newFirst := w.nextLSN
+	// An active segment that holds no records yet (its firstLSN IS the next
+	// LSN to assign — e.g. the initial checkpoint right after attach, or
+	// back-to-back checkpoints with no writes between) is already the
+	// post-checkpoint segment: creating a "new" one would reuse the same
+	// file name and the GC below would delete the file out from under the
+	// live descriptor. Keep it and only run the GC.
+	sameSeg := len(w.segs) > 0 && w.segs[len(w.segs)-1].firstLSN == newFirst
+	w.mu.Unlock()
+	// Drain the buffer into the old segment so every record < newFirst
+	// lives there, then seal it. (With sameSeg the buffer is necessarily
+	// empty: buffered records always carry LSNs at or past the active
+	// segment's firstLSN, and none below nextLSN exist.)
+	if len(buf) > 0 {
+		if _, err := old.Write(buf); err != nil {
+			w.flushMu.Unlock()
+			w.failDurable(fmt.Errorf("sqldb: wal rotate write: %w", err))
+			return err
+		}
+	}
+	if err := old.Sync(); err != nil {
+		w.flushMu.Unlock()
+		w.failDurable(fmt.Errorf("sqldb: wal rotate fsync: %w", err))
+		return err
+	}
+	w.fsyncs.Add(1)
+	if !sameSeg {
+		old.Close()
+		f, err := createSegment(w.dir, newFirst)
+		if err != nil {
+			w.flushMu.Unlock()
+			w.failDurable(err)
+			return err
+		}
+		w.mu.Lock()
+		w.f = f
+		w.fSize = walSegHeaderSize
+		w.syncedSize = walSegHeaderSize
+		w.segs = append(w.segs, walSegment{path: segPath(w.dir, newFirst), firstLSN: newFirst})
+		w.mu.Unlock()
+	}
+	w.mu.Lock()
+	segs := append([]walSegment(nil), w.segs...)
+	w.mu.Unlock()
+	w.flushMu.Unlock()
+	if len(buf) > 0 {
+		w.advanceDurable(last)
+	}
+	w.fault.Fire(walfault.MidRotate)
+	if w.isCrashed() {
+		return ErrWALCrashed
+	}
+	// GC: a segment is dead when a successor exists and every record it
+	// could hold is ≤ the checkpoint; old checkpoints are strictly
+	// superseded by the one at upto.
+	keep := segs[:0:0]
+	for i, s := range segs {
+		if i+1 < len(segs) && segs[i+1].firstLSN <= upto+1 {
+			os.Remove(s.path)
+			continue
+		}
+		keep = append(keep, s)
+	}
+	w.mu.Lock()
+	w.segs = keep
+	w.mu.Unlock()
+	if ents, err := os.ReadDir(w.dir); err == nil {
+		for _, e := range ents {
+			var lsn uint64
+			if _, err := fmt.Sscanf(e.Name(), "ckpt-%016x.snap", &lsn); err == nil && lsn < upto {
+				os.Remove(filepath.Join(w.dir, e.Name()))
+			}
+		}
+	}
+	return fsyncDir(w.dir)
+}
+
+func createSegment(dir string, firstLSN uint64) (*os.File, error) {
+	path := segPath(dir, firstLSN)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, walSegHeaderSize)
+	hdr = append(hdr, walSegMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, firstLSN)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := fsyncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ---- log scanning (SHOW WAL ... and recovery share this) ----
+
+// scanState captures a consistent read view of the log: finished bytes of
+// every on-disk segment plus the not-yet-flushed buffer tail.
+type scanState struct {
+	segs    []walSegment
+	activeN int64 // bytes of the active (last) segment to trust
+	tail    []byte
+	lastLSN uint64
+	chain   uint64
+	ckptLSN uint64
+	ckptCh  uint64
+}
+
+func (w *WAL) scanView() scanState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return scanState{
+		segs:    append([]walSegment(nil), w.segs...),
+		activeN: w.fSize,
+		tail:    append([]byte(nil), w.buf...),
+		lastLSN: w.nextLSN - 1,
+		chain:   w.chain,
+		ckptLSN: w.ckptLSN,
+		ckptCh:  w.ckptChain,
+	}
+}
+
+// scanStmts streams every logged statement in the view with lsn > after, in
+// LSN order, until fn returns false. Statements at or below the checkpoint
+// may appear in pre-GC segments; they are skipped via the after filter the
+// callers pass.
+func (v scanState) scanStmts(after uint64, fn func(walRecStmt) bool) error {
+	emit := func(b []byte) (bool, error) {
+		for len(b) > 0 {
+			stmts, rest, err := decodeRecord(b)
+			if err != nil {
+				return false, err
+			}
+			for _, st := range stmts {
+				if st.lsn <= after {
+					continue
+				}
+				if !fn(st) {
+					return false, nil
+				}
+			}
+			b = rest
+		}
+		return true, nil
+	}
+	for i, s := range v.segs {
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return err
+		}
+		if len(data) < walSegHeaderSize {
+			return errors.New("sqldb: wal segment: short header")
+		}
+		body := data[walSegHeaderSize:]
+		if i == len(v.segs)-1 {
+			// The active segment may have grown past the captured view;
+			// only the captured prefix is record-aligned for sure.
+			if n := v.activeN - walSegHeaderSize; int64(len(body)) > n {
+				body = body[:n]
+			}
+			body = append(body, v.tail...)
+		}
+		cont, err := emit(body)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- SHOW WAL executors ----
+
+// execShowWALStatus serves SHOW WAL STATUS. LSNs and hashes are reported as
+// int64 bit patterns (the engine's integer type); consumers compare them
+// for equality only.
+func (db *DB) execShowWALStatus() (*Result, error) {
+	res := &Result{Columns: []string{"attached", "last_lsn", "durable_lsn", "chain", "checkpoint_lsn"}}
+	w := db.wal
+	if w == nil {
+		res.Rows = append(res.Rows, Row{Int(0), Int(0), Int(0), Int(0), Int(0)})
+		return res, nil
+	}
+	v := w.scanView()
+	w.dmu.Lock()
+	durable := w.durableLSN
+	w.dmu.Unlock()
+	res.Rows = append(res.Rows, Row{
+		Int(1), Int(int64(v.lastLSN)), Int(int64(durable)),
+		Int(int64(v.chain)), Int(int64(v.ckptLSN)),
+	})
+	return res, nil
+}
+
+// execShowWALChain serves SHOW WAL CHAIN n: (lsn, chain, available). The
+// chain at n is reconstructible only while n is at or past the checkpoint
+// the log was last rotated against.
+func (db *DB) execShowWALChain(at uint64) (*Result, error) {
+	res := &Result{Columns: []string{"lsn", "chain", "available"}}
+	w := db.wal
+	if w == nil {
+		res.Rows = append(res.Rows, Row{Int(int64(at)), Int(0), Int(0)})
+		return res, nil
+	}
+	v := w.scanView()
+	chain, ok := v.chainAt(at)
+	avail := Int(0)
+	if ok {
+		avail = Int(1)
+	}
+	res.Rows = append(res.Rows, Row{Int(int64(at)), Int(int64(chain)), avail})
+	return res, nil
+}
+
+func (v scanState) chainAt(at uint64) (uint64, bool) {
+	switch {
+	case at > v.lastLSN || at < v.ckptLSN:
+		return 0, false
+	case at == v.lastLSN:
+		return v.chain, true
+	case at == v.ckptLSN:
+		return v.ckptCh, true
+	}
+	chain := v.ckptCh
+	reached := false
+	err := v.scanStmts(v.ckptLSN, func(st walRecStmt) bool {
+		chain = chainStep(chain, st.q, st.encArgs)
+		if st.lsn == at {
+			reached = true
+			return false
+		}
+		return true
+	})
+	if err != nil || !reached {
+		return 0, false
+	}
+	return chain, true
+}
+
+// execShowWALRecords serves SHOW WAL RECORDS SINCE n LIMIT m: the logged
+// statements with LSN > n as (lsn, query, base64(args)) rows — the
+// log-shipping payload a rejoining replica replays. Asking below the
+// retained horizon is an error (the caller must fall back to a full copy).
+func (db *DB) execShowWALRecords(since uint64, limit int64) (*Result, error) {
+	w := db.wal
+	if w == nil {
+		return nil, errors.New("sqldb: no wal attached")
+	}
+	v := w.scanView()
+	if since < v.ckptLSN {
+		return nil, fmt.Errorf("sqldb: wal records before lsn %d rotated away (asked since %d)", v.ckptLSN, since)
+	}
+	if limit < 0 {
+		limit = int64(^uint64(0) >> 1)
+	}
+	res := &Result{Columns: []string{"lsn", "query", "args"}}
+	err := v.scanStmts(since, func(st walRecStmt) bool {
+		if int64(len(res.Rows)) >= limit {
+			return false
+		}
+		res.Rows = append(res.Rows, Row{
+			Int(int64(st.lsn)), String(st.q),
+			String(base64.StdEncoding.EncodeToString(st.encArgs)),
+		})
+		return int64(len(res.Rows)) < limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,683 @@
+package sqldb
+
+import (
+	"encoding/base64"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sqldb/walfault"
+)
+
+// Fast group-commit settings for tests: a short tick keeps single-threaded
+// test workloads from serializing on 1ms waits.
+func testWALOpts(dir string) WALOptions {
+	return WALOptions{Dir: dir, FlushInterval: 200 * time.Microsecond, CheckpointBytes: -1}
+}
+
+func walMustExec(t *testing.T, s *Session, q string, args ...Value) *Result {
+	t.Helper()
+	res, err := s.Exec(q, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res
+}
+
+func walSchema(t *testing.T, s *Session) {
+	t.Helper()
+	walMustExec(t, s, `CREATE TABLE items (id INT PRIMARY KEY AUTO_INCREMENT, name VARCHAR(32), qty INT)`)
+	walMustExec(t, s, `CREATE INDEX byname ON items (name)`)
+	walMustExec(t, s, `CREATE TABLE audit (id INT PRIMARY KEY AUTO_INCREMENT, item INT, delta INT)`)
+}
+
+// dbDump renders the full engine state — schema, rows in scan order, rowid
+// and AUTO_INCREMENT counters, index definitions — for byte-identity
+// assertions between a recovered instance and the original.
+func dbDump(t *testing.T, db *DB) string {
+	t.Helper()
+	sess := db.NewSession()
+	defer sess.Close()
+	var b strings.Builder
+	for _, name := range db.TableNames() {
+		tb, err := db.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Exec("SELECT * FROM " + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ixs := make([]string, 0, len(tb.indexes))
+		for n, ix := range tb.indexes {
+			ixs = append(ixs, fmt.Sprintf("%s:%d:%v", n, ix.col, ix.unique))
+		}
+		sortStrings(ixs)
+		fmt.Fprintf(&b, "%s cols=%v ids=%d ai=%d/%d/%d ix=%v rows=%v\n",
+			name, tb.columns, tb.nextID, tb.nextAI, tb.aiOffset, tb.aiStride, ixs, res.Rows)
+	}
+	return b.String()
+}
+
+// recoverDB attaches a fresh engine to dir and returns it with the info.
+func recoverDB(t *testing.T, dir string) (*DB, *RecoveryInfo) {
+	t.Helper()
+	db := New()
+	info, err := db.AttachWAL(testWALOpts(dir))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	t.Cleanup(func() { db.CloseWAL() })
+	return db, info
+}
+
+// TestWALRoundTrip: commits (auto-commit, transaction, DDL) survive a clean
+// close and are byte-identically recovered — log-only, no checkpoint.
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	if _, err := db.AttachWAL(testWALOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES (?, ?)", String("widget"), Int(7))
+	walMustExec(t, s, "BEGIN")
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('gadget', 2)")
+	walMustExec(t, s, "INSERT INTO audit (item, delta) VALUES (2, 2)")
+	walMustExec(t, s, "COMMIT")
+	// A rolled-back transaction must leave no trace in the log.
+	walMustExec(t, s, "BEGIN")
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('ghost', 99)")
+	walMustExec(t, s, "ROLLBACK")
+	walMustExec(t, s, "UPDATE items SET qty = qty + 1 WHERE name = 'widget'")
+	walMustExec(t, s, "DELETE FROM audit WHERE delta = 0")
+	walMustExec(t, s, "ALTER TABLE audit AUTO_INCREMENT OFFSET 2 STRIDE 4")
+	s.Close()
+	want := dbDump(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, info := recoverDB(t, dir)
+	if !info.Recovered || info.ReplayedStmts == 0 {
+		t.Fatalf("expected replayed recovery, got %+v", info)
+	}
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("recovered state differs:\n got: %s\nwant: %s", got, want)
+	}
+	// The ghost row really is absent.
+	sess := db2.NewSession()
+	defer sess.Close()
+	res := walMustExec(t, sess, "SELECT COUNT(*) FROM items WHERE name = 'ghost'")
+	if res.Rows[0][0].AsInt() != 0 {
+		t.Fatal("rolled-back insert resurfaced after recovery")
+	}
+}
+
+// TestWALCrashKeepsAckedWrites: every write acknowledged before a simulated
+// power cut must survive recovery (the durability contract), and the
+// recovered state equals the pre-crash committed state exactly.
+func TestWALCrashKeepsAckedWrites(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	if _, err := db.AttachWAL(testWALOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	for i := 0; i < 50; i++ {
+		walMustExec(t, s, "INSERT INTO items (name, qty) VALUES (?, ?)",
+			String(fmt.Sprintf("item-%03d", i)), Int(int64(i)))
+	}
+	s.Close()
+	want := dbDump(t, db)
+	db.WAL().Crash()
+
+	db2, info := recoverDB(t, dir)
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("acked writes lost (recovered through LSN %d):\n got: %s\nwant: %s",
+			info.ReplayLSN, got, want)
+	}
+}
+
+// TestWALTornTail: garbage and a truncated record at the log's tail are cut
+// at the first bad checksum; the intact prefix replays, recovery reports
+// where it stopped, and a second recovery from the truncated log agrees.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	if _, err := db.AttachWAL(testWALOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('kept', 1)")
+	s.Close()
+	want := dbDump(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn write: half a record (a plausible length prefix with
+	// not enough bytes behind it) at the end of the active segment.
+	_, segs, err := scanWALDir(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	seg := segPath(dir, segs[len(segs)-1])
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3} // claims 64B payload, has 3
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, info := recoverDB(t, dir)
+	if !info.TornTail {
+		t.Fatalf("expected torn tail, got %+v", info)
+	}
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("torn-tail recovery diverged:\n got: %s\nwant: %s", got, want)
+	}
+	if info.ReplayLSN == 0 {
+		t.Fatal("recovery did not report the LSN it stopped at")
+	}
+	db2.CloseWAL()
+
+	// The truncation is durable: recovering again sees a clean (not torn)
+	// log ending at the same LSN.
+	db3, info3 := recoverDB(t, dir)
+	if info3.TornTail {
+		t.Fatal("second recovery still sees a torn tail; truncation not persisted")
+	}
+	if got := dbDump(t, db3); got != want {
+		t.Fatal("second recovery diverged")
+	}
+}
+
+// TestWALCheckpointAndRecover: recovery from a checkpoint plus a log suffix,
+// with superseded segments garbage-collected by the rotation.
+func TestWALCheckpointAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	if _, err := db.AttachWAL(testWALOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	for i := 0; i < 20; i++ {
+		walMustExec(t, s, "INSERT INTO items (name, qty) VALUES (?, ?)", String("pre"), Int(int64(i)))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		walMustExec(t, s, "INSERT INTO items (name, qty) VALUES (?, ?)", String("post"), Int(int64(i)))
+	}
+	s.Close()
+	want := dbDump(t, db)
+	stats := db.WALStats()
+	if stats.Checkpoints != 1 || stats.CheckpointLSN == 0 {
+		t.Fatalf("checkpoint not recorded: %+v", stats)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, info := recoverDB(t, dir)
+	if info.CheckpointLSN != stats.CheckpointLSN {
+		t.Fatalf("recovered from checkpoint %d, want %d", info.CheckpointLSN, stats.CheckpointLSN)
+	}
+	// Only the post-checkpoint suffix should replay.
+	if info.ReplayedStmts != 7 {
+		t.Fatalf("replayed %d statements, want 7", info.ReplayedStmts)
+	}
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("checkpoint recovery diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWALCheckpointOnlyRecovery: a checkpoint with an empty log suffix
+// recovers from the snapshot alone.
+func TestWALCheckpointOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	if _, err := db.AttachWAL(testWALOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('only', 1)")
+	s.Close()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := dbDump(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, info := recoverDB(t, dir)
+	if info.ReplayedStmts != 0 {
+		t.Fatalf("checkpoint-only recovery replayed %d statements", info.ReplayedStmts)
+	}
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWALMidCheckpointCrash: a crash during the checkpoint write leaves the
+// previous checkpoint authoritative; recovery replays the longer suffix and
+// the half-written temp file is ignored and cleaned up.
+func TestWALMidCheckpointCrash(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	hook := walfault.New()
+	opts := testWALOpts(dir)
+	opts.Fault = hook
+	if _, err := db.AttachWAL(opts); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('first', 1)")
+	if err := db.Checkpoint(); err != nil { // checkpoint #1, clean
+		t.Fatal(err)
+	}
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('second', 2)")
+	s.Close()
+	want := dbDump(t, db)
+
+	hook.Set(walfault.MidCheckpoint, 1, func() { db.WAL().Crash() })
+	if err := db.Checkpoint(); err == nil { // checkpoint #2 dies mid-write
+		t.Fatal("checkpoint should have failed at the crash point")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt.tmp")); err != nil {
+		t.Fatalf("expected half-written ckpt.tmp on disk: %v", err)
+	}
+
+	db2, info := recoverDB(t, dir)
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("mid-checkpoint crash recovery diverged:\n got: %s\nwant: %s", got, want)
+	}
+	if info.ReplayedStmts == 0 {
+		t.Fatal("expected a replay from the previous checkpoint")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ckpt.tmp")); !os.IsNotExist(err) {
+		t.Fatal("recovery left the stale ckpt.tmp behind")
+	}
+}
+
+// TestWALMidRotateCrash: a crash after the new segment is created but
+// before old ones are garbage-collected leaves overlapping segments;
+// recovery must handle the overlap (skip what the checkpoint covers).
+func TestWALMidRotateCrash(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	hook := walfault.New()
+	opts := testWALOpts(dir)
+	opts.Fault = hook
+	if _, err := db.AttachWAL(opts); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('pre-rotate', 1)")
+	s.Close()
+	want := dbDump(t, db)
+
+	hook.Set(walfault.MidRotate, 1, func() { db.WAL().Crash() })
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("checkpoint should have failed at the rotate crash point")
+	}
+	_, segs, err := scanWALDir(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("expected overlapping segments after mid-rotate crash, got %v (%v)", segs, err)
+	}
+
+	db2, _ := recoverDB(t, dir)
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("mid-rotate crash recovery diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWALPreAppendCrash: a crash before the record enters the buffer loses
+// the commit — and the committer learns it (error), so nothing acked is
+// lost.
+func TestWALPreAppendCrash(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	hook := walfault.New()
+	opts := testWALOpts(dir)
+	opts.Fault = hook
+	if _, err := db.AttachWAL(opts); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('kept', 1)")
+	want := dbDump(t, db) // state the log can reproduce
+
+	hook.Set(walfault.PreAppend, 1, func() { db.WAL().Crash() })
+	if _, err := s.Exec("INSERT INTO items (name, qty) VALUES ('lost', 2)"); err == nil {
+		t.Fatal("commit during crash should not be acknowledged")
+	}
+	s.Close()
+
+	db2, _ := recoverDB(t, dir)
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("pre-append crash recovery diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWALPostAppendPreFsyncCrash: the record was written but never fsynced
+// when the power died — the pessimal model drops it, the committer got an
+// error, and recovery lands on the pre-crash acked state.
+func TestWALPostAppendPreFsyncCrash(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	hook := walfault.New()
+	opts := testWALOpts(dir)
+	opts.Fault = hook
+	if _, err := db.AttachWAL(opts); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('kept', 1)")
+	want := dbDump(t, db)
+
+	// The hook runs on the flusher goroutine, between its write and fsync.
+	hook.Set(walfault.PostAppendPreFsync, 1, func() { db.WAL().Crash() })
+	if _, err := s.Exec("INSERT INTO items (name, qty) VALUES ('unsynced', 2)"); err == nil {
+		t.Fatal("commit whose fsync died should not be acknowledged")
+	}
+	s.Close()
+
+	db2, _ := recoverDB(t, dir)
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("post-append-pre-fsync crash recovery diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWALPartialAutoCommitReplay: MyISAM partial application — a multi-row
+// auto-commit INSERT that dies on a duplicate key keeps its earlier rows —
+// must reproduce identically through the log.
+func TestWALPartialAutoCommitReplay(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	if _, err := db.AttachWAL(testWALOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walMustExec(t, s, `CREATE TABLE u (id INT PRIMARY KEY, v INT)`)
+	walMustExec(t, s, "INSERT INTO u (id, v) VALUES (5, 0)")
+	if _, err := s.Exec("INSERT INTO u (id, v) VALUES (1, 1), (2, 2), (5, 5), (9, 9)"); err == nil {
+		t.Fatal("expected duplicate-key failure")
+	}
+	s.Close()
+	want := dbDump(t, db)
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, info := recoverDB(t, dir)
+	if info.ReplayErrors != 1 {
+		t.Fatalf("replay errors %d, want 1 (the logged failing INSERT)", info.ReplayErrors)
+	}
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("partial-application replay diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWALPopulateThenAttach: the boot order for a fresh data directory —
+// populate in memory first, then attach — must checkpoint the populated
+// state immediately so it is durable without per-statement logging.
+func TestWALPopulateThenAttach(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	s := db.NewSession()
+	walSchema(t, s)
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES ('seeded', 1)")
+	s.Close()
+	want := dbDump(t, db)
+	info, err := db.AttachWAL(testWALOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Recovered {
+		t.Fatal("fresh dir should not report recovery")
+	}
+	if db.WALStats().Checkpoints != 1 {
+		t.Fatal("populate-then-attach should write the initial checkpoint")
+	}
+	db.WAL().Crash() // nothing logged since attach; the checkpoint carries it all
+
+	db2, info2 := recoverDB(t, dir)
+	if !info2.Recovered {
+		t.Fatal("expected recovery from the initial checkpoint")
+	}
+	if got := dbDump(t, db2); got != want {
+		t.Fatalf("initial-checkpoint recovery diverged:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestWALGroupCommit: concurrent committers share fsyncs — with many
+// sessions committing at once, the fsync count stays well under the append
+// count.
+func TestWALGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	opts := testWALOpts(dir)
+	opts.FlushInterval = 2 * time.Millisecond // widen the batching window
+	if _, err := db.AttachWAL(opts); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	s.Close()
+	base := db.WALStats()
+
+	const workers, each = 8, 25
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			defer sess.Close()
+			for i := 0; i < each; i++ {
+				if _, err := sess.Exec("INSERT INTO audit (item, delta) VALUES (?, ?)",
+					Int(int64(wkr)), Int(int64(i))); err != nil {
+					t.Errorf("worker %d: %v", wkr, err)
+					return
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	st := db.WALStats()
+	appends := st.Appends - base.Appends
+	fsyncs := st.Fsyncs - base.Fsyncs
+	if appends != workers*each {
+		t.Fatalf("appends %d, want %d", appends, workers*each)
+	}
+	if fsyncs >= appends {
+		t.Fatalf("no group commit: %d fsyncs for %d appends", fsyncs, appends)
+	}
+	if st.DurableLSN < st.LastLSN {
+		t.Fatalf("acked commits not durable: durable %d < last %d", st.DurableLSN, st.LastLSN)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShowWALStatements: the SQL surface the log-shipping rejoin uses.
+func TestShowWALStatements(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	if _, err := db.AttachWAL(testWALOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	defer s.Close()
+	walSchema(t, s)
+	walMustExec(t, s, "INSERT INTO items (name, qty) VALUES (?, ?)", String("x"), Int(1))
+
+	st := walMustExec(t, s, "SHOW WAL STATUS")
+	if st.Rows[0][0].AsInt() != 1 {
+		t.Fatal("SHOW WAL STATUS says no wal attached")
+	}
+	last := st.Rows[0][1].AsInt()
+	if last < 4 {
+		t.Fatalf("last_lsn %d, want >= 4 (3 DDL + 1 insert)", last)
+	}
+
+	// The chain at last_lsn equals the status chain; records page through.
+	ch := walMustExec(t, s, fmt.Sprintf("SHOW WAL CHAIN %d", last))
+	if ch.Rows[0][2].AsInt() != 1 {
+		t.Fatal("chain at last_lsn unavailable")
+	}
+	if ch.Rows[0][1].AsInt() != st.Rows[0][3].AsInt() {
+		t.Fatal("SHOW WAL CHAIN at head disagrees with SHOW WAL STATUS")
+	}
+	recs := walMustExec(t, s, "SHOW WAL RECORDS SINCE 0 LIMIT 2")
+	if len(recs.Rows) != 2 || recs.Rows[0][0].AsInt() != 1 || recs.Rows[1][0].AsInt() != 2 {
+		t.Fatalf("paging: got %v", recs.Rows)
+	}
+	recs = walMustExec(t, s, fmt.Sprintf("SHOW WAL RECORDS SINCE %d LIMIT 100", last))
+	if len(recs.Rows) != 0 {
+		t.Fatalf("records past head: %v", recs.Rows)
+	}
+
+	// Replaying the shipped records into a second engine converges chains —
+	// the delta-sync core.
+	db2 := New()
+	if _, err := db2.AttachWAL(testWALOpts(t.TempDir())); err != nil {
+		t.Fatal(err)
+	}
+	defer db2.CloseWAL()
+	s2 := db2.NewSession()
+	defer s2.Close()
+	all := walMustExec(t, s, "SHOW WAL RECORDS SINCE 0 LIMIT 10000")
+	for _, row := range all.Rows {
+		args, err := DecodeWALValues(mustB64(t, row[2].AsString()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s2.Exec(row[1].AsString(), args...); err != nil {
+			t.Fatalf("replay %q: %v", row[1].AsString(), err)
+		}
+	}
+	a := walMustExec(t, s, "SHOW WAL STATUS").Rows[0]
+	b := walMustExec(t, s2, "SHOW WAL STATUS").Rows[0]
+	if a[1].AsInt() != b[1].AsInt() || a[3].AsInt() != b[3].AsInt() {
+		t.Fatalf("chains diverged after full replay: src=%v dst=%v", a, b)
+	}
+
+	// After a checkpoint rotates history away, records below the horizon
+	// are refused (the caller must full-copy instead).
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("SHOW WAL RECORDS SINCE 0 LIMIT 1"); err == nil {
+		t.Fatal("records below the rotated horizon should be refused")
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustB64(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestWALOnNilIsInert: a DB without a WAL answers the SHOW WAL surface
+// gracefully and pays no durability cost.
+func TestWALOnNilIsInert(t *testing.T) {
+	db := New()
+	s := db.NewSession()
+	defer s.Close()
+	walSchema(t, s)
+	st := walMustExec(t, s, "SHOW WAL STATUS")
+	if st.Rows[0][0].AsInt() != 0 {
+		t.Fatal("no-wal status should report attached=0")
+	}
+	if _, err := s.Exec("SHOW WAL RECORDS SINCE 0 LIMIT 1"); err == nil {
+		t.Fatal("records on a wal-less engine should error")
+	}
+	if got := db.WALStats(); got.Attached {
+		t.Fatal("WALStats on wal-less engine")
+	}
+}
+
+// TestWALRefusesNonEmptyRecovery: recovering into a populated engine is a
+// configuration error, not a silent merge.
+func TestWALRefusesNonEmptyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	if _, err := db.AttachWAL(testWALOpts(dir)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	s.Close()
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	s2 := db2.NewSession()
+	walMustExec(t, s2, "CREATE TABLE other (id INT PRIMARY KEY)")
+	s2.Close()
+	if _, err := db2.AttachWAL(testWALOpts(dir)); err == nil {
+		t.Fatal("recovery into a non-empty engine must be refused")
+	}
+}
+
+// TestWALAutoCheckpoint: crossing CheckpointBytes triggers a checkpoint
+// from the flusher without an explicit call.
+func TestWALAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	opts := testWALOpts(dir)
+	opts.CheckpointBytes = 4 << 10
+	if _, err := db.AttachWAL(opts); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	walSchema(t, s)
+	for i := 0; i < 200; i++ {
+		walMustExec(t, s, "INSERT INTO items (name, qty) VALUES (?, ?)",
+			String(fmt.Sprintf("row-%04d-padding-padding-padding", i)), Int(int64(i)))
+	}
+	s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for db.WALStats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no automatic checkpoint after crossing CheckpointBytes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := db.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	db2, info := recoverDB(t, dir)
+	if info.CheckpointLSN == 0 {
+		t.Fatal("recovery should start from the automatic checkpoint")
+	}
+	if got, want := dbDump(t, db2), dbDump(t, db); got != want {
+		t.Fatal("auto-checkpoint recovery diverged")
+	}
+}

@@ -57,6 +57,7 @@ type Stats struct {
 	PlanCache sqldb.PlanCacheStats `json:"plan_cache"`
 	Txns      sqldb.TxnStats       `json:"txns"`
 	MVCC      sqldb.MVCCStats      `json:"mvcc"`
+	WAL       sqldb.WALStats       `json:"wal"`
 }
 
 // Stats snapshots the server.
@@ -69,6 +70,7 @@ func (s *Server) Stats() Stats {
 		PlanCache:     s.db.PlanCacheStats(),
 		Txns:          s.db.TxnStats(),
 		MVCC:          s.db.MVCCStats(),
+		WAL:           s.db.WALStats(),
 	}
 }
 

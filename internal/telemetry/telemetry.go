@@ -108,6 +108,21 @@ type Tier struct {
 	PageCacheMisses         int64 `json:"page_cache_misses,omitempty"`
 	PageCacheInvalidations  int64 `json:"page_cache_invalidations,omitempty"`
 	PageCacheBypasses       int64 `json:"page_cache_bypasses,omitempty"`
+	// Durability counters (DESIGN.md §12). For the database tier these
+	// aggregate the replicas' write-ahead logs: record batches appended,
+	// fsyncs issued (appends ÷ fsyncs is the group-commit amortization),
+	// log bytes written, checkpoints taken, and boot-time recoveries. For
+	// a tier that owns a cluster client, the WALDelta*/WALFull* counters
+	// split rejoin data copies by path: log-shipping delta (and the
+	// statements it replayed) versus full table copy.
+	WALAppends     int64 `json:"wal_appends,omitempty"`
+	WALFsyncs      int64 `json:"wal_fsyncs,omitempty"`
+	WALBytes       int64 `json:"wal_bytes,omitempty"`
+	WALCheckpoints int64 `json:"wal_checkpoints,omitempty"`
+	WALRecoveries  int64 `json:"wal_recoveries,omitempty"`
+	WALDeltaSyncs  int64 `json:"wal_delta_syncs,omitempty"`
+	WALFullSyncs   int64 `json:"wal_full_syncs,omitempty"`
+	WALDeltaStmts  int64 `json:"wal_delta_stmts,omitempty"`
 	// Downstream names the tier Pool dials into. Pool wait time is
 	// evidence that *that* tier's connections are all busy, so
 	// Bottleneck charges the wait there, not to the pool's holder.
@@ -137,6 +152,16 @@ type Replica struct {
 	// view; 0 when the snapshot was taken from the client side only).
 	Queries int64       `json:"queries,omitempty"`
 	Pool    *pool.Stats `json:"pool,omitempty"`
+	// Write-ahead log counters for this replica's backend (zero when the
+	// snapshot owner does not run the servers, or the backend has no WAL):
+	// appends/fsyncs/bytes measure the log, Checkpoints the snapshots it
+	// rotated against, Recoveries whether this process recovered its state
+	// from disk at boot.
+	WALAppends  int64 `json:"wal_appends,omitempty"`
+	WALFsyncs   int64 `json:"wal_fsyncs,omitempty"`
+	WALBytes    int64 `json:"wal_bytes,omitempty"`
+	Checkpoints int64 `json:"checkpoints,omitempty"`
+	Recoveries  int64 `json:"recoveries,omitempty"`
 }
 
 // AppBackend is one application-tier backend's view in a load-balanced
@@ -231,6 +256,14 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 				t.PageCacheMisses -= pt.PageCacheMisses
 				t.PageCacheInvalidations -= pt.PageCacheInvalidations
 				t.PageCacheBypasses -= pt.PageCacheBypasses
+				t.WALAppends -= pt.WALAppends
+				t.WALFsyncs -= pt.WALFsyncs
+				t.WALBytes -= pt.WALBytes
+				t.WALCheckpoints -= pt.WALCheckpoints
+				t.WALRecoveries -= pt.WALRecoveries
+				t.WALDeltaSyncs -= pt.WALDeltaSyncs
+				t.WALFullSyncs -= pt.WALFullSyncs
+				t.WALDeltaStmts -= pt.WALDeltaStmts
 				if t.Pool != nil && pt.Pool != nil {
 					d := t.Pool.Sub(*pt.Pool)
 					t.Pool = &d
@@ -247,6 +280,11 @@ func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
 				r.Ejections -= pr.Ejections
 				r.LagNanos -= pr.LagNanos
 				r.Queries -= pr.Queries
+				r.WALAppends -= pr.WALAppends
+				r.WALFsyncs -= pr.WALFsyncs
+				r.WALBytes -= pr.WALBytes
+				r.Checkpoints -= pr.Checkpoints
+				r.Recoveries -= pr.Recoveries
 				if r.Pool != nil && pr.Pool != nil {
 					d := r.Pool.Sub(*pr.Pool)
 					r.Pool = &d
@@ -447,6 +485,18 @@ func (s *Snapshot) Format() string {
 				t.Name, t.PageCacheHits, t.PageCacheMisses, hitPct(t.PageCacheHits, pn),
 				t.PageCacheInvalidations, t.PageCacheBypasses)
 		}
+	}
+	for _, t := range s.Tiers {
+		if t.WALAppends == 0 && t.WALRecoveries == 0 && t.WALDeltaSyncs == 0 && t.WALFullSyncs == 0 {
+			continue
+		}
+		perFsync := 0.0
+		if t.WALFsyncs > 0 {
+			perFsync = float64(t.WALAppends) / float64(t.WALFsyncs)
+		}
+		fmt.Fprintf(&b, "%s wal: %d appends / %d fsyncs (%.1f per fsync), %.1f MB, %d checkpoints, %d recoveries; rejoins %d delta (%d stmts) / %d full\n",
+			t.Name, t.WALAppends, t.WALFsyncs, perFsync, float64(t.WALBytes)/(1<<20),
+			t.WALCheckpoints, t.WALRecoveries, t.WALDeltaSyncs, t.WALDeltaStmts, t.WALFullSyncs)
 	}
 	for _, t := range s.Tiers {
 		p := t.Pool
